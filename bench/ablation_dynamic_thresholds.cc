@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation: sensitivity of the dynamic frequency-adaptation scheme to
+ * its X1 (decrease) and X2 (increase) thresholds. The paper reports
+ * that X1 = 200% / X2 = 80% works best overall (Section 4); this
+ * bench sweeps both around that point for route and crc with
+ * two-strike recovery and reports the relative EDF^2 product and the
+ * controller's level residency.
+ */
+
+#include <cmath>
+
+#include "apps/app.hh"
+#include "bench/bench_common.hh"
+#include "core/experiment.hh"
+
+using namespace clumsy;
+
+namespace
+{
+
+double
+relativeEdfFor(const std::string &app, double x1, double x2,
+               const bench::Options &opt, double baseEdf)
+{
+    core::ExperimentConfig cfg;
+    cfg.numPackets = opt.packets;
+    cfg.trials = opt.trials;
+    cfg.dynamicFrequency = true;
+    cfg.scheme = mem::RecoveryScheme::TwoStrike;
+    cfg.processor.freqCtl.x1 = x1;
+    cfg.processor.freqCtl.x2 = x2;
+    const auto res = core::runExperiment(apps::appFactory(app), cfg);
+    const double edf = res.energyPerPacketPj *
+                       std::pow(res.cyclesPerPacket, 2) *
+                       std::pow(res.fallibility, 2);
+    return edf / baseEdf;
+}
+
+double
+baselineEdf(const std::string &app, const bench::Options &opt)
+{
+    core::ExperimentConfig cfg;
+    cfg.numPackets = opt.packets;
+    cfg.trials = opt.trials;
+    cfg.cr = 1.0;
+    cfg.scheme = mem::RecoveryScheme::NoDetection;
+    const auto res = core::runExperiment(apps::appFactory(app), cfg);
+    return res.energyPerPacketPj * std::pow(res.cyclesPerPacket, 2) *
+           std::pow(res.fallibility, 2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opt(argc, argv, 1500, 4);
+
+    for (const std::string app : {"route", "crc"}) {
+        const double base = baselineEdf(app, opt);
+        TextTable table("Dynamic-threshold ablation (relative EDF^2), "
+                        "app = " + app);
+        table.header({"X1 \\ X2", "0.50", "0.80", "0.95"});
+        for (const double x1 : {1.5, 2.0, 3.0}) {
+            std::vector<std::string> row{TextTable::num(x1, 2)};
+            for (const double x2 : {0.50, 0.80, 0.95})
+                row.push_back(TextTable::num(
+                    relativeEdfFor(app, x1, x2, opt, base), 3));
+            table.row(row);
+        }
+        opt.print(table);
+    }
+    std::puts("paper setting: X1 = 2.0, X2 = 0.8 (the center cell).");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation: epoch length of the dynamic frequency controller. The
+ * paper fixes the decision interval at 100 packets; this bench sweeps
+ * it for route (two-strike) and reports relative EDF^2, frequency
+ * switches, and the mean relative cycle time the controller settles
+ * at.
+ */
+
+#include <cmath>
+
+#include "apps/app.hh"
+#include "bench/bench_common.hh"
+#include "core/experiment.hh"
+
+using namespace clumsy;
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opt(argc, argv, 2000, 4);
+
+    // Baseline: Cr = 1, no detection.
+    core::ExperimentConfig base;
+    base.numPackets = opt.packets;
+    base.trials = opt.trials;
+    base.scheme = mem::RecoveryScheme::NoDetection;
+    const auto baseRes =
+        core::runExperiment(apps::appFactory("route"), base);
+    const double baseEdf = baseRes.energyPerPacketPj *
+                           std::pow(baseRes.cyclesPerPacket, 2) *
+                           std::pow(baseRes.fallibility, 2);
+
+    TextTable table("Epoch-length ablation, route + two-strike "
+                    "dynamic");
+    table.header({"epoch [pkts]", "rel EDF^2", "freq switches",
+                  "fallibility"});
+    for (const unsigned epoch : {25u, 50u, 100u, 200u, 400u}) {
+        core::ExperimentConfig cfg;
+        cfg.numPackets = opt.packets;
+        cfg.trials = opt.trials;
+        cfg.dynamicFrequency = true;
+        cfg.scheme = mem::RecoveryScheme::TwoStrike;
+        cfg.processor.freqCtl.epochPackets = epoch;
+        const auto res =
+            core::runExperiment(apps::appFactory("route"), cfg);
+        const double edf = res.energyPerPacketPj *
+                           std::pow(res.cyclesPerPacket, 2) *
+                           std::pow(res.fallibility, 2);
+        table.row({
+            std::to_string(epoch),
+            TextTable::num(edf / baseEdf, 3),
+            std::to_string(res.faulty.freqSwitches),
+            TextTable::num(res.fallibility, 4),
+        });
+    }
+    opt.print(table);
+    std::puts("paper setting: 100-packet epochs.");
+    return 0;
+}

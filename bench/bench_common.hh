@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared option handling for the figure/table reproduction binaries.
+ *
+ * Every bench accepts:
+ *   --packets N   packets per run (default per bench)
+ *   --trials N    faulty replays averaged per configuration
+ *   --csv         print CSV instead of aligned tables
+ *   --quick       1/4 of the default packets and trials (CI mode)
+ */
+
+#ifndef CLUMSY_BENCH_COMMON_HH
+#define CLUMSY_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace clumsy::bench
+{
+
+/** Parsed command-line options. */
+struct Options
+{
+    std::uint64_t packets;
+    unsigned trials;
+    bool csv = false;
+
+    Options(int argc, char **argv, std::uint64_t defPackets,
+            unsigned defTrials)
+        : packets(defPackets), trials(defTrials)
+    {
+        for (int i = 1; i < argc; ++i) {
+            if (!std::strcmp(argv[i], "--csv")) {
+                csv = true;
+            } else if (!std::strcmp(argv[i], "--quick")) {
+                packets = defPackets / 4 ? defPackets / 4 : 1;
+                trials = defTrials / 4 ? defTrials / 4 : 1;
+            } else if (!std::strcmp(argv[i], "--packets") &&
+                       i + 1 < argc) {
+                packets = std::strtoull(argv[++i], nullptr, 10);
+            } else if (!std::strcmp(argv[i], "--trials") &&
+                       i + 1 < argc) {
+                trials = static_cast<unsigned>(
+                    std::strtoul(argv[++i], nullptr, 10));
+            }
+        }
+        setQuiet(true);
+    }
+
+    /** Print a rendered table per the --csv flag. */
+    void print(const TextTable &table) const
+    {
+        std::fputs((csv ? table.csv() : table.render()).c_str(), stdout);
+        std::fputc('\n', stdout);
+    }
+};
+
+} // namespace clumsy::bench
+
+#endif // CLUMSY_BENCH_COMMON_HH

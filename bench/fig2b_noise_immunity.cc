@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reproduces paper Figure 2(b): SRAM noise-immunity curves — the
+ * critical noise amplitude as a function of noise duration, one curve
+ * per voltage swing level. The area above each curve is the
+ * fault-causing region integrated by the fault model.
+ */
+
+#include "bench/bench_common.hh"
+#include "fault/immunity.hh"
+#include "fault/swing.hh"
+
+using namespace clumsy;
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opt(argc, argv, 0, 0);
+    const fault::ImmunityCurves curves;
+    const double swings[] = {1.0, 0.8, 0.6, 0.4};
+
+    TextTable table("Figure 2(b): noise immunity curves "
+                    "(critical amplitude Ar)");
+    table.header({"Dr", "Vsr=1.0", "Vsr=0.8", "Vsr=0.6", "Vsr=0.4"});
+    for (int i = 1; i <= 20; ++i) {
+        const double dr = i * 0.005;
+        std::vector<std::string> row{TextTable::num(dr, 3)};
+        for (const double vsr : swings)
+            row.push_back(
+                TextTable::num(curves.criticalAmplitude(dr, vsr), 4));
+        table.row(row);
+    }
+    opt.print(table);
+
+    TextTable margins("Static noise margins (Dr -> inf asymptote)");
+    margins.header({"Vsr", "margin [xVfs]"});
+    for (const double vsr : swings)
+        margins.row({TextTable::num(vsr, 2),
+                     TextTable::num(curves.staticMargin(vsr), 4)});
+    opt.print(margins);
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reproduces paper Figure 3: the number of neighbor-switching
+ * combinations producing each noise-amplitude level, with the
+ * exponential fit of eq. (1) and its saturation toward the continuous
+ * density of eq. (2).
+ */
+
+#include <cmath>
+
+#include "bench/bench_common.hh"
+#include "fault/noise.hh"
+
+using namespace clumsy;
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opt(argc, argv, 0, 0);
+
+    for (const unsigned n : {4u, 8u, 16u}) {
+        const auto counts = fault::switchingCaseCounts(n);
+        const auto fit = fault::fitSwitchingDistribution(n);
+
+        TextTable table("Figure 3: switching combinations, n = " +
+                        std::to_string(n) + " coupled lines");
+        table.header({"Ar=k/n", "exact cases", "fit K1*exp(-K2*Ar)"});
+        for (unsigned k = 0; k <= n; ++k) {
+            table.row({
+                TextTable::num(static_cast<double>(k) / n, 3),
+                std::to_string(counts[k]),
+                TextTable::sci(fit.k1 * std::exp(-fit.k2 * k / n), 3),
+            });
+        }
+        opt.print(table);
+        std::printf("fit: K1 = %.3e, K2 = %.2f, log-space R^2 = %.4f "
+                    "(eq. (2) saturation constant: %.1f)\n\n",
+                    fit.k1, fit.k2, fit.r2, fault::kAmplitudeRate);
+    }
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reproduces paper Figure 4: probability of an SRAM fault vs relative
+ * voltage swing — the closed-form model against the Monte-Carlo
+ * integration of the noise statistics over the immunity curves.
+ */
+
+#include "bench/bench_common.hh"
+#include "common/random.hh"
+#include "fault/fault_model.hh"
+
+using namespace clumsy;
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opt(argc, argv, 0, 0);
+    const fault::FaultModel model;
+    Rng rng(2024);
+
+    TextTable table("Figure 4: fault probability vs voltage swing");
+    table.header({"Vsr", "P_E closed form", "P_E Monte-Carlo",
+                  "MC/closed"});
+    for (int i = 0; i < 13; ++i) {
+        const double vsr = 0.40 + i * 0.05;
+        const double cf = model.probAtSwing(vsr);
+        const double mc = fault::monteCarloFaultProb(vsr, 40000, rng);
+        table.row({
+            TextTable::num(vsr, 2),
+            TextTable::sci(cf, 3),
+            TextTable::sci(mc, 3),
+            TextTable::num(mc / cf, 3),
+        });
+    }
+    opt.print(table);
+    return 0;
+}

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Reproduces paper Figures 9-12: the relative energy-delay^2-
+ * fallibility^2 product for each application (and the all-app
+ * average) across the four recovery schemes (no detection, one-, two-
+ * and three-strike) and five frequency configurations (static
+ * Cr = 1, 0.75, 0.5, 0.25 and the dynamic adaptation scheme). All
+ * bars are normalized to Cr = 1 with no detection, exactly as in the
+ * paper. Also prints the Section 5.4 error-blind products
+ * (energy-delay and energy-delay^2) for the Cr = 0.5 two-strike
+ * configuration.
+ *
+ * Usage: fig9_12_edf_products [app ... | all] [--packets N]
+ *        [--trials N] [--csv]
+ */
+
+#include <cmath>
+#include <map>
+
+#include "apps/app.hh"
+#include "bench/bench_common.hh"
+#include "core/experiment.hh"
+#include "core/metrics.hh"
+
+using namespace clumsy;
+
+namespace
+{
+
+struct Cell
+{
+    core::RunMetrics metrics;
+    double fallibility = 1.0;
+    double cycles = 0.0;
+    double energy = 0.0;
+};
+
+/** One app's full grid of configurations. */
+std::map<std::string, Cell>
+runGrid(const std::string &app, const bench::Options &opt)
+{
+    std::map<std::string, Cell> grid;
+    for (const auto scheme : mem::kAllRecoverySchemes) {
+        for (const double cr : {1.0, 0.75, 0.5, 0.25, -1.0}) {
+            const bool dynamic = cr < 0;
+            core::ExperimentConfig cfg;
+            cfg.numPackets = opt.packets;
+            cfg.trials = opt.trials;
+            cfg.cr = dynamic ? 1.0 : cr;
+            cfg.dynamicFrequency = dynamic;
+            cfg.scheme = scheme;
+            const auto res =
+                core::runExperiment(apps::appFactory(app), cfg);
+            const std::string key =
+                to_string(scheme) + "/" +
+                (dynamic ? "dynamic" : TextTable::num(cr, 2));
+            Cell cell;
+            cell.metrics = res.faulty;
+            cell.fallibility = res.fallibility;
+            cell.cycles = res.cyclesPerPacket;
+            cell.energy = res.energyPerPacketPj;
+            grid.emplace(key, cell);
+        }
+    }
+    return grid;
+}
+
+double
+edfOf(const Cell &c, double m, double n)
+{
+    return c.energy * std::pow(c.cycles, m) *
+           std::pow(c.fallibility, n);
+}
+
+void
+printApp(const std::string &app,
+         const std::map<std::string, Cell> &grid,
+         const bench::Options &opt)
+{
+    const Cell &base = grid.at("no detection/1.00");
+    const double baseEdf = edfOf(base, 2, 2);
+
+    TextTable table("Figures 9-12: relative energy-delay^2-"
+                    "fallibility^2, app = " + app);
+    table.header({"scheme", "Cr=1", "Cr=0.75", "Cr=0.5", "Cr=0.25",
+                  "dynamic"});
+    for (const auto scheme : mem::kAllRecoverySchemes) {
+        std::vector<std::string> row{to_string(scheme)};
+        for (const std::string cfg :
+             {"1.00", "0.75", "0.50", "0.25", "dynamic"}) {
+            const auto &cell =
+                grid.at(to_string(scheme) + "/" + cfg);
+            row.push_back(
+                TextTable::num(edfOf(cell, 2, 2) / baseEdf, 3));
+        }
+        table.row(row);
+    }
+    opt.print(table);
+
+    // Section 5.4 error-blind numbers for the winning configuration.
+    const Cell &best = grid.at("two-strike/0.50");
+    const double ed = (best.energy * best.cycles) /
+                      (base.energy * base.cycles);
+    const double ed2 = (best.energy * best.cycles * best.cycles) /
+                       (base.energy * base.cycles * base.cycles);
+    std::printf("Cr=0.5 two-strike vs baseline: energy-delay %.3f "
+                "(paper: 0.83), energy-delay^2 %.3f (paper: 0.74), "
+                "EDF^2 %.3f\n\n",
+                ed, ed2, edfOf(best, 2, 2) / baseEdf);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opt(argc, argv, 1500, 6);
+
+    std::vector<std::string> which;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "all") {
+            which = apps::allAppNames();
+            break;
+        }
+        if (arg[0] != '-') {
+            which.push_back(arg);
+        } else if (arg == "--packets" || arg == "--trials") {
+            ++i; // value consumed by Options
+        }
+    }
+    if (which.empty())
+        which = apps::allAppNames();
+
+    // Per-app tables plus the Figure 12(b) average across apps.
+    std::map<std::string, std::vector<double>> averages;
+    for (const auto &app : which) {
+        const auto grid = runGrid(app, opt);
+        printApp(app, grid, opt);
+        const double baseEdf = edfOf(grid.at("no detection/1.00"), 2, 2);
+        for (const auto &kv : grid)
+            averages[kv.first].push_back(edfOf(kv.second, 2, 2) /
+                                         baseEdf);
+    }
+
+    if (which.size() > 1) {
+        TextTable avg("Figure 12(b): average over " +
+                      std::to_string(which.size()) + " applications");
+        avg.header({"scheme", "Cr=1", "Cr=0.75", "Cr=0.5", "Cr=0.25",
+                    "dynamic"});
+        for (const auto scheme : mem::kAllRecoverySchemes) {
+            std::vector<std::string> row{to_string(scheme)};
+            for (const std::string cfg :
+                 {"1.00", "0.75", "0.50", "0.25", "dynamic"}) {
+                const auto &v =
+                    averages.at(to_string(scheme) + "/" + cfg);
+                double sum = 0;
+                for (const double x : v)
+                    sum += x;
+                row.push_back(TextTable::num(sum / v.size(), 3));
+            }
+            avg.row(row);
+        }
+        opt.print(avg);
+        std::puts("paper headline: static Cr=0.5 + two-strike is the "
+                  "best average configuration, reducing the product "
+                  "by 24%; dynamic stays mostly in the Cr=0.5 region; "
+                  "without detection, over-clocking makes the product "
+                  "worse.");
+    }
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces paper Table I: per-application instruction counts, cache
+ * accesses, D-cache miss rate, and the fallibility factor at relative
+ * clock cycles 0.5 and 0.25 (no-detection configuration).
+ *
+ * Absolute instruction/access counts scale with --packets (the paper
+ * simulated full NetBench traces); the comparable shape is the
+ * instructions-per-access ratio, the miss rate, and the fallibility.
+ */
+
+#include "apps/app.hh"
+#include "bench/bench_common.hh"
+#include "core/experiment.hh"
+
+using namespace clumsy;
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opt(argc, argv, 2000, 6);
+
+    TextTable table("Table I: Networking Applications and Their "
+                    "Properties");
+    table.header({"App", "inst [K]", "cache acc [K]", "inst/acc",
+                  "miss rate [%]", "fall. Cr=0.5", "fall. Cr=0.25"});
+
+    for (const auto &name : apps::allAppNames()) {
+        core::ExperimentConfig cfg;
+        cfg.numPackets = opt.packets;
+        cfg.trials = opt.trials;
+        cfg.scheme = mem::RecoveryScheme::NoDetection;
+
+        cfg.cr = 0.5;
+        const auto atHalf =
+            core::runExperiment(apps::appFactory(name), cfg);
+        cfg.cr = 0.25;
+        const auto atQuarter =
+            core::runExperiment(apps::appFactory(name), cfg);
+
+        const auto &g = atHalf.golden;
+        table.row({
+            name,
+            TextTable::num(g.instructions / 1e3, 1),
+            TextTable::num(g.dcacheAccesses / 1e3, 1),
+            TextTable::num(static_cast<double>(g.instructions) /
+                               static_cast<double>(g.dcacheAccesses),
+                           2),
+            TextTable::num(g.dcacheMissRate * 100.0, 2),
+            TextTable::num(atHalf.fallibility, 3),
+            TextTable::num(atQuarter.fallibility, 3),
+        });
+    }
+    opt.print(table);
+
+    std::puts("paper reference: miss rates crc 1.2, tl 9.2, route 5.8, "
+              "drr 5.7, nat 7.1, md5 3.8, url 11.2 [%];");
+    std::puts("paper fallibility Cr=0.5 / 0.25: crc 1.007/1.052, "
+              "tl 1.016/1.135, route 1.001/1.018, drr 1.002/1.008,");
+    std::puts("                                 nat 1.004/1.077, "
+              "md5 1.055/1.261, url 1.003/1.018");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Adaptive router: drives the processor API directly (no experiment
+ * harness) with the dynamic frequency controller enabled, processing
+ * a live packet stream and reporting how the cache clock adapted.
+ *
+ * This is the intended embedding for a real deployment: the
+ * application owns the processor and its packet loop, and the
+ * controller silently retunes the D-cache every 100 packets.
+ */
+
+#include <cstdio>
+
+#include "apps/app.hh"
+#include "common/logging.hh"
+#include "core/processor.hh"
+#include "net/trace_gen.hh"
+
+using namespace clumsy;
+
+int
+main()
+{
+    setQuiet(true);
+
+    core::ProcessorConfig config;
+    config.dynamicFrequency = true;
+    config.hierarchy.scheme = mem::RecoveryScheme::TwoStrike;
+    // Accelerate faults so the 5000-packet demo shows controller
+    // activity a full-length run would accumulate.
+    config.faultModel.scale = 50.0;
+    core::ClumsyProcessor proc(config);
+
+    auto app = apps::makeApp("route");
+    app->initialize(proc);
+
+    net::TraceConfig traceCfg = app->traceConfig();
+    traceCfg.seed = 2026;
+    net::TraceGenerator gen(traceCfg);
+
+    core::ValueRecorder recorder;
+    const std::uint64_t kPackets = 5000;
+    std::uint64_t processed = 0;
+    double crSum = 0.0;
+    for (std::uint64_t i = 0; i < kPackets; ++i) {
+        const net::Packet pkt = gen.next();
+        proc.beginPacket();
+        recorder.beginPacket();
+        app->processPacket(proc, pkt, recorder);
+        if (proc.fatalOccurred()) {
+            std::printf("fatal error after %llu packets: %s\n",
+                        static_cast<unsigned long long>(processed),
+                        proc.fatalReason().c_str());
+            break;
+        }
+        proc.endPacket();
+        crSum += proc.currentCr();
+        ++processed;
+    }
+
+    const auto *ctl = proc.freqController();
+    std::printf("adaptive router: %llu packets processed\n",
+                static_cast<unsigned long long>(processed));
+    std::printf("  final Cr            : %.2f\n", proc.currentCr());
+    std::printf("  mean Cr             : %.3f\n",
+                crSum / static_cast<double>(processed));
+    std::printf("  frequency switches  : %llu\n",
+                static_cast<unsigned long long>(ctl->switches()));
+    for (unsigned level = 0; level < 4; ++level) {
+        std::printf("  epochs at level %u   : %llu\n", level,
+                    static_cast<unsigned long long>(ctl->stats().get(
+                        "residency_level" + std::to_string(level))));
+    }
+    std::printf("  parity trips        : %llu\n",
+                static_cast<unsigned long long>(
+                    proc.hierarchy().stats().get("parity_trips")));
+    std::printf("  cycles per packet   : %.1f\n",
+                proc.nowCycles() / static_cast<double>(processed));
+    std::printf("  chip energy         : %.2f uJ\n",
+                proc.totalEnergyPj() * 1e-6);
+    return 0;
+}

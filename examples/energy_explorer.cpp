@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Energy explorer: sweep the D-cache operating point for any
+ * workload and print the full trade-off surface — delay, energy,
+ * fallibility and the combined EDF^2 product — the tool a deployment
+ * engineer would use to pick a static operating point.
+ *
+ * Usage: energy_explorer [app] [packets]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "apps/app.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/experiment.hh"
+
+using namespace clumsy;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const std::string app = argc > 1 ? argv[1] : "route";
+    const std::uint64_t packets =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1200;
+
+    double baseEdf = 0.0;
+    TextTable table("operating points for '" + app + "'");
+    table.header({"Cr", "scheme", "cyc/pkt", "uJ/pkt", "fallibility",
+                  "rel EDF^2"});
+    for (const auto scheme :
+         {mem::RecoveryScheme::NoDetection,
+          mem::RecoveryScheme::TwoStrike}) {
+        for (const double cr : {1.0, 0.75, 0.5, 0.25}) {
+            core::ExperimentConfig cfg;
+            cfg.numPackets = packets;
+            cfg.trials = 3;
+            cfg.cr = cr;
+            cfg.scheme = scheme;
+            const auto res =
+                core::runExperiment(apps::appFactory(app), cfg);
+            const double edf = res.energyPerPacketPj *
+                               std::pow(res.cyclesPerPacket, 2.0) *
+                               std::pow(res.fallibility, 2.0);
+            if (baseEdf == 0.0)
+                baseEdf = edf; // Cr = 1, no detection
+            table.row({
+                TextTable::num(cr, 2),
+                to_string(scheme),
+                TextTable::num(res.cyclesPerPacket, 1),
+                TextTable::num(res.energyPerPacketPj * 1e-6, 3),
+                TextTable::num(res.fallibility, 4),
+                TextTable::num(edf / baseEdf, 3),
+            });
+        }
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("\npick the row with the smallest rel EDF^2 that meets "
+              "your reliability budget.");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fault-model explorer: interactively inspect the physics stack —
+ * what voltage swing, noise margin and fault probability a given
+ * over-clocking ratio implies, and what that means per packet for a
+ * chosen access profile.
+ *
+ * Usage: fault_model_explorer [overclock-factor] [accesses-per-packet]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "fault/fault_model.hh"
+#include "fault/immunity.hh"
+#include "fault/swing.hh"
+
+using namespace clumsy;
+using namespace clumsy::fault;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const double overclock =
+        argc > 1 ? std::strtod(argv[1], nullptr) : 2.0;
+    const double accesses =
+        argc > 2 ? std::strtod(argv[2], nullptr) : 500.0;
+    if (overclock < 1.0 || overclock > 10.0)
+        fatal("overclock factor must be in [1, 10]");
+
+    const double cr = 1.0 / overclock;
+    const double vsr = relativeSwing(cr);
+    const FaultModel model;
+    const ImmunityCurves curves;
+
+    std::printf("over-clocking the D-cache %.2fx (Cr = %.3f):\n",
+                overclock, cr);
+    std::printf("  relative voltage swing   : %.3f\n", vsr);
+    std::printf("  cache energy per access  : %.1f%% of nominal\n",
+                energyScale(cr) * 100.0);
+    std::printf("  static noise margin      : %.3f x Vfs\n",
+                curves.staticMargin(vsr));
+    std::printf("  fault prob per bit-access: %.3e (%.1fx base)\n",
+                model.bitFaultProb(cr), model.scaleFactor(cr));
+    const double perWord = model.accessFaultProb(32, cr);
+    std::printf("  fault prob per 32b access: %.3e\n", perWord);
+    const double perPacket =
+        1.0 - std::pow(1.0 - perWord, accesses);
+    std::printf("  P(>=1 fault in a %.0f-access packet): %.4f\n",
+                accesses, perPacket);
+    std::printf("  (paper: ~15%% of faults become application "
+                "errors)\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Media processor: the paper's closing claim is that clumsy execution
+ * "can be applied to any type of processor that executes applications
+ * with fault resiliency (e.g., media processors)". This example runs
+ * the IMA ADPCM voice coder across the frequency ladder and shows the
+ * media version of the trade: coded-frame corruption rates rise
+ * gracefully while energy falls — and the codec never crashes.
+ *
+ * Usage: media_processor [packets]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/app.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/experiment.hh"
+
+using namespace clumsy;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const std::uint64_t packets =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1500;
+
+    TextTable table("ADPCM voice coding on a clumsy media processor");
+    table.header({"Cr", "scheme", "frames corrupted [%]",
+                  "fatal", "uJ/frame", "cycles/frame"});
+    for (const auto scheme :
+         {mem::RecoveryScheme::NoDetection,
+          mem::RecoveryScheme::TwoStrike}) {
+        for (const double cr : {1.0, 0.5, 0.25}) {
+            core::ExperimentConfig cfg;
+            cfg.numPackets = packets;
+            cfg.trials = 4;
+            cfg.cr = cr;
+            cfg.scheme = scheme;
+            const auto res =
+                core::runExperiment(apps::appFactory("adpcm"), cfg);
+            table.row({
+                TextTable::num(cr, 2),
+                to_string(scheme),
+                TextTable::num(res.anyErrorProb * 100.0, 3),
+                TextTable::num(res.fatalFraction, 2),
+                TextTable::num(res.energyPerPacketPj * 1e-6, 3),
+                TextTable::num(res.cyclesPerPacket, 0),
+            });
+        }
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("\na corrupted voice frame is a click, not a crash: the "
+              "codec degrades gracefully while the cache energy "
+              "shrinks with the voltage swing.");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * ADPCM: IMA ADPCM voice encoding — the media-processor extension.
+ *
+ * The paper notes its idea "can be applied to any type of processor
+ * that executes applications with fault resiliency (e.g., media
+ * processors)". This workload makes that concrete: packets carry
+ * 16-bit PCM audio, and the data plane compresses them with the IMA
+ * ADPCM coder, whose step and index tables live in simulated memory.
+ * A fault that perturbs a step lookup degrades the encoding (louder
+ * quantization noise) rather than breaking anything — the archetypal
+ * gracefully-degrading media kernel.
+ *
+ * Marked values: a hash of the emitted code stream ("adpcm_stream")
+ * and the coder's final state ("adpcm_predictor", "adpcm_index").
+ * This app is an extension beyond the paper's seven (it is listed by
+ * extensionAppNames(), not allAppNames(), so the paper's tables keep
+ * their original row set).
+ */
+
+#ifndef CLUMSY_APPS_ADPCM_HH
+#define CLUMSY_APPS_ADPCM_HH
+
+#include <vector>
+
+#include "apps/app.hh"
+
+namespace clumsy::apps
+{
+
+/** The IMA ADPCM media workload. */
+class AdpcmApp : public BaseApp
+{
+  public:
+    std::string name() const override { return "adpcm"; }
+
+    net::TraceConfig traceConfig() const override;
+
+    void initialize(ClumsyProcessor &proc) override;
+
+    void processPacket(ClumsyProcessor &proc, const net::Packet &pkt,
+                       ValueRecorder &rec) override;
+
+    /**
+     * Host-side reference encoder over little-endian 16-bit samples
+     * (tests compare the simulated coder against this).
+     * @return the emitted 4-bit codes.
+     */
+    static std::vector<std::uint8_t> referenceEncode(
+        const std::uint8_t *pcm, std::size_t bytes);
+
+  private:
+    SimAddr stepTable_ = 0;  ///< 89 step sizes
+    SimAddr indexTable_ = 0; ///< 16 index adjustments
+    SimAddr state_ = 0;      ///< predictor (i32) + index (i32)
+};
+
+} // namespace clumsy::apps
+
+#endif // CLUMSY_APPS_ADPCM_HH

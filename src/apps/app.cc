@@ -1,0 +1,162 @@
+#include "apps/app.hh"
+
+#include <cstring>
+
+#include "apps/adpcm.hh"
+#include "apps/crc.hh"
+#include "apps/drr.hh"
+#include "apps/md5.hh"
+#include "apps/nat.hh"
+#include "apps/route.hh"
+#include "apps/tl.hh"
+#include "apps/url.hh"
+#include "common/logging.hh"
+
+namespace clumsy::apps
+{
+
+void
+BaseApp::allocStaging(ClumsyProcessor &proc)
+{
+    // 128-byte alignment keeps the staging buffer in its own L2 lines
+    // so DMA invalidations cannot clobber unrelated dirty data.
+    staging_ = proc.alloc(kPayloadOff + kMaxPayload, 128);
+}
+
+void
+BaseApp::stagePacket(ClumsyProcessor &proc, const net::Packet &pkt)
+{
+    CLUMSY_ASSERT(staging_ != 0, "allocStaging() was not called");
+    CLUMSY_ASSERT(pkt.payload.size() <= kMaxPayload,
+                  "payload exceeds the staging buffer");
+
+    std::uint8_t head[kPayloadOff] = {};
+    const auto hdr = pkt.ip.toBytes();
+    std::memcpy(head, hdr.data(), hdr.size());
+    head[kSrcPortOff] = static_cast<std::uint8_t>(pkt.srcPort >> 8);
+    head[kSrcPortOff + 1] = static_cast<std::uint8_t>(pkt.srcPort);
+    head[kDstPortOff] = static_cast<std::uint8_t>(pkt.dstPort >> 8);
+    head[kDstPortOff + 1] = static_cast<std::uint8_t>(pkt.dstPort);
+    const auto len = static_cast<std::uint32_t>(pkt.payload.size());
+    std::memcpy(&head[kPayloadLenOff], &len, 4);
+
+    proc.dmaWrite(staging_, head, kPayloadOff);
+    if (!pkt.payload.empty()) {
+        proc.dmaWrite(staging_ + kPayloadOff, pkt.payload.data(),
+                      static_cast<SimSize>(pkt.payload.size()));
+    }
+}
+
+std::uint32_t
+BaseApp::loadSrcIp(ClumsyProcessor &proc) const
+{
+    return bswap32(proc.read32(staging_ + 12));
+}
+
+std::uint32_t
+BaseApp::loadDstIp(ClumsyProcessor &proc) const
+{
+    return bswap32(proc.read32(staging_ + 16));
+}
+
+std::uint8_t
+BaseApp::loadTtl(ClumsyProcessor &proc) const
+{
+    return proc.read8(staging_ + 8);
+}
+
+std::uint16_t
+BaseApp::loadChecksum(ClumsyProcessor &proc) const
+{
+    return bswap16(proc.read16(staging_ + 10));
+}
+
+std::uint32_t
+BaseApp::loadPayloadLen(ClumsyProcessor &proc) const
+{
+    return proc.read32(staging_ + kPayloadLenOff);
+}
+
+void
+BaseApp::storeTtl(ClumsyProcessor &proc, std::uint8_t ttl) const
+{
+    proc.write8(staging_ + 8, ttl);
+}
+
+void
+BaseApp::storeChecksum(ClumsyProcessor &proc, std::uint16_t sum) const
+{
+    proc.write16(staging_ + 10, bswap16(sum));
+}
+
+void
+BaseApp::storeSrcIp(ClumsyProcessor &proc, std::uint32_t ip) const
+{
+    proc.write32(staging_ + 12, bswap32(ip));
+}
+
+void
+BaseApp::storeDstIp(ClumsyProcessor &proc, std::uint32_t ip) const
+{
+    proc.write32(staging_ + 16, bswap32(ip));
+}
+
+std::uint16_t
+BaseApp::checksumStagedHeader(ClumsyProcessor &proc) const
+{
+    std::uint32_t sum = 0;
+    for (SimSize off = 0; off < 20; off += 2) {
+        sum += bswap16(proc.read16(staging_ + off));
+        proc.execute(3);
+    }
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    proc.execute(4);
+    return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+const std::vector<std::string> &
+allAppNames()
+{
+    static const std::vector<std::string> names = {
+        "crc", "tl", "route", "drr", "nat", "md5", "url",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+extensionAppNames()
+{
+    static const std::vector<std::string> names = {"adpcm"};
+    return names;
+}
+
+std::unique_ptr<core::PacketApp>
+makeApp(const std::string &name)
+{
+    if (name == "crc")
+        return std::make_unique<CrcApp>();
+    if (name == "tl")
+        return std::make_unique<TlApp>();
+    if (name == "route")
+        return std::make_unique<RouteApp>();
+    if (name == "drr")
+        return std::make_unique<DrrApp>();
+    if (name == "nat")
+        return std::make_unique<NatApp>();
+    if (name == "md5")
+        return std::make_unique<Md5App>();
+    if (name == "url")
+        return std::make_unique<UrlApp>();
+    if (name == "adpcm")
+        return std::make_unique<AdpcmApp>();
+    fatal("unknown application '%s'", name.c_str());
+}
+
+core::AppFactory
+appFactory(const std::string &name)
+{
+    return [name] { return makeApp(name); };
+}
+
+} // namespace clumsy::apps

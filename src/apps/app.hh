@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Shared machinery for the NetBench-style workloads.
+ *
+ * BaseApp gives every application:
+ *  - a DMA'd packet staging area in simulated memory (header laid out
+ *    in network byte order exactly as on the wire, ports and payload
+ *    length alongside), so per-packet parsing generates real D-cache
+ *    traffic;
+ *  - endian-aware field accessors that go through the timed, faulty
+ *    memory path;
+ *  - conventional loop-budget constants for fatal-error detection.
+ *
+ * Simulated packet staging layout (all offsets from pktBase()):
+ *   +0  .. +19 : IPv4 header, network byte order
+ *   +20 .. +21 : source port, network order
+ *   +22 .. +23 : destination port, network order
+ *   +24 .. +27 : payload length (host-order u32)
+ *   +32 ..     : payload bytes
+ */
+
+#ifndef CLUMSY_APPS_APP_HH
+#define CLUMSY_APPS_APP_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/processor.hh"
+#include "net/packet.hh"
+
+namespace clumsy::apps
+{
+
+using core::ClumsyProcessor;
+using core::PacketApp;
+using core::ValueRecorder;
+
+/** Maximum payload the staging buffer accepts. */
+inline constexpr SimSize kMaxPayload = 2048;
+
+/** Default loop budget for data-dependent loops (see LoopGuard). */
+inline constexpr std::uint32_t kLoopBudget = 8192;
+
+/** Byte-swap a 32-bit value (wire <-> host order). */
+constexpr std::uint32_t
+bswap32(std::uint32_t v)
+{
+    return __builtin_bswap32(v);
+}
+
+/** Byte-swap a 16-bit value. */
+constexpr std::uint16_t
+bswap16(std::uint16_t v)
+{
+    return __builtin_bswap16(v);
+}
+
+/** Common base for the seven workloads. */
+class BaseApp : public core::PacketApp
+{
+  protected:
+    /** Offsets within the staging area. */
+    static constexpr SimSize kHdrOff = 0;
+    static constexpr SimSize kSrcPortOff = 20;
+    static constexpr SimSize kDstPortOff = 22;
+    static constexpr SimSize kPayloadLenOff = 24;
+    static constexpr SimSize kPayloadOff = 32;
+
+    /** Allocate the staging buffer (call from initialize()). */
+    void allocStaging(ClumsyProcessor &proc);
+
+    /** DMA one packet into the staging buffer (packet arrival). */
+    void stagePacket(ClumsyProcessor &proc, const net::Packet &pkt);
+
+    /** Base address of the staging buffer. */
+    SimAddr pktBase() const { return staging_; }
+
+    // Timed, faulty field accessors --------------------------------
+
+    /** Load the source IP (host order) from the staged header. */
+    std::uint32_t loadSrcIp(ClumsyProcessor &proc) const;
+
+    /** Load the destination IP (host order). */
+    std::uint32_t loadDstIp(ClumsyProcessor &proc) const;
+
+    /** Load the TTL byte. */
+    std::uint8_t loadTtl(ClumsyProcessor &proc) const;
+
+    /** Load the wire checksum (host order). */
+    std::uint16_t loadChecksum(ClumsyProcessor &proc) const;
+
+    /** Load the payload length. */
+    std::uint32_t loadPayloadLen(ClumsyProcessor &proc) const;
+
+    /** Store a new TTL byte. */
+    void storeTtl(ClumsyProcessor &proc, std::uint8_t ttl) const;
+
+    /** Store a new checksum (host order in, wire order stored). */
+    void storeChecksum(ClumsyProcessor &proc, std::uint16_t sum) const;
+
+    /** Store a new source IP (host order in, wire order stored). */
+    void storeSrcIp(ClumsyProcessor &proc, std::uint32_t ip) const;
+
+    /** Store a new destination IP. */
+    void storeDstIp(ClumsyProcessor &proc, std::uint32_t ip) const;
+
+    /**
+     * Compute the RFC 1071 checksum over the staged 20-byte header
+     * through timed 16-bit loads (the way route/url verify it).
+     */
+    std::uint16_t checksumStagedHeader(ClumsyProcessor &proc) const;
+
+  private:
+    SimAddr staging_ = 0;
+};
+
+/** The seven workloads, in the paper's Table I order. */
+const std::vector<std::string> &allAppNames();
+
+/** Extension workloads beyond the paper's set (e.g. "adpcm"). */
+const std::vector<std::string> &extensionAppNames();
+
+/** Construct a fresh instance of the named workload; fatal()s on an
+ *  unknown name. */
+std::unique_ptr<core::PacketApp> makeApp(const std::string &name);
+
+/** An AppFactory for the named workload. */
+core::AppFactory appFactory(const std::string &name);
+
+} // namespace clumsy::apps
+
+#endif // CLUMSY_APPS_APP_HH

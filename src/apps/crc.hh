@@ -1,0 +1,45 @@
+/**
+ * @file
+ * CRC: CRC-32 checksum over each packet payload (paper Section 2).
+ *
+ * Control plane builds the 256-entry CRC lookup table in simulated
+ * memory; the data plane streams every payload byte through the table.
+ * Marked values: the per-packet CRC accumulator ("crc_accum") and a
+ * rotating untimed sample of the CRC table ("crc_table") — table
+ * corruption is the paper's serious, nonvolatile error class because
+ * it poisons every subsequent packet.
+ */
+
+#ifndef CLUMSY_APPS_CRC_HH
+#define CLUMSY_APPS_CRC_HH
+
+#include "apps/app.hh"
+
+namespace clumsy::apps
+{
+
+/** The CRC-32 workload. */
+class CrcApp : public BaseApp
+{
+  public:
+    std::string name() const override { return "crc"; }
+
+    net::TraceConfig traceConfig() const override;
+
+    void initialize(ClumsyProcessor &proc) override;
+
+    void processPacket(ClumsyProcessor &proc, const net::Packet &pkt,
+                       ValueRecorder &rec) override;
+
+    /** Host-side reference CRC-32 (tests compare against this). */
+    static std::uint32_t referenceCrc(const std::uint8_t *data,
+                                      std::size_t len);
+
+  private:
+    SimAddr table_ = 0;
+    std::uint32_t auditCursor_ = 0;
+};
+
+} // namespace clumsy::apps
+
+#endif // CLUMSY_APPS_CRC_HH

@@ -1,0 +1,128 @@
+#include "apps/drr.hh"
+
+#include "net/trace_gen.hh"
+
+namespace clumsy::apps
+{
+
+net::TraceConfig
+DrrApp::traceConfig() const
+{
+    net::TraceConfig cfg;
+    cfg.numDestinations = 64;
+    cfg.numFlows = 64;
+    cfg.destZipf = 0.9;
+    cfg.minPayload = 64;
+    cfg.maxPayload = 512;
+    return cfg;
+}
+
+void
+DrrApp::initialize(ClumsyProcessor &proc)
+{
+    allocStaging(proc);
+    proc.setCodeRegion(0, 4096);
+    const auto pool = net::TraceGenerator::makeDestPool(traceConfig());
+    table_ = std::make_unique<RouteTable>(proc, pool);
+
+    queues_ = proc.alloc(kNumQueues * 32, 32);
+    for (std::uint32_t q = 0; q < kNumQueues; ++q) {
+        const SimAddr ring = proc.alloc(kRingSlots * 4, 4);
+        const SimAddr rec = queueAddr(q);
+        proc.write32(rec + 0, 0);    // count
+        proc.write32(rec + 4, 0);    // head
+        proc.write32(rec + 8, 0);    // tail
+        proc.write32(rec + 12, 0);   // deficit
+        proc.write32(rec + 16, ring);
+        proc.execute(14);
+        if (proc.fatalOccurred())
+            return;
+    }
+}
+
+void
+DrrApp::processPacket(ClumsyProcessor &proc, const net::Packet &pkt,
+                      ValueRecorder &rec)
+{
+    stagePacket(proc, pkt);
+
+    // Routing decision first (DRR sits behind the forwarding step).
+    const std::uint32_t dst = loadDstIp(proc);
+    const std::uint32_t src = loadSrcIp(proc);
+    const std::uint32_t len = loadPayloadLen(proc);
+    proc.execute(8);
+    const std::uint32_t idx =
+        table_->lookupIndex(proc, dst, &rec, "radix_node");
+    if (proc.fatalOccurred())
+        return;
+    if (idx != RadixTree::kNoMatch) {
+        const std::uint32_t nextHop = table_->loadNextHop(proc, idx);
+        if (proc.fatalOccurred())
+            return;
+        rec.record("route_entry", nextHop);
+    } else {
+        rec.record("route_entry", 0);
+    }
+
+    // Hash the connection to its queue.
+    const std::uint32_t q = (src ^ dst ^ (src >> 16)) % kNumQueues;
+    const SimAddr qrec = queueAddr(q);
+    proc.execute(6);
+
+    // Enqueue the packet length.
+    std::uint32_t count = proc.read32(qrec + 0);
+    const std::uint32_t tail = proc.read32(qrec + 8);
+    const SimAddr ring = proc.read32(qrec + 16);
+    proc.execute(8);
+    if (count < kRingSlots) {
+        proc.write32(ring + (tail % kRingSlots) * 4, len);
+        proc.write32(qrec + 8, (tail + 1) % kRingSlots);
+        proc.write32(qrec + 0, count + 1);
+        proc.execute(8);
+        count += 1;
+    } // else: queue overflow, drop (possible after corruption)
+    if (proc.fatalOccurred())
+        return;
+
+    // Serve the queue: one quantum per visit, dequeue while the head
+    // packet fits in the deficit (Shreedhar & Varghese, Figure 4).
+    std::uint32_t deficit = proc.read32(qrec + 12) + kQuantum;
+    std::uint32_t head = proc.read32(qrec + 4);
+    proc.execute(6);
+    rec.record("deficit", deficit);
+
+    ClumsyProcessor::LoopGuard guard(proc, kRingSlots + 8, "drr serve");
+    while (count > 0) {
+        if (!guard.tick())
+            return;
+        const std::uint32_t headLen =
+            proc.read32(ring + (head % kRingSlots) * 4);
+        proc.execute(5);
+        if (headLen > deficit)
+            break;
+        deficit -= headLen;
+        head = (head + 1) % kRingSlots;
+        count -= 1;
+        proc.execute(4);
+    }
+    if (proc.fatalOccurred())
+        return;
+    // An empty queue forfeits its deficit (the DRR invariant).
+    if (count == 0)
+        deficit = 0;
+    proc.write32(qrec + 4, head);
+    proc.write32(qrec + 0, count);
+    proc.write32(qrec + 12, deficit);
+    proc.execute(6);
+    rec.record("deficit", deficit);
+
+    // Untimed audits scoped to this packet: the deficit-list slot of
+    // the packet's own queue, and the RouteTable entry its
+    // destination should use.
+    rec.record("deficit_list", proc.peek32(qrec + 12));
+    const std::uint32_t gIdx = table_->goldenIndex(pkt.ip.dst);
+    if (gIdx != RadixTree::kNoMatch)
+        rec.record("initialization", table_->auditEntry(proc, gIdx));
+}
+
+} // namespace clumsy::apps

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * DRR: deficit round-robin scheduling (Shreedhar & Varghese; paper
+ * Section 2).
+ *
+ * Connections are hashed to per-flow queues living in simulated
+ * memory; each arrival enqueues the packet's length and the scheduler
+ * serves the queue under its deficit counter. Marked values per the
+ * paper: "route_entry" and "radix_node" (DRR still routes), the
+ * "deficit" read for the packet, a sampled "deficit_list" audit, and
+ * "initialization".
+ *
+ * Simulated queue record (32 bytes each):
+ *   +0 count  +4 head  +8 tail  +12 deficit  +16 ringAddr  +20.. pad
+ */
+
+#ifndef CLUMSY_APPS_DRR_HH
+#define CLUMSY_APPS_DRR_HH
+
+#include <memory>
+
+#include "apps/app.hh"
+#include "apps/tables.hh"
+
+namespace clumsy::apps
+{
+
+/** The deficit-round-robin scheduling workload. */
+class DrrApp : public BaseApp
+{
+  public:
+    static constexpr std::uint32_t kNumQueues = 16;
+    static constexpr std::uint32_t kRingSlots = 32;
+    static constexpr std::uint32_t kQuantum = 512;
+
+    std::string name() const override { return "drr"; }
+
+    net::TraceConfig traceConfig() const override;
+
+    void initialize(ClumsyProcessor &proc) override;
+
+    void processPacket(ClumsyProcessor &proc, const net::Packet &pkt,
+                       ValueRecorder &rec) override;
+
+  private:
+    std::unique_ptr<RouteTable> table_;
+    SimAddr queues_ = 0; ///< kNumQueues records of 32 bytes
+    std::uint32_t auditCursor_ = 0;
+
+    SimAddr queueAddr(std::uint32_t q) const { return queues_ + q * 32; }
+};
+
+} // namespace clumsy::apps
+
+#endif // CLUMSY_APPS_DRR_HH

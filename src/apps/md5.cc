@@ -1,0 +1,200 @@
+#include "apps/md5.hh"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace clumsy::apps
+{
+
+namespace
+{
+
+/** Per-round left-rotate amounts (RFC 1321). */
+constexpr unsigned kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+};
+
+std::uint32_t
+sineConstant(unsigned i)
+{
+    return static_cast<std::uint32_t>(
+        std::floor(std::fabs(std::sin(i + 1.0)) * 4294967296.0));
+}
+
+std::uint32_t
+rotl(std::uint32_t v, unsigned s)
+{
+    return (v << s) | (v >> (32 - s));
+}
+
+constexpr std::uint32_t kInitState[4] = {0x67452301u, 0xefcdab89u,
+                                         0x98badcfeu, 0x10325476u};
+
+/** The round function and message index for round i (RFC 1321). */
+std::uint32_t
+roundMix(unsigned i, std::uint32_t b, std::uint32_t c, std::uint32_t d,
+         unsigned &g)
+{
+    if (i < 16) {
+        g = i;
+        return (b & c) | (~b & d);
+    }
+    if (i < 32) {
+        g = (5 * i + 1) % 16;
+        return (d & b) | (~d & c);
+    }
+    if (i < 48) {
+        g = (3 * i + 5) % 16;
+        return b ^ c ^ d;
+    }
+    g = (7 * i) % 16;
+    return c ^ (b | ~d);
+}
+
+} // namespace
+
+net::TraceConfig
+Md5App::traceConfig() const
+{
+    net::TraceConfig cfg;
+    // Large (near-MTU) payloads: MD5 touches every byte of each
+    // packet several times, giving the highest per-packet access
+    // count of the suite and the paper's strong fault sensitivity.
+    cfg.minPayload = 1024;
+    cfg.maxPayload = 1472;
+    return cfg;
+}
+
+void
+Md5App::initialize(ClumsyProcessor &proc)
+{
+    allocStaging(proc);
+    proc.setCodeRegion(0, 3072); // unrolled round functions
+    kTable_ = proc.alloc(64 * 4, 4);
+    for (unsigned i = 0; i < 64; ++i) {
+        proc.write32(kTable_ + i * 4, sineConstant(i));
+        proc.execute(6);
+    }
+    state_ = proc.alloc(16, 4);
+}
+
+void
+Md5App::processPacket(ClumsyProcessor &proc, const net::Packet &pkt,
+                      ValueRecorder &rec)
+{
+    stagePacket(proc, pkt);
+
+    const std::uint32_t len = loadPayloadLen(proc);
+    proc.execute(4);
+    const SimAddr msg = pktBase() + kPayloadOff;
+
+    // RFC 1321 padding, written through the timed path: 0x80, zeros
+    // to 56 mod 64, then the bit length as a little-endian u64. A
+    // corrupted length walks the writes out of the staging buffer
+    // (silent neighbour corruption or a wild-write fatal).
+    const std::uint32_t padLen = ((len + 8) / 64 + 1) * 64;
+    proc.write8(msg + len, 0x80);
+    proc.execute(3);
+    ClumsyProcessor::LoopGuard padGuard(proc, 128, "md5 padding");
+    for (std::uint32_t b = len + 1; b < padLen - 8; ++b) {
+        if (!padGuard.tick())
+            return;
+        proc.write8(msg + b, 0);
+        proc.execute(2);
+    }
+    if (proc.fatalOccurred())
+        return;
+    proc.write32(msg + padLen - 8, len * 8);
+    proc.write32(msg + padLen - 4, 0);
+    proc.execute(6);
+
+    // Initialize the digest state cells.
+    for (unsigned i = 0; i < 4; ++i) {
+        proc.write32(state_ + i * 4, kInitState[i]);
+        proc.execute(2);
+    }
+
+    const std::uint32_t numBlocks = padLen / 64;
+    ClumsyProcessor::LoopGuard blockGuard(
+        proc, kMaxPayload / 64 + 4, "md5 block loop");
+    for (std::uint32_t blk = 0; blk < numBlocks; ++blk) {
+        if (!blockGuard.tick())
+            return;
+        std::uint32_t a = proc.read32(state_ + 0);
+        std::uint32_t b = proc.read32(state_ + 4);
+        std::uint32_t c = proc.read32(state_ + 8);
+        std::uint32_t d = proc.read32(state_ + 12);
+        proc.execute(8);
+        const std::uint32_t a0 = a, b0 = b, c0 = c, d0 = d;
+
+        for (unsigned i = 0; i < 64; ++i) {
+            unsigned g = 0;
+            std::uint32_t f = roundMix(i, b, c, d, g);
+            const std::uint32_t k = proc.read32(kTable_ + i * 4);
+            const std::uint32_t m =
+                proc.read32(msg + blk * 64 + g * 4);
+            f = f + a + k + m;
+            a = d;
+            d = c;
+            c = b;
+            b = b + rotl(f, kShift[i]);
+            proc.execute(7);
+        }
+        if (proc.fatalOccurred())
+            return;
+
+        proc.write32(state_ + 0, a0 + a);
+        proc.write32(state_ + 4, b0 + b);
+        proc.write32(state_ + 8, c0 + c);
+        proc.write32(state_ + 12, d0 + d);
+        proc.execute(8);
+    }
+    if (proc.fatalOccurred())
+        return;
+
+    for (unsigned i = 0; i < 4; ++i) {
+        rec.record("md5_digest", proc.read32(state_ + i * 4));
+        proc.execute(2);
+    }
+}
+
+void
+Md5App::referenceDigest(const std::uint8_t *data, std::size_t len,
+                        std::uint32_t out[4])
+{
+    std::vector<std::uint8_t> buf(data, data + len);
+    buf.push_back(0x80);
+    while (buf.size() % 64 != 56)
+        buf.push_back(0);
+    const std::uint64_t bits = std::uint64_t{len} * 8;
+    for (unsigned i = 0; i < 8; ++i)
+        buf.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+
+    std::uint32_t st[4];
+    std::memcpy(st, kInitState, sizeof(st));
+    for (std::size_t blk = 0; blk < buf.size() / 64; ++blk) {
+        std::uint32_t m[16];
+        std::memcpy(m, &buf[blk * 64], 64);
+        std::uint32_t a = st[0], b = st[1], c = st[2], d = st[3];
+        for (unsigned i = 0; i < 64; ++i) {
+            unsigned g = 0;
+            std::uint32_t f = roundMix(i, b, c, d, g);
+            f = f + a + sineConstant(i) + m[g];
+            a = d;
+            d = c;
+            c = b;
+            b = b + rotl(f, kShift[i]);
+        }
+        st[0] += a;
+        st[1] += b;
+        st[2] += c;
+        st[3] += d;
+    }
+    std::memcpy(out, st, sizeof(st));
+}
+
+} // namespace clumsy::apps

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * MD5: per-packet message-digest computation (RFC 1321; paper
+ * Section 2, implementation originally from RSA Data Security).
+ *
+ * The sine-constant table K and the running digest state live in
+ * simulated memory; every round reads its constant and its message
+ * word through the timed, faulty path. Errors are binary (digest
+ * matches or it does not), recorded as the four "md5_digest" words.
+ * MD5 is the paper's most fault-sensitive workload — every payload
+ * byte influences the digest, so nearly any corrupted load shows up.
+ */
+
+#ifndef CLUMSY_APPS_MD5_HH
+#define CLUMSY_APPS_MD5_HH
+
+#include "apps/app.hh"
+
+namespace clumsy::apps
+{
+
+/** The MD5 signing workload. */
+class Md5App : public BaseApp
+{
+  public:
+    std::string name() const override { return "md5"; }
+
+    net::TraceConfig traceConfig() const override;
+
+    void initialize(ClumsyProcessor &proc) override;
+
+    void processPacket(ClumsyProcessor &proc, const net::Packet &pkt,
+                       ValueRecorder &rec) override;
+
+    /** Host-side reference digest (tests compare against this). */
+    static void referenceDigest(const std::uint8_t *data,
+                                std::size_t len,
+                                std::uint32_t out[4]);
+
+  private:
+    SimAddr kTable_ = 0; ///< 64 sine constants
+    SimAddr state_ = 0;  ///< 4 digest words
+};
+
+} // namespace clumsy::apps
+
+#endif // CLUMSY_APPS_MD5_HH

@@ -1,0 +1,84 @@
+#include "apps/nat.hh"
+
+#include "net/checksum.hh"
+
+namespace clumsy::apps
+{
+
+net::TraceConfig
+NatApp::traceConfig() const
+{
+    net::TraceConfig cfg;
+    cfg.numFlows = 128; // distinct private sources -> bindings
+    cfg.numDestinations = 256;
+    cfg.minPayload = 32;
+    cfg.maxPayload = 256;
+    return cfg;
+}
+
+void
+NatApp::initialize(ClumsyProcessor &proc)
+{
+    allocStaging(proc);
+    proc.setCodeRegion(0, 4096);
+    table_ = std::make_unique<NatTable>(proc, 1024);
+}
+
+void
+NatApp::processPacket(ClumsyProcessor &proc, const net::Packet &pkt,
+                      ValueRecorder &rec)
+{
+    stagePacket(proc, pkt);
+    table_->noteArrival(pkt.ip.src); // host ground truth, wire value
+
+    const std::uint32_t src = loadSrcIp(proc);
+    proc.execute(4);
+    rec.record("src_addr", src);
+
+    const std::uint32_t idx =
+        table_->translate(proc, src, &rec, "radix_node");
+    if (proc.fatalOccurred())
+        return;
+    if (idx == RadixTree::kNoMatch) {
+        rec.record("translated_ip", 0);
+        return; // table full: drop
+    }
+
+    const std::uint32_t pubIp = table_->loadPublicIp(proc, idx);
+    const std::uint32_t iface = table_->loadIface(proc, idx);
+    if (proc.fatalOccurred())
+        return;
+    rec.record("interface", iface);
+
+    // Rewrite the source address and patch the checksum for the two
+    // 16-bit words that changed (RFC 1624 applied twice).
+    const std::uint16_t oldSum = loadChecksum(proc);
+    proc.execute(4);
+    const auto oldHi = static_cast<std::uint16_t>(src >> 16);
+    const auto oldLo = static_cast<std::uint16_t>(src & 0xffff);
+    const auto newHi = static_cast<std::uint16_t>(pubIp >> 16);
+    const auto newLo = static_cast<std::uint16_t>(pubIp & 0xffff);
+    std::uint16_t sum = net::incrementalChecksum(oldSum, oldHi, newHi);
+    sum = net::incrementalChecksum(sum, oldLo, newLo);
+    proc.execute(10);
+
+    storeSrcIp(proc, pubIp);
+    storeChecksum(proc, sum);
+    proc.execute(4);
+    if (proc.fatalOccurred())
+        return;
+
+    // Read back what actually landed in the header (the translated
+    // address the next hop will see).
+    rec.record("translated_ip", loadSrcIp(proc));
+    rec.record("dest_addr", loadDstIp(proc));
+    proc.execute(4);
+
+    // Untimed audit of the binding this source should own (keyed by
+    // the wire-truth source so corrupted loads cannot skew it).
+    const std::uint32_t gIdx = table_->goldenIndex(pkt.ip.src);
+    if (gIdx != RadixTree::kNoMatch)
+        rec.record("initialization", table_->auditEntry(proc, gIdx));
+}
+
+} // namespace clumsy::apps

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * NAT: network address translation (paper Section 2).
+ *
+ * Outbound packets from the private 10/8 network have their source
+ * address rewritten to a public address; bindings are created on
+ * demand in the radix-indexed NAT table (classic NAPT). Marked values
+ * per the paper: the initial source address ("src_addr"), the
+ * interface chosen ("interface"), the destination after translation
+ * ("dest_addr"), the traversed "radix_node"s, the "translated_ip"
+ * written back, and "initialization" (NAT table audit).
+ */
+
+#ifndef CLUMSY_APPS_NAT_HH
+#define CLUMSY_APPS_NAT_HH
+
+#include <memory>
+
+#include "apps/app.hh"
+#include "apps/tables.hh"
+
+namespace clumsy::apps
+{
+
+/** The NAT workload. */
+class NatApp : public BaseApp
+{
+  public:
+    std::string name() const override { return "nat"; }
+
+    net::TraceConfig traceConfig() const override;
+
+    void initialize(ClumsyProcessor &proc) override;
+
+    void processPacket(ClumsyProcessor &proc, const net::Packet &pkt,
+                       ValueRecorder &rec) override;
+
+  private:
+    std::unique_ptr<NatTable> table_;
+};
+
+} // namespace clumsy::apps
+
+#endif // CLUMSY_APPS_NAT_HH

@@ -1,0 +1,102 @@
+#include "apps/route.hh"
+
+#include "net/checksum.hh"
+#include "net/trace_gen.hh"
+
+namespace clumsy::apps
+{
+
+net::TraceConfig
+RouteApp::traceConfig() const
+{
+    net::TraceConfig cfg;
+    cfg.numDestinations = 128;
+    cfg.numFlows = 128;
+    cfg.destZipf = 0.9;
+    cfg.minPayload = 32;
+    cfg.maxPayload = 256;
+    return cfg;
+}
+
+void
+RouteApp::initialize(ClumsyProcessor &proc)
+{
+    allocStaging(proc);
+    proc.setCodeRegion(0, 4096); // forwarding fast path
+    const auto pool = net::TraceGenerator::makeDestPool(traceConfig());
+    table_ = std::make_unique<RouteTable>(proc, pool, 48);
+}
+
+void
+RouteApp::processPacket(ClumsyProcessor &proc, const net::Packet &pkt,
+                        ValueRecorder &rec)
+{
+    stagePacket(proc, pkt);
+
+    // 1. Header checksum verification (RFC 1812 5.2.2): summing the
+    // whole header including the checksum field must give 0.
+    const std::uint16_t verify = checksumStagedHeader(proc);
+    if (proc.fatalOccurred())
+        return;
+    rec.record("checksum", verify);
+    if (verify != 0) {
+        // Malformed (or fault-corrupted) header: drop the packet.
+        rec.record("ttl", 0xdead);
+        return;
+    }
+
+    // 2. TTL handling (RFC 1812 5.3.1).
+    const std::uint8_t ttl = loadTtl(proc);
+    proc.execute(3);
+    if (ttl <= 1) {
+        rec.record("ttl", 0);
+        return; // would send ICMP time exceeded
+    }
+    const auto newTtl = static_cast<std::uint8_t>(ttl - 1);
+    storeTtl(proc, newTtl);
+    rec.record("ttl", newTtl);
+
+    // 3. Incremental checksum update (RFC 1624) for the changed
+    // ttl/protocol 16-bit word.
+    const std::uint16_t oldSum = loadChecksum(proc);
+    const std::uint8_t proto = proc.read8(pktBase() + 9);
+    proc.execute(6);
+    const auto oldWord =
+        static_cast<std::uint16_t>((ttl << 8) | proto);
+    const auto newWord =
+        static_cast<std::uint16_t>((newTtl << 8) | proto);
+    const std::uint16_t newSum =
+        net::incrementalChecksum(oldSum, oldWord, newWord);
+    storeChecksum(proc, newSum);
+    proc.execute(8);
+    rec.record("checksum", newSum);
+
+    // 4. Next-hop selection.
+    const std::uint32_t dst = loadDstIp(proc);
+    proc.execute(3);
+    const std::uint32_t idx =
+        table_->lookupIndex(proc, dst, &rec, "radix_node");
+    if (proc.fatalOccurred())
+        return;
+    if (idx == RadixTree::kNoMatch) {
+        rec.record("route_entry", 0);
+    } else {
+        const std::uint32_t nextHop = table_->loadNextHop(proc, idx);
+        const std::uint32_t iface = table_->loadIface(proc, idx);
+        if (proc.fatalOccurred())
+            return;
+        rec.record("route_entry", nextHop);
+        rec.record("route_entry", iface);
+    }
+
+    // 5. Untimed audit of the control-plane structure this packet
+    // depends on (the paper's "initialization error" series): the
+    // RouteTable entry the destination *should* map to. Scoping the
+    // audit to the packet keeps the error per-packet — a corrupted
+    // entry flags only the packets routed through it.
+    const std::uint32_t gIdx = table_->goldenIndex(pkt.ip.dst);
+    if (gIdx != RadixTree::kNoMatch)
+        rec.record("initialization", table_->auditEntry(proc, gIdx));
+}
+
+} // namespace clumsy::apps

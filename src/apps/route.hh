@@ -1,0 +1,43 @@
+/**
+ * @file
+ * ROUTE: IPv4 forwarding per RFC 1812 (paper Section 2).
+ *
+ * Per packet: verify the header checksum, decrement the TTL, update
+ * the checksum incrementally (RFC 1624), look the destination up in
+ * the radix-indexed RouteTable and select the output interface.
+ * Marked values match the paper's Figure 6 series: "initialization"
+ * (sampled audit of the structures built during the control plane),
+ * "checksum", "ttl", "route_entry" and the traversed "radix_node"s.
+ */
+
+#ifndef CLUMSY_APPS_ROUTE_HH
+#define CLUMSY_APPS_ROUTE_HH
+
+#include <memory>
+
+#include "apps/app.hh"
+#include "apps/tables.hh"
+
+namespace clumsy::apps
+{
+
+/** The RFC 1812 forwarding workload. */
+class RouteApp : public BaseApp
+{
+  public:
+    std::string name() const override { return "route"; }
+
+    net::TraceConfig traceConfig() const override;
+
+    void initialize(ClumsyProcessor &proc) override;
+
+    void processPacket(ClumsyProcessor &proc, const net::Packet &pkt,
+                       ValueRecorder &rec) override;
+
+  private:
+    std::unique_ptr<RouteTable> table_;
+};
+
+} // namespace clumsy::apps
+
+#endif // CLUMSY_APPS_ROUTE_HH

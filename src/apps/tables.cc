@@ -1,0 +1,373 @@
+#include "apps/tables.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace clumsy::apps
+{
+
+namespace
+{
+
+/** FNV-1a mix helper shared by the audit checksums. */
+struct Fnv
+{
+    std::uint64_t h = 1469598103934665603ull;
+    void mix(std::uint32_t v) { h = (h ^ v) * 1099511628211ull; }
+};
+
+} // namespace
+
+// --- RouteTable -----------------------------------------------------
+
+RouteTable::RouteTable(core::ClumsyProcessor &proc,
+                       const std::vector<std::uint32_t> &destinations,
+                       std::uint32_t timedTail)
+    : radix_(proc)
+{
+    CLUMSY_ASSERT(!destinations.empty(), "route table needs routes");
+    count_ = static_cast<std::uint32_t>(destinations.size());
+    base_ = proc.alloc(count_ * kEntryBytes, 4);
+    const std::uint32_t bulk =
+        count_ > timedTail ? count_ - timedTail : 0;
+
+    // Bulk of the FIB arrives from the control card via DMA.
+    if (bulk > 0) {
+        std::vector<std::uint8_t> blob(bulk * kEntryBytes);
+        std::vector<std::uint32_t> keys, values;
+        keys.reserve(bulk);
+        values.reserve(bulk);
+        for (std::uint32_t i = 0; i < bulk; ++i) {
+            const std::uint32_t dst = destinations[i];
+            const std::uint32_t words[4] = {
+                nextHopFor(dst), i % kNumInterfaces,
+                1 + (dst & 0xf), 0x1};
+            std::memcpy(&blob[i * kEntryBytes], words, kEntryBytes);
+            keys.push_back(dst);
+            values.push_back(i);
+            index_.emplace(dst, i);
+        }
+        proc.dmaWrite(base_, blob.data(),
+                      static_cast<SimSize>(blob.size()));
+        radix_.bulkInstall(proc, keys, values);
+    }
+
+    // The tail is installed by the data processor's own control-plane
+    // code through the timed, faulty path.
+    for (std::uint32_t i = bulk; i < count_; ++i) {
+        const std::uint32_t dst = destinations[i];
+        const SimAddr e = entryAddr(i);
+        proc.write32(e + 0, nextHopFor(dst));
+        proc.write32(e + 4, i % kNumInterfaces);
+        proc.write32(e + 8, 1 + (dst & 0xf)); // metric
+        proc.write32(e + 12, 0x1);            // flags: up
+        proc.execute(12);
+        index_.emplace(dst, i);
+        radix_.insert(proc, dst, i);
+        if (proc.fatalOccurred())
+            return;
+    }
+}
+
+std::uint32_t
+RouteTable::goldenIndex(std::uint32_t dst) const
+{
+    auto it = index_.find(dst);
+    return it == index_.end() ? RadixTree::kNoMatch : it->second;
+}
+
+std::uint64_t
+RouteTable::auditEntry(const core::ClumsyProcessor &proc,
+                       std::uint32_t idx) const
+{
+    Fnv f;
+    const SimAddr e = entryAddr(idx);
+    f.mix(proc.peek32(e + 0));
+    f.mix(proc.peek32(e + 4));
+    f.mix(proc.peek32(e + 8));
+    f.mix(proc.peek32(e + 12));
+    return f.h;
+}
+
+std::uint32_t
+RouteTable::lookupIndex(core::ClumsyProcessor &proc, std::uint32_t dst,
+                        core::ValueRecorder *rec,
+                        const std::string &recKey) const
+{
+    return radix_.lookup(proc, dst, rec, recKey);
+}
+
+std::uint32_t
+RouteTable::loadNextHop(core::ClumsyProcessor &proc,
+                        std::uint32_t idx) const
+{
+    proc.execute(2);
+    return proc.read32(entryAddr(idx) + 0);
+}
+
+std::uint32_t
+RouteTable::loadIface(core::ClumsyProcessor &proc,
+                      std::uint32_t idx) const
+{
+    proc.execute(2);
+    return proc.read32(entryAddr(idx) + 4);
+}
+
+std::uint64_t
+RouteTable::auditChecksum(const core::ClumsyProcessor &proc,
+                          unsigned maxEntries) const
+{
+    Fnv f;
+    const std::uint32_t n =
+        count_ < maxEntries ? count_ : maxEntries;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const SimAddr e = entryAddr(i);
+        f.mix(proc.peek32(e + 0));
+        f.mix(proc.peek32(e + 4));
+        f.mix(proc.peek32(e + 8));
+        f.mix(proc.peek32(e + 12));
+    }
+    return f.h;
+}
+
+// --- NatTable -------------------------------------------------------
+
+NatTable::NatTable(core::ClumsyProcessor &proc, std::uint32_t capacity)
+    : radix_(proc), capacity_(capacity)
+{
+    CLUMSY_ASSERT(capacity_ > 0, "NAT table needs capacity");
+    base_ = proc.alloc(capacity_ * kEntryBytes, 4);
+    countAddr_ = proc.alloc(4, 4);
+    proc.write32(countAddr_, 0);
+    proc.execute(4);
+}
+
+std::uint32_t
+NatTable::translate(core::ClumsyProcessor &proc, std::uint32_t privIp,
+                    core::ValueRecorder *rec, const std::string &recKey)
+{
+    const std::uint32_t found = radix_.lookup(proc, privIp, rec, recKey);
+    if (found != RadixTree::kNoMatch)
+        return found;
+
+    // First packet of this source: create the binding (NAPT).
+    const std::uint32_t idx = proc.read32(countAddr_);
+    proc.execute(3);
+    if (idx >= capacity_) {
+        // Table full (or the counter was corrupted upward): drop.
+        return RadixTree::kNoMatch;
+    }
+    const SimAddr e = base_ + idx * kEntryBytes;
+    proc.write32(e + 0, privIp);
+    proc.write32(e + 4, publicIpFor(idx));
+    proc.write32(e + 8, 30000u + idx);
+    proc.write32(e + 12, idx % 4); // egress interface
+    proc.write32(countAddr_, idx + 1);
+    proc.execute(14);
+    radix_.insert(proc, privIp, idx);
+    return idx;
+}
+
+void
+NatTable::noteArrival(std::uint32_t privIp)
+{
+    if (!index_.count(privIp) && index_.size() < capacity_) {
+        index_.emplace(privIp,
+                       static_cast<std::uint32_t>(index_.size()));
+    }
+}
+
+std::uint32_t
+NatTable::goldenIndex(std::uint32_t privIp) const
+{
+    auto it = index_.find(privIp);
+    return it == index_.end() ? RadixTree::kNoMatch : it->second;
+}
+
+std::uint64_t
+NatTable::auditEntry(const core::ClumsyProcessor &proc,
+                     std::uint32_t idx) const
+{
+    Fnv f;
+    const SimAddr e = base_ + idx * kEntryBytes;
+    f.mix(proc.peek32(e + 0));
+    f.mix(proc.peek32(e + 4));
+    f.mix(proc.peek32(e + 8));
+    f.mix(proc.peek32(e + 12));
+    return f.h;
+}
+
+std::uint32_t
+NatTable::loadPublicIp(core::ClumsyProcessor &proc,
+                       std::uint32_t idx) const
+{
+    proc.execute(2);
+    return proc.read32(base_ + idx * kEntryBytes + 4);
+}
+
+std::uint32_t
+NatTable::loadIface(core::ClumsyProcessor &proc, std::uint32_t idx) const
+{
+    proc.execute(2);
+    return proc.read32(base_ + idx * kEntryBytes + 12);
+}
+
+std::uint32_t
+NatTable::loadCount(core::ClumsyProcessor &proc) const
+{
+    proc.execute(2);
+    return proc.read32(countAddr_);
+}
+
+std::uint64_t
+NatTable::auditChecksum(const core::ClumsyProcessor &proc,
+                        unsigned maxEntries) const
+{
+    Fnv f;
+    const std::uint32_t count = proc.peek32(countAddr_);
+    const std::uint32_t bounded =
+        count < capacity_ ? count : capacity_;
+    const std::uint32_t n =
+        bounded < maxEntries ? bounded : maxEntries;
+    f.mix(count);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const SimAddr e = base_ + i * kEntryBytes;
+        f.mix(proc.peek32(e + 0));
+        f.mix(proc.peek32(e + 4));
+        f.mix(proc.peek32(e + 8));
+        f.mix(proc.peek32(e + 12));
+    }
+    return f.h;
+}
+
+// --- UrlTable -------------------------------------------------------
+
+UrlTable::UrlTable(core::ClumsyProcessor &proc,
+                   const std::vector<std::string> &urls,
+                   const std::vector<std::uint32_t> &destinations,
+                   std::uint32_t timedTail)
+{
+    CLUMSY_ASSERT(!urls.empty() && !destinations.empty(),
+                  "URL table needs URLs and destinations");
+    count_ = static_cast<std::uint32_t>(urls.size());
+    base_ = proc.alloc(count_ * kEntryBytes, 4);
+    const std::uint32_t bulk =
+        count_ > timedTail ? count_ - timedTail : 0;
+
+    for (std::uint32_t i = 0; i < count_; ++i) {
+        const std::string &url = urls[i];
+        const auto len = static_cast<std::uint32_t>(url.size());
+        const SimAddr str = proc.alloc(len, 4);
+        const SimAddr e = base_ + i * kEntryBytes;
+        const std::uint32_t words[4] = {
+            str, len, destinations[i % destinations.size()], 0};
+        if (i < bulk) {
+            // Configuration download: string + record via DMA.
+            proc.dmaWrite(str,
+                          reinterpret_cast<const std::uint8_t *>(
+                              url.data()),
+                          len);
+            proc.dmaWrite(e,
+                          reinterpret_cast<const std::uint8_t *>(words),
+                          kEntryBytes);
+        } else {
+            // Locally-added entries go through the timed path.
+            for (std::uint32_t b = 0; b < len; ++b) {
+                proc.write8(str + b,
+                            static_cast<std::uint8_t>(url[b]));
+                proc.execute(2);
+            }
+            proc.write32(e + 0, words[0]);
+            proc.write32(e + 4, words[1]);
+            proc.write32(e + 8, words[2]);
+            proc.write32(e + 12, words[3]);
+            proc.execute(10);
+        }
+        if (proc.fatalOccurred())
+            return;
+    }
+}
+
+std::uint32_t
+UrlTable::match(core::ClumsyProcessor &proc, SimAddr urlAddr,
+                std::uint32_t urlLen) const
+{
+    for (std::uint32_t i = 0; i < count_; ++i) {
+        const SimAddr e = base_ + i * kEntryBytes;
+        const std::uint32_t len = proc.read32(e + 4);
+        proc.execute(4);
+        if (len != urlLen)
+            continue;
+        const SimAddr str = proc.read32(e + 0);
+        proc.execute(2);
+        bool equal = true;
+        core::ClumsyProcessor::LoopGuard guard(proc, 4096,
+                                               "url compare");
+        for (std::uint32_t b = 0; b < len; ++b) {
+            if (!guard.tick())
+                return kNoMatch;
+            const std::uint8_t a = proc.read8(str + b);
+            const std::uint8_t c = proc.read8(urlAddr + b);
+            proc.execute(4);
+            if (a != c) {
+                equal = false;
+                break;
+            }
+        }
+        if (proc.fatalOccurred())
+            return kNoMatch;
+        if (equal)
+            return i;
+    }
+    return kNoMatch;
+}
+
+std::uint32_t
+UrlTable::loadDest(core::ClumsyProcessor &proc, std::uint32_t idx) const
+{
+    proc.execute(2);
+    return proc.read32(base_ + idx * kEntryBytes + 8);
+}
+
+std::uint64_t
+UrlTable::auditEntry(const core::ClumsyProcessor &proc,
+                     std::uint32_t idx) const
+{
+    Fnv f;
+    const SimAddr e = base_ + idx * kEntryBytes;
+    const SimAddr str = proc.peek32(e + 0);
+    const std::uint32_t len = proc.peek32(e + 4);
+    f.mix(str);
+    f.mix(len);
+    f.mix(proc.peek32(e + 8));
+    // Hash the string bytes too (bounded in case len was corrupted).
+    const std::uint32_t bounded = len < 96 ? len : 96;
+    const SimAddr memLimit = proc.config().memBytes;
+    for (std::uint32_t b = 0; b < bounded; ++b) {
+        if (str + b >= memLimit) {
+            f.mix(0xdeadbeefu);
+            break;
+        }
+        f.mix(proc.peek8(str + b));
+    }
+    return f.h;
+}
+
+std::uint64_t
+UrlTable::auditChecksum(const core::ClumsyProcessor &proc,
+                        unsigned maxEntries) const
+{
+    Fnv f;
+    const std::uint32_t n =
+        count_ < maxEntries ? count_ : maxEntries;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const SimAddr e = base_ + i * kEntryBytes;
+        f.mix(proc.peek32(e + 0));
+        f.mix(proc.peek32(e + 4));
+        f.mix(proc.peek32(e + 8));
+    }
+    return f.h;
+}
+
+} // namespace clumsy::apps

@@ -1,0 +1,57 @@
+#include "apps/tl.hh"
+
+#include "net/trace_gen.hh"
+
+namespace clumsy::apps
+{
+
+net::TraceConfig
+TlApp::traceConfig() const
+{
+    net::TraceConfig cfg;
+    // A large route table with little reuse between packets: the tree
+    // working set far exceeds the 4 KB L1, matching TL's 9.2% miss
+    // rate in Table I.
+    cfg.numDestinations = 128;
+    cfg.numFlows = 128;
+    cfg.destZipf = 1.0;
+    cfg.minPayload = 16;
+    cfg.maxPayload = 64;
+    return cfg;
+}
+
+void
+TlApp::initialize(ClumsyProcessor &proc)
+{
+    allocStaging(proc);
+    proc.setCodeRegion(0, 2048); // small lookup kernel
+    const auto pool = net::TraceGenerator::makeDestPool(traceConfig());
+    // TL *is* the table-build-and-lookup benchmark: a substantial
+    // share of its table is built by the data processor's own code
+    // (timed, faulty), unlike the DMA-downloaded FIBs of route/url.
+    table_ = std::make_unique<RouteTable>(proc, pool, 128); // fully code-built
+}
+
+void
+TlApp::processPacket(ClumsyProcessor &proc, const net::Packet &pkt,
+                     ValueRecorder &rec)
+{
+    stagePacket(proc, pkt);
+    const std::uint32_t dst = loadDstIp(proc);
+    proc.execute(4);
+
+    const std::uint32_t idx =
+        table_->lookupIndex(proc, dst, &rec, "radix_node");
+    if (proc.fatalOccurred())
+        return;
+    if (idx == RadixTree::kNoMatch) {
+        rec.record("route_entry", 0);
+        return;
+    }
+    const std::uint32_t nextHop = table_->loadNextHop(proc, idx);
+    if (proc.fatalOccurred())
+        return;
+    rec.record("route_entry", nextHop);
+}
+
+} // namespace clumsy::apps

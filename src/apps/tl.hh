@@ -1,0 +1,45 @@
+/**
+ * @file
+ * TL: the table-lookup routine common to all routing processes
+ * (paper Section 2; code originally extracted from FreeBSD's radix
+ * implementation).
+ *
+ * Control plane builds a large radix-indexed RouteTable; the data
+ * plane is a bare destination lookup per packet. Marked values: the
+ * sequence of radix-tree nodes traversed ("radix_node") and the
+ * RouteTable entry read for the packet ("route_entry"). The big tree
+ * and load-dominated inner loop give TL the paper's high miss rate
+ * and its strong sensitivity to L1 load latency.
+ */
+
+#ifndef CLUMSY_APPS_TL_HH
+#define CLUMSY_APPS_TL_HH
+
+#include <memory>
+
+#include "apps/app.hh"
+#include "apps/tables.hh"
+
+namespace clumsy::apps
+{
+
+/** The table-lookup workload. */
+class TlApp : public BaseApp
+{
+  public:
+    std::string name() const override { return "tl"; }
+
+    net::TraceConfig traceConfig() const override;
+
+    void initialize(ClumsyProcessor &proc) override;
+
+    void processPacket(ClumsyProcessor &proc, const net::Packet &pkt,
+                       ValueRecorder &rec) override;
+
+  private:
+    std::unique_ptr<RouteTable> table_;
+};
+
+} // namespace clumsy::apps
+
+#endif // CLUMSY_APPS_TL_HH

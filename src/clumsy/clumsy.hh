@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Umbrella header: the clumsy library's public API in one include.
+ *
+ *   #include "clumsy/clumsy.hh"
+ *
+ * pulls in the processor facade, the experiment harness, the workload
+ * registry, the fault/energy models and the trace tooling. Individual
+ * headers remain includable for finer-grained dependencies.
+ */
+
+#ifndef CLUMSY_CLUMSY_HH
+#define CLUMSY_CLUMSY_HH
+
+// Common: diagnostics, RNG, statistics, table rendering.
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+// Core: the processor facade, experiment harness and metrics.
+#include "core/config.hh"
+#include "core/experiment.hh"
+#include "core/freq_controller.hh"
+#include "core/metrics.hh"
+#include "core/processor.hh"
+
+// Workloads: the paper's seven applications plus extensions.
+#include "apps/app.hh"
+
+// Physics: voltage swing, noise, eq. (4), injection.
+#include "fault/fault_model.hh"
+#include "fault/injector.hh"
+#include "fault/swing.hh"
+
+// Energy: cacti-lite, the Montanaro chip budget, the DVS baseline.
+#include "energy/cacti_lite.hh"
+#include "energy/chip_energy.hh"
+#include "energy/dvs.hh"
+
+// Memory system: hierarchy, recovery schemes, codecs.
+#include "mem/hierarchy.hh"
+#include "mem/recovery.hh"
+#include "mem/secded.hh"
+
+// Networking substrate: packets, generators, persistence.
+#include "net/packet.hh"
+#include "net/trace_gen.hh"
+#include "net/trace_io.hh"
+
+#endif // CLUMSY_CLUMSY_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Diagnostic reporting helpers in the gem5 style.
+ *
+ * panic()  — an internal invariant of the simulator was violated; this is
+ *            a clumsy bug, never a user error. Aborts.
+ * fatal()  — the simulation cannot continue because of a user-provided
+ *            configuration or input. Exits with status 1.
+ * warn()   — something is suspicious but the simulation continues.
+ * inform() — status messages for the user.
+ *
+ * Note: *simulated application* fatal errors (the paper's infinite-loop
+ * class) are NOT reported through these functions; they are first-class
+ * simulation outcomes carried on a status path (see core/experiment.hh).
+ */
+
+#ifndef CLUMSY_COMMON_LOGGING_HH
+#define CLUMSY_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace clumsy
+{
+
+/** Abort with a formatted message; use for internal simulator bugs. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a formatted message; use for bad user configuration. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning; the simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by tests and benches). */
+void setQuiet(bool quiet);
+
+/** @return true when warn()/inform() are suppressed. */
+bool quiet();
+
+/** Implementation detail of CLUMSY_ASSERT; aborts. */
+[[noreturn]] void panicAssert(const char *cond, const char *file, int line,
+                              const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/**
+ * Check an invariant and panic with location information when it fails.
+ * Unlike assert(), stays active in release builds: the simulator relies
+ * on these checks to keep faulty-execution bookkeeping trustworthy.
+ */
+#define CLUMSY_ASSERT(cond, ...)                                           \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::clumsy::panicAssert(#cond, __FILE__, __LINE__,               \
+                                  __VA_ARGS__);                            \
+        }                                                                  \
+    } while (0)
+
+} // namespace clumsy
+
+#endif // CLUMSY_COMMON_LOGGING_HH

@@ -1,0 +1,138 @@
+#include "common/random.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace clumsy
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    reseed(seed);
+}
+
+void
+Rng::reseed(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &word : s_)
+        word = splitmix64(x);
+    zipfN_ = 0;
+    zipfCdf_.clear();
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    CLUMSY_ASSERT(bound > 0, "below() needs a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double rate)
+{
+    CLUMSY_ASSERT(rate > 0.0, "exponential() needs a positive rate");
+    // 1 - uniform() is in (0, 1], keeping log() finite.
+    return -std::log(1.0 - uniform()) / rate;
+}
+
+void
+Rng::buildZipf(std::uint64_t n, double s)
+{
+    zipfN_ = n;
+    zipfS_ = s;
+    zipfCdf_.resize(n);
+    double sum = 0.0;
+    for (std::uint64_t k = 1; k <= n; ++k) {
+        sum += 1.0 / std::pow(static_cast<double>(k), s);
+        zipfCdf_[k - 1] = sum;
+    }
+    for (auto &v : zipfCdf_)
+        v /= sum;
+}
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double s)
+{
+    CLUMSY_ASSERT(n > 0, "zipf() needs at least one item");
+    if (zipfN_ != n || zipfS_ != s)
+        buildZipf(n, s);
+    const double u = uniform();
+    // Binary search the CDF for the first entry >= u.
+    std::uint64_t lo = 0, hi = n - 1;
+    while (lo < hi) {
+        const std::uint64_t mid = (lo + hi) / 2;
+        if (zipfCdf_[mid] < u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo + 1;
+}
+
+} // namespace clumsy

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * Every stochastic component (fault injector, trace generators, noise
+ * Monte-Carlo) owns its own Rng instance seeded from the experiment
+ * configuration, so golden and faulty runs replay identical packet
+ * streams while fault sampling varies independently.
+ *
+ * The generator is xoshiro256** (public-domain algorithm by Blackman and
+ * Vigna): fast, 256-bit state, and — unlike std::mt19937 — guaranteed to
+ * produce identical streams across standard libraries.
+ */
+
+#ifndef CLUMSY_COMMON_RANDOM_HH
+#define CLUMSY_COMMON_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace clumsy
+{
+
+/** Deterministic xoshiro256** PRNG with sampling helpers. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed, expanded via splitmix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** @return the next raw 64-bit output. */
+    std::uint64_t next();
+
+    /** @return a double uniformly distributed in [0, 1). */
+    double uniform();
+
+    /** @return a double uniformly distributed in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** @return an integer uniformly distributed in [0, bound). */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** @return true with probability p (p outside [0,1] clamps). */
+    bool bernoulli(double p);
+
+    /** @return a sample from Exponential(rate). */
+    double exponential(double rate);
+
+    /**
+     * @return a 1-based rank sampled from a Zipf distribution with
+     * exponent s over n items (rank 1 most popular).
+     */
+    std::uint64_t zipf(std::uint64_t n, double s);
+
+    /** Reseed the generator, resetting any cached Zipf tables. */
+    void reseed(std::uint64_t seed);
+
+  private:
+    std::uint64_t s_[4];
+
+    // Cached CDF for zipf() — rebuilt when (n, s) changes.
+    std::uint64_t zipfN_ = 0;
+    double zipfS_ = 0.0;
+    std::vector<double> zipfCdf_;
+
+    void buildZipf(std::uint64_t n, double s);
+};
+
+} // namespace clumsy
+
+#endif // CLUMSY_COMMON_RANDOM_HH

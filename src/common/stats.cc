@@ -1,0 +1,110 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace clumsy
+{
+
+void
+Accumulator::sample(double v)
+{
+    ++n_;
+    sum_ += v;
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (v - mean_);
+    if (v < min_)
+        min_ = v;
+    if (v > max_)
+        max_ = v;
+}
+
+double
+Accumulator::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+Accumulator::stddev() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator{};
+}
+
+Histogram::Histogram(double lo, double hi, unsigned bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / bins), counts_(bins, 0)
+{
+    CLUMSY_ASSERT(hi > lo && bins > 0, "bad histogram shape");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++total_;
+    if (v < lo_) {
+        ++under_;
+    } else if (v >= hi_) {
+        ++over_;
+    } else {
+        auto idx = static_cast<unsigned>((v - lo_) / width_);
+        if (idx >= counts_.size())
+            idx = static_cast<unsigned>(counts_.size()) - 1;
+        ++counts_[idx];
+    }
+}
+
+double
+Histogram::binLo(unsigned i) const
+{
+    return lo_ + width_ * i;
+}
+
+void
+StatGroup::inc(const std::string &key, std::uint64_t delta)
+{
+    counters_[key] += delta;
+}
+
+void
+StatGroup::set(const std::string &key, std::uint64_t value)
+{
+    counters_[key] = value;
+}
+
+std::uint64_t
+StatGroup::get(const std::string &key) const
+{
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : counters_)
+        kv.second = 0;
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &kv : counters_)
+        os << name_ << '.' << kv.first << " = " << kv.second << '\n';
+    return os.str();
+}
+
+} // namespace clumsy

@@ -1,0 +1,86 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace clumsy
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    CLUMSY_ASSERT(cells.size() == header_.size(),
+                  "row width %zu != header width %zu",
+                  cells.size(), header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> width(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &r : rows_)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+
+    std::ostringstream os;
+    os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]))
+               << cells[c];
+            os << (c + 1 == cells.size() ? "\n" : "  ");
+        }
+    };
+    emit(header_);
+    std::size_t total = 0;
+    for (auto w : width)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+std::string
+TextTable::csv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << cells[c] << (c + 1 == cells.size() ? "\n" : ",");
+    };
+    emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TextTable::sci(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(precision) << v;
+    return os.str();
+}
+
+} // namespace clumsy

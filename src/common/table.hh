@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Aligned-text table printer used by the bench binaries so every
+ * reproduced paper table/figure prints in a uniform, diffable format.
+ */
+
+#ifndef CLUMSY_COMMON_TABLE_HH
+#define CLUMSY_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace clumsy
+{
+
+/** Collects rows of string cells and renders an aligned text table. */
+class TextTable
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+    /** Set the column headers (defines the column count). */
+    void header(std::vector<std::string> cells);
+
+    /** Append one row; must match the header's column count. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the table with a title line and column separators. */
+    std::string render() const;
+
+    /** Render as CSV (for plotting scripts). */
+    std::string csv() const;
+
+    /** Helper: format a double with the given precision. */
+    static std::string num(double v, int precision = 4);
+
+    /** Helper: format a double in scientific notation. */
+    static std::string sci(double v, int precision = 3);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace clumsy
+
+#endif // CLUMSY_COMMON_TABLE_HH

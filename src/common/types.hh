@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fundamental types shared by every clumsy subsystem.
+ *
+ * The simulator models a 32-bit packet-processor address space and keeps
+ * time as an integer count of sub-cycle quanta so that fractional cache
+ * latencies (2 cycles scaled by relative cycle times of 0.75, 0.5, 0.25)
+ * stay exact.
+ */
+
+#ifndef CLUMSY_COMMON_TYPES_HH
+#define CLUMSY_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace clumsy
+{
+
+/** Address in the simulated physical address space. */
+using SimAddr = std::uint32_t;
+
+/** Size of a region of simulated memory, in bytes. */
+using SimSize = std::uint32_t;
+
+/**
+ * Simulated time and latencies, measured in quanta.
+ *
+ * One base core cycle is kQuantaPerCycle quanta. The value 12 is the
+ * least common multiple needed to represent 2-cycle L1 latencies scaled
+ * by the paper's relative cycle times Cr in {1, 0.75, 0.5, 0.25} as
+ * integers (24, 18, 12, 6 quanta).
+ */
+using Quanta = std::int64_t;
+
+/** Number of quanta in one base (full-voltage-swing) core cycle. */
+inline constexpr Quanta kQuantaPerCycle = 12;
+
+/** Convert whole base cycles to quanta. */
+constexpr Quanta
+cyclesToQuanta(std::int64_t cycles)
+{
+    return cycles * kQuantaPerCycle;
+}
+
+/** Convert quanta to (fractional) base cycles. */
+constexpr double
+quantaToCycles(Quanta q)
+{
+    return static_cast<double>(q) / static_cast<double>(kQuantaPerCycle);
+}
+
+/** Energy amounts, in picojoules. */
+using PicoJoules = double;
+
+/** Number of bits in a simulated machine word. */
+inline constexpr unsigned kWordBits = 32;
+
+/** Number of bytes in a simulated machine word. */
+inline constexpr unsigned kWordBytes = 4;
+
+} // namespace clumsy
+
+#endif // CLUMSY_COMMON_TYPES_HH

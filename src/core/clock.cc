@@ -1,0 +1,39 @@
+#include "core/clock.hh"
+
+#include "common/logging.hh"
+
+namespace clumsy::core
+{
+
+FrequencyLevels::FrequencyLevels(std::vector<double> levels)
+    : levels_(std::move(levels))
+{
+    CLUMSY_ASSERT(!levels_.empty(), "need at least one frequency level");
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+        CLUMSY_ASSERT(levels_[i] > 0.0 && levels_[i] <= 1.0,
+                      "Cr must be in (0, 1]");
+        if (i > 0) {
+            CLUMSY_ASSERT(levels_[i] < levels_[i - 1],
+                          "levels must be strictly decreasing");
+        }
+    }
+}
+
+double
+FrequencyLevels::cr(unsigned idx) const
+{
+    CLUMSY_ASSERT(idx < levels_.size(), "level index out of range");
+    return levels_[idx];
+}
+
+unsigned
+FrequencyLevels::indexOf(double cr) const
+{
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+        if (levels_[i] == cr)
+            return static_cast<unsigned>(i);
+    }
+    fatal("Cr %.3f is not one of the configured frequency levels", cr);
+}
+
+} // namespace clumsy::core

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Discrete cache frequency levels (paper Section 4).
+ *
+ * The D-cache clock can be raised by 50%, 100% or 300% over the
+ * full-swing specification, i.e. relative cycle times Cr of 0.75, 0.5
+ * and 0.25 in addition to the baseline 1.0. Levels are ordered from
+ * slowest (index 0, Cr = 1) to fastest; the dynamic controller moves
+ * one level at a time.
+ */
+
+#ifndef CLUMSY_CORE_CLOCK_HH
+#define CLUMSY_CORE_CLOCK_HH
+
+#include <vector>
+
+namespace clumsy::core
+{
+
+/** The paper's relative cycle times, slowest first. */
+inline const std::vector<double> kPaperCrLevels = {1.0, 0.75, 0.5, 0.25};
+
+/** An ordered ladder of relative cycle times. */
+class FrequencyLevels
+{
+  public:
+    /** @param levels strictly decreasing Cr values in (0, 1]. */
+    explicit FrequencyLevels(std::vector<double> levels = kPaperCrLevels);
+
+    /** Relative cycle time of level idx. */
+    double cr(unsigned idx) const;
+
+    /** Number of levels. */
+    unsigned count() const
+    {
+        return static_cast<unsigned>(levels_.size());
+    }
+
+    /** Index whose Cr equals cr (exact match); fatal()s otherwise. */
+    unsigned indexOf(double cr) const;
+
+  private:
+    std::vector<double> levels_;
+};
+
+} // namespace clumsy::core
+
+#endif // CLUMSY_CORE_CLOCK_HH

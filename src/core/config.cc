@@ -1,0 +1,21 @@
+#include "core/config.hh"
+
+#include "common/logging.hh"
+
+namespace clumsy::core
+{
+
+void
+ProcessorConfig::validate() const
+{
+    if (memBytes % hierarchy.l2.lineBytes != 0)
+        fatal("memBytes must be a multiple of the L2 line size");
+    if (iRegionBytes == 0 || iRegionBytes >= memBytes)
+        fatal("instruction region must be non-empty and inside DRAM");
+    if (staticCr <= 0.0 || staticCr > 1.0)
+        fatal("staticCr must be in (0, 1]");
+    if (instsPerFetch == 0)
+        fatal("instsPerFetch must be positive");
+}
+
+} // namespace clumsy::core

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Top-level configuration of a clumsy packet processor.
+ *
+ * Defaults reproduce the paper's simulated machine: a StrongARM-110-
+ * like core with 4 KB direct-mapped L1 caches, a 128 KB 4-way unified
+ * L2, the eq. (4) fault model at the Shivakumar base rate, and the
+ * Montanaro/CACTI/Phelan energy models.
+ */
+
+#ifndef CLUMSY_CORE_CONFIG_HH
+#define CLUMSY_CORE_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "core/freq_controller.hh"
+#include "energy/chip_energy.hh"
+#include "fault/fault_model.hh"
+#include "mem/hierarchy.hh"
+
+namespace clumsy::core
+{
+
+/** Full processor configuration. */
+struct ProcessorConfig
+{
+    mem::HierarchyConfig hierarchy;
+    energy::EnergyParams energy;
+    fault::FaultModelParams faultModel;
+    FreqControllerConfig freqCtl;
+
+    /** Simulated DRAM size; must be a multiple of the L2 line size. */
+    SimSize memBytes = 8u << 20;
+
+    /**
+     * Bytes at the top of DRAM reserved for instruction addresses
+     * (the synthetic PC walker fetches from this region so I-lines
+     * compete with data in the unified L2, as on the real machine).
+     */
+    SimSize iRegionBytes = 1u << 20;
+
+    /** Seed of the fault injector's RNG. */
+    std::uint64_t faultSeed = 0x5eed;
+
+    /** Static relative cycle time of the D-cache. */
+    double staticCr = 1.0;
+
+    /** Use the dynamic frequency controller instead of staticCr. */
+    bool dynamicFrequency = false;
+
+    /** Master switch for fault injection (golden runs turn it off). */
+    bool injectionEnabled = true;
+
+
+    /**
+     * Instructions fetched per I-cache access by the PC walker (the
+     * in-order core fetches a line's worth of sequential instructions
+     * per access; 32 B lines / 4 B instructions = 8).
+     */
+    std::uint32_t instsPerFetch = 8;
+
+    /** Validate invariants; fatal()s on inconsistent settings. */
+    void validate() const;
+};
+
+} // namespace clumsy::core
+
+#endif // CLUMSY_CORE_CONFIG_HH

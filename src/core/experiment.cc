@@ -1,0 +1,242 @@
+#include "core/experiment.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace clumsy::core
+{
+
+std::string
+to_string(FaultPlane plane)
+{
+    switch (plane) {
+      case FaultPlane::ControlOnly:
+        return "control plane";
+      case FaultPlane::DataOnly:
+        return "data plane";
+      case FaultPlane::Both:
+        return "both planes";
+    }
+    panic("unreachable fault plane");
+}
+
+void
+ValueRecorder::beginPacket()
+{
+    packets_.emplace_back();
+}
+
+void
+ValueRecorder::record(const std::string &key, std::uint64_t value)
+{
+    CLUMSY_ASSERT(!packets_.empty(),
+                  "record() before the first beginPacket()");
+    packets_.back().emplace_back(key, value);
+}
+
+std::vector<std::string>
+ValueRecorder::comparePacket(std::size_t idx,
+                             const ValueRecorder &other) const
+{
+    CLUMSY_ASSERT(idx < packets_.size() && idx < other.packets_.size(),
+                  "packet frame out of range");
+    // Group the frame's values per key, preserving per-key order
+    // (e.g. the sequence of radix-tree nodes traversed).
+    auto group = [](const Frame &frame) {
+        std::map<std::string, std::vector<std::uint64_t>> m;
+        for (const auto &kv : frame)
+            m[kv.first].push_back(kv.second);
+        return m;
+    };
+    const auto mine = group(packets_[idx]);
+    const auto theirs = group(other.packets_[idx]);
+
+    std::vector<std::string> mismatched;
+    for (const auto &kv : mine) {
+        auto it = theirs.find(kv.first);
+        if (it == theirs.end() || it->second != kv.second)
+            mismatched.push_back(kv.first);
+    }
+    for (const auto &kv : theirs) {
+        if (!mine.count(kv.first))
+            mismatched.push_back(kv.first);
+    }
+    return mismatched;
+}
+
+namespace
+{
+
+/** Build a processor configured for one run of the experiment. */
+ProcessorConfig
+makeProcessorConfig(const ExperimentConfig &config, bool golden,
+                    unsigned trial)
+{
+    ProcessorConfig pc = config.processor;
+    pc.hierarchy.scheme = config.scheme;
+    pc.staticCr = config.cr;
+    pc.dynamicFrequency = !golden && config.dynamicFrequency;
+    pc.injectionEnabled = false; // planes toggle it during the run
+    // Decorrelate the fault streams of different operating points:
+    // with a shared stream, any fault drawn at Cr = 1 recurs at every
+    // faster clock (the thresholds nest), which would make rare fatal
+    // events step identically across a whole sweep.
+    pc.faultSeed = config.faultSeed + trial * 0x9e3779b9ull +
+                   static_cast<std::uint64_t>(config.cr * 1e4) * 7919 +
+                   static_cast<std::uint64_t>(config.scheme) * 104729 +
+                   (config.dynamicFrequency ? 15485863 : 0);
+    pc.faultModel.scale = config.faultScale;
+    return pc;
+}
+
+/** Outcome of one end-to-end run (golden or one faulty trial). */
+struct RawRun
+{
+    RunMetrics metrics;
+    ValueRecorder recorder;
+};
+
+RawRun
+runOnce(const AppFactory &factory, const ExperimentConfig &config,
+        bool golden, unsigned trial, const ValueRecorder *reference)
+{
+    RawRun run;
+    auto app = factory();
+    ClumsyProcessor proc(makeProcessorConfig(config, golden, trial));
+
+    const bool injectControl =
+        !golden && config.plane != FaultPlane::DataOnly;
+    const bool injectData =
+        !golden && config.plane != FaultPlane::ControlOnly;
+
+    proc.setInjectionEnabled(injectControl);
+    app->initialize(proc);
+
+    // Per-packet costs are data-plane costs (the paper's "average
+    // number of cycles spent for each packet"): snapshot the
+    // control-plane expenditure so it never leaks into the per-packet
+    // averages — vital for runs a fatal error truncates early, where
+    // dividing one-time init cycles by a handful of packets would
+    // dwarf every real effect.
+    const double initCycles = proc.nowCycles();
+    const double initEnergy = proc.totalEnergyPj();
+    const double initL1d = proc.l1dEnergyPj();
+
+    net::TraceConfig traceCfg = app->traceConfig();
+    traceCfg.seed = config.traceSeed;
+    net::TraceGenerator gen(traceCfg);
+
+    proc.setInjectionEnabled(injectData);
+    RunMetrics &m = run.metrics;
+    m.packetsAttempted = config.numPackets;
+    for (std::uint64_t i = 0; i < config.numPackets; ++i) {
+        const net::Packet pkt = gen.next();
+        if (proc.fatalOccurred())
+            break;
+        proc.beginPacket();
+        run.recorder.beginPacket();
+        app->processPacket(proc, pkt, run.recorder);
+        if (proc.fatalOccurred())
+            break;
+        proc.endPacket();
+        ++m.packetsProcessed;
+        if (reference) {
+            const auto bad = run.recorder.comparePacket(i, *reference);
+            if (!bad.empty())
+                ++m.packetsWithError;
+            for (const auto &key : bad)
+                ++m.errorsByType[key];
+        }
+    }
+
+    m.fatal = proc.fatalOccurred();
+    m.fatalReason = proc.fatalReason();
+    const double processed =
+        m.packetsProcessed > 0 ? static_cast<double>(m.packetsProcessed)
+                               : 1.0;
+    m.cyclesPerPacket = (proc.nowCycles() - initCycles) / processed;
+    m.totalEnergyPj = proc.totalEnergyPj();
+    m.energyPerPacketPj = (m.totalEnergyPj - initEnergy) / processed;
+    m.l1dEnergyPj = proc.l1dEnergyPj() - initL1d;
+    m.instructions = proc.instructions();
+    m.dcacheAccesses = proc.hierarchy().stats().get("reads") +
+                       proc.hierarchy().stats().get("writes");
+    m.dcacheMissRate = proc.hierarchy().l1d().missRate();
+    m.faultsInjected = proc.injector().faultCount();
+    m.parityTrips = proc.hierarchy().stats().get("parity_trips");
+    m.eccCorrections = proc.hierarchy().stats().get("ecc_corrections");
+    m.freqSwitches =
+        proc.freqController() ? proc.freqController()->switches() : 0;
+    return run;
+}
+
+} // namespace
+
+ExperimentResult
+runExperiment(const AppFactory &factory, const ExperimentConfig &config)
+{
+    CLUMSY_ASSERT(config.trials >= 1, "need at least one trial");
+
+    ExperimentResult result;
+    {
+        auto probe = factory();
+        result.app = probe->name();
+    }
+
+    const RawRun golden = runOnce(factory, config, true, 0, nullptr);
+    result.golden = golden.metrics;
+    CLUMSY_ASSERT(!golden.metrics.fatal, "golden run must not die");
+
+    double sumErrProb = 0, sumFatalFrac = 0;
+    double sumFall = 0, sumCycles = 0, sumEnergy = 0, sumL1d = 0;
+    double sumEdf = 0;
+    std::uint64_t totalDeaths = 0, totalProcessed = 0;
+    std::map<std::string, double> sumErrByType;
+
+    for (unsigned t = 0; t < config.trials; ++t) {
+        const RawRun faulty =
+            runOnce(factory, config, false, t, &golden.recorder);
+        const RunMetrics &m = faulty.metrics;
+        result.faulty = m;
+
+        sumErrProb += anyErrorProb(m);
+        totalDeaths += m.fatal ? 1 : 0;
+        totalProcessed += m.packetsProcessed;
+        sumFatalFrac += m.fatal ? 1.0 : 0.0;
+        sumFall += fallibility(m);
+        sumCycles += m.cyclesPerPacket;
+        sumEnergy += m.energyPerPacketPj;
+        const double processed = m.packetsProcessed > 0
+                                     ? static_cast<double>(
+                                           m.packetsProcessed)
+                                     : 1.0;
+        sumL1d += m.l1dEnergyPj / processed;
+        sumEdf += edfProduct(m);
+        for (const auto &kv : m.errorsByType)
+            sumErrByType[kv.first] += static_cast<double>(kv.second) /
+                                      processed;
+    }
+
+    const double n = config.trials;
+    result.anyErrorProb = sumErrProb / n;
+    // Pooled per-packet fatal hazard: deaths over total exposure, a
+    // stable estimator even when an unlucky trial dies immediately.
+    result.fatalProb =
+        totalProcessed > 0
+            ? static_cast<double>(totalDeaths) /
+                  static_cast<double>(totalProcessed)
+            : (totalDeaths > 0 ? 1.0 : 0.0);
+    result.fatalFraction = sumFatalFrac / n;
+    result.fallibility = sumFall / n;
+    result.cyclesPerPacket = sumCycles / n;
+    result.energyPerPacketPj = sumEnergy / n;
+    result.l1dEnergyPerPacketPj = sumL1d / n;
+    result.edf = sumEdf / n;
+    for (const auto &kv : sumErrByType)
+        result.errorProbByType[kv.first] = kv.second / n;
+    return result;
+}
+
+} // namespace clumsy::core

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Golden-vs-faulty experiment harness (paper Sections 2 and 5.2).
+ *
+ * Error measurement works exactly as in the paper: each application
+ * marks the values of its important data structures while processing
+ * each packet (checksums, TTLs, table entries, tree paths, digests).
+ * The harness first runs the application fault-free on a seeded trace
+ * (the golden run), then replays the identical trace with fault
+ * injection enabled and compares the marked values packet by packet.
+ * A packet whose marked values differ has an application error; a run
+ * that trips a loop budget or dereferences a wild pointer has a fatal
+ * error and stops, with per-packet quantities computed over the
+ * packets completed before the death.
+ */
+
+#ifndef CLUMSY_CORE_EXPERIMENT_HH
+#define CLUMSY_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hh"
+#include "core/processor.hh"
+#include "mem/recovery.hh"
+#include "net/trace_gen.hh"
+
+namespace clumsy::core
+{
+
+/** Which execution phases inject faults (paper Figures 6-7). */
+enum class FaultPlane
+{
+    ControlOnly, ///< faults only during initialize()
+    DataOnly,    ///< faults only during per-packet processing
+    Both,
+};
+
+/** Human-readable plane name. */
+std::string to_string(FaultPlane plane);
+
+/** Records the per-packet marked values of an application run. */
+class ValueRecorder
+{
+  public:
+    /** Start the frame for the next packet. */
+    void beginPacket();
+
+    /** Record one marked value under a stable key. */
+    void record(const std::string &key, std::uint64_t value);
+
+    /** Number of packet frames recorded. */
+    std::size_t packetCount() const { return packets_.size(); }
+
+    /**
+     * Compare one packet frame against another recorder's same frame.
+     * @return the keys whose value sequences differ (missing keys and
+     * length mismatches count as differences).
+     */
+    std::vector<std::string> comparePacket(std::size_t idx,
+                                           const ValueRecorder &other)
+        const;
+
+  private:
+    using Frame = std::vector<std::pair<std::string, std::uint64_t>>;
+    std::vector<Frame> packets_;
+};
+
+/** Interface every NetBench-style workload implements. */
+class PacketApp
+{
+  public:
+    virtual ~PacketApp() = default;
+
+    /** Short name ("route", "crc", ...). */
+    virtual std::string name() const = 0;
+
+    /** The trace shape this workload consumes. */
+    virtual net::TraceConfig traceConfig() const
+    {
+        return net::TraceConfig{};
+    }
+
+    /**
+     * Control-plane phase: build the long-lived structures in
+     * simulated memory (routing tables, CRC table, ...).
+     */
+    virtual void initialize(ClumsyProcessor &proc) = 0;
+
+    /**
+     * Data-plane phase: process one packet, recording every marked
+     * value. Implementations must bail out early when
+     * proc.fatalOccurred() becomes true.
+     */
+    virtual void processPacket(ClumsyProcessor &proc,
+                               const net::Packet &pkt,
+                               ValueRecorder &rec) = 0;
+};
+
+/** Factory so the harness can run an app on fresh state repeatedly. */
+using AppFactory = std::function<std::unique_ptr<PacketApp>()>;
+
+/** One experiment's knobs. */
+struct ExperimentConfig
+{
+    std::uint64_t numPackets = 1000;
+    std::uint64_t traceSeed = 1;
+    std::uint64_t faultSeed = 0x5eed;
+    unsigned trials = 1; ///< faulty replays with seeds faultSeed+t
+
+    double cr = 1.0;
+    bool dynamicFrequency = false;
+    mem::RecoveryScheme scheme = mem::RecoveryScheme::NoDetection;
+    FaultPlane plane = FaultPlane::Both;
+
+    /** Fault-rate multiplier (1 = the paper's rates). */
+    double faultScale = 1.0;
+
+    /** Template for the processors built by the harness. */
+    ProcessorConfig processor;
+};
+
+/** Aggregated outcome of one experiment (over all trials). */
+struct ExperimentResult
+{
+    std::string app;
+    RunMetrics golden;          ///< fault-free reference run
+    RunMetrics faulty;          ///< last faulty trial (raw numbers)
+
+    // Trial-averaged quantities:
+    double anyErrorProb = 0.0;
+    double fatalProb = 0.0; ///< mean per-packet fatal hazard
+    double fatalFraction = 0.0; ///< fraction of trials that died
+    double fallibility = 1.0;
+    double cyclesPerPacket = 0.0;
+    double energyPerPacketPj = 0.0;
+    double l1dEnergyPerPacketPj = 0.0;
+    double edf = 0.0; ///< energy*delay^2*fallibility^2, trial-avg
+    std::map<std::string, double> errorProbByType;
+};
+
+/** Run golden + faulty trials for one application. */
+ExperimentResult runExperiment(const AppFactory &factory,
+                               const ExperimentConfig &config);
+
+} // namespace clumsy::core
+
+#endif // CLUMSY_CORE_EXPERIMENT_HH

@@ -1,0 +1,50 @@
+#include "core/freq_controller.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace clumsy::core
+{
+
+FreqController::FreqController(FreqControllerConfig config)
+    : config_(config), levels_(config.levels), level_(config.startLevel)
+{
+    CLUMSY_ASSERT(config_.epochPackets > 0, "epoch must be non-empty");
+    CLUMSY_ASSERT(config_.x1 > config_.x2, "X1 must exceed X2");
+    CLUMSY_ASSERT(level_ < levels_.count(), "start level out of range");
+}
+
+FreqController::Decision
+FreqController::onEpochEnd(std::uint64_t epochFaults)
+{
+    stats_.inc("epochs");
+    stats_.inc("residency_level" + std::to_string(level_));
+
+    const auto faults = static_cast<double>(epochFaults);
+    const auto stored = static_cast<double>(storedFaults_);
+
+    unsigned newLevel = level_;
+    if (faults > config_.x1 * stored) {
+        // Too many faults: back off toward the full-swing clock.
+        if (level_ > 0)
+            newLevel = level_ - 1;
+    } else if (faults < config_.x2 * stored) {
+        // Quiet epoch: push the clock one level faster.
+        if (level_ + 1 < levels_.count())
+            newLevel = level_ + 1;
+    }
+
+    Decision d{levels_.cr(newLevel), newLevel != level_, 0};
+    if (d.changed) {
+        level_ = newLevel;
+        storedFaults_ = std::max<std::uint64_t>(epochFaults, 1);
+        d.penaltyCycles = config_.switchPenaltyCycles;
+        ++switches_;
+        stats_.inc("switches");
+    }
+    return d;
+}
+
+} // namespace clumsy::core

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Dynamic cache-frequency adaptation (paper Section 4).
+ *
+ * The processor counts observed faults (parity failures) over epochs
+ * of a fixed number of packets — 100 in the paper. At each epoch end
+ * it compares the epoch's fault count against the count stored at the
+ * last frequency change:
+ *
+ *   faults > X1 * stored  ->  decrease frequency (Cr one level up)
+ *   faults < X2 * stored  ->  increase frequency (Cr one level down)
+ *   otherwise             ->  keep
+ *
+ * with X1 = 200% and X2 = 80% (the paper's tuned values). Every
+ * change stores the epoch's fault count and costs a 10-cycle switch
+ * penalty. The stored count is floored at 1 so fault-free epochs
+ * (common at Cr = 1) read as "less than X2%" and push the controller
+ * toward higher frequency, which is the leaning the paper describes.
+ */
+
+#ifndef CLUMSY_CORE_FREQ_CONTROLLER_HH
+#define CLUMSY_CORE_FREQ_CONTROLLER_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "core/clock.hh"
+
+namespace clumsy::core
+{
+
+/** Controller parameters (defaults = the paper's tuned values). */
+struct FreqControllerConfig
+{
+    unsigned epochPackets = 100;     ///< decision interval
+    double x1 = 2.00;                ///< decrease threshold (200%)
+    double x2 = 0.80;                ///< increase threshold (80%)
+    std::int64_t switchPenaltyCycles = 10;
+    std::vector<double> levels = kPaperCrLevels;
+    unsigned startLevel = 0;         ///< index into levels (Cr = 1)
+};
+
+/** Epoch-based frequency adaptation state machine. */
+class FreqController
+{
+  public:
+    explicit FreqController(FreqControllerConfig config);
+
+    /** What an epoch decision did. */
+    struct Decision
+    {
+        double cr;              ///< cycle time after the decision
+        bool changed;           ///< true when the level moved
+        std::int64_t penaltyCycles; ///< 0 or the switch penalty
+    };
+
+    /**
+     * Feed the fault count observed over the epoch that just ended
+     * and obtain the next operating point.
+     */
+    Decision onEpochEnd(std::uint64_t epochFaults);
+
+    /** Packets per epoch. */
+    unsigned epochPackets() const { return config_.epochPackets; }
+
+    /** Current relative cycle time. */
+    double currentCr() const { return levels_.cr(level_); }
+
+    /** Number of frequency switches so far. */
+    std::uint64_t switches() const { return switches_; }
+
+    /** Per-level residency counters (epochs spent at each Cr). */
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    FreqControllerConfig config_;
+    FrequencyLevels levels_;
+    unsigned level_;
+    std::uint64_t storedFaults_ = 1; ///< floored at 1; see file comment
+    std::uint64_t switches_ = 0;
+    StatGroup stats_{"freqctl"};
+};
+
+} // namespace clumsy::core
+
+#endif // CLUMSY_CORE_FREQ_CONTROLLER_HH

@@ -1,0 +1,59 @@
+#include "core/metrics.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace clumsy::core
+{
+
+double
+anyErrorProb(const RunMetrics &m)
+{
+    // Computed over the packets successfully processed before any
+    // fatal error, exactly as the paper's Section 4.1 prescribes; the
+    // fatal-error probability is reported separately (fatalProb).
+    if (m.packetsProcessed == 0)
+        return m.fatal ? 1.0 : 0.0;
+    return static_cast<double>(m.packetsWithError) /
+           static_cast<double>(m.packetsProcessed);
+}
+
+double
+fallibility(const RunMetrics &m)
+{
+    return 1.0 + anyErrorProb(m);
+}
+
+double
+fatalProb(const RunMetrics &m)
+{
+    if (!m.fatal)
+        return 0.0;
+    if (m.packetsProcessed == 0)
+        return 1.0;
+    return 1.0 / static_cast<double>(m.packetsProcessed);
+}
+
+double
+edfProduct(const RunMetrics &m, MetricWeights w)
+{
+    CLUMSY_ASSERT(m.packetsProcessed > 0 || m.fatal,
+                  "metrics from an empty run");
+    return std::pow(m.energyPerPacketPj, w.k) *
+           std::pow(m.cyclesPerPacket, w.m) *
+           std::pow(fallibility(m), w.n);
+}
+
+double
+relativeEdf(const RunMetrics &m, const RunMetrics &baseline,
+            MetricWeights w)
+{
+    const double base = edfProduct(baseline, w);
+    CLUMSY_ASSERT(base > 0.0 && std::isfinite(base),
+                  "degenerate baseline");
+    return edfProduct(m, w) / base;
+}
+
+} // namespace clumsy::core

@@ -1,0 +1,203 @@
+#include "core/processor.hh"
+
+#include "common/logging.hh"
+
+namespace clumsy::core
+{
+
+namespace
+{
+
+ProcessorConfig
+validated(ProcessorConfig config)
+{
+    config.validate();
+    return config;
+}
+
+} // namespace
+
+ClumsyProcessor::ClumsyProcessor(ProcessorConfig config)
+    : config_(validated(std::move(config))),
+      store_(config_.memBytes),
+      allocator_(store_, config_.memBytes - config_.iRegionBytes),
+      injector_(fault::FaultModel(config_.faultModel), config_.faultSeed),
+      model_(config_.energy, config_.hierarchy.l1d, config_.hierarchy.l1i,
+             config_.hierarchy.l2),
+      account_(&model_),
+      hierarchy_(config_.hierarchy, &store_, &injector_, &account_),
+      iRegionBase_(config_.memBytes - config_.iRegionBytes),
+      codeBytes_(config_.iRegionBytes)
+{
+    injector_.setEnabled(config_.injectionEnabled);
+    if (config_.dynamicFrequency) {
+        freqCtl_ = std::make_unique<FreqController>(config_.freqCtl);
+        hierarchy_.setCycleTime(freqCtl_->currentCr());
+    } else {
+        hierarchy_.setCycleTime(config_.staticCr);
+    }
+}
+
+std::uint32_t
+ClumsyProcessor::finishRead(const mem::Access &acc)
+{
+    cycles_ += acc.latency;
+    return acc.value;
+}
+
+std::uint32_t
+ClumsyProcessor::read32(SimAddr addr)
+{
+    return finishRead(hierarchy_.read(addr, 4));
+}
+
+std::uint16_t
+ClumsyProcessor::read16(SimAddr addr)
+{
+    return static_cast<std::uint16_t>(finishRead(hierarchy_.read(addr, 2)));
+}
+
+std::uint8_t
+ClumsyProcessor::read8(SimAddr addr)
+{
+    return static_cast<std::uint8_t>(finishRead(hierarchy_.read(addr, 1)));
+}
+
+void
+ClumsyProcessor::finishWrite(const mem::Access &acc)
+{
+    cycles_ += acc.latency;
+}
+
+void
+ClumsyProcessor::write32(SimAddr addr, std::uint32_t value)
+{
+    finishWrite(hierarchy_.write(addr, 4, value));
+}
+
+void
+ClumsyProcessor::write16(SimAddr addr, std::uint16_t value)
+{
+    finishWrite(hierarchy_.write(addr, 2, value));
+}
+
+void
+ClumsyProcessor::write8(SimAddr addr, std::uint8_t value)
+{
+    finishWrite(hierarchy_.write(addr, 1, value));
+}
+
+void
+ClumsyProcessor::execute(std::uint32_t n)
+{
+    instructions_ += n;
+    cycles_ += cyclesToQuanta(n); // in-order core, 1 IPC baseline
+    fetchCredit_ += n;
+    const SimSize lineBytes = config_.hierarchy.l1i.lineBytes;
+    while (fetchCredit_ >= config_.instsPerFetch) {
+        fetchCredit_ -= config_.instsPerFetch;
+        cycles_ += hierarchy_.fetch(iRegionBase_ + codeOffset_ +
+                                    pcOffset_);
+        pcOffset_ += lineBytes;
+        if (pcOffset_ >= codeBytes_)
+            pcOffset_ = 0;
+    }
+}
+
+void
+ClumsyProcessor::setCodeRegion(SimSize offset, SimSize bytes)
+{
+    CLUMSY_ASSERT(bytes > 0 && offset + bytes <= config_.iRegionBytes,
+                  "code region outside the instruction region");
+    codeOffset_ = offset;
+    codeBytes_ = bytes;
+    pcOffset_ = 0;
+}
+
+SimAddr
+ClumsyProcessor::alloc(SimSize size, SimSize align)
+{
+    return allocator_.alloc(size, align);
+}
+
+void
+ClumsyProcessor::dmaWrite(SimAddr addr, const std::uint8_t *src,
+                          SimSize len)
+{
+    CLUMSY_ASSERT(store_.contains(addr, len), "DMA outside DRAM");
+    // Flush first: partially-covered lines may hold unrelated dirty
+    // data that must reach DRAM before the device writes its bytes.
+    hierarchy_.flushRange(addr, len);
+    store_.writeBlock(addr, src, len);
+}
+
+std::uint32_t
+ClumsyProcessor::peek32(SimAddr addr) const
+{
+    CLUMSY_ASSERT(addr % 4 == 0, "peek32 must be aligned");
+    return hierarchy_.peekWord(addr);
+}
+
+std::uint8_t
+ClumsyProcessor::peek8(SimAddr addr) const
+{
+    const std::uint32_t word = hierarchy_.peekWord(addr & ~SimAddr{3});
+    return static_cast<std::uint8_t>(word >> ((addr & 3u) * 8));
+}
+
+void
+ClumsyProcessor::raiseFatal(const std::string &reason)
+{
+    if (fatal_)
+        return;
+    fatal_ = true;
+    fatalReason_ = reason;
+}
+
+void
+ClumsyProcessor::beginPacket()
+{
+    // Nothing yet: packet starts are implicit. Kept for symmetry and
+    // for future per-packet bookkeeping.
+}
+
+void
+ClumsyProcessor::endPacket()
+{
+    ++packets_;
+    if (!freqCtl_)
+        return;
+    if (packets_ % freqCtl_->epochPackets() != 0)
+        return;
+    const std::uint64_t total = observedFaults();
+    const std::uint64_t epochFaults = total - epochStartFaults_;
+    epochStartFaults_ = total;
+    const FreqController::Decision d = freqCtl_->onEpochEnd(epochFaults);
+    if (d.changed) {
+        hierarchy_.setCycleTime(d.cr);
+        cycles_ += cyclesToQuanta(d.penaltyCycles);
+    }
+}
+
+std::uint64_t
+ClumsyProcessor::observedFaults() const
+{
+    if (mem::usesParity(config_.hierarchy.scheme))
+        return hierarchy_.stats().get("parity_trips");
+    return injector_.faultCount();
+}
+
+PicoJoules
+ClumsyProcessor::totalEnergyPj() const
+{
+    return account_.totalPj() +
+           quantaToCycles(cycles_) * model_.restPerCyclePj();
+}
+
+void
+ClumsyProcessor::setInjectionEnabled(bool enabled)
+{
+    injector_.setEnabled(enabled);
+}
+
+} // namespace clumsy::core

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * ClumsyProcessor: the public facade applications program against.
+ *
+ * It bundles the simulated DRAM, the cache hierarchy with the
+ * over-clocked L1 D-cache, the fault injector, the energy account and
+ * the dynamic frequency controller, and exposes:
+ *
+ *  - a timed, *faulty* memory API (read8/16/32, write8/16/32) used for
+ *    every application data access, so injected faults corrupt live
+ *    application state;
+ *  - instruction charging (execute()) driving a synthetic PC walker
+ *    through the I-cache, so compute-heavy phases cost cycles and
+ *    I-fetch energy;
+ *  - DMA for packet arrival (writes DRAM directly and invalidates
+ *    stale cached copies, like a NIC);
+ *  - untimed peek/poke for harness bookkeeping (never used on the
+ *    simulated datapath);
+ *  - sticky fatal-error state: wild accesses from corrupted pointers
+ *    and exhausted loop budgets raise it, and the experiment harness
+ *    turns it into the paper's "fatal error" outcome.
+ */
+
+#ifndef CLUMSY_CORE_PROCESSOR_HH
+#define CLUMSY_CORE_PROCESSOR_HH
+
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+#include "core/config.hh"
+#include "core/freq_controller.hh"
+#include "energy/chip_energy.hh"
+#include "fault/injector.hh"
+#include "mem/alloc.hh"
+#include "mem/backing_store.hh"
+#include "mem/hierarchy.hh"
+
+namespace clumsy::core
+{
+
+/** The clumsy packet processor. */
+class ClumsyProcessor
+{
+  public:
+    explicit ClumsyProcessor(ProcessorConfig config = {});
+
+    // --- timed, faulty data-memory API ------------------------------
+
+    /** Load a 32-bit word (4-aligned) through the D-cache. */
+    std::uint32_t read32(SimAddr addr);
+
+    /** Load a 16-bit half (2-aligned). */
+    std::uint16_t read16(SimAddr addr);
+
+    /** Load a byte. */
+    std::uint8_t read8(SimAddr addr);
+
+    /** Store a 32-bit word (4-aligned). */
+    void write32(SimAddr addr, std::uint32_t value);
+
+    /** Store a 16-bit half (2-aligned). */
+    void write16(SimAddr addr, std::uint16_t value);
+
+    /** Store a byte. */
+    void write8(SimAddr addr, std::uint8_t value);
+
+    // --- instruction charging ---------------------------------------
+
+    /**
+     * Charge n executed instructions (1 base cycle each) and advance
+     * the PC walker through the current code region.
+     */
+    void execute(std::uint32_t n);
+
+    /**
+     * Declare the executing code's footprint inside the instruction
+     * region: fetches walk [offset, offset+bytes) cyclically. Apps
+     * switch regions between control-plane and data-plane phases.
+     */
+    void setCodeRegion(SimSize offset, SimSize bytes);
+
+    // --- allocation and DMA -----------------------------------------
+
+    /** Allocate simulated heap memory (see mem::SimAllocator). */
+    SimAddr alloc(SimSize size, SimSize align = 4);
+
+    /**
+     * DMA a block into simulated DRAM (packet arrival): bypasses the
+     * timed datapath, writes the backing store and invalidates any
+     * stale cached copies of the affected lines.
+     */
+    void dmaWrite(SimAddr addr, const std::uint8_t *src, SimSize len);
+
+    // --- untimed architectural inspection ---------------------------
+
+    /**
+     * Read the current architectural value of a word: the L1 copy if
+     * present, else L2, else DRAM. No timing, no faults, no stats.
+     */
+    std::uint32_t peek32(SimAddr addr) const;
+
+    /** Untimed byte variant of peek32(). */
+    std::uint8_t peek8(SimAddr addr) const;
+
+    // --- fatal-error state ------------------------------------------
+
+    /** @return true once a fatal error has been raised. */
+    bool fatalOccurred() const { return fatal_; }
+
+    /** Why the fatal error fired (empty when none). */
+    const std::string &fatalReason() const { return fatalReason_; }
+
+    /** Raise the sticky fatal flag (first reason wins). */
+    void raiseFatal(const std::string &reason);
+
+    /**
+     * Loop budget helper: an application loop whose trip count
+     * depends on in-simulated-memory data constructs a LoopGuard and
+     * calls tick() each iteration; when the budget runs out, tick()
+     * raises a fatal error ("infinite loop") and returns false.
+     */
+    class LoopGuard
+    {
+      public:
+        LoopGuard(ClumsyProcessor &proc, std::uint32_t budget,
+                  const char *what)
+            : proc_(proc), remaining_(budget), what_(what)
+        {
+        }
+
+        /** @return true while iterations remain and no fatal is set. */
+        bool tick()
+        {
+            if (proc_.fatalOccurred())
+                return false;
+            if (remaining_ == 0) {
+                proc_.raiseFatal(std::string("infinite loop in ") +
+                                 what_);
+                return false;
+            }
+            --remaining_;
+            return true;
+        }
+
+      private:
+        ClumsyProcessor &proc_;
+        std::uint32_t remaining_;
+        const char *what_;
+    };
+
+    // --- packet / epoch lifecycle -----------------------------------
+
+    /** Mark the start of one packet's processing. */
+    void beginPacket();
+
+    /**
+     * Mark the end of one packet's processing; every epochPackets
+     * packets the dynamic frequency controller (when enabled) makes
+     * its decision.
+     */
+    void endPacket();
+
+    /** Packets completed so far. */
+    std::uint64_t packetsCompleted() const { return packets_; }
+
+    // --- time, energy, metrics --------------------------------------
+
+    /** Simulated time so far, in quanta. */
+    Quanta now() const { return cycles_; }
+
+    /** Simulated time so far, in base cycles. */
+    double nowCycles() const { return quantaToCycles(cycles_); }
+
+    /** Instructions executed so far. */
+    std::uint64_t instructions() const { return instructions_; }
+
+    /** Total chip energy so far (events + rest-of-chip), pJ. */
+    PicoJoules totalEnergyPj() const;
+
+    /** L1 D-cache energy so far, pJ. */
+    PicoJoules l1dEnergyPj() const { return account_.l1dPj(); }
+
+    /** Current relative cycle time of the D-cache. */
+    double currentCr() const { return hierarchy_.cycleTime(); }
+
+    /**
+     * Faults the processor can observe: parity trips when detection
+     * is on; with no detection, the injector's ground truth (an
+     * oracle — documented in EXPERIMENTS.md).
+     */
+    std::uint64_t observedFaults() const;
+
+    /** Master switch for fault injection (golden runs disable). */
+    void setInjectionEnabled(bool enabled);
+
+    /** The memory hierarchy (stats inspection). */
+    const mem::MemHierarchy &hierarchy() const { return hierarchy_; }
+
+    /** The fault injector (stats inspection). */
+    const fault::FaultInjector &injector() const { return injector_; }
+
+    /** The frequency controller, or nullptr when static. */
+    const FreqController *freqController() const
+    {
+        return freqCtl_ ? freqCtl_.get() : nullptr;
+    }
+
+    /** The configuration in force. */
+    const ProcessorConfig &config() const { return config_; }
+
+    /** The energy model (per-event costs). */
+    const energy::EnergyModel &energyModel() const { return model_; }
+
+  private:
+    ProcessorConfig config_;
+    mem::BackingStore store_;
+    mem::SimAllocator allocator_;
+    fault::FaultInjector injector_;
+    energy::EnergyModel model_;
+    energy::EnergyAccount account_;
+    mem::MemHierarchy hierarchy_;
+    std::unique_ptr<FreqController> freqCtl_;
+
+    Quanta cycles_ = 0;
+    std::uint64_t instructions_ = 0;
+    std::uint64_t packets_ = 0;
+    std::uint64_t epochStartFaults_ = 0;
+
+    SimAddr iRegionBase_;
+    SimSize codeOffset_ = 0;
+    SimSize codeBytes_;
+    SimSize pcOffset_ = 0;
+    std::uint32_t fetchCredit_ = 0;
+
+    bool fatal_ = false;
+    std::string fatalReason_;
+
+    /** Apply one timed read access result. */
+    std::uint32_t finishRead(const mem::Access &acc);
+
+    /** Apply one timed write access result. */
+    void finishWrite(const mem::Access &acc);
+};
+
+} // namespace clumsy::core
+
+#endif // CLUMSY_CORE_PROCESSOR_HH

@@ -1,0 +1,95 @@
+#include "energy/cacti_lite.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace clumsy::energy
+{
+
+namespace
+{
+
+// Technology constants, 0.35 um class (StrongARM era), picojoules.
+constexpr double kDecodePerAddrBit = 2.0;   // pJ per decoded address bit
+constexpr double kWordlinePerCol = 0.006;   // pJ per column on the WL
+constexpr double kBitlinePerCell = 0.030;   // pJ per cell on active BLs
+constexpr double kSensePerBit = 0.60;       // pJ per sensed bit
+constexpr double kOutputPerBit = 0.25;      // pJ per driven output bit
+constexpr double kWriteBitlineFactor = 1.45;// writes drive full swing
+
+// Subarray partitioning bounds (CACTI-style Ndwl/Ndbl limits).
+constexpr std::uint32_t kMaxSubarrayRows = 128;
+constexpr std::uint32_t kMaxSubarrayCols = 512;
+
+// Timing constants, nanoseconds.
+constexpr double kDecodeNsPerBit = 0.11;
+constexpr double kWordlineNsPerCol = 0.0006;
+constexpr double kBitlineNsPerRow = 0.0022;
+constexpr double kSenseNs = 0.30;
+
+} // namespace
+
+CactiLite::CactiLite(CacheGeometry geom) : geom_(geom)
+{
+    CLUMSY_ASSERT(geom_.sizeBytes > 0 && geom_.assoc > 0 &&
+                  geom_.lineBytes > 0,
+                  "cache geometry must be non-degenerate");
+    CLUMSY_ASSERT(geom_.sizeBytes % (geom_.lineBytes * geom_.assoc) == 0,
+                  "size must be a multiple of line*assoc");
+    CLUMSY_ASSERT(isPowerOfTwo(geom_.sets()) && isPowerOfTwo(geom_.assoc),
+                  "sets and ways must be powers of two");
+
+    const std::uint32_t rows = geom_.sets();
+    const std::uint32_t colsPerWay = geom_.lineBytes * 8 + geom_.tagBits;
+
+    std::uint32_t rowSplits = 1;
+    while (rows / rowSplits > kMaxSubarrayRows)
+        rowSplits *= 2;
+    std::uint32_t colSplits = 1;
+    while (colsPerWay / colSplits > kMaxSubarrayCols)
+        colSplits *= 2;
+
+    subRows_ = std::max<std::uint32_t>(rows / rowSplits, 1);
+    subCols_ = std::max<std::uint32_t>(colsPerWay / colSplits, 1);
+    // One subarray per way supplies the line+tag in parallel.
+    active_ = geom_.assoc;
+}
+
+AccessEnergy
+CactiLite::readEnergy() const
+{
+    const std::uint32_t rows = geom_.sets();
+    const unsigned addrBits = rows > 1 ? floorLog2(rows) : 1;
+    const double lineBits = geom_.lineBytes * 8.0;
+
+    AccessEnergy e;
+    e.decoder = kDecodePerAddrBit * addrBits;
+    e.wordline = kWordlinePerCol * subCols_ * active_;
+    e.bitline = kBitlinePerCell * subRows_ * subCols_ * active_;
+    e.senseAmp = kSensePerBit * subCols_ * active_;
+    e.output = kOutputPerBit * lineBits;
+    return e;
+}
+
+AccessEnergy
+CactiLite::writeEnergy() const
+{
+    AccessEnergy e = readEnergy();
+    e.bitline *= kWriteBitlineFactor;
+    e.senseAmp = 0.0; // writes bypass the sense amps
+    return e;
+}
+
+double
+CactiLite::accessTimeNs() const
+{
+    const std::uint32_t rows = geom_.sets();
+    const unsigned addrBits = rows > 1 ? floorLog2(rows) : 1;
+    return kDecodeNsPerBit * addrBits + kWordlineNsPerCol * subCols_ +
+           kBitlineNsPerRow * subRows_ + kSenseNs;
+}
+
+} // namespace clumsy::energy

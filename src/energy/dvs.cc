@@ -1,0 +1,47 @@
+#include "energy/dvs.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace clumsy::energy
+{
+
+double
+frequencyAtVoltage(double v, const DvsParams &params)
+{
+    CLUMSY_ASSERT(v > params.vt, "voltage below threshold");
+    const double norm =
+        std::pow(1.0 - params.vt, params.alpha) / 1.0;
+    return (std::pow(v - params.vt, params.alpha) / v) / norm;
+}
+
+double
+voltageForFrequency(double fr, const DvsParams &params)
+{
+    CLUMSY_ASSERT(fr > 0.0, "frequency ratio must be positive");
+    const double fMax = frequencyAtVoltage(params.vMax, params);
+    if (fr > fMax) {
+        fatal("frequency ratio %.2f exceeds the %.2fx reachable at "
+              "vMax = %.2f",
+              fr, fMax, params.vMax);
+    }
+    // frequencyAtVoltage is strictly increasing above vt; bisect.
+    double lo = params.vt + 1e-6, hi = params.vMax;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (frequencyAtVoltage(mid, params) < fr)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+energyScaleAtVoltage(double v)
+{
+    return v * v;
+}
+
+} // namespace clumsy::energy

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Voltage-scaling (DVS) baseline model.
+ *
+ * The paper (Section 4, citing Krishna & Lee) argues that varying the
+ * cache's clock alone is easier than varying the supply voltage: no
+ * flush, a 10-cycle switch penalty, trivial hardware. This model
+ * quantifies the conventional alternative — running the cache faster
+ * *reliably* by raising Vdd (overdrive) — so the benches can put the
+ * clumsy trade next to it:
+ *
+ *  - delay follows the alpha-power law, delay ∝ V / (V - Vt)^alpha,
+ *    so the frequency achievable at normalized voltage v is
+ *    F(v) = [ (v - vt)^alpha / v ] / [ (1 - vt)^alpha / 1 ];
+ *  - dynamic energy per access scales as v^2;
+ *  - a voltage transition stalls the cache (PLL relock + mandatory
+ *    flush of the write-back L1), costing flushPenaltyCycles — orders
+ *    of magnitude above the paper's 10-cycle clock hop.
+ */
+
+#ifndef CLUMSY_ENERGY_DVS_HH
+#define CLUMSY_ENERGY_DVS_HH
+
+#include <cstdint>
+
+namespace clumsy::energy
+{
+
+/** Alpha-power-law parameters (0.35 um class defaults). */
+struct DvsParams
+{
+    double vt = 0.35;    ///< threshold voltage, fraction of nominal Vdd
+    double alpha = 1.3;  ///< velocity-saturation exponent
+    double vMax = 1.6;   ///< overdrive ceiling, fraction of nominal
+    /// Cycles lost per voltage transition: write-back + invalidate of
+    /// the 4 KB L1 (128 lines through a 15-cycle L2) plus regulator
+    /// settling; vs the paper's 10-cycle clock-only hop.
+    std::int64_t transitionPenaltyCycles = 2500;
+};
+
+/** Frequency ratio achievable at normalized voltage v (F(1) = 1). */
+double frequencyAtVoltage(double v, const DvsParams &params = {});
+
+/**
+ * Voltage needed to run reliably at frequency ratio fr >= achievable
+ * range; fatal()s when fr exceeds what vMax supports.
+ */
+double voltageForFrequency(double fr, const DvsParams &params = {});
+
+/** Dynamic energy per access at normalized voltage v, relative. */
+double energyScaleAtVoltage(double v);
+
+} // namespace clumsy::energy
+
+#endif // CLUMSY_ENERGY_DVS_HH

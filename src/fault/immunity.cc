@@ -1,0 +1,97 @@
+#include "fault/immunity.hh"
+
+#include <cmath>
+#include <map>
+
+#include "common/logging.hh"
+#include "fault/fault_model.hh"
+#include "fault/noise.hh"
+
+namespace clumsy::fault
+{
+
+namespace
+{
+
+/**
+ * (1/Dmax) * integral over (0, Dmax) of exp(-rate*m*(1 + d0/D)) dD,
+ * by composite Simpson. The integrand vanishes super-exponentially as
+ * D -> 0, so starting the grid at 0 (where we define it as 0) is exact
+ * to machine precision.
+ */
+double
+integrateFaultProb(double margin)
+{
+    constexpr unsigned kSteps = 4096; // even
+    const double h = kMaxDuration / kSteps;
+    auto f = [margin](double d) {
+        if (d <= 0.0)
+            return 0.0;
+        return std::exp(-kAmplitudeRate * margin *
+                        (1.0 + kDurationKnee / d));
+    };
+    double sum = f(0.0) + f(kMaxDuration);
+    for (unsigned i = 1; i < kSteps; ++i)
+        sum += f(h * i) * ((i & 1) ? 4.0 : 2.0);
+    return (sum * h / 3.0) / kMaxDuration;
+}
+
+/** Memoized calibrated margins, keyed by relative swing. */
+std::map<double, double> &
+marginCache()
+{
+    static std::map<double, double> cache;
+    return cache;
+}
+
+} // namespace
+
+double
+ImmunityCurves::faultProbForMargin(double margin)
+{
+    CLUMSY_ASSERT(margin >= 0.0, "negative noise margin");
+    return integrateFaultProb(margin);
+}
+
+double
+ImmunityCurves::marginForFaultProb(double prob)
+{
+    CLUMSY_ASSERT(prob > 0.0 && prob < 1.0,
+                  "fault probability must be in (0, 1)");
+    // faultProbForMargin is strictly decreasing in the margin; bisect.
+    double lo = 0.0, hi = 4.0;
+    CLUMSY_ASSERT(integrateFaultProb(hi) < prob,
+                  "target fault probability %g unreachable", prob);
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (integrateFaultProb(mid) > prob)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+ImmunityCurves::staticMargin(double vsr) const
+{
+    CLUMSY_ASSERT(vsr > 0.0 && vsr <= 1.0, "swing must be in (0, 1]");
+    auto &cache = marginCache();
+    auto it = cache.find(vsr);
+    if (it != cache.end())
+        return it->second;
+    // Calibration target: the closed-form model at this swing.
+    const FaultModel model;
+    const double margin = marginForFaultProb(model.probAtSwing(vsr));
+    cache.emplace(vsr, margin);
+    return margin;
+}
+
+double
+ImmunityCurves::criticalAmplitude(double dr, double vsr) const
+{
+    CLUMSY_ASSERT(dr > 0.0, "noise duration must be positive");
+    return staticMargin(vsr) * (1.0 + kDurationKnee / dr);
+}
+
+} // namespace clumsy::fault

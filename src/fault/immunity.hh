@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SRAM noise-immunity curves (paper Figure 2(b)).
+ *
+ * For a 6-transistor SRAM cell operated at relative voltage swing Vsr,
+ * a noise pulse of relative amplitude Ar and relative duration Dr
+ * flips the cell when (Ar, Dr) lies above the cell's immunity curve.
+ * The curve family is parameterized as
+ *
+ *     Acrit(Dr, Vsr) = margin(Vsr) * (1 + d0 / Dr)
+ *
+ * — long pulses asymptote to the static noise margin, short pulses need
+ * proportionally larger amplitude. The paper derived its curves from
+ * SPICE; we do not have the netlists, so margin(Vsr) is *calibrated*:
+ * for each swing we solve for the margin whose integrated fault
+ * probability (under the noise statistics of eqs. (2)-(3)) equals the
+ * paper's closed-form eq. (4). The Monte-Carlo estimator in
+ * fault_model.hh then cross-validates the whole pipeline.
+ */
+
+#ifndef CLUMSY_FAULT_IMMUNITY_HH
+#define CLUMSY_FAULT_IMMUNITY_HH
+
+namespace clumsy::fault
+{
+
+/** Duration knee of the immunity curve, in relative-cycle units. */
+inline constexpr double kDurationKnee = 0.02;
+
+/** Calibrated noise-immunity curve family for the modeled SRAM cell. */
+class ImmunityCurves
+{
+  public:
+    /**
+     * Critical noise amplitude at relative duration dr for a cell
+     * operating at relative swing vsr; pulses with Ar above this flip
+     * the cell.
+     */
+    double criticalAmplitude(double dr, double vsr) const;
+
+    /**
+     * The static noise margin (the Dr -> inf asymptote of the curve)
+     * at relative swing vsr, from the calibration described above.
+     */
+    double staticMargin(double vsr) const;
+
+    /**
+     * Closed-form integral of the fault probability over the noise
+     * statistics for a given margin: the probability that a random
+     * (Ar, Dr) pulse exceeds the immunity curve.
+     */
+    static double faultProbForMargin(double margin);
+
+    /** Inverse of faultProbForMargin() (bisection). */
+    static double marginForFaultProb(double prob);
+};
+
+} // namespace clumsy::fault
+
+#endif // CLUMSY_FAULT_IMMUNITY_HH

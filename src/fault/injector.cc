@@ -1,0 +1,79 @@
+#include "fault/injector.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace clumsy::fault
+{
+
+FaultInjector::FaultInjector(FaultModel model, std::uint64_t seed)
+    : model_(model), rng_(seed)
+{
+    setCycleTime(1.0);
+}
+
+void
+FaultInjector::setCycleTime(double cr)
+{
+    CLUMSY_ASSERT(cr > 0.0, "relative cycle time must be positive");
+    cr_ = cr;
+    p1PerBit_ = model_.bitFaultProb(cr);
+    p2Word_ = model_.multiBitFaultProb(2, cr);
+    p3Word_ = model_.multiBitFaultProb(3, cr);
+}
+
+std::uint32_t
+FaultInjector::corrupt(std::uint32_t value, unsigned bits, FaultEvent *ev)
+{
+    CLUMSY_ASSERT(bits >= 1 && bits <= 32, "access width %u bits", bits);
+    ++accesses_;
+    if (ev)
+        *ev = FaultEvent{};
+    if (!enabled_)
+        return value;
+
+    // One uniform draw decides among {clean, 1-bit, 2-bit, 3-bit}.
+    // Fault probabilities are ~1e-7..1e-5, so treating the events as
+    // mutually exclusive biases results by < 1e-10 per access.
+    const double p1 = p1PerBit_ * bits;
+    const double p2 = p2Word_;
+    const double p3 = p3Word_;
+    const double u = rng_.uniform();
+    if (u >= p1 + p2 + p3)
+        return value;
+
+    unsigned nflips;
+    if (u < p1) {
+        nflips = 1;
+        stats_.inc("single");
+    } else if (u < p1 + p2) {
+        nflips = 2;
+        stats_.inc("double");
+    } else {
+        nflips = 3;
+        stats_.inc("triple");
+    }
+    ++faults_;
+
+    // Multi-bit faults hit adjacent bits (coupling noise).
+    const auto pos = static_cast<unsigned>(rng_.below(bits));
+    std::uint32_t mask = 0;
+    for (unsigned i = 0; i < nflips; ++i)
+        mask |= std::uint32_t{1} << ((pos + i) % bits);
+
+    if (ev) {
+        ev->flippedBits = nflips;
+        ev->mask = mask;
+    }
+    return value ^ mask;
+}
+
+void
+FaultInjector::resetStats()
+{
+    stats_.reset();
+    faults_ = 0;
+    accesses_ = 0;
+}
+
+} // namespace clumsy::fault

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Per-access fault injector for the over-clocked L1 data cache.
+ *
+ * Every word read from or written to the faulty cache passes through
+ * corrupt(): with the probabilities of the closed-form model at the
+ * cache's current relative cycle time, 1, 2 or 3 bits of the word are
+ * flipped. Two- and three-bit faults flip physically adjacent bits,
+ * matching the coupling-noise mechanism of Section 3 — this is what
+ * lets a single parity bit per word (odd-weight detection) miss
+ * exactly the 2-bit faults.
+ */
+
+#ifndef CLUMSY_FAULT_INJECTOR_HH
+#define CLUMSY_FAULT_INJECTOR_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "fault/fault_model.hh"
+
+namespace clumsy::fault
+{
+
+/** Description of what an injection did to one access. */
+struct FaultEvent
+{
+    unsigned flippedBits = 0; ///< 0 when the access was clean
+    std::uint32_t mask = 0;   ///< XOR mask applied to the word
+};
+
+/** Samples bit-flip faults for cache accesses at a given cycle time. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param model fault-probability model (copied).
+     * @param seed  RNG seed; distinct from trace-generation seeds so
+     *              golden and faulty runs share packet streams.
+     */
+    FaultInjector(FaultModel model, std::uint64_t seed);
+
+    /**
+     * Set the cache's relative cycle time and precompute the per-access
+     * fault probabilities used by corrupt().
+     */
+    void setCycleTime(double cr);
+
+    /** Current relative cycle time. */
+    double cycleTime() const { return cr_; }
+
+    /** Enable/disable injection (golden runs disable it). */
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+
+    /** @return true when injection is active. */
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Possibly corrupt a `bits`-wide value (bits in 1..32).
+     *
+     * @param value the clean word.
+     * @param bits  access width in bits.
+     * @param ev    optional out-parameter describing the injection.
+     * @return the (possibly corrupted) word.
+     */
+    std::uint32_t corrupt(std::uint32_t value, unsigned bits,
+                          FaultEvent *ev = nullptr);
+
+    /** Total accesses that suffered at least one flipped bit. */
+    std::uint64_t faultCount() const { return faults_; }
+
+    /** Total accesses processed (clean or not). */
+    std::uint64_t accessCount() const { return accesses_; }
+
+    /** Detailed counters (fault.single, fault.double, fault.triple). */
+    const StatGroup &stats() const { return stats_; }
+
+    /** Zero all counters. */
+    void resetStats();
+
+    /** The model in use. */
+    const FaultModel &model() const { return model_; }
+
+  private:
+    FaultModel model_;
+    Rng rng_;
+    StatGroup stats_{"fault"};
+    double cr_ = 1.0;
+    bool enabled_ = true;
+    std::uint64_t faults_ = 0;
+    std::uint64_t accesses_ = 0;
+
+    // Cumulative thresholds for a single uniform draw, precomputed per
+    // cycle time for a 32-bit access and rescaled for narrower ones.
+    double p1PerBit_ = 0.0;
+    double p2Word_ = 0.0;
+    double p3Word_ = 0.0;
+};
+
+} // namespace clumsy::fault
+
+#endif // CLUMSY_FAULT_INJECTOR_HH

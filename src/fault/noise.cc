@@ -1,0 +1,118 @@
+#include "fault/noise.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace clumsy::fault
+{
+
+double
+amplitudePdf(double ar)
+{
+    if (ar < 0.0)
+        return 0.0;
+    return kAmplitudeRate * std::exp(-kAmplitudeRate * ar);
+}
+
+double
+amplitudeTailProb(double ar)
+{
+    if (ar <= 0.0)
+        return 1.0;
+    return std::exp(-kAmplitudeRate * ar);
+}
+
+double
+durationPdf(double dr)
+{
+    return (dr > 0.0 && dr < kMaxDuration) ? 1.0 / kMaxDuration : 0.0;
+}
+
+double
+sampleAmplitude(Rng &rng)
+{
+    return rng.exponential(kAmplitudeRate);
+}
+
+double
+sampleDuration(Rng &rng)
+{
+    return rng.uniform(0.0, kMaxDuration);
+}
+
+std::vector<std::uint64_t>
+switchingCaseCounts(unsigned n)
+{
+    CLUMSY_ASSERT(n >= 1 && n <= 16,
+                  "switching enumeration supports 1..16 neighbors");
+    // coeff[i] = number of combinations with net contribution i - n,
+    // i in [0, 2n]. Start with the identity polynomial and multiply by
+    // (x^-1 + 2 + x) once per neighbor, tracking the x^-n offset.
+    std::vector<std::uint64_t> coeff(2 * n + 1, 0);
+    coeff[n] = 1; // net contribution 0
+    for (unsigned line = 0; line < n; ++line) {
+        std::vector<std::uint64_t> next(coeff.size(), 0);
+        for (std::size_t i = 0; i < coeff.size(); ++i) {
+            if (!coeff[i])
+                continue;
+            if (i > 0)
+                next[i - 1] += coeff[i];        // neighbor switches down
+            next[i] += 2 * coeff[i];            // neighbor holds (2 ways)
+            if (i + 1 < coeff.size())
+                next[i + 1] += coeff[i];        // neighbor switches up
+        }
+        coeff.swap(next);
+    }
+    // Fold by magnitude |net| = k.
+    std::vector<std::uint64_t> counts(n + 1, 0);
+    for (std::size_t i = 0; i < coeff.size(); ++i) {
+        const auto net = static_cast<long>(i) - static_cast<long>(n);
+        counts[static_cast<std::size_t>(std::labs(net))] += coeff[i];
+    }
+    return counts;
+}
+
+ExponentialFit
+fitSwitchingDistribution(unsigned n)
+{
+    const auto counts = switchingCaseCounts(n);
+    // Linear regression of ln(count) on Ar = k/n.
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    unsigned m = 0;
+    for (unsigned k = 0; k <= n; ++k) {
+        if (counts[k] == 0)
+            continue;
+        const double x = static_cast<double>(k) / n;
+        const double y = std::log(static_cast<double>(counts[k]));
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+        ++m;
+    }
+    CLUMSY_ASSERT(m >= 2, "need at least two points to fit");
+    const double denom = m * sxx - sx * sx;
+    const double slope = (m * sxy - sx * sy) / denom;
+    const double intercept = (sy - slope * sx) / m;
+
+    // R^2 in log space.
+    const double ybar = sy / m;
+    double ssRes = 0, ssTot = 0;
+    for (unsigned k = 0; k <= n; ++k) {
+        if (counts[k] == 0)
+            continue;
+        const double x = static_cast<double>(k) / n;
+        const double y = std::log(static_cast<double>(counts[k]));
+        const double yhat = intercept + slope * x;
+        ssRes += (y - yhat) * (y - yhat);
+        ssTot += (y - ybar) * (y - ybar);
+    }
+    return ExponentialFit{
+        std::exp(intercept),
+        -slope,
+        ssTot > 0 ? 1.0 - ssRes / ssTot : 1.0,
+    };
+}
+
+} // namespace clumsy::fault

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Coupling-noise statistics (paper Section 3, Figure 3 and equations
+ * (2)-(3)).
+ *
+ * A victim line with n significantly coupled neighbors sees a noise
+ * pulse whose amplitude depends on how the neighbors switch. Each
+ * neighbor contributes +1 (switching up), -1 (switching down) or 0
+ * (holding; two electrical states), giving 4^n = 2^(2n) combinations.
+ * Enumerating them yields the case-count distribution of Figure 3,
+ * which for large n saturates to the exponential density of eq. (2):
+ *
+ *     P(Ar) = 28.8 * exp(-28.8 * Ar),    0 < Ar < inf
+ *
+ * Noise duration is bounded by on-chip rise times, uniform per eq. (3):
+ *
+ *     P(Dr) = 10 for 0 < Dr < 0.1, else 0.
+ */
+
+#ifndef CLUMSY_FAULT_NOISE_HH
+#define CLUMSY_FAULT_NOISE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace clumsy::fault
+{
+
+/** Rate constant of the saturated amplitude density, eq. (2). */
+inline constexpr double kAmplitudeRate = 28.8;
+
+/** Upper bound of the relative noise duration, eq. (3). */
+inline constexpr double kMaxDuration = 0.1;
+
+/** Probability density of relative noise amplitude Ar (eq. 2). */
+double amplitudePdf(double ar);
+
+/** P(amplitude > ar) under eq. (2). */
+double amplitudeTailProb(double ar);
+
+/** Probability density of relative noise duration Dr (eq. 3). */
+double durationPdf(double dr);
+
+/** Draw a relative amplitude from eq. (2). */
+double sampleAmplitude(Rng &rng);
+
+/** Draw a relative duration from eq. (3). */
+double sampleDuration(Rng &rng);
+
+/**
+ * Exact switching-combination counts for n coupled neighbors.
+ *
+ * Entry k (0 <= k <= n) of the result is the number of the 4^n
+ * switching combinations whose net contribution magnitude is k, i.e.
+ * whose relative amplitude is k/n. Computed by expanding the
+ * generating function (x^-1 + 2 + x)^n with exact 64-bit coefficients
+ * (valid through n = 16, where 4^16 < 2^64).
+ */
+std::vector<std::uint64_t> switchingCaseCounts(unsigned n);
+
+/**
+ * Least-squares fit of counts[k] ~ K1 * exp(-K2 * (k/n)) on the
+ * non-zero entries (paper eq. (1)).
+ */
+struct ExponentialFit
+{
+    double k1; ///< scale constant K1
+    double k2; ///< decay constant K2
+    double r2; ///< coefficient of determination of the log-space fit
+};
+
+/** Fit eq. (1) to the exact case counts for n neighbors. */
+ExponentialFit fitSwitchingDistribution(unsigned n);
+
+} // namespace clumsy::fault
+
+#endif // CLUMSY_FAULT_NOISE_HH

@@ -1,0 +1,43 @@
+#include "fault/swing.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace clumsy::fault
+{
+
+namespace
+{
+
+// 1 - exp(-k): the normalization making Vsr(1) = 1.
+const double kNorm = 1.0 - std::exp(-kSwingRcConstant);
+
+} // namespace
+
+double
+relativeSwing(double cr)
+{
+    CLUMSY_ASSERT(cr > 0.0, "relative cycle time must be positive");
+    if (cr >= 1.0)
+        return 1.0;
+    return (1.0 - std::exp(-kSwingRcConstant * cr)) / kNorm;
+}
+
+double
+cycleTimeForSwing(double vsr)
+{
+    CLUMSY_ASSERT(vsr > 0.0 && vsr <= 1.0,
+                  "relative swing must be in (0, 1]");
+    if (vsr >= 1.0)
+        return 1.0;
+    return -std::log(1.0 - vsr * kNorm) / kSwingRcConstant;
+}
+
+double
+energyScale(double cr)
+{
+    return relativeSwing(cr);
+}
+
+} // namespace clumsy::fault

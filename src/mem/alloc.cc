@@ -1,0 +1,45 @@
+#include "mem/alloc.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace clumsy::mem
+{
+
+SimAllocator::SimAllocator(const BackingStore &store, SimAddr limit)
+    : next_(kNullGuard), limit_(limit == 0 ? store.size() : limit)
+{
+    CLUMSY_ASSERT(limit_ > kNullGuard, "backing store smaller than guard");
+    CLUMSY_ASSERT(limit_ <= store.size(), "limit beyond the store");
+}
+
+SimAddr
+SimAllocator::alloc(SimSize size, SimSize align)
+{
+    CLUMSY_ASSERT(size > 0, "zero-size allocation");
+    CLUMSY_ASSERT(isPowerOfTwo(align), "alignment must be a power of two");
+    const SimAddr aligned = (next_ + (align - 1)) & ~(align - 1);
+    if (aligned + size > limit_ || aligned + size < aligned) {
+        fatal("simulated memory exhausted: need %u bytes, %u available",
+              size, limit_ - aligned);
+    }
+    next_ = aligned + size;
+    return aligned;
+}
+
+SimAddr
+SimAllocator::allocArray(SimSize count, SimSize elemSize)
+{
+    CLUMSY_ASSERT(count > 0 && elemSize > 0, "empty array allocation");
+    const std::uint64_t bytes = std::uint64_t{count} * elemSize;
+    CLUMSY_ASSERT(bytes <= 0xffffffffu, "array allocation overflows");
+    return alloc(static_cast<SimSize>(bytes), 4);
+}
+
+void
+SimAllocator::reset()
+{
+    next_ = kNullGuard;
+}
+
+} // namespace clumsy::mem

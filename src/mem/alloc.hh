@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Arena allocator for the simulated address space.
+ *
+ * Applications build their long-lived structures (radix trees, route
+ * tables, packet queues) out of simulated memory so cache faults can
+ * corrupt them. The allocator is a bump arena with alignment — the
+ * NetBench workloads allocate during control-plane initialization and
+ * never free, so an arena matches their behavior exactly.
+ *
+ * Address 0 is reserved as the simulated null pointer: the arena
+ * starts allocating at kNullGuard so a corrupted pointer that becomes
+ * 0..kNullGuard-1 is caught as a wild access.
+ */
+
+#ifndef CLUMSY_MEM_ALLOC_HH
+#define CLUMSY_MEM_ALLOC_HH
+
+#include "common/types.hh"
+#include "mem/backing_store.hh"
+
+namespace clumsy::mem
+{
+
+/** Bytes reserved at the bottom of the address space (null guard). */
+inline constexpr SimAddr kNullGuard = 64;
+
+/** Bump arena over a BackingStore's address range. */
+class SimAllocator
+{
+  public:
+    /**
+     * Allocate from [kNullGuard, limit). A limit of 0 means the whole
+     * store; callers reserving a region at the top of the address
+     * space (e.g. for instruction fetch) pass a smaller limit.
+     */
+    explicit SimAllocator(const BackingStore &store, SimAddr limit = 0);
+
+    /**
+     * Allocate size bytes with the given alignment (power of two).
+     * fatal()s on exhaustion — running out of simulated memory is a
+     * configuration error, not a simulated fault.
+     */
+    SimAddr alloc(SimSize size, SimSize align = 4);
+
+    /** Allocate count elements of elemSize bytes, 4-aligned. */
+    SimAddr allocArray(SimSize count, SimSize elemSize);
+
+    /** Bytes handed out so far (including alignment padding). */
+    SimSize used() const { return next_ - kNullGuard; }
+
+    /** Bytes still available. */
+    SimSize remaining() const { return limit_ - next_; }
+
+    /** Reset the arena (existing simulated pointers become invalid). */
+    void reset();
+
+  private:
+    SimAddr next_;
+    SimAddr limit_;
+};
+
+} // namespace clumsy::mem
+
+#endif // CLUMSY_MEM_ALLOC_HH

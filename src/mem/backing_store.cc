@@ -1,0 +1,83 @@
+#include "mem/backing_store.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace clumsy::mem
+{
+
+BackingStore::BackingStore(SimSize size) : data_(size, 0)
+{
+    CLUMSY_ASSERT(size > 0, "backing store must be non-empty");
+    // Zero-filled, modeling SimpleScalar-style lazily allocated zero
+    // pages (the substrate the paper ran on). This shapes fault
+    // behaviour decisively: a corrupted pointer that wanders into
+    // unallocated memory reads zero records, and a pointer-chasing
+    // loop over zeros never advances — the "execution gets stuck in
+    // an infinite loop" fatal-error class the paper reports as its
+    // dominant one (caught here by the applications' loop budgets).
+}
+
+bool
+BackingStore::contains(SimAddr addr, SimSize len) const
+{
+    // Guard the addition against 32-bit wraparound.
+    const std::uint64_t end = std::uint64_t{addr} + len;
+    return end <= data_.size();
+}
+
+std::uint8_t
+BackingStore::read8(SimAddr addr) const
+{
+    CLUMSY_ASSERT(contains(addr, 1), "read8 out of range");
+    return data_[addr];
+}
+
+void
+BackingStore::write8(SimAddr addr, std::uint8_t value)
+{
+    CLUMSY_ASSERT(contains(addr, 1), "write8 out of range");
+    data_[addr] = value;
+}
+
+std::uint32_t
+BackingStore::read32(SimAddr addr) const
+{
+    CLUMSY_ASSERT(contains(addr, 4) && addr % 4 == 0,
+                  "read32 misaligned or out of range");
+    std::uint32_t v;
+    std::memcpy(&v, &data_[addr], 4);
+    return v;
+}
+
+void
+BackingStore::write32(SimAddr addr, std::uint32_t value)
+{
+    CLUMSY_ASSERT(contains(addr, 4) && addr % 4 == 0,
+                  "write32 misaligned or out of range");
+    std::memcpy(&data_[addr], &value, 4);
+}
+
+void
+BackingStore::readBlock(SimAddr addr, std::uint8_t *dst, SimSize len) const
+{
+    CLUMSY_ASSERT(contains(addr, len), "readBlock out of range");
+    std::memcpy(dst, &data_[addr], len);
+}
+
+void
+BackingStore::writeBlock(SimAddr addr, const std::uint8_t *src, SimSize len)
+{
+    CLUMSY_ASSERT(contains(addr, len), "writeBlock out of range");
+    std::memcpy(&data_[addr], src, len);
+}
+
+void
+BackingStore::fill(SimAddr addr, std::uint8_t value, SimSize len)
+{
+    CLUMSY_ASSERT(contains(addr, len), "fill out of range");
+    std::memset(&data_[addr], value, len);
+}
+
+} // namespace clumsy::mem

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The simulated flat physical memory (DRAM ground truth).
+ *
+ * All application data structures live in this address space; the cache
+ * hierarchy sits in front of it. Accesses are bounds-checked: a wild
+ * address produced by fault-corrupted pointer data is reported to the
+ * caller instead of touching host memory, which is one of the two ways
+ * the paper's "fatal errors" are detected (the other is loop budgets).
+ */
+
+#ifndef CLUMSY_MEM_BACKING_STORE_HH
+#define CLUMSY_MEM_BACKING_STORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace clumsy::mem
+{
+
+/** Byte-addressable simulated physical memory. */
+class BackingStore
+{
+  public:
+    /** @param size memory size in bytes (must be > 0). */
+    explicit BackingStore(SimSize size);
+
+    /** @return true when [addr, addr+len) lies inside the memory. */
+    bool contains(SimAddr addr, SimSize len) const;
+
+    /** Read one byte; addr must be in range. */
+    std::uint8_t read8(SimAddr addr) const;
+
+    /** Write one byte; addr must be in range. */
+    void write8(SimAddr addr, std::uint8_t value);
+
+    /** Read a little-endian 32-bit word; addr must be 4-aligned. */
+    std::uint32_t read32(SimAddr addr) const;
+
+    /** Write a little-endian 32-bit word; addr must be 4-aligned. */
+    void write32(SimAddr addr, std::uint32_t value);
+
+    /** Copy len bytes out of the memory. */
+    void readBlock(SimAddr addr, std::uint8_t *dst, SimSize len) const;
+
+    /** Copy len bytes into the memory. */
+    void writeBlock(SimAddr addr, const std::uint8_t *src, SimSize len);
+
+    /** Fill len bytes with a value. */
+    void fill(SimAddr addr, std::uint8_t value, SimSize len);
+
+    /** @return the memory size in bytes. */
+    SimSize size() const { return static_cast<SimSize>(data_.size()); }
+
+  private:
+    std::vector<std::uint8_t> data_;
+};
+
+} // namespace clumsy::mem
+
+#endif // CLUMSY_MEM_BACKING_STORE_HH

@@ -1,0 +1,257 @@
+#include "mem/cache.hh"
+
+#include <cstring>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "mem/parity.hh"
+#include "mem/secded.hh"
+
+namespace clumsy::mem
+{
+
+Cache::Cache(std::string name, CacheGeometry geom, CheckCodec codec)
+    : geom_(geom), codec_(codec), stats_(std::move(name))
+{
+    CLUMSY_ASSERT(isPowerOfTwo(geom_.lineBytes) && geom_.lineBytes >= 4,
+                  "line size must be a power of two >= 4");
+    const std::uint32_t sets = geom_.sets();
+    CLUMSY_ASSERT(isPowerOfTwo(sets) && isPowerOfTwo(geom_.assoc),
+                  "sets and ways must be powers of two");
+    setShift_ = floorLog2(geom_.lineBytes);
+    setMask_ = sets - 1;
+    lines_.resize(std::size_t{sets} * geom_.assoc);
+    for (auto &line : lines_) {
+        line.data.resize(geom_.lineBytes);
+        line.check.resize(geom_.lineBytes / 4, 0);
+    }
+}
+
+std::uint8_t
+Cache::computeCheck(std::uint32_t word) const
+{
+    if (codec_ == CheckCodec::Secded)
+        return secded::encode(word);
+    return parityBit(word) ? 1 : 0;
+}
+
+std::uint32_t
+Cache::setIndex(SimAddr addr) const
+{
+    return (addr >> setShift_) & setMask_;
+}
+
+std::uint32_t
+Cache::tagOf(SimAddr addr) const
+{
+    return addr >> setShift_;
+}
+
+Cache::Line &
+Cache::lineAt(std::uint32_t set, unsigned way)
+{
+    return lines_[std::size_t{set} * geom_.assoc + way];
+}
+
+const Cache::Line &
+Cache::lineAt(std::uint32_t set, unsigned way) const
+{
+    return lines_[std::size_t{set} * geom_.assoc + way];
+}
+
+int
+Cache::findWay(SimAddr addr) const
+{
+    const std::uint32_t set = setIndex(addr);
+    const std::uint32_t tag = tagOf(addr);
+    for (unsigned w = 0; w < geom_.assoc; ++w) {
+        const Line &line = lineAt(set, w);
+        if (line.valid && line.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+Cache::Line &
+Cache::mustFind(SimAddr addr)
+{
+    const int way = findWay(addr);
+    CLUMSY_ASSERT(way >= 0, "line not present");
+    return lineAt(setIndex(addr), static_cast<unsigned>(way));
+}
+
+const Cache::Line &
+Cache::mustFind(SimAddr addr) const
+{
+    const int way = findWay(addr);
+    CLUMSY_ASSERT(way >= 0, "line not present");
+    return lineAt(setIndex(addr), static_cast<unsigned>(way));
+}
+
+bool
+Cache::contains(SimAddr addr) const
+{
+    return findWay(addr) >= 0;
+}
+
+bool
+Cache::lookup(SimAddr addr)
+{
+    const int way = findWay(addr);
+    if (way < 0) {
+        stats_.inc("misses");
+        return false;
+    }
+    stats_.inc("hits");
+    lineAt(setIndex(addr), static_cast<unsigned>(way)).lruTick = ++tick_;
+    return true;
+}
+
+Cache::Evicted
+Cache::fill(SimAddr addr, const std::uint8_t *data)
+{
+    CLUMSY_ASSERT(findWay(addr) < 0, "fill of an already-present line");
+    const std::uint32_t set = setIndex(addr);
+
+    // Pick the victim: an invalid way, else the LRU way.
+    unsigned victim = 0;
+    std::uint64_t oldest = UINT64_MAX;
+    for (unsigned w = 0; w < geom_.assoc; ++w) {
+        const Line &line = lineAt(set, w);
+        if (!line.valid) {
+            victim = w;
+            oldest = 0;
+            break;
+        }
+        if (line.lruTick < oldest) {
+            oldest = line.lruTick;
+            victim = w;
+        }
+    }
+
+    Line &line = lineAt(set, victim);
+    Evicted evicted;
+    if (line.valid) {
+        stats_.inc("evictions");
+        evicted.valid = true;
+        evicted.dirty = line.dirty;
+        evicted.base = (line.tag << setShift_);
+        if (line.dirty) {
+            stats_.inc("writebacks");
+            evicted.data = line.data;
+        }
+    }
+
+    stats_.inc("fills");
+    line.valid = true;
+    line.dirty = false;
+    line.tag = tagOf(addr);
+    line.lruTick = ++tick_;
+    std::memcpy(line.data.data(), data, geom_.lineBytes);
+    for (unsigned w = 0; w < geom_.lineBytes / 4; ++w) {
+        std::uint32_t word;
+        std::memcpy(&word, &line.data[w * 4], 4);
+        line.check[w] = computeCheck(word);
+    }
+    return evicted;
+}
+
+void
+Cache::invalidate(SimAddr addr)
+{
+    const int way = findWay(addr);
+    if (way < 0)
+        return;
+    stats_.inc("invalidations");
+    lineAt(setIndex(addr), static_cast<unsigned>(way)).valid = false;
+}
+
+std::uint32_t
+Cache::readWordRaw(SimAddr addr) const
+{
+    CLUMSY_ASSERT(addr % 4 == 0, "word access must be 4-aligned");
+    const Line &line = mustFind(addr);
+    std::uint32_t v;
+    std::memcpy(&v, &line.data[addr & (geom_.lineBytes - 1)], 4);
+    return v;
+}
+
+void
+Cache::writeWordRaw(SimAddr addr, std::uint32_t storedValue,
+                    std::uint8_t intendedCheck)
+{
+    CLUMSY_ASSERT(addr % 4 == 0, "word access must be 4-aligned");
+    Line &line = mustFind(addr);
+    const SimAddr off = addr & (geom_.lineBytes - 1);
+    std::memcpy(&line.data[off], &storedValue, 4);
+    line.check[off / 4] = intendedCheck;
+}
+
+std::uint8_t
+Cache::wordCheck(SimAddr addr) const
+{
+    CLUMSY_ASSERT(addr % 4 == 0, "word access must be 4-aligned");
+    const Line &line = mustFind(addr);
+    return line.check[(addr & (geom_.lineBytes - 1)) / 4];
+}
+
+void
+Cache::setDirty(SimAddr addr)
+{
+    mustFind(addr).dirty = true;
+}
+
+bool
+Cache::isDirty(SimAddr addr) const
+{
+    return mustFind(addr).dirty;
+}
+
+void
+Cache::readLine(SimAddr addr, std::uint8_t *dst) const
+{
+    const Line &line = mustFind(addr);
+    std::memcpy(dst, line.data.data(), geom_.lineBytes);
+}
+
+void
+Cache::writeRange(SimAddr addr, const std::uint8_t *src, SimSize len,
+                  bool markDirty)
+{
+    Line &line = mustFind(addr);
+    const SimAddr off = addr & (geom_.lineBytes - 1);
+    CLUMSY_ASSERT(off + len <= geom_.lineBytes, "range crosses the line");
+    std::memcpy(&line.data[off], src, len);
+    // Regenerate check bits for every word the range touches.
+    const unsigned firstWord = off / 4;
+    const unsigned lastWord = (off + len - 1) / 4;
+    for (unsigned w = firstWord; w <= lastWord; ++w) {
+        std::uint32_t word;
+        std::memcpy(&word, &line.data[w * 4], 4);
+        line.check[w] = computeCheck(word);
+    }
+    if (markDirty)
+        line.dirty = true;
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines_) {
+        line.valid = false;
+        line.dirty = false;
+        line.lruTick = 0;
+    }
+    tick_ = 0;
+}
+
+double
+Cache::missRate() const
+{
+    const double hits = static_cast<double>(stats_.get("hits"));
+    const double misses = static_cast<double>(stats_.get("misses"));
+    const double total = hits + misses;
+    return total > 0 ? misses / total : 0.0;
+}
+
+} // namespace clumsy::mem

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Generic data-carrying, write-back, LRU set-associative cache.
+ *
+ * Unlike trace-driven cache models, lines hold real bytes plus
+ * per-word check bits (parity or SEC-DED, per the codec), because the
+ * whole point of the clumsy architecture is that corrupted cached
+ * data flows back into the application. The stored check bits can
+ * legitimately disagree with the stored data (that is exactly what an
+ * undetected-at-write fault looks like), so data and check bits are
+ * written through separate, explicit interfaces.
+ *
+ * Fault injection, recovery policy and latency/energy accounting live
+ * one layer up (mem/hierarchy.hh); this class is purely the array.
+ */
+
+#ifndef CLUMSY_MEM_CACHE_HH
+#define CLUMSY_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "energy/cacti_lite.hh"
+
+namespace clumsy::mem
+{
+
+using energy::CacheGeometry;
+
+/** Per-word check-bit codec a cache regenerates on fills/clean writes. */
+enum class CheckCodec
+{
+    Parity, ///< 1 even-parity bit (check byte bit 0)
+    Secded, ///< 7-bit Hamming SEC-DED code
+};
+
+/** One cache array with real data and per-word check bits. */
+class Cache
+{
+  public:
+    /** Description of a line evicted by fill(). */
+    struct Evicted
+    {
+        bool valid = false;
+        bool dirty = false;
+        SimAddr base = 0;
+        std::vector<std::uint8_t> data;
+    };
+
+    Cache(std::string name, CacheGeometry geom,
+          CheckCodec codec = CheckCodec::Parity);
+
+    /** @return true when the line containing addr is present (no LRU
+     *  update). */
+    bool contains(SimAddr addr) const;
+
+    /**
+     * Look up the line containing addr, updating LRU and hit/miss
+     * counters. @return true on hit.
+     */
+    bool lookup(SimAddr addr);
+
+    /**
+     * Install the line containing addr with the given lineBytes() of
+     * data (parity regenerated from it). The line must not already be
+     * present. @return the evicted victim, if any.
+     */
+    Evicted fill(SimAddr addr, const std::uint8_t *data);
+
+    /** Drop the line containing addr without writeback (no-op when
+     *  absent). */
+    void invalidate(SimAddr addr);
+
+    /** Raw stored 32-bit word; the line must be present, addr
+     *  4-aligned. */
+    std::uint32_t readWordRaw(SimAddr addr) const;
+
+    /**
+     * Store a word along with explicitly supplied check bits. The
+     * caller computes storedValue (possibly fault-corrupted) and the
+     * check bits of the *intended* value, modeling the check-bit
+     * generator sitting before the array.
+     */
+    void writeWordRaw(SimAddr addr, std::uint32_t storedValue,
+                      std::uint8_t intendedCheck);
+
+    /** The stored check bits guarding the word at addr. */
+    std::uint8_t wordCheck(SimAddr addr) const;
+
+    /** Check bits this cache's codec generates for a word. */
+    std::uint8_t computeCheck(std::uint32_t word) const;
+
+    /** The codec in use. */
+    CheckCodec codec() const { return codec_; }
+
+    /** Mark the line containing addr dirty; line must be present. */
+    void setDirty(SimAddr addr);
+
+    /** @return true when the (present) line is dirty. */
+    bool isDirty(SimAddr addr) const;
+
+    /** Copy the whole (present) line out. */
+    void readLine(SimAddr addr, std::uint8_t *dst) const;
+
+    /**
+     * Overwrite len bytes inside a (present) line starting at addr,
+     * regenerating parity for the touched words.
+     */
+    void writeRange(SimAddr addr, const std::uint8_t *src, SimSize len,
+                    bool markDirty);
+
+    /** Base address of the line containing addr. */
+    SimAddr lineBase(SimAddr addr) const
+    {
+        return addr & ~(geom_.lineBytes - 1);
+    }
+
+    /** The array geometry. */
+    const CacheGeometry &geometry() const { return geom_; }
+
+    /** Line size in bytes. */
+    SimSize lineBytes() const { return geom_.lineBytes; }
+
+    /** hit/miss/fill/eviction/writeback counters. */
+    const StatGroup &stats() const { return stats_; }
+
+    /** Zero the counters (contents are kept). */
+    void resetStats() { stats_.reset(); }
+
+    /** Invalidate every line and zero LRU state (contents dropped). */
+    void reset();
+
+    /** D-cache miss rate over lifetime (misses / lookups). */
+    double missRate() const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint32_t tag = 0;
+        std::uint64_t lruTick = 0;
+        std::vector<std::uint8_t> check; ///< check bits, one per word
+        std::vector<std::uint8_t> data;
+    };
+
+    CacheGeometry geom_;
+    CheckCodec codec_;
+    StatGroup stats_;
+    std::vector<Line> lines_; ///< sets * ways, way-major within a set
+    std::uint64_t tick_ = 0;
+    unsigned setShift_;  ///< log2(lineBytes)
+    std::uint32_t setMask_;
+
+    std::uint32_t setIndex(SimAddr addr) const;
+    std::uint32_t tagOf(SimAddr addr) const;
+    /** @return way index of the hit, or -1. */
+    int findWay(SimAddr addr) const;
+    Line &lineAt(std::uint32_t set, unsigned way);
+    const Line &lineAt(std::uint32_t set, unsigned way) const;
+    /** The present line containing addr; panics when absent. */
+    Line &mustFind(SimAddr addr);
+    const Line &mustFind(SimAddr addr) const;
+};
+
+} // namespace clumsy::mem
+
+#endif // CLUMSY_MEM_CACHE_HH

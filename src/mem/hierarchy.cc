@@ -1,0 +1,416 @@
+#include "mem/hierarchy.hh"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "mem/parity.hh"
+#include "mem/secded.hh"
+
+namespace clumsy::mem
+{
+
+MemHierarchy::MemHierarchy(const HierarchyConfig &config,
+                           BackingStore *store,
+                           fault::FaultInjector *injector,
+                           energy::EnergyAccount *energy)
+    : config_(config),
+      store_(store),
+      injector_(injector),
+      energy_(energy),
+      l1d_("l1d", config.l1d, config.codec),
+      l1i_("l1i", config.l1i),
+      l2_("l2", config.l2, config.codec)
+{
+    CLUMSY_ASSERT(store_ != nullptr && injector_ != nullptr,
+                  "hierarchy needs a store and an injector");
+    CLUMSY_ASSERT(store_->size() % config_.l2.lineBytes == 0,
+                  "DRAM size must be a multiple of the L2 line size");
+    CLUMSY_ASSERT(config_.l2.lineBytes >= config_.l1d.lineBytes,
+                  "L2 lines must contain whole L1 lines");
+    setCycleTime(1.0);
+}
+
+void
+MemHierarchy::setCycleTime(double cr)
+{
+    CLUMSY_ASSERT(cr > 0.0 && cr <= 1.0,
+                  "relative cycle time must be in (0, 1]");
+    cr_ = cr;
+    l1dQuanta_ = static_cast<Quanta>(
+        std::llround(static_cast<double>(config_.l1dHitCycles) *
+                     kQuantaPerCycle * cr));
+    // Load-use floor: the synchronous core consumes load data at its
+    // own clock boundaries, so an over-clocked cache can never appear
+    // faster than one core cycle. This is why the paper finds Cr=0.5
+    // "almost always performs better" than 0.25: beyond the floor,
+    // extra frequency buys only energy savings while the error rates
+    // rise sharply.
+    if (l1dQuanta_ < kQuantaPerCycle)
+        l1dQuanta_ = kQuantaPerCycle;
+    injector_->setCycleTime(cr);
+}
+
+void
+MemHierarchy::writebackToMem(const Cache::Evicted &evicted)
+{
+    if (!evicted.valid || !evicted.dirty)
+        return;
+    store_->writeBlock(evicted.base, evicted.data.data(),
+                       static_cast<SimSize>(evicted.data.size()));
+    if (energy_)
+        energy_->addMemAccess();
+    stats_.inc("l2_writebacks_to_mem");
+}
+
+void
+MemHierarchy::ensureL2(SimAddr addr, Access &acc)
+{
+    if (l2_.lookup(addr)) {
+        acc.latency += cyclesToQuanta(config_.l2HitCycles);
+        if (energy_)
+            energy_->addL2Access();
+        return;
+    }
+    const SimAddr base = l2_.lineBase(addr);
+    std::vector<std::uint8_t> buf(config_.l2.lineBytes);
+    store_->readBlock(base, buf.data(), config_.l2.lineBytes);
+    const Cache::Evicted victim = l2_.fill(base, buf.data());
+    writebackToMem(victim);
+    acc.latency +=
+        cyclesToQuanta(config_.l2HitCycles + config_.memCycles);
+    if (energy_) {
+        energy_->addL2Access();
+        energy_->addMemAccess();
+    }
+}
+
+void
+MemHierarchy::writebackToL2(const Cache::Evicted &evicted, Access &acc)
+{
+    if (!evicted.valid || !evicted.dirty)
+        return;
+    // Writebacks are buffered: charge energy and occupancy statistics
+    // but no latency on the demand access's critical path.
+    Access wb;
+    ensureL2(evicted.base, wb);
+    l2_.writeRange(evicted.base, evicted.data.data(),
+                   static_cast<SimSize>(evicted.data.size()), true);
+    stats_.inc("l1d_writebacks_to_l2");
+    (void)acc;
+}
+
+void
+MemHierarchy::corruptFilledLine(SimAddr lineBase)
+{
+    if (!config_.injectOnFill || !injector_->enabled())
+        return;
+    for (SimAddr off = 0; off < config_.l1d.lineBytes; off += 4) {
+        const SimAddr wordAddr = lineBase + off;
+        const std::uint32_t intended = l1d_.readWordRaw(wordAddr);
+        fault::FaultEvent ev;
+        const std::uint32_t stored = injector_->corrupt(intended, 32, &ev);
+        if (ev.flippedBits) {
+            l1d_.writeWordRaw(wordAddr, stored,
+                              l1d_.computeCheck(intended));
+            stats_.inc("fill_faults");
+        }
+    }
+}
+
+void
+MemHierarchy::ensureL1D(SimAddr addr, Access &acc)
+{
+    if (l1d_.lookup(addr))
+        return;
+    ensureL2(addr, acc);
+    const SimAddr base = l1d_.lineBase(addr);
+    std::vector<std::uint8_t> buf(config_.l1d.lineBytes);
+    // The containing L2 line is now resident; copy our slice of it.
+    for (SimAddr off = 0; off < config_.l1d.lineBytes; off += 4) {
+        const std::uint32_t w = l2_.readWordRaw(base + off);
+        std::memcpy(&buf[off], &w, 4);
+    }
+    const Cache::Evicted victim = l1d_.fill(base, buf.data());
+    if (energy_)
+        energy_->addL1dWrite(cr_, protection());
+    corruptFilledLine(base);
+    writebackToL2(victim, acc);
+}
+
+std::uint32_t
+MemHierarchy::senseWord(SimAddr wordAddr, Access &acc)
+{
+    acc.latency += l1dHitQuanta();
+    if (energy_)
+        energy_->addL1dRead(cr_, protection());
+    stats_.inc("l1d_senses");
+    const std::uint32_t raw = l1d_.readWordRaw(wordAddr);
+    fault::FaultEvent ev;
+    const std::uint32_t sensed = injector_->corrupt(raw, 32, &ev);
+    if (ev.flippedBits) {
+        ++acc.faultsInjected;
+        stats_.inc("read_faults");
+    }
+    return sensed;
+}
+
+bool
+MemHierarchy::checkSensedWord(std::uint32_t sensed, SimAddr wordAddr,
+                              std::uint32_t &value)
+{
+    if (!detectionOn()) {
+        value = sensed;
+        return true;
+    }
+    const std::uint8_t check = l1d_.wordCheck(wordAddr);
+    if (config_.codec == CheckCodec::Secded) {
+        const secded::Decoded dec = secded::decode(sensed, check);
+        switch (dec.status) {
+          case secded::DecodeStatus::Ok:
+            value = sensed;
+            return true;
+          case secded::DecodeStatus::Corrected:
+            stats_.inc("ecc_corrections");
+            value = dec.data;
+            return true;
+          case secded::DecodeStatus::DoubleError:
+            return false;
+        }
+        panic("unreachable SEC-DED status");
+    }
+    if (parityMatches(sensed, (check & 1) != 0)) {
+        value = sensed;
+        return true;
+    }
+    return false;
+}
+
+Access
+MemHierarchy::read(SimAddr addr, unsigned bytes)
+{
+    CLUMSY_ASSERT(bytes == 1 || bytes == 2 || bytes == 4,
+                  "access width must be 1, 2 or 4 bytes");
+    if (addr % bytes != 0) {
+        // ARM-style forced alignment for corrupted addresses.
+        stats_.inc("unaligned_reads");
+        addr &= ~SimAddr{bytes - 1};
+    }
+
+    Access acc;
+    if (!store_->contains(addr, bytes)) {
+        // Lazily-allocated-page semantics (SimpleScalar): loads from
+        // never-written memory see zeros.
+        acc.wild = true;
+        acc.value = 0;
+        acc.latency += cyclesToQuanta(config_.memCycles);
+        stats_.inc("wild_reads");
+        return acc;
+    }
+    stats_.inc("reads");
+
+    const SimAddr wordAddr = addr & ~SimAddr{3};
+    ensureL1D(wordAddr, acc);
+
+    const unsigned attempts = readAttempts(config_.scheme);
+    std::uint32_t sensed = 0;
+    bool resolved = false;
+    for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
+        sensed = senseWord(wordAddr, acc);
+        if (checkSensedWord(sensed, wordAddr, sensed)) {
+            resolved = true;
+            break;
+        }
+        ++acc.parityTrips;
+        stats_.inc("parity_trips");
+        if (attempt < attempts)
+            stats_.inc("strike_retries");
+    }
+
+    if (!resolved) {
+        // All strikes used: assume a write fault corrupted the block
+        // and refetch it from the L2 (paper Section 4). A dirty line
+        // is written back first — the detected fault may equally have
+        // been a read-sense fault, in which case the stored data is
+        // the only valid copy of recent stores. The writeback
+        // regenerates L2 parity from the stored bits, so a genuine
+        // write fault comes back parity-consistent and turns into a
+        // silently corrupted value: the residual undetected-fault
+        // channel the paper describes for protected configurations.
+        stats_.inc("strike_invalidations");
+        if (l1d_.isDirty(wordAddr)) {
+            stats_.inc("strike_writebacks");
+            std::vector<std::uint8_t> line(config_.l1d.lineBytes);
+            l1d_.readLine(wordAddr, line.data());
+            ensureL2(wordAddr, acc);
+            l2_.writeRange(l1d_.lineBase(wordAddr), line.data(),
+                           config_.l1d.lineBytes, true);
+        }
+        if (config_.subBlockRecovery) {
+            // Refetch only the faulted word (paper footnote 2): the
+            // rest of the line — including its other dirty words —
+            // stays put.
+            stats_.inc("subblock_refetches");
+            ensureL2(wordAddr, acc);
+            const std::uint32_t fresh = l2_.readWordRaw(wordAddr);
+            l1d_.writeWordRaw(wordAddr, fresh,
+                              l1d_.computeCheck(fresh));
+        } else {
+            l1d_.invalidate(wordAddr);
+            ensureL1D(wordAddr, acc);
+        }
+        sensed = senseWord(wordAddr, acc);
+        if (!checkSensedWord(sensed, wordAddr, sensed)) {
+            // The refetched copy also sensed faulty: bypass the L1 and
+            // serve the L2's word directly.
+            stats_.inc("l2_bypasses");
+            acc.latency += cyclesToQuanta(config_.l2HitCycles);
+            if (energy_)
+                energy_->addL2Access();
+            sensed = l2_.readWordRaw(wordAddr);
+        }
+    }
+
+    // Extract the requested bytes from the (possibly corrupted) word.
+    const unsigned shift = (addr & 3u) * 8;
+    acc.value = bytes == 4 ? sensed : bitField(sensed, shift, bytes * 8);
+    return acc;
+}
+
+Access
+MemHierarchy::write(SimAddr addr, unsigned bytes, std::uint32_t value)
+{
+    CLUMSY_ASSERT(bytes == 1 || bytes == 2 || bytes == 4,
+                  "access width must be 1, 2 or 4 bytes");
+    if (addr % bytes != 0) {
+        stats_.inc("unaligned_writes");
+        addr &= ~SimAddr{bytes - 1};
+    }
+
+    Access acc;
+    if (!store_->contains(addr, bytes)) {
+        // Absorbed by a lazily-allocated page outside the modeled
+        // DRAM (never read back through the timed path).
+        acc.wild = true;
+        acc.latency += cyclesToQuanta(config_.memCycles);
+        stats_.inc("wild_writes");
+        return acc;
+    }
+    stats_.inc("writes");
+
+    const SimAddr wordAddr = addr & ~SimAddr{3};
+    ensureL1D(wordAddr, acc);
+
+    // Sub-word stores are a masked read-modify-write of the stored
+    // word; the merge path is internal and not subject to sensing
+    // faults (only the array write is injected).
+    std::uint32_t intended;
+    if (bytes == 4) {
+        intended = value;
+    } else {
+        const std::uint32_t raw = l1d_.readWordRaw(wordAddr);
+        const unsigned shift = (addr & 3u) * 8;
+        const std::uint32_t mask =
+            ((bytes == 1 ? 0xffu : 0xffffu)) << shift;
+        intended = (raw & ~mask) | ((value << shift) & mask);
+    }
+
+    fault::FaultEvent ev;
+    const std::uint32_t stored = injector_->corrupt(intended, 32, &ev);
+    if (ev.flippedBits) {
+        ++acc.faultsInjected;
+        stats_.inc("write_faults");
+    }
+    // The check-bit generator sits before the array: the stored check
+    // bits reflect the intended value even when the array write
+    // faulted, which is what makes write faults detectable (and, for
+    // SEC-DED, single-bit-correctable) on a later read.
+    l1d_.writeWordRaw(wordAddr, stored, l1d_.computeCheck(intended));
+    l1d_.setDirty(wordAddr);
+
+    acc.latency += l1dHitQuanta();
+    if (energy_)
+        energy_->addL1dWrite(cr_, protection());
+    return acc;
+}
+
+Quanta
+MemHierarchy::fetch(SimAddr pc)
+{
+    const SimAddr lineAddr = pc & ~SimAddr{3};
+    if (energy_)
+        energy_->addL1iRead();
+    if (l1i_.lookup(lineAddr))
+        return 0; // pipelined fetch: no visible stall
+    Access acc;
+    ensureL2(lineAddr, acc);
+    const SimAddr base = l1i_.lineBase(lineAddr);
+    std::vector<std::uint8_t> buf(config_.l1i.lineBytes);
+    for (SimAddr off = 0; off < config_.l1i.lineBytes; off += 4) {
+        const std::uint32_t w = l2_.readWordRaw(base + off);
+        std::memcpy(&buf[off], &w, 4);
+    }
+    // Instruction lines are clean; evictions never write back.
+    (void)l1i_.fill(base, buf.data());
+    return acc.latency;
+}
+
+void
+MemHierarchy::flushRange(SimAddr addr, SimSize len)
+{
+    CLUMSY_ASSERT(len > 0, "empty flush range");
+    // Flush L2 before L1: when both hold a line dirty, the L1 copy is
+    // the more recent, so it must reach DRAM last.
+    std::vector<std::uint8_t> buf(config_.l2.lineBytes);
+    const SimAddr first2 = l2_.lineBase(addr);
+    for (SimAddr a = first2; a < addr + len;
+         a += config_.l2.lineBytes) {
+        if (!l2_.contains(a))
+            continue;
+        if (l2_.isDirty(a)) {
+            l2_.readLine(a, buf.data());
+            store_->writeBlock(l2_.lineBase(a), buf.data(),
+                               config_.l2.lineBytes);
+        }
+        l2_.invalidate(a);
+    }
+    const SimAddr first1 = l1d_.lineBase(addr);
+    for (SimAddr a = first1; a < addr + len;
+         a += config_.l1d.lineBytes) {
+        if (!l1d_.contains(a))
+            continue;
+        if (l1d_.isDirty(a)) {
+            l1d_.readLine(a, buf.data());
+            store_->writeBlock(l1d_.lineBase(a), buf.data(),
+                               config_.l1d.lineBytes);
+        }
+        l1d_.invalidate(a);
+    }
+}
+
+std::uint32_t
+MemHierarchy::peekWord(SimAddr addr) const
+{
+    const SimAddr wordAddr = addr & ~SimAddr{3};
+    if (l1d_.contains(wordAddr))
+        return l1d_.readWordRaw(wordAddr);
+    if (l2_.contains(wordAddr))
+        return l2_.readWordRaw(wordAddr);
+    return store_->read32(wordAddr);
+}
+
+void
+MemHierarchy::reset()
+{
+    l1d_.reset();
+    l1i_.reset();
+    l2_.reset();
+    l1d_.resetStats();
+    l1i_.resetStats();
+    l2_.resetStats();
+    stats_.reset();
+}
+
+} // namespace clumsy::mem

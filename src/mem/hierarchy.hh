@@ -1,0 +1,224 @@
+/**
+ * @file
+ * The simulated memory hierarchy of the clumsy packet processor:
+ * split 4 KB direct-mapped L1 I/D caches (32 B lines), a unified
+ * 128 KB 4-way L2 (128 B lines) and a flat DRAM backing store —
+ * the StrongARM-110-like configuration of paper Section 5.1.
+ *
+ * Only the L1 D-cache is over-clocked: its accesses pass through the
+ * fault injector (reads corrupt the sensed value, writes corrupt the
+ * stored value), its latency scales with the relative cycle time, and
+ * its parity/strike recovery implements Section 4's schemes. The L2 is
+ * assumed correct unless an incorrect value is written back from L1.
+ */
+
+#ifndef CLUMSY_MEM_HIERARCHY_HH
+#define CLUMSY_MEM_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "energy/chip_energy.hh"
+#include "fault/injector.hh"
+#include "mem/backing_store.hh"
+#include "mem/cache.hh"
+#include "mem/recovery.hh"
+
+namespace clumsy::mem
+{
+
+/** Static configuration of the hierarchy (defaults = the paper's). */
+struct HierarchyConfig
+{
+    CacheGeometry l1d{4096, 1, 32, 22};
+    CacheGeometry l1i{4096, 1, 32, 22};
+    CacheGeometry l2{131072, 4, 128, 15};
+
+    std::int64_t l1dHitCycles = 2;  ///< at full swing; scales with Cr
+    std::int64_t l2HitCycles = 15;
+    std::int64_t memCycles = 60;
+
+    RecoveryScheme scheme = RecoveryScheme::NoDetection;
+
+    /**
+     * Check-bit codec of the L1 D-cache when a detection scheme is
+     * active: per-word parity (the paper's design) or Hamming SEC-DED
+     * (the alternative the paper dismisses on energy grounds; see
+     * bench/ablation_ecc). SEC-DED corrects single-bit faults inline
+     * — no L2 trip — and routes double-bit faults through the strike
+     * machinery.
+     */
+    CheckCodec codec = CheckCodec::Parity;
+
+    /**
+     * Sub-block recovery (the paper's footnote 2, left as future
+     * work there): when the strikes are exhausted, refetch only the
+     * faulted word from the L2 instead of invalidating and refilling
+     * the whole line. Cheaper recovery and the line's other dirty
+     * words survive.
+     */
+    bool subBlockRecovery = false;
+
+    /**
+     * Inject faults on the words written by a line fill. Off by
+     * default: the paper injects on processor-issued accesses, and
+     * fills would multiply the effective rate by the words per line.
+     */
+    bool injectOnFill = false;
+};
+
+/** Outcome of one processor-issued memory access. */
+struct Access
+{
+    std::uint32_t value = 0;   ///< loaded value (reads only)
+    Quanta latency = 0;        ///< total latency in quanta
+    bool wild = false;         ///< address fell outside simulated DRAM
+    unsigned faultsInjected = 0; ///< faults this access suffered
+    unsigned parityTrips = 0;    ///< detections this access triggered
+};
+
+/** The three-level hierarchy plus fault/recovery machinery. */
+class MemHierarchy
+{
+  public:
+    /**
+     * @param config   hierarchy configuration.
+     * @param store    simulated DRAM (not owned).
+     * @param injector fault injector for the L1D datapath (not owned);
+     *                 its cycle time is kept in sync by setCycleTime().
+     * @param energy   energy account to charge (not owned, may be
+     *                 nullptr to skip energy accounting).
+     */
+    MemHierarchy(const HierarchyConfig &config, BackingStore *store,
+                 fault::FaultInjector *injector,
+                 energy::EnergyAccount *energy);
+
+    /**
+     * Load `bytes` (1, 2 or 4) through the D-cache path with fault
+     * injection and recovery.
+     *
+     * Fault-corrupted addresses get hardware-like semantics rather
+     * than simulator crashes: unaligned addresses are force-aligned
+     * (ARM-style), and loads from beyond simulated DRAM return a
+     * deterministic junk value (undecoded bus read). Neither is
+     * fatal by itself — the paper's fatal errors arise when such
+     * junk keeps a loop from terminating.
+     */
+    Access read(SimAddr addr, unsigned bytes);
+
+    /**
+     * Store `bytes` through the D-cache path. Stores to wild
+     * addresses are silently dropped (undecoded bus write), matching
+     * the embedded-memory-map behaviour of the paper's platform.
+     */
+    Access write(SimAddr addr, unsigned bytes, std::uint32_t value);
+
+    /**
+     * Instruction fetch at pc through the I-cache (never injected;
+     * the I-cache is not over-clocked). @return stall latency — an L1I
+     * hit is fully pipelined and costs 0 extra quanta.
+     */
+    Quanta fetch(SimAddr pc);
+
+    /** Set the D-cache's relative cycle time (also retunes the
+     *  injector). */
+    void setCycleTime(double cr);
+
+    /** Current D-cache relative cycle time. */
+    double cycleTime() const { return cr_; }
+
+    /** The recovery scheme in force. */
+    RecoveryScheme scheme() const { return config_.scheme; }
+
+    /** L1 D-cache (for stats inspection). */
+    const Cache &l1d() const { return l1d_; }
+
+    /** L1 I-cache. */
+    const Cache &l1i() const { return l1i_; }
+
+    /** Unified L2. */
+    const Cache &l2() const { return l2_; }
+
+    /** Hierarchy-level counters (reads, writes, trips, strikes...). */
+    const StatGroup &stats() const { return stats_; }
+
+    /** The configuration in force. */
+    const HierarchyConfig &config() const { return config_; }
+
+    /**
+     * Flush (write back if dirty, then invalidate) every L1D and L2
+     * line touching [addr, addr+len). Used around DMA: the device
+     * reads/writes DRAM directly, so dirty cached data covering the
+     * range must reach DRAM first — lines only partially covered by
+     * the DMA carry unrelated neighbour data that must survive — and
+     * stale cached copies must not linger afterwards.
+     */
+    void flushRange(SimAddr addr, SimSize len);
+
+    /**
+     * Untimed architectural read of the word containing addr: the L1D
+     * copy when present, else L2, else DRAM. No stats, no faults.
+     */
+    std::uint32_t peekWord(SimAddr addr) const;
+
+    /** Drop all cache contents and zero statistics. */
+    void reset();
+
+  private:
+    HierarchyConfig config_;
+    BackingStore *store_;
+    fault::FaultInjector *injector_;
+    energy::EnergyAccount *energy_;
+    Cache l1d_;
+    Cache l1i_;
+    Cache l2_;
+    StatGroup stats_{"hier"};
+    double cr_ = 1.0;
+    Quanta l1dQuanta_;
+
+    bool detectionOn() const { return usesParity(config_.scheme); }
+
+    /** Protection level for energy accounting. */
+    energy::Protection protection() const
+    {
+        if (!detectionOn())
+            return energy::Protection::None;
+        return config_.codec == CheckCodec::Secded
+                   ? energy::Protection::Secded
+                   : energy::Protection::Parity;
+    }
+
+    /**
+     * Run the sensed word through the active codec. @return true when
+     * the access is resolved (value set to the accepted — possibly
+     * ECC-corrected — word); false when the detection tripped.
+     */
+    bool checkSensedWord(std::uint32_t sensed, SimAddr wordAddr,
+                         std::uint32_t &value);
+
+    /** L1D hit latency at the current cycle time, in quanta. */
+    Quanta l1dHitQuanta() const { return l1dQuanta_; }
+
+    /** Bring the L2 line containing addr in; charge latency/energy. */
+    void ensureL2(SimAddr addr, Access &acc);
+
+    /** Bring the L1D line containing addr in via L2. */
+    void ensureL1D(SimAddr addr, Access &acc);
+
+    /** Write back an evicted dirty L1 line into the L2. */
+    void writebackToL2(const Cache::Evicted &evicted, Access &acc);
+
+    /** Handle an evicted dirty L2 line (write to DRAM). */
+    void writebackToMem(const Cache::Evicted &evicted);
+
+    /** Fill corruption pass over a just-installed L1D line. */
+    void corruptFilledLine(SimAddr lineBase);
+
+    /** One sensed read of the word at wordAddr (injection applied). */
+    std::uint32_t senseWord(SimAddr wordAddr, Access &acc);
+};
+
+} // namespace clumsy::mem
+
+#endif // CLUMSY_MEM_HIERARCHY_HH

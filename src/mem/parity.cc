@@ -1,0 +1,33 @@
+#include "mem/parity.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace clumsy::mem
+{
+
+bool
+parityBit(std::uint32_t word)
+{
+    return oddParity(word);
+}
+
+bool
+parityMatches(std::uint32_t sensed, bool storedBit)
+{
+    return parityBit(sensed) == storedBit;
+}
+
+std::uint64_t
+packLineParity(const std::uint32_t *words, unsigned nWords)
+{
+    CLUMSY_ASSERT(nWords <= 64, "parity bitmap supports up to 64 words");
+    std::uint64_t bits = 0;
+    for (unsigned i = 0; i < nWords; ++i) {
+        if (parityBit(words[i]))
+            bits |= std::uint64_t{1} << i;
+    }
+    return bits;
+}
+
+} // namespace clumsy::mem

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Per-word parity codec (paper Section 4).
+ *
+ * Each 32-bit word of a protected cache is guarded by one even-parity
+ * bit, generated when data enters the array and checked when it is
+ * sensed. Odd-weight fault patterns (the model's 1- and 3-bit flips)
+ * are detected; even-weight patterns (2-bit flips) escape — that gap
+ * is what keeps the fallibility of protected configurations non-zero.
+ */
+
+#ifndef CLUMSY_MEM_PARITY_HH
+#define CLUMSY_MEM_PARITY_HH
+
+#include <cstdint>
+
+namespace clumsy::mem
+{
+
+/** @return the even-parity bit for a 32-bit word. */
+bool parityBit(std::uint32_t word);
+
+/** @return true when the sensed word matches its stored parity bit. */
+bool parityMatches(std::uint32_t sensed, bool storedBit);
+
+/**
+ * Pack the parity bits of an array of words into a bitmap.
+ * Bit i of the result guards words[i]; nWords <= 64.
+ */
+std::uint64_t packLineParity(const std::uint32_t *words, unsigned nWords);
+
+} // namespace clumsy::mem
+
+#endif // CLUMSY_MEM_PARITY_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fault detection / recovery schemes (paper Section 4).
+ *
+ * The paper evaluates four L1 D-cache configurations:
+ *  - NoDetection : no parity; corrupted data flows silently.
+ *  - OneStrike   : parity; the first detected fault invalidates the
+ *                  block and refetches from L2 (assume write fault).
+ *  - TwoStrike   : parity; retry the L1 read once, invalidate on the
+ *                  second detection.
+ *  - ThreeStrike : parity; two retries before invalidating.
+ */
+
+#ifndef CLUMSY_MEM_RECOVERY_HH
+#define CLUMSY_MEM_RECOVERY_HH
+
+#include <string>
+
+namespace clumsy::mem
+{
+
+/** The four detection/recovery configurations of the paper. */
+enum class RecoveryScheme
+{
+    NoDetection,
+    OneStrike,
+    TwoStrike,
+    ThreeStrike,
+};
+
+/** All schemes, in the order the paper's figures present them. */
+inline constexpr RecoveryScheme kAllRecoverySchemes[] = {
+    RecoveryScheme::NoDetection,
+    RecoveryScheme::OneStrike,
+    RecoveryScheme::TwoStrike,
+    RecoveryScheme::ThreeStrike,
+};
+
+/** @return true when the scheme uses parity detection. */
+bool usesParity(RecoveryScheme scheme);
+
+/**
+ * Number of L1 read attempts (initial + retries) before the block is
+ * invalidated and refetched from L2. NoDetection never invalidates.
+ */
+unsigned readAttempts(RecoveryScheme scheme);
+
+/** Human-readable name ("no detection", "one-strike", ...). */
+std::string to_string(RecoveryScheme scheme);
+
+/** Parse a name accepted by to_string(); fatal()s on junk. */
+RecoveryScheme recoverySchemeFromString(const std::string &name);
+
+} // namespace clumsy::mem
+
+#endif // CLUMSY_MEM_RECOVERY_HH

@@ -1,0 +1,106 @@
+#include "mem/secded.hh"
+
+#include <array>
+
+#include "common/bitops.hh"
+
+namespace clumsy::mem::secded
+{
+
+namespace
+{
+
+/**
+ * Codeword positions (1-based, Hamming layout) of the 32 data bits:
+ * every position in [1, 38] that is not a power of two.
+ */
+constexpr std::array<std::uint8_t, 32>
+makePositions()
+{
+    std::array<std::uint8_t, 32> pos{};
+    unsigned i = 0;
+    for (unsigned p = 1; p <= 38; ++p) {
+        if ((p & (p - 1)) == 0)
+            continue; // check-bit slot
+        pos[i++] = static_cast<std::uint8_t>(p);
+    }
+    return pos;
+}
+
+constexpr auto kPos = makePositions();
+
+/** XOR of the codeword positions of data's set bits (6-bit value). */
+std::uint8_t
+dataSyndrome(std::uint32_t data)
+{
+    std::uint8_t acc = 0;
+    while (data) {
+        const unsigned i = static_cast<unsigned>(
+            __builtin_ctz(data));
+        acc ^= kPos[i];
+        data &= data - 1;
+    }
+    return acc;
+}
+
+bool
+parity32(std::uint32_t v)
+{
+    return oddParity(v);
+}
+
+bool
+parity8(std::uint8_t v)
+{
+    return oddParity(v);
+}
+
+} // namespace
+
+std::uint8_t
+encode(std::uint32_t data)
+{
+    const std::uint8_t hamming =
+        static_cast<std::uint8_t>(dataSyndrome(data) & 0x3f);
+    // Overall parity bit (bit 6) makes the parity of the whole
+    // 39-bit codeword (data + 6 check bits + itself) even.
+    const bool overall = parity32(data) ^ parity8(hamming);
+    return static_cast<std::uint8_t>(hamming |
+                                     (overall ? 0x40 : 0x00));
+}
+
+Decoded
+decode(std::uint32_t sensed, std::uint8_t check)
+{
+    const std::uint8_t storedHamming = check & 0x3f;
+    const std::uint8_t syndrome = dataSyndrome(sensed) ^ storedHamming;
+    // Parity over the whole received codeword: even when intact.
+    const bool oddOverall = parity32(sensed) ^ parity8(check);
+
+    if (syndrome == 0) {
+        if (!oddOverall)
+            return {DecodeStatus::Ok, sensed};
+        // Only the overall parity bit flipped; the data is intact.
+        return {DecodeStatus::Corrected, sensed};
+    }
+
+    if (!oddOverall) {
+        // Non-zero syndrome with even overall parity: two bits flipped.
+        return {DecodeStatus::DoubleError, sensed};
+    }
+
+    // Single-bit error at codeword position `syndrome`.
+    if ((syndrome & (syndrome - 1)) == 0) {
+        // A check bit itself; data is intact.
+        return {DecodeStatus::Corrected, sensed};
+    }
+    for (unsigned i = 0; i < 32; ++i) {
+        if (kPos[i] == syndrome)
+            return {DecodeStatus::Corrected,
+                    sensed ^ (std::uint32_t{1} << i)};
+    }
+    // Syndrome names no valid position: a multi-bit pattern.
+    return {DecodeStatus::DoubleError, sensed};
+}
+
+} // namespace clumsy::mem::secded

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Hamming SEC-DED codec for 32-bit words: single-error correction,
+ * double-error detection, using 6 Hamming check bits plus an overall
+ * parity bit (a (39,32) code).
+ *
+ * The paper dismisses error *correction* for the clumsy architecture:
+ * "the error correction techniques (such as Hamming codes) would
+ * incur unnecessary complication on the design and energy
+ * consumption" (Section 4). This codec exists to let the benchmarks
+ * *quantify* that claim instead of assuming it — see
+ * bench/ablation_ecc.
+ */
+
+#ifndef CLUMSY_MEM_SECDED_HH
+#define CLUMSY_MEM_SECDED_HH
+
+#include <cstdint>
+
+namespace clumsy::mem::secded
+{
+
+/** Number of check bits stored per 32-bit word. */
+inline constexpr unsigned kCheckBits = 7;
+
+/** Outcome of decoding a (possibly corrupted) word. */
+enum class DecodeStatus
+{
+    Ok,             ///< no error detected
+    Corrected,      ///< single-bit error corrected (data or check)
+    DoubleError,    ///< two-bit error detected, uncorrectable
+};
+
+/** Decode result: status plus the (possibly corrected) data word. */
+struct Decoded
+{
+    DecodeStatus status;
+    std::uint32_t data;
+};
+
+/** Compute the 7 check bits for a data word. */
+std::uint8_t encode(std::uint32_t data);
+
+/**
+ * Decode a sensed word against its stored check bits, correcting a
+ * single flipped bit (wherever it lies) and flagging double flips.
+ */
+Decoded decode(std::uint32_t sensed, std::uint8_t check);
+
+} // namespace clumsy::mem::secded
+
+#endif // CLUMSY_MEM_SECDED_HH

@@ -1,0 +1,33 @@
+#include "net/checksum.hh"
+
+namespace clumsy::net
+{
+
+std::uint16_t
+internetChecksum(const std::uint8_t *data, std::size_t len)
+{
+    std::uint32_t sum = 0;
+    std::size_t i = 0;
+    for (; i + 1 < len; i += 2)
+        sum += (std::uint32_t{data[i]} << 8) | data[i + 1];
+    if (i < len)
+        sum += std::uint32_t{data[i]} << 8;
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::uint16_t
+incrementalChecksum(std::uint16_t oldSum, std::uint16_t oldWord,
+                    std::uint16_t newWord)
+{
+    // RFC 1624, eqn. 3: HC' = ~(~HC + ~m + m')
+    std::uint32_t sum = static_cast<std::uint16_t>(~oldSum);
+    sum += static_cast<std::uint16_t>(~oldWord);
+    sum += newWord;
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+} // namespace clumsy::net

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Internet checksum utilities (RFC 1071) plus the incremental update
+ * rule routers apply when they decrement the TTL (RFC 1624).
+ */
+
+#ifndef CLUMSY_NET_CHECKSUM_HH
+#define CLUMSY_NET_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace clumsy::net
+{
+
+/**
+ * RFC 1071 internet checksum over a byte span (one's-complement sum of
+ * 16-bit network-order words, complemented). Odd lengths are padded
+ * with a zero byte.
+ */
+std::uint16_t internetChecksum(const std::uint8_t *data, std::size_t len);
+
+/**
+ * RFC 1624 incremental checksum update after one 16-bit field changes
+ * from oldWord to newWord.
+ */
+std::uint16_t incrementalChecksum(std::uint16_t oldSum,
+                                  std::uint16_t oldWord,
+                                  std::uint16_t newWord);
+
+} // namespace clumsy::net
+
+#endif // CLUMSY_NET_CHECKSUM_HH

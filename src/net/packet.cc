@@ -1,0 +1,55 @@
+#include "net/packet.hh"
+
+#include <cstdio>
+
+namespace clumsy::net
+{
+
+namespace
+{
+
+void
+put16(std::uint8_t *p, std::uint16_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v >> 8);
+    p[1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+void
+put32(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+} // namespace
+
+std::array<std::uint8_t, 20>
+Ipv4Header::toBytes() const
+{
+    std::array<std::uint8_t, 20> b{};
+    b[0] = static_cast<std::uint8_t>((version << 4) | (ihl & 0xf));
+    b[1] = tos;
+    put16(&b[2], totalLen);
+    put16(&b[4], id);
+    put16(&b[6], fragOff);
+    b[8] = ttl;
+    b[9] = protocol;
+    put16(&b[10], checksum);
+    put32(&b[12], src);
+    put32(&b[16], dst);
+    return b;
+}
+
+std::string
+ipToString(std::uint32_t addr)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr >> 24) & 0xff,
+                  (addr >> 16) & 0xff, (addr >> 8) & 0xff, addr & 0xff);
+    return buf;
+}
+
+} // namespace clumsy::net

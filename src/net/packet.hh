@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Packet representation for the NetBench-style workloads.
+ *
+ * Packets model the wire side of the system: they arrive from the
+ * trace generator as host objects, and each application copies the
+ * fields it processes into simulated memory (charging simulated cache
+ * accesses) exactly where the original NetBench code would touch them.
+ */
+
+#ifndef CLUMSY_NET_PACKET_HH
+#define CLUMSY_NET_PACKET_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clumsy::net
+{
+
+/** IP protocol numbers used by the workloads. */
+enum class IpProto : std::uint8_t
+{
+    Tcp = 6,
+    Udp = 17,
+};
+
+/** An IPv4 header (RFC 791), host-order fields. */
+struct Ipv4Header
+{
+    std::uint8_t version = 4;
+    std::uint8_t ihl = 5; ///< header length in 32-bit words
+    std::uint8_t tos = 0;
+    std::uint16_t totalLen = 0;
+    std::uint16_t id = 0;
+    std::uint16_t fragOff = 0;
+    std::uint8_t ttl = 64;
+    std::uint8_t protocol = 17;
+    std::uint16_t checksum = 0; ///< as carried on the wire
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+
+    /** Serialize to 20 network-order bytes (checksum field included). */
+    std::array<std::uint8_t, 20> toBytes() const;
+};
+
+/** One packet of a workload trace. */
+struct Packet
+{
+    std::uint64_t seq = 0; ///< position in the trace
+    Ipv4Header ip;
+    std::uint16_t srcPort = 0;
+    std::uint16_t dstPort = 0;
+    std::vector<std::uint8_t> payload;
+
+    /** Total length (IP header + payload). */
+    std::size_t wireBytes() const { return 20 + payload.size(); }
+};
+
+/** Render an IPv4 address as dotted decimal (debugging aid). */
+std::string ipToString(std::uint32_t addr);
+
+} // namespace clumsy::net
+
+#endif // CLUMSY_NET_PACKET_HH

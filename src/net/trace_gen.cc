@@ -1,0 +1,136 @@
+#include "net/trace_gen.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "net/checksum.hh"
+
+namespace clumsy::net
+{
+
+namespace
+{
+
+const char *const kUrlStems[] = {
+    "/index.html",  "/images/logo.gif", "/api/v1/items", "/static/app.js",
+    "/cart",        "/search",          "/login",        "/media/video",
+    "/docs/manual", "/feed.xml",
+};
+
+} // namespace
+
+std::vector<std::uint32_t>
+TraceGenerator::makeDestPool(const TraceConfig &config)
+{
+    Rng rng(config.poolSeed);
+    std::vector<std::uint32_t> pool;
+    pool.reserve(config.numDestinations);
+    for (std::uint32_t i = 0; i < config.numDestinations; ++i) {
+        // Public-looking 192/8-ish pool; the 10/8 private space is
+        // reserved for NAT-translated sources.
+        const auto r = static_cast<std::uint32_t>(rng.next());
+        pool.push_back(0xc0000000u | (r & 0x00ffffffu));
+    }
+    return pool;
+}
+
+std::vector<std::string>
+TraceGenerator::makeUrlPool(const TraceConfig &config)
+{
+    std::vector<std::string> pool;
+    pool.reserve(config.numUrls);
+    const unsigned stems = sizeof(kUrlStems) / sizeof(kUrlStems[0]);
+    for (std::uint32_t i = 0; i < config.numUrls; ++i) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%s?id=%u", kUrlStems[i % stems],
+                      i);
+        pool.emplace_back(buf);
+    }
+    return pool;
+}
+
+TraceGenerator::TraceGenerator(TraceConfig config)
+    : config_(config), rng_(config.seed)
+{
+    CLUMSY_ASSERT(config_.numFlows > 0 && config_.numDestinations > 0,
+                  "trace needs flows and destinations");
+    CLUMSY_ASSERT(config_.minPayload <= config_.maxPayload,
+                  "payload bounds inverted");
+
+    destPool_ = makeDestPool(config_);
+
+    flows_.reserve(config_.numFlows);
+    for (std::uint32_t i = 0; i < config_.numFlows; ++i) {
+        Flow f;
+        // Private 10/8 sources (what NAT translates).
+        f.src = 0x0a000000u |
+                (static_cast<std::uint32_t>(rng_.next()) & 0x00ffffffu);
+        const auto destIdx = rng_.zipf(destPool_.size(), config_.destZipf);
+        f.dst = destPool_[destIdx - 1];
+        f.srcPort = static_cast<std::uint16_t>(1024 + rng_.below(60000));
+        f.dstPort = rng_.bernoulli(0.6)
+                        ? 80
+                        : static_cast<std::uint16_t>(1 + rng_.below(1023));
+        f.protocol = rng_.bernoulli(0.7)
+                         ? static_cast<std::uint8_t>(IpProto::Tcp)
+                         : static_cast<std::uint8_t>(IpProto::Udp);
+        flows_.push_back(f);
+    }
+
+    if (config_.httpPayloads)
+        urlPool_ = makeUrlPool(config_);
+}
+
+Packet
+TraceGenerator::next()
+{
+    Packet pkt;
+    pkt.seq = seq_++;
+
+    // Pick a flow with Zipf popularity (hot flows dominate, as in
+    // real traces).
+    const auto flowIdx = rng_.zipf(flows_.size(), 0.8) - 1;
+    const Flow &flow = flows_[flowIdx];
+
+    pkt.ip.src = flow.src;
+    pkt.ip.dst = flow.dst;
+    pkt.ip.protocol = flow.protocol;
+    pkt.ip.ttl = static_cast<std::uint8_t>(32 + rng_.below(96));
+    pkt.ip.id = static_cast<std::uint16_t>(rng_.next());
+    pkt.srcPort = flow.srcPort;
+    pkt.dstPort = flow.dstPort;
+
+    if (config_.httpPayloads) {
+        const auto urlIdx = rng_.zipf(urlPool_.size(), 1.0) - 1;
+        const std::string &url = urlPool_[urlIdx];
+        std::string req = "GET " + url + " HTTP/1.0\r\nHost: h\r\n\r\n";
+        pkt.payload.assign(req.begin(), req.end());
+    } else {
+        const std::uint32_t len =
+            config_.minPayload +
+            static_cast<std::uint32_t>(rng_.below(
+                config_.maxPayload - config_.minPayload + 1));
+        pkt.payload.resize(len);
+        for (auto &b : pkt.payload)
+            b = static_cast<std::uint8_t>(rng_.next());
+    }
+
+    pkt.ip.totalLen = static_cast<std::uint16_t>(pkt.wireBytes());
+    // Compute the wire checksum over the header with checksum = 0.
+    pkt.ip.checksum = 0;
+    const auto hdr = pkt.ip.toBytes();
+    pkt.ip.checksum = internetChecksum(hdr.data(), hdr.size());
+    return pkt;
+}
+
+std::vector<Packet>
+TraceGenerator::generate(std::uint64_t n)
+{
+    std::vector<Packet> trace;
+    trace.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        trace.push_back(next());
+    return trace;
+}
+
+} // namespace clumsy::net

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic synthetic packet-trace generation.
+ *
+ * Substitutes for the NetBench input traces the paper used (see
+ * DESIGN.md substitution 4). The generator produces repeatable streams
+ * with realistic field distributions: a bounded destination-prefix
+ * pool with Zipf popularity (routing locality), mixed packet sizes,
+ * per-flow port stability, and HTTP GET payloads for the url workload.
+ * Golden (fault-free) and faulty runs replay identical traces because
+ * generation is seeded independently of fault sampling.
+ */
+
+#ifndef CLUMSY_NET_TRACE_GEN_HH
+#define CLUMSY_NET_TRACE_GEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "net/packet.hh"
+
+namespace clumsy::net
+{
+
+/** Trace generator parameters. */
+struct TraceConfig
+{
+    std::uint64_t seed = 1;          ///< stream seed
+    /**
+     * Seed of the destination-address pool. Kept separate from the
+     * stream seed so applications can rebuild the pool (to install
+     * routes / NAT bindings for it) independent of which trace replay
+     * they are fed.
+     */
+    std::uint64_t poolSeed = 0xd057;
+    std::uint32_t numFlows = 256;    ///< distinct (src,dst,port) flows
+    std::uint32_t numDestinations = 512; ///< destination address pool
+    double destZipf = 0.9;           ///< popularity skew of destinations
+    std::uint32_t minPayload = 16;   ///< payload bytes, inclusive
+    std::uint32_t maxPayload = 512;  ///< payload bytes, inclusive
+    bool httpPayloads = false;       ///< generate HTTP GET payloads
+    std::uint32_t numUrls = 128;     ///< URL pool when httpPayloads
+};
+
+/** Streaming generator of a deterministic packet sequence. */
+class TraceGenerator
+{
+  public:
+    explicit TraceGenerator(TraceConfig config);
+
+    /** Generate the next packet of the stream. */
+    Packet next();
+
+    /** Generate a whole trace of n packets. */
+    std::vector<Packet> generate(std::uint64_t n);
+
+    /** The destination-address pool (index -> IPv4 address). */
+    const std::vector<std::uint32_t> &destinations() const
+    {
+        return destPool_;
+    }
+
+    /** The URL path pool used for HTTP payloads. */
+    const std::vector<std::string> &urls() const { return urlPool_; }
+
+    /** The configuration in force. */
+    const TraceConfig &config() const { return config_; }
+
+    /**
+     * Rebuild the destination pool a TraceGenerator with this config
+     * would use (depends only on poolSeed and numDestinations).
+     */
+    static std::vector<std::uint32_t> makeDestPool(
+        const TraceConfig &config);
+
+    /**
+     * Rebuild the URL pool (depends only on numUrls; fully
+     * deterministic).
+     */
+    static std::vector<std::string> makeUrlPool(
+        const TraceConfig &config);
+
+  private:
+    struct Flow
+    {
+        std::uint32_t src;
+        std::uint32_t dst;
+        std::uint16_t srcPort;
+        std::uint16_t dstPort;
+        std::uint8_t protocol;
+    };
+
+    TraceConfig config_;
+    Rng rng_;
+    std::vector<std::uint32_t> destPool_;
+    std::vector<Flow> flows_;
+    std::vector<std::string> urlPool_;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace clumsy::net
+
+#endif // CLUMSY_NET_TRACE_GEN_HH

@@ -1,0 +1,132 @@
+#include "net/trace_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "net/checksum.hh"
+
+namespace clumsy::net
+{
+
+namespace
+{
+
+const char *const kMagic = "clumsy-trace v1";
+
+std::string
+toHex(const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.empty())
+        return "-";
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (const auto b : bytes) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+int
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+std::vector<std::uint8_t>
+fromHex(const std::string &hex, std::size_t lineNo)
+{
+    if (hex == "-")
+        return {};
+    if (hex.size() % 2 != 0)
+        fatal("trace line %zu: odd-length payload hex", lineNo);
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        const int hi = hexNibble(hex[i]);
+        const int lo = hexNibble(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            fatal("trace line %zu: bad payload hex", lineNo);
+        bytes.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return bytes;
+}
+
+} // namespace
+
+void
+writeTrace(std::ostream &os, const std::vector<Packet> &trace)
+{
+    os << kMagic << '\n';
+    for (const Packet &p : trace) {
+        os << std::dec << p.seq << ' ' << std::hex << p.ip.src << ' '
+           << p.ip.dst << ' ' << static_cast<unsigned>(p.ip.ttl) << ' '
+           << p.ip.id << ' ' << static_cast<unsigned>(p.ip.protocol)
+           << ' ' << p.srcPort << ' ' << p.dstPort << ' '
+           << toHex(p.payload) << '\n';
+    }
+}
+
+void
+saveTrace(const std::string &path, const std::vector<Packet> &trace)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    writeTrace(os, trace);
+    if (!os)
+        fatal("error while writing trace file '%s'", path.c_str());
+}
+
+std::vector<Packet>
+readTrace(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line) || line != kMagic)
+        fatal("not a clumsy trace (missing '%s' header)", kMagic);
+
+    std::vector<Packet> trace;
+    std::size_t lineNo = 1;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        std::istringstream ss(line);
+        Packet p;
+        unsigned ttl = 0, proto = 0;
+        std::string payloadHex;
+        ss >> std::dec >> p.seq >> std::hex >> p.ip.src >> p.ip.dst >>
+            ttl >> p.ip.id >> proto >> p.srcPort >> p.dstPort >>
+            payloadHex;
+        if (!ss)
+            fatal("trace line %zu: malformed packet record", lineNo);
+        p.ip.ttl = static_cast<std::uint8_t>(ttl);
+        p.ip.protocol = static_cast<std::uint8_t>(proto);
+        p.payload = fromHex(payloadHex, lineNo);
+        p.ip.totalLen = static_cast<std::uint16_t>(p.wireBytes());
+        p.ip.checksum = 0;
+        const auto hdr = p.ip.toBytes();
+        p.ip.checksum = internetChecksum(hdr.data(), hdr.size());
+        trace.push_back(std::move(p));
+    }
+    return trace;
+}
+
+std::vector<Packet>
+loadTrace(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open trace file '%s'", path.c_str());
+    return readTrace(is);
+}
+
+} // namespace clumsy::net

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Packet-trace persistence: a line-oriented text format so traces can
+ * be saved, inspected, versioned and replayed (the role NetBench's
+ * input trace files played for the paper).
+ *
+ * Format: one header line `clumsy-trace v1`, then one line per packet:
+ *
+ *   seq src dst ttl id proto sport dport payload-hex
+ *
+ * with addresses/ids in lowercase hex and the payload as a contiguous
+ * hex string (empty payload = `-`). The wire checksum is recomputed on
+ * load, keeping files hand-editable.
+ */
+
+#ifndef CLUMSY_NET_TRACE_IO_HH
+#define CLUMSY_NET_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/packet.hh"
+
+namespace clumsy::net
+{
+
+/** Serialize a trace to a stream. */
+void writeTrace(std::ostream &os, const std::vector<Packet> &trace);
+
+/** Serialize a trace to a file; fatal()s when the file can't open. */
+void saveTrace(const std::string &path,
+               const std::vector<Packet> &trace);
+
+/**
+ * Parse a trace from a stream; fatal()s on malformed input (traces
+ * are trusted local files, not wire input).
+ */
+std::vector<Packet> readTrace(std::istream &is);
+
+/** Parse a trace from a file; fatal()s when the file can't open. */
+std::vector<Packet> loadTrace(const std::string &path);
+
+} // namespace clumsy::net
+
+#endif // CLUMSY_NET_TRACE_IO_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests of the ADPCM media-processor extension workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/adpcm.hh"
+#include "apps/app.hh"
+#include "core/experiment.hh"
+#include "net/trace_gen.hh"
+
+using namespace clumsy;
+using namespace clumsy::apps;
+using core::ClumsyProcessor;
+using core::ValueRecorder;
+
+TEST(Adpcm, RegisteredAsExtension)
+{
+    EXPECT_EQ(extensionAppNames().size(), 1u);
+    EXPECT_EQ(extensionAppNames()[0], "adpcm");
+    EXPECT_EQ(makeApp("adpcm")->name(), "adpcm");
+    // The paper's Table I set stays untouched.
+    for (const auto &name : allAppNames())
+        EXPECT_NE(name, "adpcm");
+}
+
+TEST(Adpcm, ReferenceEncoderBasics)
+{
+    // Silence encodes to all-zero codes (diff 0 -> code 0, index
+    // pinned at 0).
+    const std::uint8_t silence[8] = {};
+    const auto codes = AdpcmApp::referenceEncode(silence, sizeof(silence));
+    ASSERT_EQ(codes.size(), 4u);
+    for (const auto c : codes)
+        EXPECT_EQ(c, 0);
+
+    // A step up then down produces a positive then a negative code.
+    const std::uint8_t wave[] = {0x00, 0x40, 0x00, 0xc0}; // +16k, -16k
+    const auto c2 = AdpcmApp::referenceEncode(wave, sizeof(wave));
+    ASSERT_EQ(c2.size(), 2u);
+    EXPECT_EQ(c2[0] & 0x8, 0u);  // positive
+    EXPECT_EQ(c2[1] & 0x8, 0x8u); // negative
+}
+
+TEST(Adpcm, SimulatedCoderMatchesReference)
+{
+    auto app = std::make_unique<AdpcmApp>();
+    core::ProcessorConfig cfg;
+    cfg.injectionEnabled = false;
+    ClumsyProcessor proc(cfg);
+    app->initialize(proc);
+    net::TraceConfig tc = app->traceConfig();
+    tc.seed = 7;
+    net::TraceGenerator gen(tc);
+    for (int i = 0; i < 5; ++i) {
+        const net::Packet pkt = gen.next();
+        ValueRecorder rec;
+        rec.beginPacket();
+        app->processPacket(proc, pkt, rec);
+        ASSERT_FALSE(proc.fatalOccurred());
+
+        const auto codes = AdpcmApp::referenceEncode(
+            pkt.payload.data(), pkt.payload.size());
+        std::uint64_t hash = 1469598103934665603ull;
+        for (const auto c : codes)
+            hash = (hash ^ c) * 1099511628211ull;
+        ValueRecorder ref;
+        ref.beginPacket();
+        ref.record("adpcm_stream", hash);
+        for (const auto &key : rec.comparePacket(0, ref))
+            EXPECT_NE(key, "adpcm_stream") << "packet " << i;
+    }
+}
+
+TEST(Adpcm, GracefulDegradationUnderFaults)
+{
+    // The media argument: faults overwhelmingly corrupt the coded
+    // stream (a click in the audio) rather than killing the coder.
+    // A corrupted *length* field can still trip the sample-loop
+    // budget, so rare fatals remain possible at boosted rates.
+    core::ExperimentConfig cfg;
+    cfg.numPackets = 300;
+    cfg.trials = 3;
+    cfg.cr = 0.25;
+    cfg.faultScale = 50.0;
+    cfg.scheme = mem::RecoveryScheme::NoDetection;
+    const auto res = core::runExperiment(appFactory("adpcm"), cfg);
+    EXPECT_GT(res.anyErrorProb, 0.05);
+    EXPECT_GT(res.anyErrorProb, 20.0 * res.fatalProb);
+}
+
+TEST(Adpcm, DetectionRestoresFidelity)
+{
+    core::ExperimentConfig cfg;
+    cfg.numPackets = 300;
+    cfg.trials = 3;
+    cfg.cr = 0.25;
+    cfg.faultScale = 50.0;
+    cfg.scheme = mem::RecoveryScheme::NoDetection;
+    const auto blind = core::runExperiment(appFactory("adpcm"), cfg);
+    cfg.scheme = mem::RecoveryScheme::TwoStrike;
+    const auto guarded = core::runExperiment(appFactory("adpcm"), cfg);
+    EXPECT_LT(guarded.anyErrorProb, blind.anyErrorProb);
+}

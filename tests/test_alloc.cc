@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests of the simulated-memory arena allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/alloc.hh"
+
+using namespace clumsy;
+using namespace clumsy::mem;
+
+TEST(Alloc, StartsAboveNullGuard)
+{
+    BackingStore store(4096);
+    SimAllocator arena(store);
+    EXPECT_GE(arena.alloc(4), kNullGuard);
+}
+
+TEST(Alloc, RespectsAlignment)
+{
+    BackingStore store(65536);
+    SimAllocator arena(store);
+    arena.alloc(3, 4); // misalign the cursor
+    EXPECT_EQ(arena.alloc(8, 8) % 8, 0u);
+    EXPECT_EQ(arena.alloc(1, 128) % 128, 0u);
+    EXPECT_EQ(arena.alloc(4, 4) % 4, 0u);
+}
+
+TEST(Alloc, AllocationsDoNotOverlap)
+{
+    BackingStore store(65536);
+    SimAllocator arena(store);
+    const SimAddr a = arena.alloc(100, 4);
+    const SimAddr b = arena.alloc(100, 4);
+    EXPECT_GE(b, a + 100);
+}
+
+TEST(Alloc, ArrayHelper)
+{
+    BackingStore store(65536);
+    SimAllocator arena(store);
+    const SimAddr a = arena.allocArray(10, 16);
+    const SimAddr b = arena.alloc(4);
+    EXPECT_GE(b, a + 160);
+}
+
+TEST(Alloc, UsageAccounting)
+{
+    BackingStore store(4096);
+    SimAllocator arena(store);
+    const SimSize before = arena.remaining();
+    arena.alloc(64, 4);
+    EXPECT_EQ(arena.used(), 64u);
+    EXPECT_EQ(arena.remaining(), before - 64);
+}
+
+TEST(Alloc, RespectsExplicitLimit)
+{
+    BackingStore store(4096);
+    SimAllocator arena(store, 1024);
+    EXPECT_EQ(arena.remaining(), 1024u - kNullGuard);
+}
+
+TEST(Alloc, ResetReclaims)
+{
+    BackingStore store(4096);
+    SimAllocator arena(store);
+    arena.alloc(512, 4);
+    arena.reset();
+    EXPECT_EQ(arena.used(), 0u);
+}
+
+TEST(AllocDeath, ExhaustionIsFatal)
+{
+    BackingStore store(4096);
+    SimAllocator arena(store);
+    EXPECT_EXIT(arena.alloc(8192, 4),
+                ::testing::ExitedWithCode(1), "exhausted");
+}
+
+TEST(AllocDeath, RejectsBadRequests)
+{
+    BackingStore store(4096);
+    SimAllocator arena(store);
+    EXPECT_DEATH(arena.alloc(0, 4), "zero-size");
+    EXPECT_DEATH(arena.alloc(4, 3), "power of two");
+}

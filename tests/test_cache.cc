@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests of the generic data-carrying set-associative cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/parity.hh"
+
+using namespace clumsy;
+using namespace clumsy::mem;
+
+namespace
+{
+
+std::vector<std::uint8_t>
+patternLine(unsigned lineBytes, std::uint8_t seed)
+{
+    std::vector<std::uint8_t> data(lineBytes);
+    for (unsigned i = 0; i < lineBytes; ++i)
+        data[i] = static_cast<std::uint8_t>(seed + i);
+    return data;
+}
+
+} // namespace
+
+TEST(Cache, MissThenHit)
+{
+    Cache cache("t", CacheGeometry{4096, 1, 32, 22});
+    EXPECT_FALSE(cache.lookup(0x100));
+    const auto line = patternLine(32, 1);
+    cache.fill(0x100, line.data());
+    EXPECT_TRUE(cache.lookup(0x100));
+    EXPECT_TRUE(cache.lookup(0x11c)); // same line
+    EXPECT_FALSE(cache.lookup(0x120)); // next line
+    EXPECT_EQ(cache.stats().get("hits"), 2u);
+    EXPECT_EQ(cache.stats().get("misses"), 2u);
+}
+
+TEST(Cache, FillPreservesData)
+{
+    Cache cache("t", CacheGeometry{4096, 1, 32, 22});
+    const auto line = patternLine(32, 7);
+    cache.fill(0x200, line.data());
+    std::uint8_t out[32];
+    cache.readLine(0x210, out);
+    EXPECT_EQ(std::memcmp(out, line.data(), 32), 0);
+    std::uint32_t word;
+    std::memcpy(&word, &line[8], 4);
+    EXPECT_EQ(cache.readWordRaw(0x208), word);
+}
+
+TEST(Cache, DirectMappedConflictEvicts)
+{
+    Cache cache("t", CacheGeometry{4096, 1, 32, 22});
+    const auto a = patternLine(32, 1);
+    const auto b = patternLine(32, 2);
+    cache.fill(0x0, a.data());
+    // Same set (stride = cache size), different tag.
+    const auto evicted = cache.fill(0x1000, b.data());
+    EXPECT_TRUE(evicted.valid);
+    EXPECT_FALSE(evicted.dirty);
+    EXPECT_EQ(evicted.base, 0x0u);
+    EXPECT_FALSE(cache.contains(0x0));
+    EXPECT_TRUE(cache.contains(0x1000));
+}
+
+TEST(Cache, LruVictimSelection)
+{
+    Cache cache("t", CacheGeometry{256, 2, 32, 22});
+    // Set count = 256/(32*2) = 4; lines 0x000, 0x080, 0x100 share set 0.
+    const auto l = patternLine(32, 3);
+    cache.fill(0x000, l.data());
+    cache.fill(0x080, l.data());
+    cache.lookup(0x000); // touch 0x000: 0x080 becomes LRU
+    const auto evicted = cache.fill(0x100, l.data());
+    EXPECT_TRUE(evicted.valid);
+    EXPECT_EQ(evicted.base, 0x080u);
+    EXPECT_TRUE(cache.contains(0x000));
+}
+
+TEST(Cache, DirtyWritebackCarriesData)
+{
+    Cache cache("t", CacheGeometry{4096, 1, 32, 22});
+    const auto l = patternLine(32, 4);
+    cache.fill(0x40, l.data());
+    cache.writeWordRaw(0x40, 0xdeadbeef,
+                       cache.computeCheck(0xdeadbeef));
+    cache.setDirty(0x40);
+    EXPECT_TRUE(cache.isDirty(0x40));
+    const auto evicted = cache.fill(0x1040, l.data());
+    ASSERT_TRUE(evicted.valid);
+    ASSERT_TRUE(evicted.dirty);
+    ASSERT_EQ(evicted.data.size(), 32u);
+    std::uint32_t word;
+    std::memcpy(&word, evicted.data.data(), 4);
+    EXPECT_EQ(word, 0xdeadbeefu);
+    EXPECT_EQ(cache.stats().get("writebacks"), 1u);
+}
+
+TEST(Cache, ExplicitParityCanDisagreeWithData)
+{
+    // The clumsy essence: a faulty array write stores data whose
+    // parity bit reflects the *intended* value.
+    Cache cache("t", CacheGeometry{4096, 1, 32, 22});
+    const auto l = patternLine(32, 5);
+    cache.fill(0x80, l.data());
+    const std::uint32_t intended = 0x00000000;
+    const std::uint32_t corrupted = 0x00000001; // 1-bit write fault
+    cache.writeWordRaw(0x80, corrupted, cache.computeCheck(intended));
+    EXPECT_EQ(cache.readWordRaw(0x80), corrupted);
+    EXPECT_FALSE(parityMatches(cache.readWordRaw(0x80),
+                               (cache.wordCheck(0x80) & 1) != 0));
+}
+
+TEST(Cache, FillRegeneratesParity)
+{
+    Cache cache("t", CacheGeometry{4096, 1, 32, 22});
+    const auto l = patternLine(32, 6);
+    cache.fill(0xc0, l.data());
+    for (SimAddr off = 0; off < 32; off += 4) {
+        EXPECT_TRUE(
+            parityMatches(cache.readWordRaw(0xc0 + off),
+                          (cache.wordCheck(0xc0 + off) & 1) != 0));
+    }
+}
+
+TEST(Cache, WriteRangeRegeneratesParity)
+{
+    Cache cache("t", CacheGeometry{4096, 1, 32, 22});
+    const auto l = patternLine(32, 7);
+    cache.fill(0x100, l.data());
+    const std::uint8_t patch[6] = {0xff, 0x01, 0x02, 0x03, 0x04, 0x05};
+    cache.writeRange(0x102, patch, 6, true); // spans words 0 and 1
+    EXPECT_TRUE(parityMatches(cache.readWordRaw(0x100),
+                              (cache.wordCheck(0x100) & 1) != 0));
+    EXPECT_TRUE(parityMatches(cache.readWordRaw(0x104),
+                              (cache.wordCheck(0x104) & 1) != 0));
+    EXPECT_TRUE(cache.isDirty(0x100));
+}
+
+TEST(Cache, InvalidateDropsLine)
+{
+    Cache cache("t", CacheGeometry{4096, 1, 32, 22});
+    const auto l = patternLine(32, 8);
+    cache.fill(0x140, l.data());
+    cache.setDirty(0x140);
+    cache.invalidate(0x140);
+    EXPECT_FALSE(cache.contains(0x140));
+    EXPECT_EQ(cache.stats().get("invalidations"), 1u);
+    cache.invalidate(0x140); // absent: no-op
+    EXPECT_EQ(cache.stats().get("invalidations"), 1u);
+}
+
+TEST(Cache, ResetClearsContentsKeepsGeometry)
+{
+    Cache cache("t", CacheGeometry{4096, 1, 32, 22});
+    const auto l = patternLine(32, 9);
+    cache.fill(0x180, l.data());
+    cache.reset();
+    EXPECT_FALSE(cache.contains(0x180));
+}
+
+TEST(Cache, MissRate)
+{
+    Cache cache("t", CacheGeometry{4096, 1, 32, 22});
+    const auto l = patternLine(32, 10);
+    cache.lookup(0x0); // miss
+    cache.fill(0x0, l.data());
+    cache.lookup(0x0); // hit
+    cache.lookup(0x4); // hit
+    EXPECT_NEAR(cache.missRate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(CacheDeath, RawAccessRequiresPresence)
+{
+    Cache cache("t", CacheGeometry{4096, 1, 32, 22});
+    EXPECT_DEATH(cache.readWordRaw(0x40), "not present");
+}
+
+TEST(CacheDeath, FillRejectsDuplicate)
+{
+    Cache cache("t", CacheGeometry{4096, 1, 32, 22});
+    const auto l = patternLine(32, 11);
+    cache.fill(0x40, l.data());
+    EXPECT_DEATH(cache.fill(0x48, l.data()), "already-present");
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests of the frequency ladder and the dynamic adaptation
+ * controller's decision rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/clock.hh"
+#include "core/freq_controller.hh"
+
+using namespace clumsy::core;
+
+TEST(FrequencyLevels, PaperLadder)
+{
+    const FrequencyLevels levels;
+    ASSERT_EQ(levels.count(), 4u);
+    EXPECT_DOUBLE_EQ(levels.cr(0), 1.0);
+    EXPECT_DOUBLE_EQ(levels.cr(3), 0.25);
+    EXPECT_EQ(levels.indexOf(0.5), 2u);
+}
+
+TEST(FrequencyLevelsDeath, Validation)
+{
+    EXPECT_DEATH(FrequencyLevels(std::vector<double>{}),
+                 "at least one");
+    EXPECT_DEATH(FrequencyLevels({0.5, 0.75}), "decreasing");
+    EXPECT_DEATH(FrequencyLevels({1.5}), "0, 1");
+    EXPECT_EXIT(FrequencyLevels{}.indexOf(0.33),
+                ::testing::ExitedWithCode(1), "not one of");
+}
+
+TEST(FreqController, QuietEpochsPushFaster)
+{
+    FreqController ctl{FreqControllerConfig{}};
+    EXPECT_DOUBLE_EQ(ctl.currentCr(), 1.0);
+    auto d = ctl.onEpochEnd(0); // 0 < 0.8 * stored(1)
+    EXPECT_TRUE(d.changed);
+    EXPECT_DOUBLE_EQ(d.cr, 0.75);
+    EXPECT_EQ(d.penaltyCycles, 10);
+    d = ctl.onEpochEnd(0);
+    d = ctl.onEpochEnd(0);
+    EXPECT_DOUBLE_EQ(d.cr, 0.25);
+    // Already at the fastest level: quiet epochs keep it there.
+    d = ctl.onEpochEnd(0);
+    EXPECT_FALSE(d.changed);
+    EXPECT_DOUBLE_EQ(d.cr, 0.25);
+    EXPECT_EQ(ctl.switches(), 3u);
+}
+
+TEST(FreqController, NoisyEpochBacksOff)
+{
+    FreqController ctl{FreqControllerConfig{}};
+    ctl.onEpochEnd(0); // -> 0.75, stored = 1
+    const auto d = ctl.onEpochEnd(10); // 10 > 2 * 1
+    EXPECT_TRUE(d.changed);
+    EXPECT_DOUBLE_EQ(d.cr, 1.0);
+}
+
+TEST(FreqController, CannotBackOffPastBase)
+{
+    FreqController ctl{FreqControllerConfig{}};
+    const auto d = ctl.onEpochEnd(1000);
+    EXPECT_FALSE(d.changed);
+    EXPECT_DOUBLE_EQ(d.cr, 1.0);
+    EXPECT_EQ(d.penaltyCycles, 0);
+}
+
+TEST(FreqController, HysteresisBandHolds)
+{
+    FreqController ctl{FreqControllerConfig{}};
+    ctl.onEpochEnd(0);              // -> 0.75, stored = 1
+    const auto d = ctl.onEpochEnd(1); // 0.8 <= 1 <= 2: keep
+    EXPECT_FALSE(d.changed);
+    EXPECT_DOUBLE_EQ(d.cr, 0.75);
+}
+
+TEST(FreqController, StoredFaultsUpdateOnChange)
+{
+    FreqControllerConfig cfg;
+    FreqController ctl{cfg};
+    ctl.onEpochEnd(0);  // -> 0.75, stored = max(0,1) = 1
+    ctl.onEpochEnd(50); // 50 > 2: back to 1.0, stored = 50
+    // Now 60 faults is within [0.8*50, 2*50]: keep.
+    const auto d = ctl.onEpochEnd(60);
+    EXPECT_FALSE(d.changed);
+    // And 30 < 0.8*50: increase again.
+    EXPECT_TRUE(ctl.onEpochEnd(30).changed);
+}
+
+TEST(FreqController, ResidencyStats)
+{
+    FreqController ctl{FreqControllerConfig{}};
+    ctl.onEpochEnd(0);
+    ctl.onEpochEnd(0);
+    ctl.onEpochEnd(1);
+    EXPECT_EQ(ctl.stats().get("epochs"), 3u);
+    EXPECT_EQ(ctl.stats().get("residency_level0"), 1u);
+    EXPECT_EQ(ctl.stats().get("residency_level1"), 1u);
+    EXPECT_EQ(ctl.stats().get("residency_level2"), 1u);
+}
+
+TEST(FreqControllerDeath, Validation)
+{
+    FreqControllerConfig bad;
+    bad.epochPackets = 0;
+    EXPECT_DEATH(FreqController{bad}, "epoch");
+    FreqControllerConfig inverted;
+    inverted.x1 = 0.5;
+    inverted.x2 = 0.8;
+    EXPECT_DEATH(FreqController{inverted}, "X1");
+}

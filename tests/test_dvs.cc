@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests of the voltage-overdrive (DVS) baseline model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/dvs.hh"
+
+using namespace clumsy::energy;
+
+TEST(Dvs, NominalPointIsIdentity)
+{
+    EXPECT_NEAR(frequencyAtVoltage(1.0), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(energyScaleAtVoltage(1.0), 1.0);
+}
+
+TEST(Dvs, FrequencyMonotonicInVoltage)
+{
+    double prev = 0.0;
+    for (double v = 0.5; v <= 1.6; v += 0.1) {
+        const double f = frequencyAtVoltage(v);
+        EXPECT_GT(f, prev);
+        prev = f;
+    }
+}
+
+TEST(Dvs, VoltageInverseRoundTrip)
+{
+    for (const double fr : {0.5, 0.8, 1.0, 1.2, 1.4}) {
+        const double v = voltageForFrequency(fr);
+        EXPECT_NEAR(frequencyAtVoltage(v), fr, 1e-9);
+    }
+}
+
+TEST(Dvs, OverdriveCostsQuadratically)
+{
+    const double v = voltageForFrequency(1.3);
+    EXPECT_GT(v, 1.0);
+    EXPECT_GT(energyScaleAtVoltage(v), 1.0);
+    EXPECT_NEAR(energyScaleAtVoltage(v), v * v, 1e-12);
+}
+
+TEST(Dvs, UndervoltingSavesEnergy)
+{
+    const double v = voltageForFrequency(0.5);
+    EXPECT_LT(v, 1.0);
+    EXPECT_LT(energyScaleAtVoltage(v), 1.0);
+}
+
+TEST(Dvs, AlphaPowerCeilingBelowClumsyRange)
+{
+    // The headline contrast: the paper's 2x and 4x cache clocks are
+    // unreachable by overdrive within a sane voltage ceiling.
+    const DvsParams params;
+    EXPECT_LT(frequencyAtVoltage(params.vMax, params), 2.0);
+}
+
+TEST(DvsDeath, Validation)
+{
+    EXPECT_DEATH(frequencyAtVoltage(0.3), "threshold");
+    EXPECT_EXIT(voltageForFrequency(4.0),
+                ::testing::ExitedWithCode(1), "exceeds");
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests of the closed-form fault model (eq. (4)) and its Monte-Carlo
+ * cross-validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "fault/fault_model.hh"
+#include "fault/swing.hh"
+
+using namespace clumsy;
+using namespace clumsy::fault;
+
+TEST(FaultModel, BaseRateAtFullSwing)
+{
+    const FaultModel model;
+    EXPECT_DOUBLE_EQ(model.scaleFactor(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(model.bitFaultProb(1.0), 2.59e-7);
+}
+
+TEST(FaultModel, PaperScaleAnchors)
+{
+    const FaultModel model;
+    // exp((Fr^2-1)/6.67) at the paper's operating points.
+    EXPECT_NEAR(model.scaleFactor(0.75), 1.124, 0.001);
+    EXPECT_NEAR(model.scaleFactor(0.50), 1.568, 0.001);
+    EXPECT_NEAR(model.scaleFactor(0.25), 9.477, 0.01);
+}
+
+TEST(FaultModel, GentleKneeThenSharpRise)
+{
+    // The paper: cycle time can shrink ~60% before faults jump.
+    const FaultModel model;
+    EXPECT_LT(model.scaleFactor(0.4), 3.0);
+    EXPECT_GT(model.scaleFactor(0.2), 30.0);
+}
+
+TEST(FaultModel, MultiBitOrdering)
+{
+    const FaultModel model;
+    for (const double cr : {1.0, 0.5, 0.25}) {
+        EXPECT_GT(model.multiBitFaultProb(1, cr),
+                  model.multiBitFaultProb(2, cr));
+        EXPECT_GT(model.multiBitFaultProb(2, cr),
+                  model.multiBitFaultProb(3, cr));
+    }
+    // The paper's correlation: 2-bit at 1e-2 and 3-bit at 1e-3 of
+    // the single-bit rate.
+    EXPECT_NEAR(model.multiBitFaultProb(2, 1.0), 2.59e-9, 1e-15);
+    EXPECT_NEAR(model.multiBitFaultProb(3, 1.0), 2.59e-10, 1e-16);
+}
+
+TEST(FaultModel, AccessFaultProbScalesWithWidth)
+{
+    const FaultModel model;
+    const double p8 = model.accessFaultProb(8, 0.5);
+    const double p32 = model.accessFaultProb(32, 0.5);
+    EXPECT_GT(p32, p8);
+    EXPECT_LT(p32, 1.0);
+    EXPECT_GT(p8, 0.0);
+}
+
+TEST(FaultModel, ScaleParameterMultiplies)
+{
+    FaultModelParams params;
+    params.scale = 100.0;
+    const FaultModel boosted(params);
+    const FaultModel base;
+    EXPECT_NEAR(boosted.bitFaultProb(0.5),
+                100.0 * base.bitFaultProb(0.5), 1e-15);
+}
+
+TEST(FaultModel, ProbabilitiesClampAtOne)
+{
+    FaultModelParams params;
+    params.scale = 1e12;
+    const FaultModel model(params);
+    EXPECT_LE(model.bitFaultProb(0.25), 1.0);
+    EXPECT_LE(model.accessFaultProb(32, 0.25), 1.0);
+}
+
+class MonteCarloGrid : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(MonteCarloGrid, MatchesClosedFormWithin5Percent)
+{
+    const double vsr = GetParam();
+    const FaultModel model;
+    Rng rng(99);
+    const double cf = model.probAtSwing(vsr);
+    const double mc = monteCarloFaultProb(vsr, 30000, rng);
+    EXPECT_NEAR(mc / cf, 1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Swings, MonteCarloGrid,
+                         ::testing::Values(1.0, 0.9, 0.8, 0.7, 0.6,
+                                           0.5));
+
+TEST(FaultModel, SwingCompositionConsistent)
+{
+    // probAtSwing(relativeSwing(cr)) == bitFaultProb(cr).
+    const FaultModel model;
+    for (const double cr : {1.0, 0.75, 0.5, 0.3, 0.25}) {
+        EXPECT_NEAR(model.probAtSwing(relativeSwing(cr)),
+                    model.bitFaultProb(cr),
+                    model.bitFaultProb(cr) * 1e-9);
+    }
+}
+
+TEST(FaultModelDeath, RejectsBadMultiplicity)
+{
+    const FaultModel model;
+    EXPECT_DEATH(model.multiBitFaultProb(0, 1.0), "unsupported");
+    EXPECT_DEATH(model.multiBitFaultProb(4, 1.0), "unsupported");
+}

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests of the three-level memory hierarchy: data/latency behavior,
+ * write-back propagation, fault detection and strike recovery, DMA
+ * flush semantics and hardware-like wild/unaligned access handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/chip_energy.hh"
+#include "fault/injector.hh"
+#include "mem/hierarchy.hh"
+
+using namespace clumsy;
+using namespace clumsy::mem;
+
+namespace
+{
+
+struct Rig
+{
+    HierarchyConfig config;
+    BackingStore store{1u << 20};
+    fault::FaultInjector injector;
+    energy::EnergyModel model;
+    energy::EnergyAccount account;
+    MemHierarchy hier;
+
+    explicit Rig(HierarchyConfig cfg = {}, double faultScale = 0.0,
+                 std::uint64_t seed = 1)
+        : config(cfg),
+          injector(fault::FaultModel(
+                       [faultScale] {
+                           fault::FaultModelParams p;
+                           p.scale = faultScale;
+                           return p;
+                       }()),
+                   seed),
+          model(energy::EnergyParams{}, cfg.l1d, cfg.l1i, cfg.l2),
+          account(&model),
+          hier(config, &store, &injector, &account)
+    {
+    }
+};
+
+} // namespace
+
+TEST(Hierarchy, ReadAfterWrite)
+{
+    Rig rig;
+    rig.hier.write(0x1000, 4, 0xcafef00d);
+    EXPECT_EQ(rig.hier.read(0x1000, 4).value, 0xcafef00du);
+}
+
+TEST(Hierarchy, SubWordAccesses)
+{
+    Rig rig;
+    rig.hier.write(0x2000, 4, 0x11223344);
+    rig.hier.write(0x2001, 1, 0xaa);
+    EXPECT_EQ(rig.hier.read(0x2000, 4).value, 0x1122aa44u);
+    EXPECT_EQ(rig.hier.read(0x2000, 2).value, 0xaa44u);
+    EXPECT_EQ(rig.hier.read(0x2003, 1).value, 0x11u);
+    rig.hier.write(0x2002, 2, 0xbeef);
+    EXPECT_EQ(rig.hier.read(0x2000, 4).value, 0xbeefaa44u);
+}
+
+TEST(Hierarchy, LatencyLadder)
+{
+    Rig rig;
+    // Cold read: L1 miss -> L2 miss -> DRAM.
+    const auto cold = rig.hier.read(0x3000, 4);
+    EXPECT_EQ(cold.latency,
+              cyclesToQuanta(2 + 15 + 60));
+    // Hot read: pure L1 hit at Cr = 1 -> 2 cycles.
+    const auto hot = rig.hier.read(0x3000, 4);
+    EXPECT_EQ(hot.latency, cyclesToQuanta(2));
+    // Neighbor L1 line within the same (now-resident) L2 line.
+    const auto warm = rig.hier.read(0x3020, 4);
+    EXPECT_EQ(warm.latency, cyclesToQuanta(2 + 15));
+}
+
+TEST(Hierarchy, OverClockingShortensL1HitsDownToTheFloor)
+{
+    Rig rig;
+    rig.hier.read(0x3000, 4);
+    rig.hier.setCycleTime(0.75);
+    EXPECT_EQ(rig.hier.read(0x3000, 4).latency, 18);
+    rig.hier.setCycleTime(0.5);
+    EXPECT_EQ(rig.hier.read(0x3000, 4).latency, cyclesToQuanta(1));
+    // Load-use floor: the core cannot consume data faster than one
+    // of its own cycles, so 0.25 is no faster than 0.5.
+    rig.hier.setCycleTime(0.25);
+    EXPECT_EQ(rig.hier.read(0x3000, 4).latency, cyclesToQuanta(1));
+}
+
+TEST(Hierarchy, WritebackReachesDramUnderPressure)
+{
+    Rig rig;
+    rig.hier.write(0x4000, 4, 0x5555aaaa);
+    // Evict through both levels by touching conflicting lines: L1 is
+    // 4 KB direct-mapped, L2 is 128 KB 4-way; stride 128 KB aliases
+    // both.
+    for (SimAddr a = 0; a < 6u * (128u << 10); a += 128u << 10)
+        rig.hier.read(0x4000 + (128u << 10) + a, 4);
+    EXPECT_EQ(rig.store.read32(0x4000), 0x5555aaaau);
+}
+
+TEST(Hierarchy, PeekSeesNewestCopy)
+{
+    Rig rig;
+    rig.hier.write(0x5000, 4, 0x01020304);
+    EXPECT_EQ(rig.hier.peekWord(0x5000), 0x01020304u);
+    // Peek does not disturb stats.
+    const auto reads = rig.hier.stats().get("reads");
+    rig.hier.peekWord(0x5000);
+    EXPECT_EQ(rig.hier.stats().get("reads"), reads);
+}
+
+TEST(Hierarchy, WildReadReturnsLazyZeros)
+{
+    Rig rig;
+    const auto a = rig.hier.read(0xf0000000, 4);
+    EXPECT_TRUE(a.wild);
+    EXPECT_EQ(a.value, 0u);
+    EXPECT_EQ(rig.hier.stats().get("wild_reads"), 1u);
+}
+
+TEST(Hierarchy, WildWriteIsDropped)
+{
+    Rig rig;
+    const auto acc = rig.hier.write(0xf0000000, 4, 1);
+    EXPECT_TRUE(acc.wild);
+    EXPECT_EQ(rig.hier.stats().get("wild_writes"), 1u);
+}
+
+TEST(Hierarchy, UnalignedAccessForceAligned)
+{
+    Rig rig;
+    rig.hier.write(0x6000, 4, 0xaabbccdd);
+    const auto acc = rig.hier.read(0x6002, 4); // masked to 0x6000
+    EXPECT_EQ(acc.value, 0xaabbccddu);
+    EXPECT_EQ(rig.hier.stats().get("unaligned_reads"), 1u);
+}
+
+TEST(Hierarchy, FetchHitsAreFree)
+{
+    Rig rig;
+    const SimAddr pc = 0x7000;
+    EXPECT_GT(rig.hier.fetch(pc), 0); // cold
+    EXPECT_EQ(rig.hier.fetch(pc), 0); // hot
+}
+
+TEST(Hierarchy, FlushRangePreservesDirtyNeighbors)
+{
+    // Regression: a DMA flush over part of a line must not lose the
+    // dirty data sharing that line.
+    Rig rig;
+    rig.hier.write(0x8000, 4, 0x12344321); // dirty word
+    rig.hier.flushRange(0x8004, 8);        // same L1 line
+    EXPECT_EQ(rig.store.read32(0x8000), 0x12344321u);
+    EXPECT_EQ(rig.hier.read(0x8000, 4).value, 0x12344321u);
+}
+
+TEST(Hierarchy, ReadFaultsAreTransientWithRetry)
+{
+    // With parity + two-strike, a read-sense fault is retried and the
+    // correct stored value is returned.
+    HierarchyConfig cfg;
+    cfg.scheme = RecoveryScheme::TwoStrike;
+    Rig rig(cfg, /*faultScale=*/2e3, /*seed=*/5);
+    rig.hier.setCycleTime(0.25);
+    rig.hier.write(0x9000, 4, 0x0f0f0f0f);
+    // Force the line clean in L2 so invalidation recovery also works.
+    rig.hier.flushRange(0x9000, 4);
+    unsigned wrong = 0;
+    for (int i = 0; i < 20000; ++i) {
+        if (rig.hier.read(0x9000, 4).value != 0x0f0f0f0f)
+            ++wrong;
+    }
+    EXPECT_GT(rig.hier.stats().get("parity_trips"), 0u);
+    EXPECT_GT(rig.hier.stats().get("strike_retries"), 0u);
+    // Two-bit faults can still slip through parity; everything else
+    // must have been corrected.
+    EXPECT_LT(wrong, 10u);
+}
+
+TEST(Hierarchy, NoDetectionLetsFaultsThrough)
+{
+    Rig rig(HierarchyConfig{}, /*faultScale=*/2e4, /*seed=*/6);
+    rig.hier.setCycleTime(0.25);
+    rig.hier.write(0xa000, 4, 0x0f0f0f0f);
+    unsigned wrong = 0;
+    for (int i = 0; i < 20000; ++i) {
+        if (rig.hier.read(0xa000, 4).value != 0x0f0f0f0f)
+            ++wrong;
+    }
+    EXPECT_GT(wrong, 50u);
+    EXPECT_EQ(rig.hier.stats().get("parity_trips"), 0u);
+}
+
+TEST(Hierarchy, WriteFaultDetectedOnLaterRead)
+{
+    // A write fault leaves stored data disagreeing with its parity;
+    // one-strike recovery must invalidate and refetch from L2.
+    HierarchyConfig cfg;
+    cfg.scheme = RecoveryScheme::OneStrike;
+    Rig rig(cfg, /*faultScale=*/0.0, /*seed=*/7);
+
+    // Prepare: value in L2/DRAM is 0x77777777.
+    rig.hier.write(0xb000, 4, 0x77777777);
+    rig.hier.flushRange(0xb000, 4);
+    rig.hier.read(0xb000, 4); // refill L1 cleanly
+
+    // Now emulate a write fault by a burst of faulty writes. The
+    // rate must stay well below saturation: if every access faults,
+    // the write flip and the read-sense flip pair into an even-weight
+    // pattern that parity cannot see.
+    fault::FaultModelParams boost;
+    boost.scale = 500.0;
+    rig.injector = fault::FaultInjector(fault::FaultModel(boost), 8);
+    rig.hier.setCycleTime(0.25);
+    bool sawRecovery = false;
+    for (int i = 0; i < 100000 && !sawRecovery; ++i) {
+        rig.hier.write(0xb000, 4, 0x77777777);
+        const auto acc = rig.hier.read(0xb000, 4);
+        if (acc.parityTrips > 0) {
+            sawRecovery = true;
+            // One-strike: the block was salvaged to L2 and refetched.
+            // If the detected fault was a read-sense fault the value
+            // comes back correct; a genuine write fault comes back
+            // parity-consistent but corrupted (the undetected-fault
+            // channel), so the exact value is not asserted here.
+        }
+    }
+    EXPECT_TRUE(sawRecovery);
+    EXPECT_GT(rig.hier.stats().get("strike_invalidations"), 0u);
+}
+
+TEST(Hierarchy, EnergyChargedPerAccess)
+{
+    Rig rig;
+    const double before = rig.account.totalPj();
+    rig.hier.read(0xc000, 4);
+    EXPECT_GT(rig.account.totalPj(), before);
+    EXPECT_GT(rig.account.l1dPj(), 0.0);
+    EXPECT_GT(rig.account.l2Pj(), 0.0);
+}
+
+TEST(Hierarchy, ResetDropsState)
+{
+    Rig rig;
+    rig.hier.write(0xd000, 4, 0xffffffff);
+    rig.hier.reset();
+    EXPECT_EQ(rig.hier.stats().get("writes"), 0u);
+    // The dirty write was dropped with the caches; DRAM keeps junk.
+    EXPECT_FALSE(rig.hier.l1d().contains(0xd000));
+}
+
+TEST(HierarchyDeath, RejectsBadWidth)
+{
+    Rig rig;
+    EXPECT_DEATH(rig.hier.read(0, 3), "width");
+    EXPECT_DEATH(rig.hier.write(0, 5, 0), "width");
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests of the calibrated SRAM noise-immunity curves.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_model.hh"
+#include "fault/immunity.hh"
+
+using namespace clumsy::fault;
+
+TEST(Immunity, FaultProbDecreasesWithMargin)
+{
+    double prev = 1.0;
+    for (double m = 0.05; m <= 0.6; m += 0.05) {
+        const double p = ImmunityCurves::faultProbForMargin(m);
+        EXPECT_LT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(Immunity, MarginInverseRoundTrip)
+{
+    for (const double prob : {1e-4, 1e-5, 1e-6, 2.59e-7, 1e-8}) {
+        const double m = ImmunityCurves::marginForFaultProb(prob);
+        EXPECT_NEAR(ImmunityCurves::faultProbForMargin(m), prob,
+                    prob * 1e-6);
+    }
+}
+
+TEST(Immunity, MarginShrinksWithSwing)
+{
+    const ImmunityCurves curves;
+    double prev = 1.0;
+    for (const double vsr : {1.0, 0.9, 0.8, 0.7, 0.6, 0.5}) {
+        const double m = curves.staticMargin(vsr);
+        EXPECT_LT(m, prev);
+        EXPECT_GT(m, 0.0);
+        prev = m;
+    }
+}
+
+TEST(Immunity, FullSwingMarginIsPhysical)
+{
+    // A 6T SRAM static noise margin is ~0.4 Vdd at full swing.
+    const ImmunityCurves curves;
+    EXPECT_NEAR(curves.staticMargin(1.0), 0.40, 0.05);
+}
+
+TEST(Immunity, CriticalAmplitudeFallsWithDuration)
+{
+    const ImmunityCurves curves;
+    double prev = 1e9;
+    for (double dr = 0.005; dr <= 0.1; dr += 0.005) {
+        const double a = curves.criticalAmplitude(dr, 0.8);
+        EXPECT_LT(a, prev);
+        prev = a;
+    }
+}
+
+TEST(Immunity, LongPulseAsymptoteIsStaticMargin)
+{
+    const ImmunityCurves curves;
+    EXPECT_NEAR(curves.criticalAmplitude(1e6, 0.9),
+                curves.staticMargin(0.9), 1e-6);
+}
+
+TEST(Immunity, CalibrationMatchesClosedForm)
+{
+    // The whole point of the calibration: integrating the noise
+    // statistics over the curve at swing Vsr reproduces eq. (4).
+    const FaultModel model;
+    const ImmunityCurves curves;
+    for (const double vsr : {1.0, 0.9, 0.8, 0.7, 0.6, 0.5}) {
+        const double target = model.probAtSwing(vsr);
+        const double got = ImmunityCurves::faultProbForMargin(
+            curves.staticMargin(vsr));
+        EXPECT_NEAR(got, target, target * 1e-3);
+    }
+}
+
+TEST(ImmunityDeath, RejectsBadArguments)
+{
+    const ImmunityCurves curves;
+    EXPECT_DEATH(curves.criticalAmplitude(0.0, 0.5), "positive");
+    EXPECT_DEATH(curves.staticMargin(0.0), "0, 1");
+    EXPECT_DEATH(ImmunityCurves::marginForFaultProb(0.0), "0, 1");
+}

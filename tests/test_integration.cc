@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Cross-module integration tests: the paper's qualitative claims must
+ * hold end-to-end on the full simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/app.hh"
+#include "core/experiment.hh"
+#include "core/metrics.hh"
+
+using namespace clumsy;
+using namespace clumsy::core;
+
+namespace
+{
+
+ExperimentResult
+run(const std::string &app, double cr, mem::RecoveryScheme scheme,
+    double faultScale = 1.0, std::uint64_t packets = 300,
+    unsigned trials = 2)
+{
+    ExperimentConfig cfg;
+    cfg.numPackets = packets;
+    cfg.trials = trials;
+    cfg.cr = cr;
+    cfg.scheme = scheme;
+    cfg.faultScale = faultScale;
+    return runExperiment(apps::appFactory(app), cfg);
+}
+
+} // namespace
+
+TEST(Integration, OverClockingReducesDelayAndEnergy)
+{
+    // Golden-path speed/energy: the whole motivation of the paper.
+    const auto slow =
+        run("route", 1.0, mem::RecoveryScheme::NoDetection, 0.0);
+    const auto fast =
+        run("route", 0.25, mem::RecoveryScheme::NoDetection, 0.0);
+    EXPECT_LT(fast.cyclesPerPacket, slow.cyclesPerPacket);
+    EXPECT_LT(fast.energyPerPacketPj, slow.energyPerPacketPj);
+    EXPECT_LT(fast.l1dEnergyPerPacketPj, slow.l1dEnergyPerPacketPj);
+}
+
+TEST(Integration, CacheEnergySavingNearPaperHeadline)
+{
+    // The paper: ~41% D-cache energy saving at 4x clock (45% swing
+    // saving minus extra L2 traffic).
+    const auto slow =
+        run("crc", 1.0, mem::RecoveryScheme::NoDetection, 0.0);
+    const auto fast =
+        run("crc", 0.25, mem::RecoveryScheme::NoDetection, 0.0);
+    const double saving =
+        1.0 - fast.l1dEnergyPerPacketPj / slow.l1dEnergyPerPacketPj;
+    EXPECT_GT(saving, 0.35);
+    EXPECT_LT(saving, 0.50);
+}
+
+TEST(Integration, FallibilityRisesWithFrequency)
+{
+    const auto mid =
+        run("md5", 0.5, mem::RecoveryScheme::NoDetection, 10.0);
+    const auto fast =
+        run("md5", 0.25, mem::RecoveryScheme::NoDetection, 10.0);
+    EXPECT_GT(fast.fallibility, mid.fallibility);
+}
+
+TEST(Integration, DetectionReducesErrors)
+{
+    // Parity + two-strike must beat no-detection on fallibility at
+    // the same (accelerated) fault rate.
+    const auto blind =
+        run("crc", 0.25, mem::RecoveryScheme::NoDetection, 100.0, 400);
+    const auto guarded =
+        run("crc", 0.25, mem::RecoveryScheme::TwoStrike, 100.0, 400);
+    EXPECT_LT(guarded.anyErrorProb, blind.anyErrorProb);
+}
+
+TEST(Integration, DetectionCostsEnergy)
+{
+    // Parity is not free: Phelan overheads show up in the D-cache
+    // account.
+    const auto blind =
+        run("route", 1.0, mem::RecoveryScheme::NoDetection, 0.0);
+    const auto guarded =
+        run("route", 1.0, mem::RecoveryScheme::TwoStrike, 0.0);
+    EXPECT_GT(guarded.l1dEnergyPerPacketPj,
+              blind.l1dEnergyPerPacketPj * 1.1);
+}
+
+TEST(Integration, StrikeRecoveryAddsLatencyUnderFaults)
+{
+    // crc: its control plane carries no pointers, so boosted fault
+    // rates cannot kill the run before packets flow.
+    const auto calm =
+        run("crc", 0.25, mem::RecoveryScheme::TwoStrike, 0.0);
+    const auto stormy =
+        run("crc", 0.25, mem::RecoveryScheme::TwoStrike, 300.0);
+    ASSERT_GT(stormy.faulty.packetsProcessed, 0u);
+    EXPECT_GT(stormy.cyclesPerPacket, calm.cyclesPerPacket);
+    EXPECT_GT(stormy.faulty.parityTrips, 0u);
+}
+
+TEST(Integration, FatalErrorsEmergeAtHighRatesWithoutDetection)
+{
+    // Loop budgets + corrupted lengths/pointers must eventually kill
+    // runs when faults are frequent and undetected.
+    unsigned fatalTrials = 0;
+    for (unsigned seed = 0; seed < 4; ++seed) {
+        ExperimentConfig cfg;
+        cfg.numPackets = 150;
+        cfg.cr = 0.25;
+        cfg.faultScale = 2000.0;
+        cfg.faultSeed = 100 + seed;
+        cfg.scheme = mem::RecoveryScheme::NoDetection;
+        const auto res =
+            runExperiment(apps::appFactory("md5"), cfg);
+        fatalTrials += res.fatalFraction > 0 ? 1 : 0;
+    }
+    EXPECT_GT(fatalTrials, 0u);
+}
+
+TEST(Integration, DetectionSuppressesFatals)
+{
+    // The paper: with detection enabled it never saw a fatal error.
+    ExperimentConfig cfg;
+    cfg.numPackets = 150;
+    cfg.trials = 4;
+    cfg.cr = 0.25;
+    cfg.faultScale = 500.0;
+    cfg.scheme = mem::RecoveryScheme::ThreeStrike;
+    const auto res = runExperiment(apps::appFactory("md5"), cfg);
+    EXPECT_EQ(res.fatalFraction, 0.0);
+}
+
+TEST(Integration, EdfOptimumPrefersModerateOverclocking)
+{
+    // At the paper's (unscaled) fault rates, Cr = 0.5 with two-strike
+    // must beat both the base clock and reckless no-detection 0.25.
+    const auto base =
+        run("tl", 1.0, mem::RecoveryScheme::NoDetection, 1.0, 600, 3);
+    const auto sweet =
+        run("tl", 0.5, mem::RecoveryScheme::TwoStrike, 1.0, 600, 3);
+    const double relSweet =
+        (sweet.energyPerPacketPj *
+         std::pow(sweet.cyclesPerPacket, 2) *
+         std::pow(sweet.fallibility, 2)) /
+        (base.energyPerPacketPj * std::pow(base.cyclesPerPacket, 2) *
+         std::pow(base.fallibility, 2));
+    EXPECT_LT(relSweet, 1.0);
+}
+
+TEST(Integration, DynamicControllerSettlesFastUnderLowFaults)
+{
+    ExperimentConfig cfg;
+    cfg.numPackets = 1000;
+    cfg.dynamicFrequency = true;
+    cfg.scheme = mem::RecoveryScheme::TwoStrike;
+    const auto res = runExperiment(apps::appFactory("route"), cfg);
+    // At paper fault rates most epochs are quiet: the controller must
+    // leave the base level and stay fast (cheaper, quicker packets
+    // than the static base clock).
+    const auto baseline =
+        run("route", 1.0, mem::RecoveryScheme::TwoStrike, 1.0, 1000,
+            1);
+    EXPECT_LT(res.cyclesPerPacket, baseline.cyclesPerPacket);
+}

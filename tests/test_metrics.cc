@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests of the fallibility and energy-delay-fallibility metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hh"
+
+using namespace clumsy::core;
+
+namespace
+{
+
+RunMetrics
+sampleRun()
+{
+    RunMetrics m;
+    m.packetsAttempted = 100;
+    m.packetsProcessed = 100;
+    m.packetsWithError = 5;
+    m.cyclesPerPacket = 1000.0;
+    m.energyPerPacketPj = 2e6;
+    return m;
+}
+
+} // namespace
+
+TEST(Metrics, ErrorProbAndFallibility)
+{
+    const RunMetrics m = sampleRun();
+    EXPECT_DOUBLE_EQ(anyErrorProb(m), 0.05);
+    EXPECT_DOUBLE_EQ(fallibility(m), 1.05);
+}
+
+TEST(Metrics, CleanRunHasUnitFallibility)
+{
+    RunMetrics m = sampleRun();
+    m.packetsWithError = 0;
+    EXPECT_DOUBLE_EQ(fallibility(m), 1.0);
+}
+
+TEST(Metrics, FatalProbIsPerPacketHazard)
+{
+    RunMetrics m = sampleRun();
+    EXPECT_DOUBLE_EQ(fatalProb(m), 0.0);
+    m.fatal = true;
+    m.packetsProcessed = 250;
+    EXPECT_DOUBLE_EQ(fatalProb(m), 1.0 / 250.0);
+    m.packetsProcessed = 0;
+    EXPECT_DOUBLE_EQ(fatalProb(m), 1.0);
+}
+
+TEST(Metrics, EdfProductDefaultWeights)
+{
+    const RunMetrics m = sampleRun();
+    // k=1, m=2, n=2.
+    const double expect = 2e6 * 1000.0 * 1000.0 * 1.05 * 1.05;
+    EXPECT_NEAR(edfProduct(m), expect, expect * 1e-12);
+}
+
+TEST(Metrics, EdfProductCustomWeights)
+{
+    const RunMetrics m = sampleRun();
+    const MetricWeights w{1.0, 1.0, 0.0}; // plain energy-delay
+    EXPECT_NEAR(edfProduct(m, w), 2e6 * 1000.0, 1.0);
+}
+
+TEST(Metrics, RelativeEdfNormalizes)
+{
+    const RunMetrics base = sampleRun();
+    RunMetrics twice = base;
+    twice.energyPerPacketPj *= 2.0;
+    EXPECT_NEAR(relativeEdf(twice, base), 2.0, 1e-12);
+    EXPECT_NEAR(relativeEdf(base, base), 1.0, 1e-12);
+}
+
+TEST(Metrics, FallibilityPenalizesQuadratically)
+{
+    const RunMetrics clean = [] {
+        RunMetrics m = sampleRun();
+        m.packetsWithError = 0;
+        return m;
+    }();
+    RunMetrics faulty = clean;
+    faulty.packetsWithError = 10; // fallibility 1.1
+    EXPECT_NEAR(relativeEdf(faulty, clean), 1.1 * 1.1, 1e-9);
+}
+
+TEST(MetricsDeath, EmptyRunRejected)
+{
+    RunMetrics m;
+    EXPECT_DEATH(edfProduct(m), "empty run");
+}

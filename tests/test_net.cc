@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests of the networking substrate: checksums, headers and the
+ * deterministic trace generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "common/random.hh"
+#include "net/checksum.hh"
+#include "net/packet.hh"
+#include "net/trace_gen.hh"
+
+using namespace clumsy;
+using namespace clumsy::net;
+
+TEST(Checksum, KnownVector)
+{
+    // Classic RFC 1071 example: 0x0001 0xf203 0xf4f5 0xf6f7.
+    const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03,
+                                 0xf4, 0xf5, 0xf6, 0xf7};
+    EXPECT_EQ(internetChecksum(data, sizeof(data)), 0x220d);
+}
+
+TEST(Checksum, OddLengthPadsWithZero)
+{
+    const std::uint8_t odd[] = {0x12, 0x34, 0x56};
+    const std::uint8_t even[] = {0x12, 0x34, 0x56, 0x00};
+    EXPECT_EQ(internetChecksum(odd, 3), internetChecksum(even, 4));
+}
+
+TEST(Checksum, HeaderVerifiesToZero)
+{
+    Ipv4Header h;
+    h.src = 0xc0a80001;
+    h.dst = 0x08080808;
+    h.totalLen = 84;
+    h.checksum = 0;
+    auto bytes = h.toBytes();
+    h.checksum = internetChecksum(bytes.data(), bytes.size());
+    bytes = h.toBytes();
+    // Summing a valid header including its checksum gives 0.
+    EXPECT_EQ(internetChecksum(bytes.data(), bytes.size()), 0);
+}
+
+class IncrementalChecksum : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(IncrementalChecksum, MatchesFullRecompute)
+{
+    Rng rng(100 + GetParam());
+    Ipv4Header h;
+    h.src = static_cast<std::uint32_t>(rng.next());
+    h.dst = static_cast<std::uint32_t>(rng.next());
+    h.ttl = static_cast<std::uint8_t>(2 + rng.below(200));
+    h.id = static_cast<std::uint16_t>(rng.next());
+    h.totalLen = static_cast<std::uint16_t>(rng.below(1500));
+    h.checksum = 0;
+    auto bytes = h.toBytes();
+    h.checksum = internetChecksum(bytes.data(), bytes.size());
+
+    // Decrement the TTL, patch incrementally and compare against a
+    // from-scratch recompute.
+    const auto oldWord =
+        static_cast<std::uint16_t>((h.ttl << 8) | h.protocol);
+    h.ttl -= 1;
+    const auto newWord =
+        static_cast<std::uint16_t>((h.ttl << 8) | h.protocol);
+    const std::uint16_t patched =
+        incrementalChecksum(h.checksum, oldWord, newWord);
+
+    h.checksum = 0;
+    const auto fresh = h.toBytes();
+    const std::uint16_t full =
+        internetChecksum(fresh.data(), fresh.size());
+    EXPECT_EQ(patched, full);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, IncrementalChecksum,
+                         ::testing::Range(0, 16));
+
+TEST(Header, SerializationLayout)
+{
+    Ipv4Header h;
+    h.ttl = 0x40;
+    h.protocol = 6;
+    h.src = 0x0a000001;
+    h.dst = 0xc0000002;
+    const auto b = h.toBytes();
+    EXPECT_EQ(b[0], 0x45); // version 4, IHL 5
+    EXPECT_EQ(b[8], 0x40);
+    EXPECT_EQ(b[9], 6);
+    EXPECT_EQ(b[12], 0x0a);
+    EXPECT_EQ(b[16], 0xc0);
+    EXPECT_EQ(b[19], 0x02);
+}
+
+TEST(Header, IpToString)
+{
+    EXPECT_EQ(ipToString(0xc0a80164), "192.168.1.100");
+}
+
+TEST(TraceGen, DeterministicBySeed)
+{
+    TraceConfig cfg;
+    cfg.seed = 9;
+    TraceGenerator a(cfg), b(cfg);
+    for (int i = 0; i < 50; ++i) {
+        const Packet pa = a.next();
+        const Packet pb = b.next();
+        EXPECT_EQ(pa.ip.src, pb.ip.src);
+        EXPECT_EQ(pa.ip.dst, pb.ip.dst);
+        EXPECT_EQ(pa.payload, pb.payload);
+    }
+}
+
+TEST(TraceGen, DifferentSeedsDiffer)
+{
+    TraceConfig a, b;
+    a.seed = 1;
+    b.seed = 2;
+    TraceGenerator ga(a), gb(b);
+    bool anyDiff = false;
+    for (int i = 0; i < 20; ++i)
+        anyDiff |= ga.next().ip.dst != gb.next().ip.dst;
+    EXPECT_TRUE(anyDiff);
+}
+
+TEST(TraceGen, PoolIndependentOfStreamSeed)
+{
+    TraceConfig a, b;
+    a.seed = 1;
+    b.seed = 999;
+    EXPECT_EQ(TraceGenerator(a).destinations(),
+              TraceGenerator(b).destinations());
+    EXPECT_EQ(TraceGenerator::makeDestPool(a),
+              TraceGenerator(a).destinations());
+}
+
+TEST(TraceGen, DestinationsComeFromPool)
+{
+    TraceConfig cfg;
+    cfg.numDestinations = 32;
+    TraceGenerator gen(cfg);
+    const auto &pool = gen.destinations();
+    for (int i = 0; i < 200; ++i) {
+        const Packet p = gen.next();
+        EXPECT_NE(std::find(pool.begin(), pool.end(), p.ip.dst),
+                  pool.end());
+    }
+}
+
+TEST(TraceGen, SourcesArePrivate)
+{
+    TraceConfig cfg;
+    TraceGenerator gen(cfg);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(gen.next().ip.src >> 24, 0x0au);
+}
+
+TEST(TraceGen, ValidWireChecksums)
+{
+    TraceGenerator gen(TraceConfig{});
+    for (int i = 0; i < 100; ++i) {
+        const Packet p = gen.next();
+        const auto b = p.ip.toBytes();
+        EXPECT_EQ(internetChecksum(b.data(), b.size()), 0);
+        EXPECT_EQ(p.ip.totalLen, p.wireBytes());
+    }
+}
+
+TEST(TraceGen, PayloadBoundsRespected)
+{
+    TraceConfig cfg;
+    cfg.minPayload = 100;
+    cfg.maxPayload = 120;
+    TraceGenerator gen(cfg);
+    for (int i = 0; i < 200; ++i) {
+        const auto n = gen.next().payload.size();
+        EXPECT_GE(n, 100u);
+        EXPECT_LE(n, 120u);
+    }
+}
+
+TEST(TraceGen, HttpPayloadsAreWellFormedGets)
+{
+    TraceConfig cfg;
+    cfg.httpPayloads = true;
+    TraceGenerator gen(cfg);
+    const auto urls = TraceGenerator::makeUrlPool(cfg);
+    for (int i = 0; i < 100; ++i) {
+        const Packet p = gen.next();
+        const std::string s(p.payload.begin(), p.payload.end());
+        ASSERT_EQ(s.rfind("GET ", 0), 0u);
+        const auto sp = s.find(' ', 4);
+        ASSERT_NE(sp, std::string::npos);
+        const std::string url = s.substr(4, sp - 4);
+        EXPECT_NE(std::find(urls.begin(), urls.end(), url),
+                  urls.end());
+    }
+}
+
+TEST(TraceGen, UrlPoolDeterministicAndSized)
+{
+    TraceConfig cfg;
+    cfg.numUrls = 17;
+    const auto a = TraceGenerator::makeUrlPool(cfg);
+    const auto b = TraceGenerator::makeUrlPool(cfg);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.size(), 17u);
+    // All URLs distinct.
+    for (std::size_t i = 0; i < a.size(); ++i)
+        for (std::size_t j = i + 1; j < a.size(); ++j)
+            EXPECT_NE(a[i], a[j]);
+}
+
+TEST(TraceGen, GenerateBatch)
+{
+    TraceGenerator gen(TraceConfig{});
+    const auto trace = gen.generate(25);
+    ASSERT_EQ(trace.size(), 25u);
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(trace[i].seq, i);
+}

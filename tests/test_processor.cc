@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests of the ClumsyProcessor facade: memory API, instruction
+ * charging, DMA, fatal-error machinery, epochs and energy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/processor.hh"
+
+using namespace clumsy;
+using namespace clumsy::core;
+
+TEST(Processor, MemoryRoundTrip)
+{
+    ClumsyProcessor proc;
+    const SimAddr a = proc.alloc(64, 4);
+    proc.write32(a, 0xfeedface);
+    proc.write16(a + 4, 0x1234);
+    proc.write8(a + 6, 0x56);
+    EXPECT_EQ(proc.read32(a), 0xfeedfaceu);
+    EXPECT_EQ(proc.read16(a + 4), 0x1234u);
+    EXPECT_EQ(proc.read8(a + 6), 0x56u);
+}
+
+TEST(Processor, TimeAdvancesWithWork)
+{
+    ClumsyProcessor proc;
+    const Quanta t0 = proc.now();
+    proc.execute(10);
+    EXPECT_GE(proc.now(), t0 + cyclesToQuanta(10));
+    const Quanta t1 = proc.now();
+    const SimAddr a = proc.alloc(4, 4);
+    proc.read32(a);
+    EXPECT_GT(proc.now(), t1);
+}
+
+TEST(Processor, InstructionCountAndFetches)
+{
+    ProcessorConfig cfg;
+    ClumsyProcessor proc(cfg);
+    proc.setCodeRegion(0, 1024);
+    proc.execute(64);
+    EXPECT_EQ(proc.instructions(), 64u);
+    // 64 insts / 8 per fetch = 8 I-cache accesses.
+    EXPECT_EQ(proc.hierarchy().l1i().stats().get("hits") +
+                  proc.hierarchy().l1i().stats().get("misses"),
+              8u);
+}
+
+TEST(Processor, SmallCodeRegionHitsAfterWarmup)
+{
+    ClumsyProcessor proc;
+    proc.setCodeRegion(0, 1024);
+    proc.execute(8 * 32 * 10); // ten laps of a 1 KB loop
+    const auto &stats = proc.hierarchy().l1i().stats();
+    EXPECT_EQ(stats.get("misses"), 32u); // only the first lap misses
+}
+
+TEST(Processor, HugeCodeRegionThrashes)
+{
+    ClumsyProcessor proc;
+    proc.setCodeRegion(0, 64 << 10); // 16x the L1I
+    proc.execute(8 * 2048 * 2);      // two laps
+    const auto &stats = proc.hierarchy().l1i().stats();
+    EXPECT_EQ(stats.get("hits"), 0u);
+}
+
+TEST(Processor, DmaVisibleAndCoherent)
+{
+    ClumsyProcessor proc;
+    const SimAddr a = proc.alloc(128, 128);
+    proc.write32(a, 0x01010101); // cached + dirty
+    const std::uint8_t blob[4] = {0xde, 0xad, 0xbe, 0xef};
+    proc.dmaWrite(a, blob, 4);
+    EXPECT_EQ(proc.read32(a), 0xefbeaddeu);
+}
+
+TEST(Processor, DmaPreservesDirtyNeighbors)
+{
+    ClumsyProcessor proc;
+    const SimAddr a = proc.alloc(64, 64);
+    proc.write32(a, 0x13572468); // dirty, same line as a+4
+    const std::uint8_t blob[4] = {1, 2, 3, 4};
+    proc.dmaWrite(a + 4, blob, 4);
+    EXPECT_EQ(proc.read32(a), 0x13572468u);
+}
+
+TEST(Processor, PeekDoesNotDisturbState)
+{
+    ClumsyProcessor proc;
+    const SimAddr a = proc.alloc(4, 4);
+    proc.write32(a, 42);
+    const auto reads = proc.hierarchy().stats().get("reads");
+    const Quanta t = proc.now();
+    EXPECT_EQ(proc.peek32(a), 42u);
+    EXPECT_EQ(proc.peek8(a), 42u);
+    EXPECT_EQ(proc.hierarchy().stats().get("reads"), reads);
+    EXPECT_EQ(proc.now(), t);
+}
+
+TEST(Processor, FatalIsStickyAndFirstReasonWins)
+{
+    ClumsyProcessor proc;
+    EXPECT_FALSE(proc.fatalOccurred());
+    proc.raiseFatal("first");
+    proc.raiseFatal("second");
+    EXPECT_TRUE(proc.fatalOccurred());
+    EXPECT_EQ(proc.fatalReason(), "first");
+}
+
+TEST(Processor, LoopGuardTripsToFatal)
+{
+    ClumsyProcessor proc;
+    ClumsyProcessor::LoopGuard guard(proc, 3, "test loop");
+    EXPECT_TRUE(guard.tick());
+    EXPECT_TRUE(guard.tick());
+    EXPECT_TRUE(guard.tick());
+    EXPECT_FALSE(guard.tick());
+    EXPECT_TRUE(proc.fatalOccurred());
+    EXPECT_NE(proc.fatalReason().find("test loop"), std::string::npos);
+}
+
+TEST(Processor, LoopGuardStopsOnExistingFatal)
+{
+    ClumsyProcessor proc;
+    proc.raiseFatal("elsewhere");
+    ClumsyProcessor::LoopGuard guard(proc, 100, "loop");
+    EXPECT_FALSE(guard.tick());
+}
+
+TEST(Processor, StaticCycleTimeApplied)
+{
+    ProcessorConfig cfg;
+    cfg.staticCr = 0.5;
+    ClumsyProcessor proc(cfg);
+    EXPECT_DOUBLE_EQ(proc.currentCr(), 0.5);
+    EXPECT_EQ(proc.freqController(), nullptr);
+}
+
+TEST(Processor, DynamicControllerRampsUpWhenQuiet)
+{
+    ProcessorConfig cfg;
+    cfg.dynamicFrequency = true;
+    cfg.injectionEnabled = false; // no faults: epochs look quiet
+    ClumsyProcessor proc(cfg);
+    ASSERT_NE(proc.freqController(), nullptr);
+    EXPECT_DOUBLE_EQ(proc.currentCr(), 1.0);
+    for (int i = 0; i < 300; ++i) {
+        proc.beginPacket();
+        proc.endPacket();
+    }
+    // 3 quiet epochs: 1.0 -> 0.75 -> 0.5 -> 0.25.
+    EXPECT_DOUBLE_EQ(proc.currentCr(), 0.25);
+    EXPECT_EQ(proc.freqController()->switches(), 3u);
+}
+
+TEST(Processor, EpochSwitchChargesPenalty)
+{
+    ProcessorConfig cfg;
+    cfg.dynamicFrequency = true;
+    cfg.injectionEnabled = false;
+    ClumsyProcessor proc(cfg);
+    Quanta before = 0;
+    for (int i = 0; i < 100; ++i) {
+        proc.beginPacket();
+        before = proc.now();
+        proc.endPacket();
+    }
+    EXPECT_EQ(proc.now() - before,
+              cyclesToQuanta(cfg.freqCtl.switchPenaltyCycles));
+}
+
+TEST(Processor, ObservedFaultsParityVsOracle)
+{
+    ProcessorConfig cfg;
+    cfg.hierarchy.scheme = mem::RecoveryScheme::TwoStrike;
+    cfg.faultModel.scale = 5e3;
+    cfg.staticCr = 0.25;
+    ClumsyProcessor proc(cfg);
+    const SimAddr a = proc.alloc(4, 4);
+    proc.write32(a, 7);
+    for (int i = 0; i < 3000; ++i)
+        proc.read32(a);
+    // With parity, observed = parity trips.
+    EXPECT_EQ(proc.observedFaults(),
+              proc.hierarchy().stats().get("parity_trips"));
+    EXPECT_GT(proc.observedFaults(), 0u);
+
+    ProcessorConfig blind = cfg;
+    blind.hierarchy.scheme = mem::RecoveryScheme::NoDetection;
+    ClumsyProcessor oracle(blind);
+    const SimAddr b = oracle.alloc(4, 4);
+    oracle.write32(b, 7);
+    for (int i = 0; i < 3000; ++i)
+        oracle.read32(b);
+    EXPECT_EQ(oracle.observedFaults(), oracle.injector().faultCount());
+}
+
+TEST(Processor, EnergyGrowsWithActivity)
+{
+    ClumsyProcessor proc;
+    const double e0 = proc.totalEnergyPj();
+    proc.execute(1000);
+    const double e1 = proc.totalEnergyPj();
+    EXPECT_GT(e1, e0);
+    const SimAddr a = proc.alloc(4, 4);
+    proc.read32(a);
+    EXPECT_GT(proc.totalEnergyPj(), e1);
+    EXPECT_GT(proc.l1dEnergyPj(), 0.0);
+}
+
+TEST(Processor, InjectionToggle)
+{
+    ProcessorConfig cfg;
+    cfg.faultModel.scale = 1e5;
+    cfg.injectionEnabled = false;
+    ClumsyProcessor proc(cfg);
+    const SimAddr a = proc.alloc(4, 4);
+    proc.write32(a, 0);
+    for (int i = 0; i < 1000; ++i)
+        proc.read32(a);
+    EXPECT_EQ(proc.injector().faultCount(), 0u);
+    proc.setInjectionEnabled(true);
+    for (int i = 0; i < 1000; ++i)
+        proc.read32(a);
+    EXPECT_GT(proc.injector().faultCount(), 0u);
+}
+
+TEST(ProcessorDeath, BadConfigurationIsFatal)
+{
+    ProcessorConfig cfg;
+    cfg.staticCr = 1.5;
+    EXPECT_EXIT(ClumsyProcessor{cfg}, ::testing::ExitedWithCode(1),
+                "staticCr");
+    ProcessorConfig cfg2;
+    cfg2.memBytes = 1000; // not a multiple of the L2 line
+    EXPECT_EXIT(ClumsyProcessor{cfg2}, ::testing::ExitedWithCode(1),
+                "multiple");
+}
+
+TEST(ProcessorDeath, CodeRegionBounded)
+{
+    ClumsyProcessor proc;
+    EXPECT_DEATH(proc.setCodeRegion(0, 2u << 20), "instruction region");
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Cross-application property tests: invariants that must hold for
+ * *every* workload (the paper's seven plus extensions), checked via
+ * parameterized sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/app.hh"
+#include "core/experiment.hh"
+
+using namespace clumsy;
+
+namespace
+{
+
+std::vector<std::string>
+everyApp()
+{
+    std::vector<std::string> names = apps::allAppNames();
+    for (const auto &n : apps::extensionAppNames())
+        names.push_back(n);
+    return names;
+}
+
+core::ExperimentResult
+run(const std::string &app, double cr, mem::RecoveryScheme scheme,
+    double faultScale, std::uint64_t packets = 200)
+{
+    core::ExperimentConfig cfg;
+    cfg.numPackets = packets;
+    cfg.trials = 2;
+    cfg.cr = cr;
+    cfg.scheme = scheme;
+    cfg.faultScale = faultScale;
+    return core::runExperiment(apps::appFactory(app), cfg);
+}
+
+} // namespace
+
+class EveryAppProperty : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EveryAppProperty, OverClockingNeverCostsGoldenEnergy)
+{
+    // With injection inert (scale 0), raising the cache clock must
+    // reduce both chip energy and delay per packet, at every app.
+    const auto slow =
+        run(GetParam(), 1.0, mem::RecoveryScheme::NoDetection, 0.0);
+    const auto fast =
+        run(GetParam(), 0.25, mem::RecoveryScheme::NoDetection, 0.0);
+    EXPECT_LT(fast.energyPerPacketPj, slow.energyPerPacketPj);
+    EXPECT_LE(fast.cyclesPerPacket, slow.cyclesPerPacket);
+    EXPECT_EQ(fast.anyErrorProb, 0.0);
+}
+
+TEST_P(EveryAppProperty, HalfCycleDelayEqualsQuarterCycleDelay)
+{
+    // The load-use floor: beyond Cr = 0.5 no further speedup exists.
+    const auto half =
+        run(GetParam(), 0.5, mem::RecoveryScheme::NoDetection, 0.0);
+    const auto quarter =
+        run(GetParam(), 0.25, mem::RecoveryScheme::NoDetection, 0.0);
+    EXPECT_DOUBLE_EQ(half.cyclesPerPacket, quarter.cyclesPerPacket);
+    EXPECT_LT(quarter.energyPerPacketPj, half.energyPerPacketPj);
+}
+
+TEST_P(EveryAppProperty, FallibilityMonotoneInFrequency)
+{
+    // At accelerated fault rates, faster clocks must err more.
+    const auto mid =
+        run(GetParam(), 0.75, mem::RecoveryScheme::NoDetection, 60.0);
+    const auto fast =
+        run(GetParam(), 0.25, mem::RecoveryScheme::NoDetection, 60.0);
+    // Structural workloads (nat's in-data-plane binding inserts) have
+    // heavy-tailed per-trial error mass; allow sampling slack around
+    // the monotone trend.
+    EXPECT_GE(fast.fallibility, mid.fallibility - 0.10);
+    EXPECT_GT(fast.fallibility, 1.0);
+}
+
+TEST_P(EveryAppProperty, DetectionNeverIncreasesErrors)
+{
+    const auto blind =
+        run(GetParam(), 0.25, mem::RecoveryScheme::NoDetection, 60.0);
+    const auto guarded =
+        run(GetParam(), 0.25, mem::RecoveryScheme::TwoStrike, 60.0);
+    EXPECT_LE(guarded.anyErrorProb, blind.anyErrorProb);
+}
+
+TEST_P(EveryAppProperty, ParityCostsEnergyWhenClean)
+{
+    const auto blind =
+        run(GetParam(), 1.0, mem::RecoveryScheme::NoDetection, 0.0);
+    const auto guarded =
+        run(GetParam(), 1.0, mem::RecoveryScheme::TwoStrike, 0.0);
+    EXPECT_GT(guarded.energyPerPacketPj, blind.energyPerPacketPj);
+}
+
+TEST_P(EveryAppProperty, GoldenRunsAgreeAcrossSchemes)
+{
+    // Recovery schemes must not change fault-free semantics: golden
+    // instruction and access counts are identical.
+    const auto a =
+        run(GetParam(), 1.0, mem::RecoveryScheme::NoDetection, 0.0);
+    const auto b =
+        run(GetParam(), 1.0, mem::RecoveryScheme::ThreeStrike, 0.0);
+    EXPECT_EQ(a.golden.instructions, b.golden.instructions);
+    EXPECT_EQ(a.golden.dcacheAccesses, b.golden.dcacheAccesses);
+}
+
+TEST_P(EveryAppProperty, SecdedCorrectsInlineAtEveryWorkload)
+{
+    // SEC-DED corrects inline what parity can only retry. At rates
+    // where structural chaos does not drown the codec effect, its
+    // corrections fire on every workload and fallibility stays within
+    // sampling slack of parity's (a single orphaned radix subtree in
+    // one trial swings the mean by more than the codec effect).
+    core::ExperimentConfig cfg;
+    cfg.numPackets = 200;
+    cfg.trials = 2;
+    cfg.cr = 0.25;
+    cfg.faultScale = 60.0;
+    cfg.scheme = mem::RecoveryScheme::TwoStrike;
+    cfg.processor.hierarchy.codec = mem::CheckCodec::Parity;
+    const auto parity =
+        core::runExperiment(apps::appFactory(GetParam()), cfg);
+    cfg.processor.hierarchy.codec = mem::CheckCodec::Secded;
+    const auto ecc =
+        core::runExperiment(apps::appFactory(GetParam()), cfg);
+    EXPECT_GT(ecc.faulty.eccCorrections, 0u);
+    EXPECT_EQ(parity.faulty.eccCorrections, 0u);
+    EXPECT_LE(ecc.fallibility, parity.fallibility + 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, EveryAppProperty,
+                         ::testing::ValuesIn(everyApp()));

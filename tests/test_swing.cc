@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests of the voltage-swing model against the paper's published
+ * anchors plus structural properties (monotonicity, inverse).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/swing.hh"
+
+using namespace clumsy::fault;
+
+TEST(Swing, FullSwingAtUnitCycle)
+{
+    EXPECT_DOUBLE_EQ(relativeSwing(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(relativeSwing(2.0), 1.0);
+}
+
+TEST(Swing, PaperEnergyAnchors)
+{
+    // Section 5.4: cache energy (linear in swing) drops by 45%, 19%
+    // and 6% at Cr = 0.25, 0.5, 0.75.
+    EXPECT_NEAR(1.0 - energyScale(0.25), 0.45, 0.01);
+    EXPECT_NEAR(1.0 - energyScale(0.50), 0.19, 0.01);
+    EXPECT_NEAR(1.0 - energyScale(0.75), 0.06, 0.005);
+}
+
+TEST(Swing, Figure1aAnchor)
+{
+    // Figure 1's labels put the swing at 0.3*Cfs near 0.6*Vfs; the
+    // RC model (calibrated on the Section 5.4 energy numbers) lands
+    // at 0.62.
+    EXPECT_NEAR(relativeSwing(0.3), 0.62, 0.01);
+}
+
+TEST(Swing, StrictlyIncreasingInCycleTime)
+{
+    double prev = 0.0;
+    for (double cr = 0.05; cr <= 1.0; cr += 0.05) {
+        const double v = relativeSwing(cr);
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+}
+
+class SwingInverse : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SwingInverse, RoundTrip)
+{
+    const double cr = GetParam();
+    const double vsr = relativeSwing(cr);
+    EXPECT_NEAR(cycleTimeForSwing(vsr), cr, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SwingInverse,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.25, 0.3,
+                                           0.4, 0.5, 0.6, 0.7, 0.75,
+                                           0.8, 0.9, 0.99));
+
+TEST(Swing, InverseOfFullSwing)
+{
+    EXPECT_DOUBLE_EQ(cycleTimeForSwing(1.0), 1.0);
+}
+
+TEST(SwingDeath, RejectsNonPositiveCycleTime)
+{
+    EXPECT_DEATH(relativeSwing(0.0), "positive");
+    EXPECT_DEATH(relativeSwing(-1.0), "positive");
+}
+
+TEST(SwingDeath, RejectsBadSwing)
+{
+    EXPECT_DEATH(cycleTimeForSwing(0.0), "0, 1");
+    EXPECT_DEATH(cycleTimeForSwing(1.5), "0, 1");
+}

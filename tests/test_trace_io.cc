@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests of packet-trace persistence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/checksum.hh"
+#include "net/trace_gen.hh"
+#include "net/trace_io.hh"
+
+using namespace clumsy;
+using namespace clumsy::net;
+
+TEST(TraceIo, RoundTripPreservesPackets)
+{
+    TraceConfig cfg;
+    cfg.seed = 77;
+    cfg.minPayload = 0;
+    cfg.maxPayload = 96;
+    TraceGenerator gen(cfg);
+    const auto trace = gen.generate(40);
+
+    std::stringstream ss;
+    writeTrace(ss, trace);
+    const auto loaded = readTrace(ss);
+
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(loaded[i].seq, trace[i].seq);
+        EXPECT_EQ(loaded[i].ip.src, trace[i].ip.src);
+        EXPECT_EQ(loaded[i].ip.dst, trace[i].ip.dst);
+        EXPECT_EQ(loaded[i].ip.ttl, trace[i].ip.ttl);
+        EXPECT_EQ(loaded[i].ip.id, trace[i].ip.id);
+        EXPECT_EQ(loaded[i].ip.protocol, trace[i].ip.protocol);
+        EXPECT_EQ(loaded[i].srcPort, trace[i].srcPort);
+        EXPECT_EQ(loaded[i].dstPort, trace[i].dstPort);
+        EXPECT_EQ(loaded[i].payload, trace[i].payload);
+        EXPECT_EQ(loaded[i].ip.checksum, trace[i].ip.checksum);
+    }
+}
+
+TEST(TraceIo, ChecksumRecomputedOnLoad)
+{
+    TraceGenerator gen(TraceConfig{});
+    const auto trace = gen.generate(10);
+    std::stringstream ss;
+    writeTrace(ss, trace);
+    for (const auto &p : readTrace(ss)) {
+        const auto hdr = p.ip.toBytes();
+        EXPECT_EQ(internetChecksum(hdr.data(), hdr.size()), 0);
+    }
+}
+
+TEST(TraceIo, EmptyPayloadDash)
+{
+    Packet p;
+    p.payload.clear();
+    std::stringstream ss;
+    writeTrace(ss, {p});
+    const std::string text = ss.str();
+    EXPECT_NE(text.find(" -"), std::string::npos);
+    const auto loaded = readTrace(ss);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_TRUE(loaded[0].payload.empty());
+}
+
+TEST(TraceIo, SkipsBlankLines)
+{
+    std::stringstream ss;
+    ss << "clumsy-trace v1\n\n0 a b 40 1 6 400 50 -\n\n";
+    EXPECT_EQ(readTrace(ss).size(), 1u);
+}
+
+TEST(TraceIoDeath, RejectsJunk)
+{
+    std::stringstream notATrace("hello\n");
+    EXPECT_EXIT(readTrace(notATrace), ::testing::ExitedWithCode(1),
+                "header");
+
+    std::stringstream badHex(
+        "clumsy-trace v1\n0 a b 40 1 6 400 50 zz\n");
+    EXPECT_EXIT(readTrace(badHex), ::testing::ExitedWithCode(1),
+                "hex");
+
+    std::stringstream truncated("clumsy-trace v1\n0 a b\n");
+    EXPECT_EXIT(readTrace(truncated), ::testing::ExitedWithCode(1),
+                "malformed");
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The umbrella header must be self-contained and sufficient for the
+ * README's five-line quick start.
+ */
+
+#include "clumsy/clumsy.hh"
+
+#include <gtest/gtest.h>
+
+TEST(Umbrella, QuickStartCompilesAndRuns)
+{
+    clumsy::setQuiet(true);
+    clumsy::core::ExperimentConfig config;
+    config.numPackets = 20;
+    config.cr = 0.5;
+    config.scheme = clumsy::mem::RecoveryScheme::TwoStrike;
+    const auto result = clumsy::core::runExperiment(
+        clumsy::apps::appFactory("route"), config);
+    EXPECT_GE(result.fallibility, 1.0);
+    EXPECT_GT(result.cyclesPerPacket, 0.0);
+    EXPECT_GT(result.energyPerPacketPj, 0.0);
+}
+
+TEST(Umbrella, ExposesEveryModuleNamespace)
+{
+    // One symbol per module proves the include set is complete.
+    EXPECT_GT(clumsy::fault::relativeSwing(0.5), 0.0);
+    EXPECT_GT(clumsy::energy::frequencyAtVoltage(1.0), 0.0);
+    EXPECT_EQ(clumsy::mem::secded::kCheckBits, 7u);
+    EXPECT_EQ(clumsy::apps::allAppNames().size(), 7u);
+    EXPECT_FALSE(
+        clumsy::net::TraceGenerator::makeUrlPool({}).empty());
+}

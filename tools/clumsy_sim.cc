@@ -1,0 +1,246 @@
+/**
+ * @file
+ * clumsy_sim: command-line driver for the simulator.
+ *
+ * Run any workload under any operating point and print the full
+ * result set (golden stats, fallibility, energy, fatal hazard, error
+ * breakdown), dump or replay packet traces, and inspect raw
+ * simulator counters.
+ *
+ *   clumsy_sim --app route --cr 0.5 --scheme two-strike
+ *   clumsy_sim --app md5 --dynamic --packets 5000 --trials 8
+ *   clumsy_sim --app url --codec secded --stats
+ *   clumsy_sim --app crc --dump-trace crc.trace --packets 1000
+ *   clumsy_sim --app crc --replay crc.trace --cr 0.25
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apps/app.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "net/trace_gen.hh"
+#include "net/trace_io.hh"
+
+using namespace clumsy;
+
+namespace
+{
+
+void
+usage()
+{
+    std::puts(
+        "usage: clumsy_sim --app NAME [options]\n"
+        "\n"
+        "workloads: crc tl route drr nat md5 url (paper) + adpcm\n"
+        "\n"
+        "operating point:\n"
+        "  --cr X              relative cycle time (1, 0.75, 0.5, 0.25)\n"
+        "  --dynamic           use the dynamic frequency controller\n"
+        "  --scheme S          no-detection | one-strike | two-strike |\n"
+        "                      three-strike (default: no-detection)\n"
+        "  --codec C           parity | secded (default: parity)\n"
+        "  --subblock          sub-block strike recovery\n"
+        "\n"
+        "experiment:\n"
+        "  --packets N         packets per run (default 2000)\n"
+        "  --trials N          faulty trials (default 4)\n"
+        "  --plane P           both | control | data (default both)\n"
+        "  --fault-scale X     fault-rate multiplier (default 1)\n"
+        "  --seed N            trace seed\n"
+        "  --fault-seed N      fault-stream seed\n"
+        "\n"
+        "traces:\n"
+        "  --dump-trace FILE   write the app's generated trace and exit\n"
+        "  --replay FILE       run one faulty pass over a saved trace\n"
+        "\n"
+        "output:\n"
+        "  --stats             dump raw simulator counters\n"
+        "  --csv               CSV tables\n");
+}
+
+mem::RecoveryScheme
+parseScheme(const std::string &s)
+{
+    return mem::recoverySchemeFromString(
+        s == "no-detection" ? "no detection" : s);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+
+    std::string app, dumpTrace, replayTrace;
+    core::ExperimentConfig cfg;
+    cfg.numPackets = 2000;
+    cfg.trials = 4;
+    bool stats = false, csv = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--app") {
+            app = value();
+        } else if (arg == "--cr") {
+            cfg.cr = std::strtod(value().c_str(), nullptr);
+        } else if (arg == "--dynamic") {
+            cfg.dynamicFrequency = true;
+        } else if (arg == "--scheme") {
+            cfg.scheme = parseScheme(value());
+        } else if (arg == "--codec") {
+            const std::string c = value();
+            if (c == "secded")
+                cfg.processor.hierarchy.codec = mem::CheckCodec::Secded;
+            else if (c != "parity")
+                fatal("unknown codec '%s'", c.c_str());
+        } else if (arg == "--subblock") {
+            cfg.processor.hierarchy.subBlockRecovery = true;
+        } else if (arg == "--packets") {
+            cfg.numPackets = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--trials") {
+            cfg.trials = static_cast<unsigned>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        } else if (arg == "--plane") {
+            const std::string p = value();
+            if (p == "control")
+                cfg.plane = core::FaultPlane::ControlOnly;
+            else if (p == "data")
+                cfg.plane = core::FaultPlane::DataOnly;
+            else if (p != "both")
+                fatal("unknown plane '%s'", p.c_str());
+        } else if (arg == "--fault-scale") {
+            cfg.faultScale = std::strtod(value().c_str(), nullptr);
+        } else if (arg == "--seed") {
+            cfg.traceSeed = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--fault-seed") {
+            cfg.faultSeed = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--dump-trace") {
+            dumpTrace = value();
+        } else if (arg == "--replay") {
+            replayTrace = value();
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    if (app.empty()) {
+        usage();
+        fatal("--app is required");
+    }
+
+    if (!dumpTrace.empty()) {
+        auto probe = apps::makeApp(app);
+        net::TraceConfig tc = probe->traceConfig();
+        tc.seed = cfg.traceSeed;
+        net::TraceGenerator gen(tc);
+        net::saveTrace(dumpTrace, gen.generate(cfg.numPackets));
+        std::printf("wrote %llu packets to %s\n",
+                    static_cast<unsigned long long>(cfg.numPackets),
+                    dumpTrace.c_str());
+        return 0;
+    }
+
+    if (!replayTrace.empty()) {
+        // One direct faulty pass over a saved trace, no golden
+        // comparison: for inspecting simulator behavior on captured
+        // workloads.
+        const auto trace = net::loadTrace(replayTrace);
+        auto instance = apps::makeApp(app);
+        core::ProcessorConfig pc = cfg.processor;
+        pc.staticCr = cfg.cr;
+        pc.dynamicFrequency = cfg.dynamicFrequency;
+        pc.hierarchy.scheme = cfg.scheme;
+        pc.faultModel.scale = cfg.faultScale;
+        pc.faultSeed = cfg.faultSeed;
+        core::ClumsyProcessor proc(pc);
+        instance->initialize(proc);
+        core::ValueRecorder rec;
+        std::uint64_t processed = 0;
+        for (const auto &pkt : trace) {
+            if (proc.fatalOccurred())
+                break;
+            proc.beginPacket();
+            rec.beginPacket();
+            instance->processPacket(proc, pkt, rec);
+            proc.endPacket();
+            ++processed;
+        }
+        std::printf("replayed %llu/%zu packets, cycles/pkt %.1f, "
+                    "energy %.2f uJ, faults %llu%s\n",
+                    static_cast<unsigned long long>(processed),
+                    trace.size(),
+                    proc.nowCycles() /
+                        static_cast<double>(processed ? processed : 1),
+                    proc.totalEnergyPj() * 1e-6,
+                    static_cast<unsigned long long>(
+                        proc.injector().faultCount()),
+                    proc.fatalOccurred()
+                        ? (" — FATAL: " + proc.fatalReason()).c_str()
+                        : "");
+        if (stats) {
+            std::fputs(proc.hierarchy().stats().dump().c_str(), stdout);
+            std::fputs(proc.hierarchy().l1d().stats().dump().c_str(),
+                       stdout);
+            std::fputs(proc.injector().stats().dump().c_str(), stdout);
+        }
+        return 0;
+    }
+
+    const auto res = core::runExperiment(apps::appFactory(app), cfg);
+
+    TextTable table("clumsy_sim: " + app + " @ Cr=" +
+                    TextTable::num(cfg.cr, 2) +
+                    (cfg.dynamicFrequency ? " (dynamic)" : "") + ", " +
+                    to_string(cfg.scheme));
+    table.header({"metric", "golden", "faulty (avg)"});
+    table.row({"packets processed",
+               std::to_string(res.golden.packetsProcessed),
+               std::to_string(res.faulty.packetsProcessed)});
+    table.row({"cycles / packet",
+               TextTable::num(res.golden.cyclesPerPacket, 1),
+               TextTable::num(res.cyclesPerPacket, 1)});
+    table.row({"energy / packet [uJ]",
+               TextTable::num(res.golden.energyPerPacketPj * 1e-6, 3),
+               TextTable::num(res.energyPerPacketPj * 1e-6, 3)});
+    table.row({"D-cache miss rate [%]",
+               TextTable::num(res.golden.dcacheMissRate * 100, 2), "-"});
+    table.row({"fallibility", "1.0000",
+               TextTable::num(res.fallibility, 4)});
+    table.row({"fatal hazard / packet", "0",
+               TextTable::sci(res.fatalProb, 2)});
+    table.row({"faults injected", "0",
+               std::to_string(res.faulty.faultsInjected)});
+    table.row({"parity trips", "0",
+               std::to_string(res.faulty.parityTrips)});
+    table.row({"ECC corrections", "0",
+               std::to_string(res.faulty.eccCorrections)});
+    std::fputs((csv ? table.csv() : table.render()).c_str(), stdout);
+
+    if (!res.errorProbByType.empty()) {
+        TextTable errs("error probability by marked value");
+        errs.header({"marked value", "P(error)"});
+        for (const auto &kv : res.errorProbByType)
+            errs.row({kv.first, TextTable::num(kv.second, 6)});
+        std::fputs((csv ? errs.csv() : errs.render()).c_str(), stdout);
+    }
+    return 0;
+}
