@@ -5,8 +5,12 @@
  * Every bench accepts:
  *   --packets N   packets per run (default per bench)
  *   --trials N    faulty replays averaged per configuration
+ *   --jobs N      sweep worker threads (default: all hardware threads)
  *   --csv         print CSV instead of aligned tables
  *   --quick       1/4 of the default packets and trials (CI mode)
+ *
+ * Bare arguments (workload names, "all") are collected into
+ * positionals for benches that take them.
  */
 
 #ifndef CLUMSY_BENCH_COMMON_HH
@@ -14,10 +18,10 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
+#include <vector>
 
+#include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 
@@ -29,27 +33,37 @@ struct Options
 {
     std::uint64_t packets;
     unsigned trials;
+    unsigned jobs = 0; ///< 0 = all hardware threads
     bool csv = false;
+    std::vector<std::string> positionals;
 
     Options(int argc, char **argv, std::uint64_t defPackets,
             unsigned defTrials)
         : packets(defPackets), trials(defTrials)
     {
-        for (int i = 1; i < argc; ++i) {
-            if (!std::strcmp(argv[i], "--csv")) {
-                csv = true;
-            } else if (!std::strcmp(argv[i], "--quick")) {
-                packets = defPackets / 4 ? defPackets / 4 : 1;
-                trials = defTrials / 4 ? defTrials / 4 : 1;
-            } else if (!std::strcmp(argv[i], "--packets") &&
-                       i + 1 < argc) {
-                packets = std::strtoull(argv[++i], nullptr, 10);
-            } else if (!std::strcmp(argv[i], "--trials") &&
-                       i + 1 < argc) {
-                trials = static_cast<unsigned>(
-                    std::strtoul(argv[++i], nullptr, 10));
-            }
-        }
+        cli::ArgParser parser(argv && argv[0] ? argv[0] : "bench",
+                              "Paper figure/table reproduction.");
+        parser.optU64("--packets", "N", "packets per run", &packets);
+        parser.optUnsigned("--trials", "N",
+                           "faulty replays per configuration",
+                           &trials);
+        parser.optUnsigned(
+            "--jobs", "N",
+            "sweep worker threads (default: all hardware threads)",
+            &jobs);
+        parser.flag("--csv", "print CSV instead of aligned tables",
+                    &csv);
+        parser.flag("--quick",
+                    "1/4 of the default packets and trials (CI mode)",
+                    [this, defPackets, defTrials]() {
+                        packets = defPackets / 4 ? defPackets / 4 : 1;
+                        trials = defTrials / 4 ? defTrials / 4 : 1;
+                    });
+        parser.positional("app", "workload names (or \"all\")",
+                          [this](const std::string &v) {
+                              positionals.push_back(v);
+                          });
+        parser.parse(argc, argv);
         setQuiet(true);
     }
 

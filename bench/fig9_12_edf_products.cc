@@ -10,8 +10,12 @@
  * (energy-delay and energy-delay^2) for the Cr = 0.5 two-strike
  * configuration.
  *
+ * The full {app} x {scheme} x {frequency} grid runs on the sweep
+ * engine, so all cells and trials execute in parallel across --jobs
+ * worker threads with bit-identical aggregates at any thread count.
+ *
  * Usage: fig9_12_edf_products [app ... | all] [--packets N]
- *        [--trials N] [--csv]
+ *        [--trials N] [--jobs N] [--csv]
  */
 
 #include <cmath>
@@ -21,6 +25,7 @@
 #include "bench/bench_common.hh"
 #include "core/experiment.hh"
 #include "core/metrics.hh"
+#include "sweep/runner.hh"
 
 using namespace clumsy;
 
@@ -29,40 +34,49 @@ namespace
 
 struct Cell
 {
-    core::RunMetrics metrics;
     double fallibility = 1.0;
     double cycles = 0.0;
     double energy = 0.0;
 };
 
-/** One app's full grid of configurations. */
-std::map<std::string, Cell>
-runGrid(const std::string &app, const bench::Options &opt)
+/** "no detection/0.50"-style key matching the paper tables. */
+std::string
+cellKey(mem::RecoveryScheme scheme, const sweep::OperatingPoint &point)
 {
-    std::map<std::string, Cell> grid;
-    for (const auto scheme : mem::kAllRecoverySchemes) {
-        for (const double cr : {1.0, 0.75, 0.5, 0.25, -1.0}) {
-            const bool dynamic = cr < 0;
-            core::ExperimentConfig cfg;
-            cfg.numPackets = opt.packets;
-            cfg.trials = opt.trials;
-            cfg.cr = dynamic ? 1.0 : cr;
-            cfg.dynamicFrequency = dynamic;
-            cfg.scheme = scheme;
-            const auto res =
-                core::runExperiment(apps::appFactory(app), cfg);
-            const std::string key =
-                to_string(scheme) + "/" +
-                (dynamic ? "dynamic" : TextTable::num(cr, 2));
-            Cell cell;
-            cell.metrics = res.faulty;
-            cell.fallibility = res.fallibility;
-            cell.cycles = res.cyclesPerPacket;
-            cell.energy = res.energyPerPacketPj;
-            grid.emplace(key, cell);
-        }
+    return to_string(scheme) + "/" +
+           (point.dynamic ? "dynamic" : TextTable::num(point.cr, 2));
+}
+
+/** Run the whole multi-app grid on the sweep engine. */
+std::map<std::string, std::map<std::string, Cell>>
+runGrids(const std::vector<std::string> &apps,
+         const bench::Options &opt)
+{
+    sweep::SweepSpec spec;
+    spec.apps = apps;
+    spec.points = {{1.0, false},
+                   {0.75, false},
+                   {0.5, false},
+                   {0.25, false},
+                   {1.0, true}};
+    spec.schemes.assign(std::begin(mem::kAllRecoverySchemes),
+                        std::end(mem::kAllRecoverySchemes));
+    spec.packets = opt.packets;
+    spec.trials = opt.trials;
+
+    const sweep::SweepOutcome outcome =
+        sweep::runSweep(spec, opt.jobs);
+
+    std::map<std::string, std::map<std::string, Cell>> grids;
+    for (const sweep::CellOutcome &out : outcome.cells) {
+        Cell cell;
+        cell.fallibility = out.result.fallibility;
+        cell.cycles = out.result.cyclesPerPacket;
+        cell.energy = out.result.energyPerPacketPj;
+        grids[out.cell.app].emplace(
+            cellKey(out.cell.scheme, out.cell.point), cell);
     }
-    return grid;
+    return grids;
 }
 
 double
@@ -117,25 +131,22 @@ main(int argc, char **argv)
     const bench::Options opt(argc, argv, 1500, 6);
 
     std::vector<std::string> which;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+    for (const std::string &arg : opt.positionals) {
         if (arg == "all") {
             which = apps::allAppNames();
             break;
         }
-        if (arg[0] != '-') {
-            which.push_back(arg);
-        } else if (arg == "--packets" || arg == "--trials") {
-            ++i; // value consumed by Options
-        }
+        which.push_back(arg);
     }
     if (which.empty())
         which = apps::allAppNames();
 
+    const auto grids = runGrids(which, opt);
+
     // Per-app tables plus the Figure 12(b) average across apps.
     std::map<std::string, std::vector<double>> averages;
     for (const auto &app : which) {
-        const auto grid = runGrid(app, opt);
+        const auto &grid = grids.at(app);
         printApp(app, grid, opt);
         const double baseEdf = edfOf(grid.at("no detection/1.00"), 2, 2);
         for (const auto &kv : grid)

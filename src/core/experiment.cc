@@ -174,20 +174,31 @@ runOnce(const AppFactory &factory, const ExperimentConfig &config,
 
 } // namespace
 
-ExperimentResult
-runExperiment(const AppFactory &factory, const ExperimentConfig &config)
+GoldenRecord
+runGolden(const AppFactory &factory, const ExperimentConfig &config)
 {
-    CLUMSY_ASSERT(config.trials >= 1, "need at least one trial");
+    RawRun run = runOnce(factory, config, true, 0, nullptr);
+    CLUMSY_ASSERT(!run.metrics.fatal, "golden run must not die");
+    return GoldenRecord{std::move(run.metrics), std::move(run.recorder)};
+}
+
+RunMetrics
+runFaultyTrial(const AppFactory &factory, const ExperimentConfig &config,
+               unsigned trial, const GoldenRecord &golden)
+{
+    return runOnce(factory, config, false, trial, &golden.recorder)
+        .metrics;
+}
+
+ExperimentResult
+aggregateTrials(const std::string &app, const GoldenRecord &golden,
+                const std::vector<RunMetrics> &trials)
+{
+    CLUMSY_ASSERT(!trials.empty(), "need at least one trial");
 
     ExperimentResult result;
-    {
-        auto probe = factory();
-        result.app = probe->name();
-    }
-
-    const RawRun golden = runOnce(factory, config, true, 0, nullptr);
+    result.app = app;
     result.golden = golden.metrics;
-    CLUMSY_ASSERT(!golden.metrics.fatal, "golden run must not die");
 
     double sumErrProb = 0, sumFatalFrac = 0;
     double sumFall = 0, sumCycles = 0, sumEnergy = 0, sumL1d = 0;
@@ -195,10 +206,7 @@ runExperiment(const AppFactory &factory, const ExperimentConfig &config)
     std::uint64_t totalDeaths = 0, totalProcessed = 0;
     std::map<std::string, double> sumErrByType;
 
-    for (unsigned t = 0; t < config.trials; ++t) {
-        const RawRun faulty =
-            runOnce(factory, config, false, t, &golden.recorder);
-        const RunMetrics &m = faulty.metrics;
+    for (const RunMetrics &m : trials) {
         result.faulty = m;
 
         sumErrProb += anyErrorProb(m);
@@ -219,7 +227,7 @@ runExperiment(const AppFactory &factory, const ExperimentConfig &config)
                                       processed;
     }
 
-    const double n = config.trials;
+    const double n = static_cast<double>(trials.size());
     result.anyErrorProb = sumErrProb / n;
     // Pooled per-packet fatal hazard: deaths over total exposure, a
     // stable estimator even when an unlucky trial dies immediately.
@@ -237,6 +245,25 @@ runExperiment(const AppFactory &factory, const ExperimentConfig &config)
     for (const auto &kv : sumErrByType)
         result.errorProbByType[kv.first] = kv.second / n;
     return result;
+}
+
+ExperimentResult
+runExperiment(const AppFactory &factory, const ExperimentConfig &config)
+{
+    CLUMSY_ASSERT(config.trials >= 1, "need at least one trial");
+
+    std::string app;
+    {
+        auto probe = factory();
+        app = probe->name();
+    }
+
+    const GoldenRecord golden = runGolden(factory, config);
+    std::vector<RunMetrics> trials;
+    trials.reserve(config.trials);
+    for (unsigned t = 0; t < config.trials; ++t)
+        trials.push_back(runFaultyTrial(factory, config, t, golden));
+    return aggregateTrials(app, golden, trials);
 }
 
 } // namespace clumsy::core

@@ -143,7 +143,41 @@ struct ExperimentResult
     std::map<std::string, double> errorProbByType;
 };
 
-/** Run golden + faulty trials for one application. */
+/**
+ * The fault-free reference run: its metrics plus the per-packet marked
+ * values every faulty trial is compared against. Immutable once built,
+ * so any number of trials may share one record concurrently.
+ */
+struct GoldenRecord
+{
+    RunMetrics metrics;
+    ValueRecorder recorder;
+};
+
+/** Execute the golden (injection-disabled) run for one experiment. */
+GoldenRecord runGolden(const AppFactory &factory,
+                       const ExperimentConfig &config);
+
+/**
+ * Execute faulty trial number @p trial against a shared golden record.
+ * Trials are independent given (config, trial): each derives its own
+ * decorrelated fault seed, so they can run on any thread in any order.
+ */
+RunMetrics runFaultyTrial(const AppFactory &factory,
+                          const ExperimentConfig &config, unsigned trial,
+                          const GoldenRecord &golden);
+
+/**
+ * Reduce per-trial metrics into the experiment aggregates. @p trials
+ * must be ordered by trial index: the reduction accumulates in that
+ * fixed order, so the result is bit-identical no matter which threads
+ * produced the entries or when they completed.
+ */
+ExperimentResult aggregateTrials(const std::string &app,
+                                 const GoldenRecord &golden,
+                                 const std::vector<RunMetrics> &trials);
+
+/** Run golden + faulty trials for one application, serially. */
 ExperimentResult runExperiment(const AppFactory &factory,
                                const ExperimentConfig &config);
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <map>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "fault/fault_model.hh"
@@ -36,12 +37,24 @@ integrateFaultProb(double margin)
     return (sum * h / 3.0) / kMaxDuration;
 }
 
-/** Memoized calibrated margins, keyed by relative swing. */
+/**
+ * Memoized calibrated margins, keyed by relative swing. Guarded by
+ * marginCacheMutex(): processors on sweep worker threads calibrate
+ * concurrently, and the calibration is deterministic per swing, so a
+ * lost race costs a recomputation but never changes the value.
+ */
 std::map<double, double> &
 marginCache()
 {
     static std::map<double, double> cache;
     return cache;
+}
+
+std::mutex &
+marginCacheMutex()
+{
+    static std::mutex m;
+    return m;
 }
 
 } // namespace
@@ -76,14 +89,20 @@ double
 ImmunityCurves::staticMargin(double vsr) const
 {
     CLUMSY_ASSERT(vsr > 0.0 && vsr <= 1.0, "swing must be in (0, 1]");
-    auto &cache = marginCache();
-    auto it = cache.find(vsr);
-    if (it != cache.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(marginCacheMutex());
+        auto &cache = marginCache();
+        auto it = cache.find(vsr);
+        if (it != cache.end())
+            return it->second;
+    }
     // Calibration target: the closed-form model at this swing.
+    // Computed outside the lock so one thread's bisection never
+    // serializes the others.
     const FaultModel model;
     const double margin = marginForFaultProb(model.probAtSwing(vsr));
-    cache.emplace(vsr, margin);
+    std::lock_guard<std::mutex> lock(marginCacheMutex());
+    marginCache().emplace(vsr, margin);
     return margin;
 }
 

@@ -1,0 +1,186 @@
+#include "sweep/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace clumsy::sweep
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    CLUMSY_ASSERT(std::isfinite(v), "JSON cannot carry %g", v);
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    CLUMSY_ASSERT(res.ec == std::errc(), "number format overflow");
+    return std::string(buf, res.ptr);
+}
+
+void
+JsonWriter::separate()
+{
+    if (afterKey_) {
+        afterKey_ = false;
+        return;
+    }
+    if (needComma_)
+        out_ += indentStep_ ? "," : ", ";
+    if (depth_ > 0)
+        newlineIndent();
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    if (indentStep_ == 0)
+        return;
+    out_ += "\n";
+    out_.append(static_cast<std::size_t>(depth_) * indentStep_, ' ');
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    out_ += "{";
+    ++depth_;
+    needComma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    CLUMSY_ASSERT(depth_ > 0, "endObject() at depth 0");
+    --depth_;
+    if (needComma_)
+        newlineIndent();
+    out_ += "}";
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    out_ += "[";
+    ++depth_;
+    needComma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    CLUMSY_ASSERT(depth_ > 0, "endArray() at depth 0");
+    --depth_;
+    if (needComma_)
+        newlineIndent();
+    out_ += "]";
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    separate();
+    out_ += "\"" + jsonEscape(name) + "\": ";
+    afterKey_ = true;
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    out_ += "\"" + jsonEscape(v) + "\"";
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separate();
+    out_ += jsonNumber(v);
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    out_ += std::to_string(v);
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    out_ += v ? "true" : "false";
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::raw(const std::string &json)
+{
+    separate();
+    out_ += json;
+    needComma_ = true;
+    return *this;
+}
+
+} // namespace clumsy::sweep

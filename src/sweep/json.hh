@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal deterministic JSON emitter.
+ *
+ * The sweep sinks (and clumsy_sim --json) need JSON output that is
+ * byte-for-byte reproducible: doubles are printed in their shortest
+ * round-trip decimal form via std::to_chars, keys are emitted in the
+ * order the caller writes them, and there is no locale dependence.
+ * Writing is append-only into a growing string; the writer tracks
+ * nesting solely to place commas, so malformed sequences are caught
+ * by assertions rather than producing broken output.
+ */
+
+#ifndef CLUMSY_SWEEP_JSON_HH
+#define CLUMSY_SWEEP_JSON_HH
+
+#include <cstdint>
+#include <string>
+
+namespace clumsy::sweep
+{
+
+/** Escape a string for inclusion inside JSON quotes. */
+std::string jsonEscape(const std::string &s);
+
+/** Shortest round-trip decimal text for a finite double. */
+std::string jsonNumber(double v);
+
+/** Append-only JSON builder with automatic comma placement. */
+class JsonWriter
+{
+  public:
+    /**
+     * @param indentStep  spaces per nesting level; 0 emits compact
+     *                    single-line JSON (used for per-cell lines)
+     */
+    explicit JsonWriter(unsigned indentStep = 0)
+        : indentStep_(indentStep)
+    {
+    }
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Start a "key": inside the current object. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(bool v);
+
+    /** Splice pre-rendered JSON (e.g. a stored result line) as-is. */
+    JsonWriter &raw(const std::string &json);
+
+    /** The document so far. */
+    const std::string &str() const { return out_; }
+
+  private:
+    std::string out_;
+    unsigned indentStep_;
+    unsigned depth_ = 0;
+    bool needComma_ = false;
+    bool afterKey_ = false;
+
+    void separate();
+    void newlineIndent();
+};
+
+} // namespace clumsy::sweep
+
+#endif // CLUMSY_SWEEP_JSON_HH

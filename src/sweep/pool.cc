@@ -1,0 +1,99 @@
+#include "sweep/pool.hh"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace clumsy::sweep
+{
+
+namespace
+{
+
+/** One worker's job queue: owner pops the front, thieves the back. */
+struct JobDeque
+{
+    std::mutex mutex;
+    std::deque<std::size_t> jobs;
+
+    bool popFront(std::size_t &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (jobs.empty())
+            return false;
+        out = jobs.front();
+        jobs.pop_front();
+        return true;
+    }
+
+    bool stealBack(std::size_t &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (jobs.empty())
+            return false;
+        out = jobs.back();
+        jobs.pop_back();
+        return true;
+    }
+};
+
+} // namespace
+
+WorkStealingPool::WorkStealingPool(unsigned workers)
+    : workers_(workers == 0 ? 1 : workers)
+{
+}
+
+unsigned
+WorkStealingPool::hardwareWorkers()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+WorkStealingPool::run(std::size_t n,
+                      const std::function<void(std::size_t)> &fn) const
+{
+    if (n == 0)
+        return;
+    if (workers_ == 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    const unsigned w =
+        static_cast<unsigned>(std::min<std::size_t>(workers_, n));
+    std::vector<JobDeque> queues(w);
+    for (std::size_t i = 0; i < n; ++i)
+        queues[i % w].jobs.push_back(i);
+
+    auto worker = [&](unsigned self) {
+        std::size_t job;
+        for (;;) {
+            if (queues[self].popFront(job)) {
+                fn(job);
+                continue;
+            }
+            bool stole = false;
+            for (unsigned k = 1; k < w && !stole; ++k)
+                stole = queues[(self + k) % w].stealBack(job);
+            if (!stole)
+                return; // every deque empty: all jobs claimed
+            fn(job);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(w - 1);
+    for (unsigned t = 1; t < w; ++t)
+        threads.emplace_back(worker, t);
+    worker(0);
+    for (std::thread &t : threads)
+        t.join();
+}
+
+} // namespace clumsy::sweep

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Work-stealing thread pool for sweep jobs.
+ *
+ * run(n, fn) executes fn(0) .. fn(n-1) across the configured number
+ * of workers and blocks until all jobs finish. Job indices are dealt
+ * round-robin into per-worker deques; a worker drains its own deque
+ * from the front and, when empty, steals from the back of its
+ * neighbours. Because sweep jobs are whole simulations (milliseconds
+ * to seconds each), stealing granularity is one job and the pool
+ * spawns fresh threads per run() — scheduling overhead is noise next
+ * to the work.
+ *
+ * Determinism contract: the pool guarantees nothing about execution
+ * order, so callers must make jobs independent and write results into
+ * per-index slots; any cross-job reduction happens after run()
+ * returns, in index order.
+ */
+
+#ifndef CLUMSY_SWEEP_POOL_HH
+#define CLUMSY_SWEEP_POOL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace clumsy::sweep
+{
+
+/** Executes batches of indexed jobs on worker threads. */
+class WorkStealingPool
+{
+  public:
+    /**
+     * @param workers  worker-thread count; 0 and 1 both mean "run
+     *                 inline on the calling thread, no threads spawned"
+     */
+    explicit WorkStealingPool(unsigned workers);
+
+    /** Run fn(0) .. fn(n-1); returns when every job has finished. */
+    void run(std::size_t n,
+             const std::function<void(std::size_t)> &fn) const;
+
+    /** The effective worker count (>= 1). */
+    unsigned workers() const { return workers_; }
+
+    /** A sensible default worker count for this machine. */
+    static unsigned hardwareWorkers();
+
+  private:
+    unsigned workers_;
+};
+
+} // namespace clumsy::sweep
+
+#endif // CLUMSY_SWEEP_POOL_HH

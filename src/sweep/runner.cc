@@ -1,0 +1,132 @@
+#include "sweep/runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "apps/app.hh"
+#include "common/logging.hh"
+#include "sweep/pool.hh"
+
+namespace clumsy::sweep
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+} // namespace
+
+SweepOutcome
+runSweep(const SweepSpec &spec, unsigned jobs,
+         const std::map<std::string, CellOutcome> *completed,
+         const ProgressFn &progress)
+{
+    CLUMSY_ASSERT(spec.trials >= 1, "sweep needs at least one trial");
+    const auto sweepStart = Clock::now();
+    const std::vector<SweepCell> cells = expand(spec);
+
+    SweepOutcome outcome;
+    outcome.spec = spec;
+    outcome.jobs = jobs == 0 ? WorkStealingPool::hardwareWorkers()
+                             : jobs;
+    outcome.cells.resize(cells.size());
+
+    // Partition into cells to run and cells satisfied by --resume.
+    std::vector<std::size_t> toRun;
+    toRun.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        CellOutcome &out = outcome.cells[i];
+        if (completed) {
+            auto it = completed->find(cells[i].key());
+            if (it != completed->end()) {
+                out = it->second;
+                out.cell = cells[i]; // refresh index for this spec
+                out.resumed = true;
+                ++outcome.resumedCount;
+                continue;
+            }
+        }
+        out.cell = cells[i];
+        toRun.push_back(i);
+    }
+
+    const WorkStealingPool pool(outcome.jobs);
+    const unsigned trials = spec.trials;
+    const std::size_t n = toRun.size();
+
+    // Phase 1: one golden job per cell. The records are written once
+    // here and only read afterwards, so phase 2 shares them freely.
+    std::vector<core::GoldenRecord> goldens(n);
+    std::vector<double> goldenMs(n);
+    pool.run(n, [&](std::size_t k) {
+        const SweepCell &cell = cells[toRun[k]];
+        const core::ExperimentConfig cfg = makeConfig(spec, cell);
+        const auto start = Clock::now();
+        goldens[k] = core::runGolden(apps::appFactory(cell.app), cfg);
+        goldenMs[k] = msSince(start);
+    });
+
+    // Phase 2: the (cell, trial) job grid. Each job seeds its own
+    // fault stream from (config, trial), so placement is free.
+    std::vector<core::RunMetrics> trialMetrics(n * trials);
+    std::vector<double> trialMs(n * trials);
+    std::vector<std::atomic<unsigned>> remaining(n);
+    for (auto &r : remaining)
+        r.store(trials, std::memory_order_relaxed);
+    std::atomic<std::size_t> cellsDone{0};
+    std::mutex progressMutex;
+
+    pool.run(n * trials, [&](std::size_t j) {
+        const std::size_t k = j / trials;
+        const unsigned t = static_cast<unsigned>(j % trials);
+        const SweepCell &cell = cells[toRun[k]];
+        const core::ExperimentConfig cfg = makeConfig(spec, cell);
+        const auto start = Clock::now();
+        trialMetrics[j] = core::runFaultyTrial(
+            apps::appFactory(cell.app), cfg, t, goldens[k]);
+        trialMs[j] = msSince(start);
+        if (remaining[k].fetch_sub(1, std::memory_order_acq_rel) ==
+            1 && progress) {
+            double cellMs = goldenMs[k];
+            for (unsigned u = 0; u < trials; ++u)
+                cellMs += trialMs[k * trials + u];
+            const std::size_t done =
+                cellsDone.fetch_add(1, std::memory_order_relaxed) + 1;
+            std::lock_guard<std::mutex> lock(progressMutex);
+            progress(cell, cellMs, done, n);
+        }
+    });
+
+    // Reduction: cells in expansion order, trials in trial order —
+    // the fixed order that makes the aggregates independent of the
+    // schedule above.
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t i = toRun[k];
+        std::vector<core::RunMetrics> ordered(
+            trialMetrics.begin() +
+                static_cast<std::ptrdiff_t>(k * trials),
+            trialMetrics.begin() +
+                static_cast<std::ptrdiff_t>((k + 1) * trials));
+        CellOutcome &out = outcome.cells[i];
+        out.result =
+            core::aggregateTrials(cells[i].app, goldens[k], ordered);
+        out.wallMs = goldenMs[k];
+        for (unsigned t = 0; t < trials; ++t)
+            out.wallMs += trialMs[k * trials + t];
+    }
+
+    outcome.wallMs = msSince(sweepStart);
+    return outcome;
+}
+
+} // namespace clumsy::sweep

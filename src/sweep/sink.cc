@@ -1,0 +1,502 @@
+#include "sweep/sink.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "sweep/json.hh"
+
+namespace clumsy::sweep
+{
+
+namespace
+{
+
+// --- serialization ---------------------------------------------------
+
+void
+writeRunMetrics(JsonWriter &w, const core::RunMetrics &m)
+{
+    w.beginObject();
+    w.key("packets_attempted").value(m.packetsAttempted);
+    w.key("packets_processed").value(m.packetsProcessed);
+    w.key("packets_with_error").value(m.packetsWithError);
+    w.key("fatal").value(m.fatal);
+    w.key("fatal_reason").value(m.fatalReason);
+    w.key("cycles_per_packet").value(m.cyclesPerPacket);
+    w.key("energy_per_packet_pj").value(m.energyPerPacketPj);
+    w.key("total_energy_pj").value(m.totalEnergyPj);
+    w.key("l1d_energy_pj").value(m.l1dEnergyPj);
+    w.key("instructions").value(m.instructions);
+    w.key("dcache_accesses").value(m.dcacheAccesses);
+    w.key("dcache_miss_rate").value(m.dcacheMissRate);
+    w.key("faults_injected").value(m.faultsInjected);
+    w.key("parity_trips").value(m.parityTrips);
+    w.key("ecc_corrections").value(m.eccCorrections);
+    w.key("freq_switches").value(m.freqSwitches);
+    w.key("errors_by_type").beginObject();
+    for (const auto &kv : m.errorsByType)
+        w.key(kv.first).value(kv.second);
+    w.endObject();
+    w.endObject();
+}
+
+std::string
+cellJson(const CellOutcome &out, bool provenance)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("key").value(out.cell.key());
+    w.key("app").value(out.cell.app);
+    w.key("cr").value(out.cell.point.cr);
+    w.key("dynamic").value(out.cell.point.dynamic);
+    w.key("scheme").value(schemeName(out.cell.scheme));
+    w.key("codec").value(codecName(out.cell.codec));
+    w.key("plane").value(planeName(out.cell.plane));
+    w.key("fault_scale").value(out.cell.faultScale);
+    w.key("result").raw(experimentResultJson(out.result));
+    if (provenance)
+        w.key("wall_ms").value(out.wallMs);
+    w.endObject();
+    return w.str();
+}
+
+// --- minimal JSON parser (for --resume) ------------------------------
+
+/** Parsed JSON value; only what our own documents contain. */
+struct JVal
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Num,
+        Str,
+        Arr,
+        Obj
+    };
+    Kind kind = Kind::Null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<JVal> arr;
+    std::vector<std::pair<std::string, JVal>> obj;
+
+    const JVal *find(const std::string &key) const
+    {
+        for (const auto &kv : obj) {
+            if (kv.first == key)
+                return &kv.second;
+        }
+        return nullptr;
+    }
+};
+
+struct JsonParser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+
+    [[noreturn]] void die(const char *what) const
+    {
+        fatal("sweep JSON parse error at byte %zu: %s", pos, what);
+    }
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\n' ||
+                text[pos] == '\t' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    char peek()
+    {
+        skipWs();
+        if (pos >= text.size())
+            die("unexpected end of input");
+        return text[pos];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            die("unexpected character");
+        ++pos;
+    }
+
+    bool consume(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos;
+        return true;
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                die("dangling escape");
+            const char esc = text[pos++];
+            switch (esc) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    die("short \\u escape");
+                const std::string hex = text.substr(pos, 4);
+                pos += 4;
+                out += static_cast<char>(
+                    std::strtoul(hex.c_str(), nullptr, 16));
+                break;
+              }
+              default:
+                die("unsupported escape");
+            }
+        }
+        if (pos >= text.size())
+            die("unterminated string");
+        ++pos; // closing quote
+        return out;
+    }
+
+    JVal parseValue()
+    {
+        JVal v;
+        const char c = peek();
+        if (c == '{') {
+            ++pos;
+            v.kind = JVal::Kind::Obj;
+            if (consume('}'))
+                return v;
+            for (;;) {
+                std::string key = parseString();
+                expect(':');
+                v.obj.emplace_back(std::move(key), parseValue());
+                if (consume('}'))
+                    return v;
+                expect(',');
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            v.kind = JVal::Kind::Arr;
+            if (consume(']'))
+                return v;
+            for (;;) {
+                v.arr.push_back(parseValue());
+                if (consume(']'))
+                    return v;
+                expect(',');
+            }
+        }
+        if (c == '"') {
+            v.kind = JVal::Kind::Str;
+            v.str = parseString();
+            return v;
+        }
+        if (c == 't' || c == 'f') {
+            const std::string word = c == 't' ? "true" : "false";
+            if (text.compare(pos, word.size(), word) != 0)
+                die("bad literal");
+            pos += word.size();
+            v.kind = JVal::Kind::Bool;
+            v.b = c == 't';
+            return v;
+        }
+        if (c == 'n') {
+            if (text.compare(pos, 4, "null") != 0)
+                die("bad literal");
+            pos += 4;
+            return v;
+        }
+        // number
+        char *end = nullptr;
+        v.num = std::strtod(text.c_str() + pos, &end);
+        if (end == text.c_str() + pos)
+            die("expected a value");
+        pos = static_cast<std::size_t>(end - text.c_str());
+        v.kind = JVal::Kind::Num;
+        return v;
+    }
+};
+
+const JVal &
+field(const JVal &obj, const char *key)
+{
+    const JVal *v = obj.find(key);
+    if (!v)
+        fatal("sweep JSON: missing field '%s'", key);
+    return *v;
+}
+
+double
+numField(const JVal &obj, const char *key)
+{
+    const JVal &v = field(obj, key);
+    if (v.kind != JVal::Kind::Num)
+        fatal("sweep JSON: field '%s' is not a number", key);
+    return v.num;
+}
+
+std::uint64_t
+u64Field(const JVal &obj, const char *key)
+{
+    return static_cast<std::uint64_t>(numField(obj, key));
+}
+
+std::string
+strField(const JVal &obj, const char *key)
+{
+    const JVal &v = field(obj, key);
+    if (v.kind != JVal::Kind::Str)
+        fatal("sweep JSON: field '%s' is not a string", key);
+    return v.str;
+}
+
+bool
+boolField(const JVal &obj, const char *key)
+{
+    const JVal &v = field(obj, key);
+    if (v.kind != JVal::Kind::Bool)
+        fatal("sweep JSON: field '%s' is not a bool", key);
+    return v.b;
+}
+
+core::RunMetrics
+parseRunMetrics(const JVal &o)
+{
+    core::RunMetrics m;
+    m.packetsAttempted = u64Field(o, "packets_attempted");
+    m.packetsProcessed = u64Field(o, "packets_processed");
+    m.packetsWithError = u64Field(o, "packets_with_error");
+    m.fatal = boolField(o, "fatal");
+    m.fatalReason = strField(o, "fatal_reason");
+    m.cyclesPerPacket = numField(o, "cycles_per_packet");
+    m.energyPerPacketPj = numField(o, "energy_per_packet_pj");
+    m.totalEnergyPj = numField(o, "total_energy_pj");
+    m.l1dEnergyPj = numField(o, "l1d_energy_pj");
+    m.instructions = u64Field(o, "instructions");
+    m.dcacheAccesses = u64Field(o, "dcache_accesses");
+    m.dcacheMissRate = numField(o, "dcache_miss_rate");
+    m.faultsInjected = u64Field(o, "faults_injected");
+    m.parityTrips = u64Field(o, "parity_trips");
+    m.eccCorrections = u64Field(o, "ecc_corrections");
+    m.freqSwitches = u64Field(o, "freq_switches");
+    for (const auto &kv : field(o, "errors_by_type").obj)
+        m.errorsByType[kv.first] =
+            static_cast<std::uint64_t>(kv.second.num);
+    return m;
+}
+
+CellOutcome
+parseCell(const JVal &o)
+{
+    CellOutcome out;
+    out.cell.app = strField(o, "app");
+    out.cell.point.cr = numField(o, "cr");
+    out.cell.point.dynamic = boolField(o, "dynamic");
+    out.cell.scheme = schemeFromName(strField(o, "scheme"));
+    out.cell.codec = codecFromString(strField(o, "codec"));
+    out.cell.plane = planeFromString(strField(o, "plane"));
+    out.cell.faultScale = numField(o, "fault_scale");
+    if (const JVal *wall = o.find("wall_ms"))
+        out.wallMs = wall->num;
+
+    const JVal &res = field(o, "result");
+    out.result.app = out.cell.app;
+    out.result.golden = parseRunMetrics(field(res, "golden"));
+    out.result.faulty = parseRunMetrics(field(res, "faulty_last"));
+    const JVal &agg = field(res, "aggregate");
+    out.result.anyErrorProb = numField(agg, "any_error_prob");
+    out.result.fatalProb = numField(agg, "fatal_prob");
+    out.result.fatalFraction = numField(agg, "fatal_fraction");
+    out.result.fallibility = numField(agg, "fallibility");
+    out.result.cyclesPerPacket = numField(agg, "cycles_per_packet");
+    out.result.energyPerPacketPj =
+        numField(agg, "energy_per_packet_pj");
+    out.result.l1dEnergyPerPacketPj =
+        numField(agg, "l1d_energy_per_packet_pj");
+    out.result.edf = numField(agg, "edf");
+    for (const auto &kv : field(agg, "error_prob_by_type").obj)
+        out.result.errorProbByType[kv.first] = kv.second.num;
+    return out;
+}
+
+} // namespace
+
+std::string
+experimentResultJson(const core::ExperimentResult &res)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("golden");
+    writeRunMetrics(w, res.golden);
+    w.key("faulty_last");
+    writeRunMetrics(w, res.faulty);
+    w.key("aggregate").beginObject();
+    w.key("any_error_prob").value(res.anyErrorProb);
+    w.key("fatal_prob").value(res.fatalProb);
+    w.key("fatal_fraction").value(res.fatalFraction);
+    w.key("fallibility").value(res.fallibility);
+    w.key("cycles_per_packet").value(res.cyclesPerPacket);
+    w.key("energy_per_packet_pj").value(res.energyPerPacketPj);
+    w.key("l1d_energy_per_packet_pj").value(res.l1dEnergyPerPacketPj);
+    w.key("edf").value(res.edf);
+    w.key("error_prob_by_type").beginObject();
+    for (const auto &kv : res.errorProbByType)
+        w.key(kv.first).value(kv.second);
+    w.endObject();
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+renderJson(const SweepOutcome &outcome, bool provenance)
+{
+    std::string out = "{\n";
+    out += "  \"format\": \"clumsy-sweep-v1\",\n";
+    out += "  \"spec\": \"" +
+           jsonEscape(outcome.spec.toGridString()) + "\",\n";
+    out += "  \"cells\": " + std::to_string(outcome.cells.size()) +
+           ",\n";
+    if (provenance) {
+        out += "  \"provenance\": {\"git\": \"" +
+               jsonEscape(gitDescribe()) +
+               "\", \"jobs\": " + std::to_string(outcome.jobs) +
+               ", \"resumed\": " +
+               std::to_string(outcome.resumedCount) +
+               ", \"wall_ms\": " + jsonNumber(outcome.wallMs) + "},\n";
+    }
+    out += "  \"results\": [\n";
+    for (std::size_t i = 0; i < outcome.cells.size(); ++i) {
+        out += "    " + cellJson(outcome.cells[i], provenance);
+        out += i + 1 < outcome.cells.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+std::string
+renderCsv(const SweepOutcome &outcome)
+{
+    std::string out =
+        "app,cr,dynamic,scheme,codec,plane,fault_scale,fallibility,"
+        "any_error_prob,fatal_prob,fatal_fraction,cycles_per_packet,"
+        "energy_per_packet_pj,l1d_energy_per_packet_pj,edf,"
+        "golden_cycles_per_packet,golden_energy_per_packet_pj,"
+        "golden_dcache_miss_rate,wall_ms\n";
+    for (const CellOutcome &c : outcome.cells) {
+        const core::ExperimentResult &r = c.result;
+        out += c.cell.app;
+        out += "," + formatDouble(c.cell.point.cr);
+        out += c.cell.point.dynamic ? ",1" : ",0";
+        out += "," + schemeName(c.cell.scheme);
+        out += "," + codecName(c.cell.codec);
+        out += "," + planeName(c.cell.plane);
+        out += "," + formatDouble(c.cell.faultScale);
+        out += "," + formatDouble(r.fallibility);
+        out += "," + formatDouble(r.anyErrorProb);
+        out += "," + formatDouble(r.fatalProb);
+        out += "," + formatDouble(r.fatalFraction);
+        out += "," + formatDouble(r.cyclesPerPacket);
+        out += "," + formatDouble(r.energyPerPacketPj);
+        out += "," + formatDouble(r.l1dEnergyPerPacketPj);
+        out += "," + formatDouble(r.edf);
+        out += "," + formatDouble(r.golden.cyclesPerPacket);
+        out += "," + formatDouble(r.golden.energyPerPacketPj);
+        out += "," + formatDouble(r.golden.dcacheMissRate);
+        out += "," + formatDouble(c.wallMs);
+        out += "\n";
+    }
+    return out;
+}
+
+std::map<std::string, CellOutcome>
+loadCompletedCells(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    JsonParser parser{text};
+    const JVal doc = parser.parseValue();
+    if (doc.kind != JVal::Kind::Obj)
+        fatal("%s: not a JSON object", path.c_str());
+    const JVal *format = doc.find("format");
+    if (!format || format->str != "clumsy-sweep-v1")
+        fatal("%s: not a clumsy-sweep-v1 document", path.c_str());
+
+    std::map<std::string, CellOutcome> cells;
+    for (const JVal &entry : field(doc, "results").arr) {
+        CellOutcome out = parseCell(entry);
+        const std::string storedKey = strField(entry, "key");
+        const std::string derivedKey = out.cell.key();
+        if (storedKey != derivedKey)
+            fatal("%s: stored key '%s' does not match its fields",
+                  path.c_str(), storedKey.c_str());
+        cells.emplace(derivedKey, std::move(out));
+    }
+    return cells;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fatal("cannot open %s for writing", path.c_str());
+    out << content;
+    out.close();
+    if (!out)
+        fatal("error writing %s", path.c_str());
+}
+
+std::string
+gitDescribe()
+{
+    FILE *pipe =
+        popen("git describe --always --dirty 2>/dev/null", "r");
+    if (!pipe)
+        return "unknown";
+    char buf[128] = {0};
+    std::string out;
+    while (std::fgets(buf, sizeof(buf), pipe))
+        out += buf;
+    pclose(pipe);
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+        out.pop_back();
+    return out.empty() ? "unknown" : out;
+}
+
+} // namespace clumsy::sweep

@@ -1,0 +1,314 @@
+#include "sweep/spec.hh"
+
+#include <algorithm>
+#include <charconv>
+
+#include "apps/app.hh"
+#include "common/cli.hh"
+#include "common/logging.hh"
+
+namespace clumsy::sweep
+{
+
+std::string
+schemeName(mem::RecoveryScheme scheme)
+{
+    std::string s = mem::to_string(scheme);
+    std::replace(s.begin(), s.end(), ' ', '-');
+    return s;
+}
+
+mem::RecoveryScheme
+schemeFromName(const std::string &name)
+{
+    return mem::recoverySchemeFromString(
+        name == "no-detection" ? "no detection" : name);
+}
+
+namespace
+{
+
+/** All app names the grid accepts (paper set + extensions). */
+std::vector<std::string>
+knownApps()
+{
+    std::vector<std::string> names = apps::allAppNames();
+    const auto &ext = apps::extensionAppNames();
+    names.insert(names.end(), ext.begin(), ext.end());
+    return names;
+}
+
+template <typename T>
+std::string
+joinDim(const std::vector<T> &values,
+        std::string (*format)(const T &))
+{
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            out += ",";
+        out += format(values[i]);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+formatDouble(double v)
+{
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    CLUMSY_ASSERT(res.ec == std::errc(), "double format overflow");
+    return std::string(buf, res.ptr);
+}
+
+std::string
+to_string(const OperatingPoint &point)
+{
+    return point.dynamic ? "dynamic" : formatDouble(point.cr);
+}
+
+std::string
+codecName(mem::CheckCodec codec)
+{
+    return codec == mem::CheckCodec::Secded ? "secded" : "parity";
+}
+
+mem::CheckCodec
+codecFromString(const std::string &name)
+{
+    if (name == "parity")
+        return mem::CheckCodec::Parity;
+    if (name == "secded")
+        return mem::CheckCodec::Secded;
+    fatal("unknown codec '%s' (expected parity or secded)",
+          name.c_str());
+}
+
+std::string
+planeName(core::FaultPlane plane)
+{
+    switch (plane) {
+      case core::FaultPlane::ControlOnly:
+        return "control";
+      case core::FaultPlane::DataOnly:
+        return "data";
+      case core::FaultPlane::Both:
+        return "both";
+    }
+    panic("unreachable fault plane");
+}
+
+core::FaultPlane
+planeFromString(const std::string &name)
+{
+    if (name == "control")
+        return core::FaultPlane::ControlOnly;
+    if (name == "data")
+        return core::FaultPlane::DataOnly;
+    if (name == "both")
+        return core::FaultPlane::Both;
+    fatal("unknown fault plane '%s' (expected both, control or data)",
+          name.c_str());
+}
+
+SweepSpec
+SweepSpec::parse(const std::string &grid)
+{
+    SweepSpec spec;
+    spec.apps = apps::allAppNames();
+
+    for (const std::string &pair : cli::split(grid, ';')) {
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos)
+            fatal("grid entry '%s' is not key=value", pair.c_str());
+        const std::string key = pair.substr(0, eq);
+        const std::vector<std::string> values =
+            cli::split(pair.substr(eq + 1), ',');
+        if (values.empty())
+            fatal("grid key '%s' has no values", key.c_str());
+        auto scalar = [&]() -> const std::string & {
+            if (values.size() != 1)
+                fatal("grid key '%s' takes a single value",
+                      key.c_str());
+            return values[0];
+        };
+
+        if (key == "app") {
+            if (values.size() == 1 && values[0] == "all") {
+                spec.apps = apps::allAppNames();
+            } else {
+                const auto known = knownApps();
+                for (const std::string &v : values) {
+                    if (std::find(known.begin(), known.end(), v) ==
+                        known.end())
+                        fatal("unknown app '%s' in grid", v.c_str());
+                }
+                spec.apps = values;
+            }
+        } else if (key == "cr") {
+            spec.points.clear();
+            for (const std::string &v : values) {
+                if (v == "dynamic") {
+                    spec.points.push_back({1.0, true});
+                } else {
+                    const double cr = cli::parseDouble("cr", v);
+                    if (cr <= 0.0)
+                        fatal("cr must be positive, got %s", v.c_str());
+                    spec.points.push_back({cr, false});
+                }
+            }
+        } else if (key == "scheme") {
+            spec.schemes.clear();
+            if (values.size() == 1 && values[0] == "all") {
+                spec.schemes.assign(
+                    std::begin(mem::kAllRecoverySchemes),
+                    std::end(mem::kAllRecoverySchemes));
+            } else {
+                for (const std::string &v : values)
+                    spec.schemes.push_back(schemeFromName(v));
+            }
+        } else if (key == "codec") {
+            spec.codecs.clear();
+            for (const std::string &v : values)
+                spec.codecs.push_back(codecFromString(v));
+        } else if (key == "plane") {
+            spec.planes.clear();
+            for (const std::string &v : values)
+                spec.planes.push_back(planeFromString(v));
+        } else if (key == "fault-scale") {
+            spec.faultScales.clear();
+            for (const std::string &v : values) {
+                const double s = cli::parseDouble("fault-scale", v);
+                if (s < 0.0)
+                    fatal("fault-scale must be >= 0, got %s",
+                          v.c_str());
+                spec.faultScales.push_back(s);
+            }
+        } else if (key == "packets") {
+            spec.packets = cli::parseU64("packets", scalar());
+        } else if (key == "trials") {
+            spec.trials =
+                static_cast<unsigned>(cli::parseU64("trials", scalar()));
+            if (spec.trials == 0)
+                fatal("trials must be >= 1");
+        } else if (key == "seed") {
+            spec.traceSeed = cli::parseU64("seed", scalar());
+        } else if (key == "fault-seed") {
+            spec.faultSeed = cli::parseU64("fault-seed", scalar());
+        } else {
+            fatal("unknown grid key '%s'", key.c_str());
+        }
+    }
+    return spec;
+}
+
+std::string
+SweepSpec::toGridString() const
+{
+    std::string out = "app=";
+    for (std::size_t i = 0; i < apps.size(); ++i)
+        out += (i ? "," : "") + apps[i];
+    out += ";cr=" +
+           joinDim<OperatingPoint>(points,
+                                   [](const OperatingPoint &p) {
+                                       return to_string(p);
+                                   });
+    out += ";scheme=" +
+           joinDim<mem::RecoveryScheme>(
+               schemes,
+               [](const mem::RecoveryScheme &s) {
+                   return schemeName(s);
+               });
+    out += ";codec=" +
+           joinDim<mem::CheckCodec>(codecs,
+                                    [](const mem::CheckCodec &c) {
+                                        return codecName(c);
+                                    });
+    out += ";plane=" +
+           joinDim<core::FaultPlane>(planes,
+                                     [](const core::FaultPlane &p) {
+                                         return planeName(p);
+                                     });
+    out += ";fault-scale=" +
+           joinDim<double>(faultScales, [](const double &s) {
+               return formatDouble(s);
+           });
+    out += ";packets=" + std::to_string(packets);
+    out += ";trials=" + std::to_string(trials);
+    out += ";seed=" + std::to_string(traceSeed);
+    out += ";fault-seed=" + std::to_string(faultSeed);
+    return out;
+}
+
+std::size_t
+SweepSpec::cellCount() const
+{
+    return apps.size() * points.size() * schemes.size() *
+           codecs.size() * planes.size() * faultScales.size();
+}
+
+std::string
+SweepCell::key() const
+{
+    return "app=" + app + ";cr=" + to_string(point) +
+           ";scheme=" + schemeName(scheme) +
+           ";codec=" + codecName(codec) +
+           ";plane=" + planeName(plane) +
+           ";fault-scale=" + formatDouble(faultScale);
+}
+
+std::vector<SweepCell>
+expand(const SweepSpec &spec)
+{
+    CLUMSY_ASSERT(!spec.apps.empty() && !spec.points.empty() &&
+                      !spec.schemes.empty() && !spec.codecs.empty() &&
+                      !spec.planes.empty() &&
+                      !spec.faultScales.empty(),
+                  "every grid dimension needs at least one value");
+    std::vector<SweepCell> cells;
+    cells.reserve(spec.cellCount());
+    for (const std::string &app : spec.apps) {
+        for (const OperatingPoint &point : spec.points) {
+            for (const mem::RecoveryScheme scheme : spec.schemes) {
+                for (const mem::CheckCodec codec : spec.codecs) {
+                    for (const core::FaultPlane plane : spec.planes) {
+                        for (const double scale : spec.faultScales) {
+                            SweepCell cell;
+                            cell.index = cells.size();
+                            cell.app = app;
+                            cell.point = point;
+                            cell.scheme = scheme;
+                            cell.codec = codec;
+                            cell.plane = plane;
+                            cell.faultScale = scale;
+                            cells.push_back(std::move(cell));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return cells;
+}
+
+core::ExperimentConfig
+makeConfig(const SweepSpec &spec, const SweepCell &cell)
+{
+    core::ExperimentConfig cfg;
+    cfg.numPackets = spec.packets;
+    cfg.trials = spec.trials;
+    cfg.traceSeed = spec.traceSeed;
+    cfg.faultSeed = spec.faultSeed;
+    cfg.cr = cell.point.cr;
+    cfg.dynamicFrequency = cell.point.dynamic;
+    cfg.scheme = cell.scheme;
+    cfg.plane = cell.plane;
+    cfg.faultScale = cell.faultScale;
+    cfg.processor.hierarchy.scheme = cell.scheme;
+    cfg.processor.hierarchy.codec = cell.codec;
+    return cfg;
+}
+
+} // namespace clumsy::sweep

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Declarative experiment-grid specification for the sweep engine.
+ *
+ * A SweepSpec is the cartesian product of up to six swept dimensions
+ * (application, operating point, recovery scheme, check codec, fault
+ * plane, fault-rate scale) plus the scalar knobs shared by every cell
+ * (packets, trials, trace seed, fault seed). It round-trips through a
+ * compact grid string:
+ *
+ *   app=route,md5;cr=1,0.5,dynamic;scheme=two-strike;trials=8
+ *
+ * Dimensions omitted from the string keep their single-value
+ * defaults, so the paper's full Table I / Figures 9-12 grids and a
+ * one-cell smoke run are expressed in the same language. Expansion
+ * order is fixed (the nesting order of the fields below), which gives
+ * every cell a stable index and canonical key — the anchor for the
+ * deterministic reduction and for --resume.
+ */
+
+#ifndef CLUMSY_SWEEP_SPEC_HH
+#define CLUMSY_SWEEP_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "mem/cache.hh"
+#include "mem/recovery.hh"
+
+namespace clumsy::sweep
+{
+
+/** One frequency configuration: a static Cr or the dynamic scheme. */
+struct OperatingPoint
+{
+    double cr = 1.0;      ///< relative cycle time (1 when dynamic)
+    bool dynamic = false; ///< dynamic frequency adaptation
+
+    bool operator==(const OperatingPoint &) const = default;
+};
+
+/** Canonical text for an operating point ("0.5" or "dynamic"). */
+std::string to_string(const OperatingPoint &point);
+
+/** The declarative grid. */
+struct SweepSpec
+{
+    // Swept dimensions, in expansion-nesting order (outermost first).
+    std::vector<std::string> apps; ///< parse() defaults to all apps
+    std::vector<OperatingPoint> points = {OperatingPoint{}};
+    std::vector<mem::RecoveryScheme> schemes = {
+        mem::RecoveryScheme::NoDetection};
+    std::vector<mem::CheckCodec> codecs = {mem::CheckCodec::Parity};
+    std::vector<core::FaultPlane> planes = {core::FaultPlane::Both};
+    std::vector<double> faultScales = {1.0};
+
+    // Scalar knobs shared by every cell.
+    std::uint64_t packets = 2000;
+    unsigned trials = 4;
+    std::uint64_t traceSeed = 1;
+    std::uint64_t faultSeed = 0x5eed;
+
+    /**
+     * Parse a grid string (semicolon-separated key=value,value,...
+     * pairs). Keys: app, cr, scheme, codec, plane, fault-scale,
+     * packets, trials, seed, fault-seed. "app=all" / "scheme=all"
+     * expand to the full sets. fatal()s on unknown keys or values.
+     */
+    static SweepSpec parse(const std::string &grid);
+
+    /**
+     * Canonical grid string listing every dimension and scalar;
+     * parse(toGridString()) reproduces the spec exactly.
+     */
+    std::string toGridString() const;
+
+    /** Total number of grid cells (product of dimension sizes). */
+    std::size_t cellCount() const;
+};
+
+/** One point of the expanded grid. */
+struct SweepCell
+{
+    std::size_t index = 0; ///< position in expansion order
+    std::string app;
+    OperatingPoint point;
+    mem::RecoveryScheme scheme = mem::RecoveryScheme::NoDetection;
+    mem::CheckCodec codec = mem::CheckCodec::Parity;
+    core::FaultPlane plane = core::FaultPlane::Both;
+    double faultScale = 1.0;
+
+    /**
+     * Stable identity of the cell within any spec that contains it:
+     * "app=crc;cr=0.5;scheme=two-strike;codec=parity;plane=both;
+     * fault-scale=1". Used as the JSON result key and by --resume.
+     */
+    std::string key() const;
+};
+
+/** Expand the grid in canonical nesting order. */
+std::vector<SweepCell> expand(const SweepSpec &spec);
+
+/** The ExperimentConfig a cell runs under. */
+core::ExperimentConfig makeConfig(const SweepSpec &spec,
+                                  const SweepCell &cell);
+
+/** Dash-form scheme name usable inside keys ("no-detection"). */
+std::string schemeName(mem::RecoveryScheme scheme);
+
+/** Parse a scheme name (dash or space form); fatal()s on junk. */
+mem::RecoveryScheme schemeFromName(const std::string &name);
+
+/** Canonical codec name ("parity" / "secded"). */
+std::string codecName(mem::CheckCodec codec);
+
+/** Parse a codec name; fatal()s on junk. */
+mem::CheckCodec codecFromString(const std::string &name);
+
+/** Canonical plane name ("both" / "control" / "data"). */
+std::string planeName(core::FaultPlane plane);
+
+/** Parse a plane name; fatal()s on junk. */
+core::FaultPlane planeFromString(const std::string &name);
+
+/** Shortest round-trip decimal text for a double ("0.5", "1"). */
+std::string formatDouble(double v);
+
+} // namespace clumsy::sweep
+
+#endif // CLUMSY_SWEEP_SPEC_HH

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Tests of the sweep engine: grid parsing and expansion, scheduler
+ * determinism across worker counts, the JSON sink, and --resume.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+
+#include "apps/app.hh"
+#include "core/experiment.hh"
+#include "sweep/json.hh"
+#include "sweep/pool.hh"
+#include "sweep/runner.hh"
+#include "sweep/sink.hh"
+#include "sweep/spec.hh"
+
+using namespace clumsy;
+using namespace clumsy::sweep;
+
+namespace
+{
+
+/** A small two-cell spec that still exercises faults and trials. */
+SweepSpec
+smallSpec()
+{
+    SweepSpec spec;
+    spec.apps = {"crc"};
+    spec.points = {{0.5, false}, {0.25, false}};
+    spec.schemes = {mem::RecoveryScheme::TwoStrike};
+    spec.packets = 120;
+    spec.trials = 3;
+    return spec;
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+/** Drop the final (wall_ms) column from every CSV line. */
+std::string
+stripWallColumn(const std::string &csv)
+{
+    std::string out;
+    std::size_t start = 0;
+    while (start < csv.size()) {
+        std::size_t end = csv.find('\n', start);
+        if (end == std::string::npos)
+            end = csv.size();
+        const std::string line = csv.substr(start, end - start);
+        const std::size_t comma = line.rfind(',');
+        out += line.substr(0, comma) + "\n";
+        start = end + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+// --- grid string parsing and expansion -------------------------------
+
+TEST(SweepSpec, ParseAppliesDefaultsAndOverrides)
+{
+    const SweepSpec spec = SweepSpec::parse(
+        "app=route,md5;cr=1,0.5,dynamic;scheme=two-strike;trials=8");
+    EXPECT_EQ(spec.apps, (std::vector<std::string>{"route", "md5"}));
+    ASSERT_EQ(spec.points.size(), 3u);
+    EXPECT_DOUBLE_EQ(spec.points[0].cr, 1.0);
+    EXPECT_FALSE(spec.points[0].dynamic);
+    EXPECT_DOUBLE_EQ(spec.points[1].cr, 0.5);
+    EXPECT_TRUE(spec.points[2].dynamic);
+    EXPECT_EQ(spec.schemes,
+              (std::vector<mem::RecoveryScheme>{
+                  mem::RecoveryScheme::TwoStrike}));
+    EXPECT_EQ(spec.trials, 8u);
+    // Untouched dimensions keep their single-value defaults.
+    EXPECT_EQ(spec.codecs,
+              (std::vector<mem::CheckCodec>{mem::CheckCodec::Parity}));
+    EXPECT_EQ(spec.planes,
+              (std::vector<core::FaultPlane>{core::FaultPlane::Both}));
+    EXPECT_EQ(spec.faultScales, (std::vector<double>{1.0}));
+    EXPECT_EQ(spec.packets, 2000u);
+    EXPECT_EQ(spec.cellCount(), 2u * 3u);
+}
+
+TEST(SweepSpec, GridStringRoundTrips)
+{
+    const SweepSpec spec = SweepSpec::parse(
+        "app=crc,url;cr=0.75,dynamic;scheme=all;codec=parity,secded;"
+        "plane=both,data;fault-scale=1,2.5;packets=500;trials=2;"
+        "seed=42;fault-seed=7");
+    const SweepSpec again = SweepSpec::parse(spec.toGridString());
+    EXPECT_EQ(again.toGridString(), spec.toGridString());
+
+    const auto cells = expand(spec);
+    const auto cellsAgain = expand(again);
+    ASSERT_EQ(cells.size(), cellsAgain.size());
+    EXPECT_EQ(cells.size(), spec.cellCount());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        EXPECT_EQ(cells[i].key(), cellsAgain[i].key());
+    EXPECT_EQ(again.packets, 500u);
+    EXPECT_EQ(again.traceSeed, 42u);
+    EXPECT_EQ(again.faultSeed, 7u);
+}
+
+TEST(SweepSpec, ExpansionOrderIsCanonical)
+{
+    SweepSpec spec;
+    spec.apps = {"crc", "md5"};
+    spec.points = {{1.0, false}, {0.5, false}};
+    const auto cells = expand(spec);
+    ASSERT_EQ(cells.size(), 4u);
+    // App is the outermost dimension, then the operating point.
+    EXPECT_EQ(cells[0].key(),
+              "app=crc;cr=1;scheme=no-detection;codec=parity;"
+              "plane=both;fault-scale=1");
+    EXPECT_EQ(cells[1].key(),
+              "app=crc;cr=0.5;scheme=no-detection;codec=parity;"
+              "plane=both;fault-scale=1");
+    EXPECT_EQ(cells[2].app, "md5");
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        EXPECT_EQ(cells[i].index, i);
+}
+
+TEST(SweepSpec, MakeConfigCarriesEveryKnob)
+{
+    SweepSpec spec = smallSpec();
+    spec.faultScales = {2.0};
+    spec.codecs = {mem::CheckCodec::Secded};
+    spec.planes = {core::FaultPlane::DataOnly};
+    const auto cells = expand(spec);
+    const core::ExperimentConfig cfg = makeConfig(spec, cells[0]);
+    EXPECT_EQ(cfg.numPackets, spec.packets);
+    EXPECT_EQ(cfg.trials, spec.trials);
+    EXPECT_DOUBLE_EQ(cfg.cr, 0.5);
+    EXPECT_FALSE(cfg.dynamicFrequency);
+    EXPECT_EQ(cfg.scheme, mem::RecoveryScheme::TwoStrike);
+    EXPECT_EQ(cfg.plane, core::FaultPlane::DataOnly);
+    EXPECT_DOUBLE_EQ(cfg.faultScale, 2.0);
+    EXPECT_EQ(cfg.processor.hierarchy.codec, mem::CheckCodec::Secded);
+}
+
+// --- work-stealing pool ----------------------------------------------
+
+TEST(WorkStealingPool, RunsEveryJobExactlyOnce)
+{
+    const std::size_t n = 257;
+    std::vector<std::atomic<int>> counts(n);
+    const WorkStealingPool pool(4);
+    pool.run(n, [&](std::size_t i) {
+        counts[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(counts[i].load(), 1) << "job " << i;
+}
+
+TEST(WorkStealingPool, InlineWhenSingleWorker)
+{
+    std::vector<std::size_t> order;
+    const WorkStealingPool pool(1);
+    pool.run(5, [&](std::size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+// --- deterministic execution -----------------------------------------
+
+TEST(SweepRunner, AggregatesMatchSerialRunExperiment)
+{
+    const SweepSpec spec = smallSpec();
+    const SweepOutcome outcome = runSweep(spec, 4);
+    ASSERT_EQ(outcome.cells.size(), 2u);
+
+    for (const CellOutcome &cell : outcome.cells) {
+        const core::ExperimentConfig cfg =
+            makeConfig(spec, cell.cell);
+        const core::ExperimentResult serial = core::runExperiment(
+            apps::appFactory(cell.cell.app), cfg);
+        // Bit-identical, not approximately equal: the reduction runs
+        // in the same fixed order as the serial harness.
+        EXPECT_EQ(cell.result.fallibility, serial.fallibility);
+        EXPECT_EQ(cell.result.anyErrorProb, serial.anyErrorProb);
+        EXPECT_EQ(cell.result.fatalProb, serial.fatalProb);
+        EXPECT_EQ(cell.result.cyclesPerPacket, serial.cyclesPerPacket);
+        EXPECT_EQ(cell.result.energyPerPacketPj,
+                  serial.energyPerPacketPj);
+        EXPECT_EQ(cell.result.edf, serial.edf);
+        EXPECT_EQ(cell.result.errorProbByType, serial.errorProbByType);
+        EXPECT_EQ(cell.result.golden.instructions,
+                  serial.golden.instructions);
+    }
+}
+
+TEST(SweepRunner, JsonIsByteIdenticalAcrossWorkerCounts)
+{
+    const SweepSpec spec = smallSpec();
+    const SweepOutcome serial = runSweep(spec, 1);
+    const SweepOutcome parallel = runSweep(spec, 8);
+    EXPECT_EQ(renderJson(serial, false), renderJson(parallel, false));
+    EXPECT_EQ(stripWallColumn(renderCsv(serial)),
+              stripWallColumn(renderCsv(parallel)));
+}
+
+// --- sink and resume -------------------------------------------------
+
+TEST(SweepSink, LoadCompletedCellsRoundTrips)
+{
+    const SweepSpec spec = smallSpec();
+    const SweepOutcome outcome = runSweep(spec, 2);
+    const std::string path = tempPath("sweep_roundtrip.json");
+    writeFile(path, renderJson(outcome, true));
+
+    const auto loaded = loadCompletedCells(path);
+    ASSERT_EQ(loaded.size(), outcome.cells.size());
+    for (const CellOutcome &cell : outcome.cells) {
+        const auto it = loaded.find(cell.cell.key());
+        ASSERT_NE(it, loaded.end()) << cell.cell.key();
+        const core::ExperimentResult &a = it->second.result;
+        const core::ExperimentResult &b = cell.result;
+        EXPECT_EQ(a.fallibility, b.fallibility);
+        EXPECT_EQ(a.edf, b.edf);
+        EXPECT_EQ(a.errorProbByType, b.errorProbByType);
+        EXPECT_EQ(a.golden.cyclesPerPacket, b.golden.cyclesPerPacket);
+        EXPECT_EQ(a.faulty.fatalReason, b.faulty.fatalReason);
+    }
+}
+
+TEST(SweepSink, MissingFileYieldsEmptyMap)
+{
+    EXPECT_TRUE(
+        loadCompletedCells(tempPath("does_not_exist.json")).empty());
+}
+
+TEST(SweepResume, SkipsCompletedCellsAndMergesOutput)
+{
+    // First run: only the Cr = 0.5 cell.
+    SweepSpec first = smallSpec();
+    first.points = {{0.5, false}};
+    const std::string path = tempPath("sweep_resume.json");
+    writeFile(path, renderJson(runSweep(first, 2), false));
+
+    // Resumed run over the full grid must re-run only the new cell.
+    const SweepSpec full = smallSpec();
+    const auto completed = loadCompletedCells(path);
+    const SweepOutcome resumed = runSweep(full, 2, &completed);
+    EXPECT_EQ(resumed.resumedCount, 1u);
+    ASSERT_EQ(resumed.cells.size(), 2u);
+    EXPECT_TRUE(resumed.cells[0].resumed);
+    EXPECT_FALSE(resumed.cells[1].resumed);
+
+    // And the merged document equals a fresh full run, byte for byte.
+    const SweepOutcome fresh = runSweep(full, 2);
+    EXPECT_EQ(renderJson(resumed, false), renderJson(fresh, false));
+}
+
+// --- JSON emitter ----------------------------------------------------
+
+TEST(Json, EscapesAndFormatsDeterministically)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(jsonNumber(0.5), "0.5");
+    EXPECT_EQ(jsonNumber(1.0), "1");
+    // Shortest round-trip form: parsing it back yields the same bits.
+    const double v = 14260600.553291745;
+    EXPECT_EQ(std::stod(jsonNumber(v)), v);
+}
+
+TEST(Json, WriterPlacesCommasAndNesting)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("a").value(std::uint64_t{1});
+    w.key("b").beginArray();
+    w.value("x").value(true);
+    w.endArray();
+    w.key("c").beginObject().endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"a\": 1, \"b\": [\"x\", true], \"c\": {}}");
+}

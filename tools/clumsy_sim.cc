@@ -10,65 +10,111 @@
  *   clumsy_sim --app route --cr 0.5 --scheme two-strike
  *   clumsy_sim --app md5 --dynamic --packets 5000 --trials 8
  *   clumsy_sim --app url --codec secded --stats
+ *   clumsy_sim --app nat --cr 0.5 --json
  *   clumsy_sim --app crc --dump-trace crc.trace --packets 1000
  *   clumsy_sim --app crc --replay crc.trace --cr 0.25
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
 #include "apps/app.hh"
+#include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "core/experiment.hh"
 #include "net/trace_gen.hh"
 #include "net/trace_io.hh"
+#include "sweep/json.hh"
+#include "sweep/sink.hh"
+#include "sweep/spec.hh"
 
 using namespace clumsy;
 
 namespace
 {
 
-void
-usage()
+/** One faulty pass over a saved trace, no golden comparison. */
+int
+replay(const std::string &app, const std::string &path,
+       const core::ExperimentConfig &cfg, bool stats)
 {
-    std::puts(
-        "usage: clumsy_sim --app NAME [options]\n"
-        "\n"
-        "workloads: crc tl route drr nat md5 url (paper) + adpcm\n"
-        "\n"
-        "operating point:\n"
-        "  --cr X              relative cycle time (1, 0.75, 0.5, 0.25)\n"
-        "  --dynamic           use the dynamic frequency controller\n"
-        "  --scheme S          no-detection | one-strike | two-strike |\n"
-        "                      three-strike (default: no-detection)\n"
-        "  --codec C           parity | secded (default: parity)\n"
-        "  --subblock          sub-block strike recovery\n"
-        "\n"
-        "experiment:\n"
-        "  --packets N         packets per run (default 2000)\n"
-        "  --trials N          faulty trials (default 4)\n"
-        "  --plane P           both | control | data (default both)\n"
-        "  --fault-scale X     fault-rate multiplier (default 1)\n"
-        "  --seed N            trace seed\n"
-        "  --fault-seed N      fault-stream seed\n"
-        "\n"
-        "traces:\n"
-        "  --dump-trace FILE   write the app's generated trace and exit\n"
-        "  --replay FILE       run one faulty pass over a saved trace\n"
-        "\n"
-        "output:\n"
-        "  --stats             dump raw simulator counters\n"
-        "  --csv               CSV tables\n");
+    const auto trace = net::loadTrace(path);
+    auto instance = apps::makeApp(app);
+    core::ProcessorConfig pc = cfg.processor;
+    pc.staticCr = cfg.cr;
+    pc.dynamicFrequency = cfg.dynamicFrequency;
+    pc.hierarchy.scheme = cfg.scheme;
+    pc.faultModel.scale = cfg.faultScale;
+    pc.faultSeed = cfg.faultSeed;
+    core::ClumsyProcessor proc(pc);
+    instance->initialize(proc);
+    core::ValueRecorder rec;
+    std::uint64_t processed = 0;
+    for (const auto &pkt : trace) {
+        if (proc.fatalOccurred())
+            break;
+        proc.beginPacket();
+        rec.beginPacket();
+        instance->processPacket(proc, pkt, rec);
+        if (proc.fatalOccurred())
+            break; // this packet never completed: don't count it
+        proc.endPacket();
+        ++processed;
+    }
+    // A replay whose first packet dies has no completed packets, so
+    // per-packet quantities are reported as 0 rather than dividing
+    // the totals by a clamped count.
+    const double cyclesPerPkt =
+        processed ? proc.nowCycles() / static_cast<double>(processed)
+                  : 0.0;
+    const double energyPerPktUj =
+        processed ? proc.totalEnergyPj() * 1e-6 /
+                        static_cast<double>(processed)
+                  : 0.0;
+    std::printf("replayed %llu/%zu packets, cycles/pkt %.1f, "
+                "energy/pkt %.3f uJ, faults %llu%s\n",
+                static_cast<unsigned long long>(processed),
+                trace.size(), cyclesPerPkt, energyPerPktUj,
+                static_cast<unsigned long long>(
+                    proc.injector().faultCount()),
+                proc.fatalOccurred()
+                    ? (" — FATAL: " + proc.fatalReason()).c_str()
+                    : "");
+    // The fault breakdown is the whole point of a replay run: print
+    // it always, not only under --stats.
+    std::fputs(proc.injector().stats().dump().c_str(), stdout);
+    if (stats) {
+        std::fputs(proc.hierarchy().stats().dump().c_str(), stdout);
+        std::fputs(proc.hierarchy().l1d().stats().dump().c_str(),
+                   stdout);
+    }
+    return 0;
 }
 
-mem::RecoveryScheme
-parseScheme(const std::string &s)
+/** Machine-readable output: config + the sweep result serializer. */
+void
+printJson(const std::string &app, const core::ExperimentConfig &cfg,
+          const core::ExperimentResult &res)
 {
-    return mem::recoverySchemeFromString(
-        s == "no-detection" ? "no detection" : s);
+    std::string out = "{\n";
+    out += "  \"app\": \"" + sweep::jsonEscape(app) + "\",\n";
+    out += "  \"cr\": " + sweep::jsonNumber(cfg.cr) + ",\n";
+    out += std::string("  \"dynamic\": ") +
+           (cfg.dynamicFrequency ? "true" : "false") + ",\n";
+    out += "  \"scheme\": \"" + sweep::schemeName(cfg.scheme) + "\",\n";
+    out += "  \"codec\": \"" +
+           sweep::codecName(cfg.processor.hierarchy.codec) + "\",\n";
+    out += "  \"plane\": \"" + sweep::planeName(cfg.plane) + "\",\n";
+    out += "  \"fault_scale\": " + sweep::jsonNumber(cfg.faultScale) +
+           ",\n";
+    out += "  \"packets\": " + std::to_string(cfg.numPackets) + ",\n";
+    out += "  \"trials\": " + std::to_string(cfg.trials) + ",\n";
+    out += "  \"seed\": " + std::to_string(cfg.traceSeed) + ",\n";
+    out += "  \"fault_seed\": " + std::to_string(cfg.faultSeed) + ",\n";
+    out += "  \"result\": " + sweep::experimentResultJson(res) + "\n";
+    out += "}\n";
+    std::fputs(out.c_str(), stdout);
 }
 
 } // namespace
@@ -82,70 +128,69 @@ main(int argc, char **argv)
     core::ExperimentConfig cfg;
     cfg.numPackets = 2000;
     cfg.trials = 4;
-    bool stats = false, csv = false;
+    bool stats = false, csv = false, json = false;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto value = [&]() -> std::string {
-            if (i + 1 >= argc)
-                fatal("missing value for %s", arg.c_str());
-            return argv[++i];
-        };
-        if (arg == "--app") {
-            app = value();
-        } else if (arg == "--cr") {
-            cfg.cr = std::strtod(value().c_str(), nullptr);
-        } else if (arg == "--dynamic") {
-            cfg.dynamicFrequency = true;
-        } else if (arg == "--scheme") {
-            cfg.scheme = parseScheme(value());
-        } else if (arg == "--codec") {
-            const std::string c = value();
-            if (c == "secded")
-                cfg.processor.hierarchy.codec = mem::CheckCodec::Secded;
-            else if (c != "parity")
-                fatal("unknown codec '%s'", c.c_str());
-        } else if (arg == "--subblock") {
-            cfg.processor.hierarchy.subBlockRecovery = true;
-        } else if (arg == "--packets") {
-            cfg.numPackets = std::strtoull(value().c_str(), nullptr, 10);
-        } else if (arg == "--trials") {
-            cfg.trials = static_cast<unsigned>(
-                std::strtoul(value().c_str(), nullptr, 10));
-        } else if (arg == "--plane") {
-            const std::string p = value();
-            if (p == "control")
-                cfg.plane = core::FaultPlane::ControlOnly;
-            else if (p == "data")
-                cfg.plane = core::FaultPlane::DataOnly;
-            else if (p != "both")
-                fatal("unknown plane '%s'", p.c_str());
-        } else if (arg == "--fault-scale") {
-            cfg.faultScale = std::strtod(value().c_str(), nullptr);
-        } else if (arg == "--seed") {
-            cfg.traceSeed = std::strtoull(value().c_str(), nullptr, 10);
-        } else if (arg == "--fault-seed") {
-            cfg.faultSeed = std::strtoull(value().c_str(), nullptr, 10);
-        } else if (arg == "--dump-trace") {
-            dumpTrace = value();
-        } else if (arg == "--replay") {
-            replayTrace = value();
-        } else if (arg == "--stats") {
-            stats = true;
-        } else if (arg == "--csv") {
-            csv = true;
-        } else if (arg == "--help" || arg == "-h") {
-            usage();
-            return 0;
-        } else {
-            usage();
-            fatal("unknown option '%s'", arg.c_str());
-        }
-    }
-    if (app.empty()) {
-        usage();
-        fatal("--app is required");
-    }
+    cli::ArgParser parser(
+        "clumsy_sim",
+        "Run one workload under one operating point and report the "
+        "full result set.");
+    parser.section("workload");
+    parser.optString("--app", "NAME",
+                     "crc tl route drr nat md5 url (paper) + adpcm",
+                     &app);
+    parser.section("operating point");
+    parser.optDouble("--cr", "X",
+                     "relative cycle time (1, 0.75, 0.5, 0.25)",
+                     &cfg.cr);
+    parser.flag("--dynamic", "use the dynamic frequency controller",
+                [&cfg]() { cfg.dynamicFrequency = true; });
+    parser.option("--scheme", "S",
+                  "no-detection | one-strike | two-strike | "
+                  "three-strike (default: no-detection)",
+                  [&cfg](const std::string &v) {
+                      cfg.scheme = sweep::schemeFromName(v);
+                  });
+    parser.option("--codec", "C", "parity | secded (default: parity)",
+                  [&cfg](const std::string &v) {
+                      cfg.processor.hierarchy.codec =
+                          sweep::codecFromString(v);
+                  });
+    parser.flag("--subblock", "sub-block strike recovery", [&cfg]() {
+        cfg.processor.hierarchy.subBlockRecovery = true;
+    });
+    parser.section("experiment");
+    parser.optU64("--packets", "N", "packets per run (default 2000)",
+                  &cfg.numPackets);
+    parser.optUnsigned("--trials", "N", "faulty trials (default 4)",
+                       &cfg.trials);
+    parser.option("--plane", "P", "both | control | data (default both)",
+                  [&cfg](const std::string &v) {
+                      cfg.plane = sweep::planeFromString(v);
+                  });
+    parser.optDouble("--fault-scale", "X",
+                     "fault-rate multiplier (default 1)",
+                     &cfg.faultScale);
+    parser.optU64("--seed", "N", "trace seed", &cfg.traceSeed);
+    parser.optU64("--fault-seed", "N", "fault-stream seed",
+                  &cfg.faultSeed);
+    parser.section("traces");
+    parser.optString("--dump-trace", "FILE",
+                     "write the app's generated trace and exit",
+                     &dumpTrace);
+    parser.optString("--replay", "FILE",
+                     "run one faulty pass over a saved trace",
+                     &replayTrace);
+    parser.section("output");
+    parser.flag("--stats", "dump raw simulator counters", &stats);
+    parser.flag("--csv", "CSV tables", &csv);
+    parser.flag("--json",
+                "machine-readable JSON (same result schema as "
+                "clumsy_sweep)",
+                &json);
+    parser.parse(argc, argv);
+
+    if (app.empty())
+        fatal("--app is required (try --help)");
 
     if (!dumpTrace.empty()) {
         auto probe = apps::makeApp(app);
@@ -159,53 +204,15 @@ main(int argc, char **argv)
         return 0;
     }
 
-    if (!replayTrace.empty()) {
-        // One direct faulty pass over a saved trace, no golden
-        // comparison: for inspecting simulator behavior on captured
-        // workloads.
-        const auto trace = net::loadTrace(replayTrace);
-        auto instance = apps::makeApp(app);
-        core::ProcessorConfig pc = cfg.processor;
-        pc.staticCr = cfg.cr;
-        pc.dynamicFrequency = cfg.dynamicFrequency;
-        pc.hierarchy.scheme = cfg.scheme;
-        pc.faultModel.scale = cfg.faultScale;
-        pc.faultSeed = cfg.faultSeed;
-        core::ClumsyProcessor proc(pc);
-        instance->initialize(proc);
-        core::ValueRecorder rec;
-        std::uint64_t processed = 0;
-        for (const auto &pkt : trace) {
-            if (proc.fatalOccurred())
-                break;
-            proc.beginPacket();
-            rec.beginPacket();
-            instance->processPacket(proc, pkt, rec);
-            proc.endPacket();
-            ++processed;
-        }
-        std::printf("replayed %llu/%zu packets, cycles/pkt %.1f, "
-                    "energy %.2f uJ, faults %llu%s\n",
-                    static_cast<unsigned long long>(processed),
-                    trace.size(),
-                    proc.nowCycles() /
-                        static_cast<double>(processed ? processed : 1),
-                    proc.totalEnergyPj() * 1e-6,
-                    static_cast<unsigned long long>(
-                        proc.injector().faultCount()),
-                    proc.fatalOccurred()
-                        ? (" — FATAL: " + proc.fatalReason()).c_str()
-                        : "");
-        if (stats) {
-            std::fputs(proc.hierarchy().stats().dump().c_str(), stdout);
-            std::fputs(proc.hierarchy().l1d().stats().dump().c_str(),
-                       stdout);
-            std::fputs(proc.injector().stats().dump().c_str(), stdout);
-        }
-        return 0;
-    }
+    if (!replayTrace.empty())
+        return replay(app, replayTrace, cfg, stats);
 
     const auto res = core::runExperiment(apps::appFactory(app), cfg);
+
+    if (json) {
+        printJson(app, cfg, res);
+        return 0;
+    }
 
     TextTable table("clumsy_sim: " + app + " @ Cr=" +
                     TextTable::num(cfg.cr, 2) +
