@@ -54,6 +54,7 @@ void
 Histogram::sample(double v)
 {
     ++total_;
+    sum_ += v;
     if (v < lo_) {
         ++under_;
     } else if (v >= hi_) {
@@ -66,10 +67,30 @@ Histogram::sample(double v)
     }
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    CLUMSY_ASSERT(lo_ == other.lo_ && hi_ == other.hi_ &&
+                      counts_.size() == other.counts_.size(),
+                  "cannot merge histograms of different shapes");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    under_ += other.under_;
+    over_ += other.over_;
+    total_ += other.total_;
+    sum_ += other.sum_;
+}
+
 double
 Histogram::binLo(unsigned i) const
 {
     return lo_ + width_ * i;
+}
+
+double
+Histogram::mean() const
+{
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
 }
 
 void

@@ -66,11 +66,28 @@ class Histogram
     /** Add one sample. */
     void sample(double v);
 
+    /**
+     * Fold another histogram's counts into this one. Both must have
+     * the same [lo, hi) range and bin count (fatal()s otherwise), so
+     * per-shard histograms — one per worker or per processing engine —
+     * can be reduced into a single distribution.
+     */
+    void merge(const Histogram &other);
+
     /** @return count in bin i (0-based, excluding out-of-range bins). */
     std::uint64_t binCount(unsigned i) const { return counts_.at(i); }
 
     /** @return the inclusive lower edge of bin i. */
     double binLo(unsigned i) const;
+
+    /** @return the lower bound of the in-range interval. */
+    double lo() const { return lo_; }
+
+    /** @return the exclusive upper bound of the in-range interval. */
+    double hi() const { return hi_; }
+
+    /** @return the mean of all samples (0 when empty). */
+    double mean() const;
 
     /** @return number of in-range bins. */
     unsigned bins() const { return static_cast<unsigned>(counts_.size()); }
@@ -88,6 +105,7 @@ class Histogram
     double lo_, hi_, width_;
     std::vector<std::uint64_t> counts_;
     std::uint64_t under_ = 0, over_ = 0, total_ = 0;
+    double sum_ = 0.0;
 };
 
 /**

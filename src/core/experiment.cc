@@ -40,7 +40,15 @@ std::vector<std::string>
 ValueRecorder::comparePacket(std::size_t idx,
                              const ValueRecorder &other) const
 {
-    CLUMSY_ASSERT(idx < packets_.size() && idx < other.packets_.size(),
+    return comparePacket(idx, other, idx);
+}
+
+std::vector<std::string>
+ValueRecorder::comparePacket(std::size_t idx, const ValueRecorder &other,
+                             std::size_t otherIdx) const
+{
+    CLUMSY_ASSERT(idx < packets_.size() &&
+                      otherIdx < other.packets_.size(),
                   "packet frame out of range");
     // Group the frame's values per key, preserving per-key order
     // (e.g. the sequence of radix-tree nodes traversed).
@@ -51,7 +59,7 @@ ValueRecorder::comparePacket(std::size_t idx,
         return m;
     };
     const auto mine = group(packets_[idx]);
-    const auto theirs = group(other.packets_[idx]);
+    const auto theirs = group(other.packets_[otherIdx]);
 
     std::vector<std::string> mismatched;
     for (const auto &kv : mine) {
@@ -66,13 +74,9 @@ ValueRecorder::comparePacket(std::size_t idx,
     return mismatched;
 }
 
-namespace
-{
-
-/** Build a processor configured for one run of the experiment. */
 ProcessorConfig
-makeProcessorConfig(const ExperimentConfig &config, bool golden,
-                    unsigned trial)
+makeRunProcessorConfig(const ExperimentConfig &config, bool golden,
+                       unsigned trial)
 {
     ProcessorConfig pc = config.processor;
     pc.hierarchy.scheme = config.scheme;
@@ -91,6 +95,9 @@ makeProcessorConfig(const ExperimentConfig &config, bool golden,
     return pc;
 }
 
+namespace
+{
+
 /** Outcome of one end-to-end run (golden or one faulty trial). */
 struct RawRun
 {
@@ -104,7 +111,7 @@ runOnce(const AppFactory &factory, const ExperimentConfig &config,
 {
     RawRun run;
     auto app = factory();
-    ClumsyProcessor proc(makeProcessorConfig(config, golden, trial));
+    ClumsyProcessor proc(makeRunProcessorConfig(config, golden, trial));
 
     const bool injectControl =
         !golden && config.plane != FaultPlane::DataOnly;

@@ -65,6 +65,16 @@ class ValueRecorder
                                            const ValueRecorder &other)
         const;
 
+    /**
+     * Compare my frame @p idx against @p other's frame @p otherIdx.
+     * The multi-engine chip needs the general form: a packet's frame
+     * index inside a PE-local recorder differs between runs when the
+     * dispatcher interleaves packets differently.
+     */
+    std::vector<std::string> comparePacket(std::size_t idx,
+                                           const ValueRecorder &other,
+                                           std::size_t otherIdx) const;
+
   private:
     using Frame = std::vector<std::pair<std::string, std::uint64_t>>;
     std::vector<Frame> packets_;
@@ -153,6 +163,17 @@ struct GoldenRecord
     RunMetrics metrics;
     ValueRecorder recorder;
 };
+
+/**
+ * Derive the processor configuration for one run of an experiment:
+ * recovery scheme, Cr and the decorrelated per-(operating point,
+ * trial) fault seed. Exposed so the multi-PE chip model (src/npu/)
+ * builds its engines from exactly the seeds the single-core harness
+ * would use — PE 0 of a one-engine chip must replay clumsy_sim
+ * bit-for-bit.
+ */
+ProcessorConfig makeRunProcessorConfig(const ExperimentConfig &config,
+                                       bool golden, unsigned trial);
 
 /** Execute the golden (injection-disabled) run for one experiment. */
 GoldenRecord runGolden(const AppFactory &factory,

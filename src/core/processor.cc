@@ -38,10 +38,29 @@ ClumsyProcessor::ClumsyProcessor(ProcessorConfig config)
     }
 }
 
+void
+ClumsyProcessor::chargeAccess(const mem::Access &acc)
+{
+    cycles_ += acc.latency;
+    if (!l2Port_ || acc.l2Accesses == 0)
+        return;
+    // The access's own L2 service time is already inside acc.latency,
+    // so the port-use window ends at the new local time; the arbiter
+    // reports only the extra wait caused by other engines.
+    const Quanta wait = l2Port_->requestPort(
+        l2PortId_, cycles_ - l2PortOrigin_, acc.l2Accesses,
+        acc.l2Misses);
+    if (wait > 0) {
+        cycles_ += wait;
+        l2PortWaitQuanta_ += wait;
+        ++l2PortWaits_;
+    }
+}
+
 std::uint32_t
 ClumsyProcessor::finishRead(const mem::Access &acc)
 {
-    cycles_ += acc.latency;
+    chargeAccess(acc);
     return acc.value;
 }
 
@@ -66,7 +85,7 @@ ClumsyProcessor::read8(SimAddr addr)
 void
 ClumsyProcessor::finishWrite(const mem::Access &acc)
 {
-    cycles_ += acc.latency;
+    chargeAccess(acc);
 }
 
 void
@@ -96,8 +115,8 @@ ClumsyProcessor::execute(std::uint32_t n)
     const SimSize lineBytes = config_.hierarchy.l1i.lineBytes;
     while (fetchCredit_ >= config_.instsPerFetch) {
         fetchCredit_ -= config_.instsPerFetch;
-        cycles_ += hierarchy_.fetch(iRegionBase_ + codeOffset_ +
-                                    pcOffset_);
+        chargeAccess(hierarchy_.fetch(iRegionBase_ + codeOffset_ +
+                                      pcOffset_));
         pcOffset_ += lineBytes;
         if (pcOffset_ >= codeBytes_)
             pcOffset_ = 0;
@@ -198,6 +217,15 @@ void
 ClumsyProcessor::setInjectionEnabled(bool enabled)
 {
     injector_.setEnabled(enabled);
+}
+
+void
+ClumsyProcessor::attachL2Port(mem::L2PortArbiter *port,
+                              unsigned requesterId, Quanta origin)
+{
+    l2Port_ = port;
+    l2PortId_ = requesterId;
+    l2PortOrigin_ = origin;
 }
 
 } // namespace clumsy::core

@@ -35,6 +35,7 @@
 #include "mem/alloc.hh"
 #include "mem/backing_store.hh"
 #include "mem/hierarchy.hh"
+#include "mem/l2_port.hh"
 
 namespace clumsy::core
 {
@@ -194,6 +195,26 @@ class ClumsyProcessor
     /** Master switch for fault injection (golden runs disable). */
     void setInjectionEnabled(bool enabled);
 
+    // --- shared-L2 chip integration (src/npu/) ----------------------
+
+    /**
+     * Route this processor's L2 port uses through a shared arbiter
+     * (not owned; pass nullptr to detach). Queuing delays returned by
+     * the arbiter are folded into the cycle cost of the triggering
+     * access. @p requesterId tags requests (the PE index on a chip)
+     * and @p origin is subtracted from local time before it reaches
+     * the arbiter, so engines whose one-time initialization took
+     * different numbers of cycles still share one chip timeline.
+     */
+    void attachL2Port(mem::L2PortArbiter *port, unsigned requesterId,
+                      Quanta origin);
+
+    /** Quanta spent stalled on the shared L2 port so far. */
+    Quanta l2PortWaitQuanta() const { return l2PortWaitQuanta_; }
+
+    /** Accesses that found the shared L2 port busy. */
+    std::uint64_t l2PortWaits() const { return l2PortWaits_; }
+
     /** The memory hierarchy (stats inspection). */
     const mem::MemHierarchy &hierarchy() const { return hierarchy_; }
 
@@ -235,6 +256,15 @@ class ClumsyProcessor
 
     bool fatal_ = false;
     std::string fatalReason_;
+
+    mem::L2PortArbiter *l2Port_ = nullptr;
+    unsigned l2PortId_ = 0;
+    Quanta l2PortOrigin_ = 0;
+    Quanta l2PortWaitQuanta_ = 0;
+    std::uint64_t l2PortWaits_ = 0;
+
+    /** Advance time by an access's latency plus any port queuing. */
+    void chargeAccess(const mem::Access &acc);
 
     /** Apply one timed read access result. */
     std::uint32_t finishRead(const mem::Access &acc);

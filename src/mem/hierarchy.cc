@@ -70,6 +70,7 @@ MemHierarchy::ensureL2(SimAddr addr, Access &acc)
 {
     if (l2_.lookup(addr)) {
         acc.latency += cyclesToQuanta(config_.l2HitCycles);
+        ++acc.l2Accesses;
         if (energy_)
             energy_->addL2Access();
         return;
@@ -81,6 +82,8 @@ MemHierarchy::ensureL2(SimAddr addr, Access &acc)
     writebackToMem(victim);
     acc.latency +=
         cyclesToQuanta(config_.l2HitCycles + config_.memCycles);
+    ++acc.l2Accesses;
+    ++acc.l2Misses;
     if (energy_) {
         energy_->addL2Access();
         energy_->addMemAccess();
@@ -267,6 +270,7 @@ MemHierarchy::read(SimAddr addr, unsigned bytes)
             // serve the L2's word directly.
             stats_.inc("l2_bypasses");
             acc.latency += cyclesToQuanta(config_.l2HitCycles);
+            ++acc.l2Accesses;
             if (energy_)
                 energy_->addL2Access();
             sensed = l2_.readWordRaw(wordAddr);
@@ -336,15 +340,15 @@ MemHierarchy::write(SimAddr addr, unsigned bytes, std::uint32_t value)
     return acc;
 }
 
-Quanta
+Access
 MemHierarchy::fetch(SimAddr pc)
 {
     const SimAddr lineAddr = pc & ~SimAddr{3};
+    Access acc;
     if (energy_)
         energy_->addL1iRead();
     if (l1i_.lookup(lineAddr))
-        return 0; // pipelined fetch: no visible stall
-    Access acc;
+        return acc; // pipelined fetch: no visible stall
     ensureL2(lineAddr, acc);
     const SimAddr base = l1i_.lineBase(lineAddr);
     std::vector<std::uint8_t> buf(config_.l1i.lineBytes);
@@ -354,7 +358,7 @@ MemHierarchy::fetch(SimAddr pc)
     }
     // Instruction lines are clean; evictions never write back.
     (void)l1i_.fill(base, buf.data());
-    return acc.latency;
+    return acc;
 }
 
 void

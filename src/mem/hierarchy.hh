@@ -76,6 +76,8 @@ struct Access
     bool wild = false;         ///< address fell outside simulated DRAM
     unsigned faultsInjected = 0; ///< faults this access suffered
     unsigned parityTrips = 0;    ///< detections this access triggered
+    unsigned l2Accesses = 0;     ///< demand uses of the L2 port
+    unsigned l2Misses = 0;       ///< ... of which refilled from DRAM
 };
 
 /** The three-level hierarchy plus fault/recovery machinery. */
@@ -116,10 +118,11 @@ class MemHierarchy
 
     /**
      * Instruction fetch at pc through the I-cache (never injected;
-     * the I-cache is not over-clocked). @return stall latency — an L1I
-     * hit is fully pipelined and costs 0 extra quanta.
+     * the I-cache is not over-clocked). The returned Access carries
+     * the stall latency — an L1I hit is fully pipelined and costs 0
+     * extra quanta — plus the L2 port uses a miss performed.
      */
-    Quanta fetch(SimAddr pc);
+    Access fetch(SimAddr pc);
 
     /** Set the D-cache's relative cycle time (also retunes the
      *  injector). */

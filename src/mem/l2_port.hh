@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Arbitration interface for a shared L2 port.
+ *
+ * A single-core hierarchy owns its L2 outright and never waits for it.
+ * On a multi-engine chip (src/npu/) every processing engine funnels
+ * its L1 misses, refills and bypass reads through one fixed-width L2
+ * port, so an access can find the port busy with another engine's
+ * transfer and must queue. This interface decouples the memory system
+ * from the chip model: the hierarchy reports how many L2 port uses an
+ * access performed, the processor asks the arbiter (when one is
+ * attached) how long those uses had to wait, and the chip supplies the
+ * FIFO port model. With no arbiter attached, behaviour is exactly the
+ * private-L2 single-core model.
+ */
+
+#ifndef CLUMSY_MEM_L2_PORT_HH
+#define CLUMSY_MEM_L2_PORT_HH
+
+#include "common/types.hh"
+
+namespace clumsy::mem
+{
+
+/** Contention model for a shared L2 access port. */
+class L2PortArbiter
+{
+  public:
+    virtual ~L2PortArbiter() = default;
+
+    /**
+     * Account one access's L2 port uses and return the queuing delay
+     * they suffered, in quanta.
+     *
+     * @param requester  stable id of the requesting engine.
+     * @param endTime    the requester's local time at the end of the
+     *                   access, with every port use's service time
+     *                   already included (the port-use window ends at
+     *                   or before endTime).
+     * @param l2Accesses number of L2 port uses in the access.
+     * @param l2Misses   how many of those also transferred a line
+     *                   from DRAM (longer port occupancy).
+     * @return extra quanta the requester must stall; 0 when the port
+     *         was free, which is always the case for a lone requester.
+     */
+    virtual Quanta requestPort(unsigned requester, Quanta endTime,
+                               unsigned l2Accesses,
+                               unsigned l2Misses) = 0;
+};
+
+} // namespace clumsy::mem
+
+#endif // CLUMSY_MEM_L2_PORT_HH

@@ -1,0 +1,446 @@
+#include "npu/chip.hh"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "common/logging.hh"
+#include "core/metrics.hh"
+#include "net/trace_gen.hh"
+#include "npu/dispatcher.hh"
+#include "npu/shared_l2.hh"
+
+namespace clumsy::npu
+{
+
+namespace
+{
+
+/** One processing engine and its run state. */
+struct Engine
+{
+    std::unique_ptr<core::ClumsyProcessor> proc;
+    std::unique_ptr<core::PacketApp> app;
+    std::deque<net::Packet> queue;
+    Quanta origin = 0; ///< local quanta when the data plane started
+    double initCycles = 0.0;
+    double initEnergy = 0.0;
+    double initL1d = 0.0;
+    Quanta busy = 0; ///< quanta spent inside packet processing
+    std::uint64_t processed = 0;
+    std::uint64_t maxDepth = 0;
+    bool alive = true;
+
+    Quanta dataTime() const { return proc->now() - origin; }
+};
+
+/**
+ * Decorrelates engine fault streams: each engine gets the single-core
+ * seed of its operating point offset by engine id. Engine 0 keeps the
+ * unmodified seed so a one-engine chip replays the single-core run.
+ */
+constexpr std::uint64_t kPeSeedStride = 0x6a09e667f3bcc909ull;
+
+ChipRun
+runChipOnce(const core::AppFactory &factory,
+            const core::ExperimentConfig &config, const NpuConfig &npu,
+            bool golden, unsigned trial, const ChipRun *goldenRef)
+{
+    npu.validate(config.processor.hierarchy);
+
+    const bool injectControl =
+        !golden && config.plane != core::FaultPlane::DataOnly;
+    const bool injectData =
+        !golden && config.plane != core::FaultPlane::ControlOnly;
+
+    SharedL2Port port(cyclesToQuanta(npu.portHitCycles),
+                      cyclesToQuanta(npu.portMissCycles));
+
+    ChipRun run;
+    run.recorders.resize(npu.peCount);
+
+    // Build and initialize every engine. The control plane runs with
+    // the L2 private (boot-time table construction is not the
+    // steady-state contention the port models); the arbiter attaches
+    // when the data plane starts, with each engine's origin at its
+    // own post-init local time so all engines enter the shared chip
+    // timeline at t = 0.
+    std::vector<Engine> engines(npu.peCount);
+    for (unsigned pe = 0; pe < npu.peCount; ++pe) {
+        Engine &e = engines[pe];
+        core::ExperimentConfig peConfig = config;
+        if (!npu.perPeCr.empty())
+            peConfig.cr = npu.perPeCr[pe];
+        core::ProcessorConfig pc =
+            core::makeRunProcessorConfig(peConfig, golden, trial);
+        pc.faultSeed += pe * kPeSeedStride;
+        e.proc = std::make_unique<core::ClumsyProcessor>(pc);
+        e.app = factory();
+        e.proc->setInjectionEnabled(injectControl);
+        e.app->initialize(*e.proc);
+        e.initCycles = e.proc->nowCycles();
+        e.initEnergy = e.proc->totalEnergyPj();
+        e.initL1d = e.proc->l1dEnergyPj();
+        e.origin = e.proc->now();
+        e.proc->attachL2Port(&port, pe, e.origin);
+        e.proc->setInjectionEnabled(injectData);
+        e.alive = !e.proc->fatalOccurred();
+    }
+
+    net::TraceConfig traceCfg = engines[0].app->traceConfig();
+    traceCfg.seed = config.traceSeed;
+    net::TraceGenerator gen(traceCfg);
+
+    Dispatcher disp(npu.dispatch, npu.peCount);
+    std::vector<Histogram> occ(
+        npu.peCount, Histogram(0.0, npu.queueCapacity + 1.0,
+                               npu.queueCapacity + 1));
+
+    const Quanta gapQ = cyclesToQuanta(npu.arrivalGapCycles);
+    std::uint64_t nextSeq = 0;
+    bool havePending = false;
+    net::Packet pending;
+
+    core::RunMetrics &merged = run.merged;
+    std::uint64_t completed = 0;
+    std::uint64_t dropsQueueFull = 0, dropsDeadPe = 0,
+                  backpressureStalls = 0;
+    bool sawFatal = false;
+    std::string firstFatalReason;
+
+    // Any engine dead at boot (control-plane fault) is a chip fatal.
+    for (const Engine &e : engines) {
+        if (!e.alive && !sawFatal) {
+            sawFatal = true;
+            firstFatalReason = e.proc->fatalReason();
+        }
+    }
+
+    auto processOne = [&](unsigned pe) {
+        Engine &e = engines[pe];
+        const net::Packet pkt = e.queue.front();
+        e.queue.pop_front();
+        const Quanta before = e.proc->now();
+        e.proc->beginPacket();
+        core::ValueRecorder &rec = run.recorders[pe];
+        rec.beginPacket();
+        const std::size_t frame = rec.packetCount() - 1;
+        e.app->processPacket(*e.proc, pkt, rec);
+        e.busy += e.proc->now() - before;
+        if (e.proc->fatalOccurred()) {
+            e.alive = false;
+            if (!sawFatal) {
+                sawFatal = true;
+                firstFatalReason = e.proc->fatalReason();
+            }
+            dropsDeadPe += e.queue.size();
+            e.queue.clear();
+            return;
+        }
+        e.proc->endPacket();
+        ++e.processed;
+        ++completed;
+        run.completions[pkt.seq] = {pe, frame};
+        if (goldenRef) {
+            const auto it = goldenRef->completions.find(pkt.seq);
+            if (it != goldenRef->completions.end()) {
+                const auto bad = rec.comparePacket(
+                    frame, goldenRef->recorders[it->second.first],
+                    it->second.second);
+                if (!bad.empty())
+                    ++merged.packetsWithError;
+                for (const auto &key : bad)
+                    ++merged.errorsByType[key];
+            }
+        }
+    };
+
+    std::vector<unsigned> depths(npu.peCount);
+    std::vector<char> alive(npu.peCount);
+
+    while (true) {
+        // The engine that runs next: smallest (data time, id) among
+        // alive engines holding work. Pure integer comparisons keep
+        // the schedule byte-identical everywhere.
+        int stepPe = -1;
+        Quanta stepDt = 0;
+        for (unsigned pe = 0; pe < npu.peCount; ++pe) {
+            const Engine &e = engines[pe];
+            if (!e.alive || e.queue.empty())
+                continue;
+            const Quanta dt = e.dataTime();
+            if (stepPe < 0 || dt < stepDt) {
+                stepPe = static_cast<int>(pe);
+                stepDt = dt;
+            }
+        }
+
+        const bool arrivalsLeft =
+            havePending || nextSeq < config.numPackets;
+        if (!arrivalsLeft && stepPe < 0)
+            break;
+
+        bool doDispatch = false;
+        if (arrivalsLeft) {
+            const std::uint64_t seq =
+                havePending ? pending.seq : nextSeq;
+            const Quanta arrival = static_cast<Quanta>(seq) * gapQ;
+            doDispatch = stepPe < 0 || arrival <= stepDt;
+        }
+
+        if (!doDispatch) {
+            processOne(static_cast<unsigned>(stepPe));
+            continue;
+        }
+
+        if (!havePending) {
+            pending = gen.next();
+            havePending = true;
+            ++nextSeq;
+        }
+        for (unsigned pe = 0; pe < npu.peCount; ++pe) {
+            depths[pe] =
+                static_cast<unsigned>(engines[pe].queue.size());
+            alive[pe] = engines[pe].alive ? 1 : 0;
+        }
+        const int pe = disp.choose(pending, depths, alive);
+        if (pe < 0) {
+            ++dropsDeadPe;
+            havePending = false;
+            continue;
+        }
+        Engine &e = engines[static_cast<unsigned>(pe)];
+        if (e.queue.size() >= npu.queueCapacity) {
+            if (npu.dropWhenFull) {
+                ++dropsQueueFull;
+                havePending = false;
+                continue;
+            }
+            // Backpressure: hold the arrival and drain the earliest
+            // engine; the packet re-arbitrates afterwards.
+            ++backpressureStalls;
+            CLUMSY_ASSERT(stepPe >= 0,
+                          "backpressure with no engine to drain");
+            processOne(static_cast<unsigned>(stepPe));
+            continue;
+        }
+        e.queue.push_back(pending);
+        havePending = false;
+        e.maxDepth = std::max<std::uint64_t>(e.maxDepth,
+                                             e.queue.size());
+        occ[static_cast<unsigned>(pe)].sample(
+            static_cast<double>(e.queue.size()));
+    }
+
+    // ---- merge engine metrics into single-core form ----------------
+    // Every sum below starts at zero and adds engine 0 first, so with
+    // one engine each expression reduces to exactly the single-core
+    // harness's formula (0 + x == x in IEEE double arithmetic).
+    merged.packetsAttempted = config.numPackets;
+    merged.packetsProcessed = completed;
+    merged.fatal = sawFatal;
+    merged.fatalReason = firstFatalReason;
+
+    const double processed =
+        completed > 0 ? static_cast<double>(completed) : 1.0;
+    double dataCycles = 0.0, totalEnergy = 0.0, dataEnergy = 0.0,
+           l1dEnergy = 0.0;
+    std::uint64_t l1dHits = 0, l1dMisses = 0;
+    for (const Engine &e : engines) {
+        dataCycles += e.proc->nowCycles() - e.initCycles;
+        totalEnergy += e.proc->totalEnergyPj();
+        dataEnergy += e.proc->totalEnergyPj() - e.initEnergy;
+        l1dEnergy += e.proc->l1dEnergyPj() - e.initL1d;
+        const auto &h = e.proc->hierarchy();
+        merged.instructions += e.proc->instructions();
+        merged.dcacheAccesses += h.stats().get("reads") +
+                                 h.stats().get("writes");
+        l1dHits += h.l1d().stats().get("hits");
+        l1dMisses += h.l1d().stats().get("misses");
+        merged.faultsInjected += e.proc->injector().faultCount();
+        merged.parityTrips += h.stats().get("parity_trips");
+        merged.eccCorrections += h.stats().get("ecc_corrections");
+        merged.freqSwitches += e.proc->freqController()
+                                   ? e.proc->freqController()->switches()
+                                   : 0;
+    }
+    merged.cyclesPerPacket = dataCycles / processed;
+    merged.totalEnergyPj = totalEnergy;
+    merged.energyPerPacketPj = dataEnergy / processed;
+    merged.l1dEnergyPj = l1dEnergy;
+    {
+        // Recomputed from the summed raw counters with the same
+        // expression as Cache::missRate(), so one engine reproduces
+        // the single-core figure bit for bit.
+        const double hits = static_cast<double>(l1dHits);
+        const double misses = static_cast<double>(l1dMisses);
+        const double total = hits + misses;
+        merged.dcacheMissRate = total > 0 ? misses / total : 0.0;
+    }
+
+    // ---- chip-level metrics ----------------------------------------
+    ChipMetrics &chip = run.chip;
+    Quanta makespanQ = 0;
+    Quanta busySum = 0, busyMax = 0;
+    for (const Engine &e : engines) {
+        makespanQ = std::max(makespanQ, e.dataTime());
+        busySum += e.busy;
+        busyMax = std::max(busyMax, e.busy);
+    }
+    chip.makespanCycles = quantaToCycles(makespanQ);
+    chip.throughputPps =
+        chip.makespanCycles > 0.0
+            ? static_cast<double>(completed) /
+                  (chip.makespanCycles / (npu.clockMhz * 1e6))
+            : 0.0;
+    const double busyMean =
+        static_cast<double>(busySum) / static_cast<double>(npu.peCount);
+    chip.loadImbalance =
+        busyMean > 0.0 ? static_cast<double>(busyMax) / busyMean : 1.0;
+
+    Histogram mergedOcc(0.0, npu.queueCapacity + 1.0,
+                        npu.queueCapacity + 1);
+    double maxDepth = 0.0;
+    for (unsigned pe = 0; pe < npu.peCount; ++pe) {
+        mergedOcc.merge(occ[pe]);
+        maxDepth = std::max(maxDepth,
+                            static_cast<double>(engines[pe].maxDepth));
+    }
+    run.queueOcc = mergedOcc;
+    chip.queueOccMean = mergedOcc.mean();
+    chip.queueOccMax = maxDepth;
+    chip.dropsQueueFull = static_cast<double>(dropsQueueFull);
+    chip.dropsDeadPe = static_cast<double>(dropsDeadPe);
+    chip.backpressureStalls = static_cast<double>(backpressureStalls);
+
+    Quanta waitQ = 0;
+    std::uint64_t waits = 0;
+    for (const Engine &e : engines) {
+        waitQ += e.proc->l2PortWaitQuanta();
+        waits += e.proc->l2PortWaits();
+    }
+    chip.l2PortWaits = static_cast<double>(waits);
+    chip.l2PortWaitCycles = quantaToCycles(waitQ);
+
+    const double fall = core::fallibility(merged);
+    const double delay = chip.makespanCycles / processed;
+    chip.chipEdf =
+        merged.energyPerPacketPj * delay * delay * fall * fall;
+
+    chip.peUtilization.resize(npu.peCount);
+    chip.pePackets.resize(npu.peCount);
+    for (unsigned pe = 0; pe < npu.peCount; ++pe) {
+        chip.peUtilization[pe] =
+            makespanQ > 0
+                ? static_cast<double>(engines[pe].busy) /
+                      static_cast<double>(makespanQ)
+                : 0.0;
+        chip.pePackets[pe] =
+            static_cast<double>(engines[pe].processed);
+    }
+    return run;
+}
+
+} // namespace
+
+ChipRun
+runChipGolden(const core::AppFactory &factory,
+              const core::ExperimentConfig &config, const NpuConfig &npu)
+{
+    ChipRun run = runChipOnce(factory, config, npu, true, 0, nullptr);
+    CLUMSY_ASSERT(!run.merged.fatal, "golden chip run must not die");
+    return run;
+}
+
+ChipRun
+runChipTrial(const core::AppFactory &factory,
+             const core::ExperimentConfig &config, const NpuConfig &npu,
+             unsigned trial, const ChipRun &golden)
+{
+    ChipRun run =
+        runChipOnce(factory, config, npu, false, trial, &golden);
+    // Faulty trials don't need their frames again: comparison against
+    // golden already happened per completion.
+    run.recorders.clear();
+    run.completions.clear();
+    return run;
+}
+
+ChipMetrics
+averageChipMetrics(const std::vector<ChipMetrics> &runs)
+{
+    CLUMSY_ASSERT(!runs.empty(), "need at least one chip run");
+    ChipMetrics avg;
+    avg.loadImbalance = 0.0;
+    avg.peUtilization.assign(runs.front().peUtilization.size(), 0.0);
+    avg.pePackets.assign(runs.front().pePackets.size(), 0.0);
+    for (const ChipMetrics &m : runs) {
+        avg.makespanCycles += m.makespanCycles;
+        avg.throughputPps += m.throughputPps;
+        avg.loadImbalance += m.loadImbalance;
+        avg.queueOccMean += m.queueOccMean;
+        avg.queueOccMax += m.queueOccMax;
+        avg.dropsQueueFull += m.dropsQueueFull;
+        avg.dropsDeadPe += m.dropsDeadPe;
+        avg.backpressureStalls += m.backpressureStalls;
+        avg.l2PortWaits += m.l2PortWaits;
+        avg.l2PortWaitCycles += m.l2PortWaitCycles;
+        avg.chipEdf += m.chipEdf;
+        for (std::size_t i = 0; i < avg.peUtilization.size(); ++i)
+            avg.peUtilization[i] += m.peUtilization[i];
+        for (std::size_t i = 0; i < avg.pePackets.size(); ++i)
+            avg.pePackets[i] += m.pePackets[i];
+    }
+    const double n = static_cast<double>(runs.size());
+    avg.makespanCycles /= n;
+    avg.throughputPps /= n;
+    avg.loadImbalance /= n;
+    avg.queueOccMean /= n;
+    avg.queueOccMax /= n;
+    avg.dropsQueueFull /= n;
+    avg.dropsDeadPe /= n;
+    avg.backpressureStalls /= n;
+    avg.l2PortWaits /= n;
+    avg.l2PortWaitCycles /= n;
+    avg.chipEdf /= n;
+    for (double &v : avg.peUtilization)
+        v /= n;
+    for (double &v : avg.pePackets)
+        v /= n;
+    return avg;
+}
+
+ChipExperimentResult
+runChipExperiment(const core::AppFactory &factory,
+                  const core::ExperimentConfig &config,
+                  const NpuConfig &npu)
+{
+    CLUMSY_ASSERT(config.trials >= 1, "need at least one trial");
+    std::string app;
+    {
+        auto probe = factory();
+        app = probe->name();
+    }
+
+    const ChipRun golden = runChipGolden(factory, config, npu);
+    std::vector<core::RunMetrics> trials;
+    std::vector<ChipMetrics> chips;
+    trials.reserve(config.trials);
+    chips.reserve(config.trials);
+    for (unsigned t = 0; t < config.trials; ++t) {
+        ChipRun r = runChipTrial(factory, config, npu, t, golden);
+        trials.push_back(std::move(r.merged));
+        chips.push_back(std::move(r.chip));
+    }
+
+    ChipExperimentResult result;
+    result.core = core::aggregateTrials(
+        app, core::GoldenRecord{golden.merged, {}}, trials);
+    result.goldenChip = golden.chip;
+    result.faultyChip = averageChipMetrics(chips);
+    result.goldenQueueOcc = golden.queueOcc;
+    return result;
+}
+
+} // namespace clumsy::npu

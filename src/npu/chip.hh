@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The multi-engine chip model: N clumsy processing engines — each a
+ * private core::ClumsyProcessor with its own L1s, fault injector and
+ * (optional) frequency controller — behind one shared L2 port, fed by
+ * a dispatcher from a single packet trace.
+ *
+ * Time is advanced by a deterministic step loop: engines run whole
+ * packets, and the engine with the smallest (local data time, engine
+ * id) runs next, so results are byte-identical across hosts and
+ * repeat invocations. A one-engine chip is bit-identical to the
+ * single-core harness (core/experiment.hh): same processor config,
+ * same fault seeds, same packet order, and the shared L2 port's
+ * service times are covered by the access's own L2 latency so a lone
+ * engine never queues.
+ *
+ * Golden-vs-faulty comparison stays per-packet even though engines
+ * complete packets out of trace order: each run records, per trace
+ * sequence number, which engine processed the packet and which of
+ * that engine's recorder frames holds its marked values, and faulty
+ * frames are compared against the golden frame of the *same sequence
+ * number* regardless of where either ran.
+ */
+
+#ifndef CLUMSY_NPU_CHIP_HH
+#define CLUMSY_NPU_CHIP_HH
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/experiment.hh"
+#include "npu/config.hh"
+
+namespace clumsy::npu
+{
+
+/**
+ * Chip-level quantities of one run. All fields are doubles — counters
+ * included — so trial runs average componentwise without a second
+ * struct.
+ */
+struct ChipMetrics
+{
+    /** Wall-clock of the data plane: max engine data time, cycles. */
+    double makespanCycles = 0.0;
+
+    /** Completed packets per second at the modeled clock. */
+    double throughputPps = 0.0;
+
+    /** Max engine busy time over mean engine busy time (1 = even). */
+    double loadImbalance = 1.0;
+
+    /** Mean queue depth observed at enqueue, over all engines. */
+    double queueOccMean = 0.0;
+
+    /** Deepest any engine queue ever got. */
+    double queueOccMax = 0.0;
+
+    double dropsQueueFull = 0.0;     ///< drops in drop mode
+    double dropsDeadPe = 0.0;        ///< packets for dead engines
+    double backpressureStalls = 0.0; ///< arrival stalls (backpressure)
+
+    double l2PortWaits = 0.0;      ///< accesses that found the port busy
+    double l2PortWaitCycles = 0.0; ///< total port queuing, cycles
+
+    /**
+     * Chip-level ED2F2: per-packet energy times the square of the
+     * *makespan*-based per-packet delay (parallelism helps delay, not
+     * energy) times fallibility squared.
+     */
+    double chipEdf = 0.0;
+
+    std::vector<double> peUtilization; ///< busy/makespan per engine
+    std::vector<double> pePackets;     ///< packets completed per engine
+};
+
+/** Everything one chip run (golden or one faulty trial) produced. */
+struct ChipRun
+{
+    /**
+     * The engines' metrics merged into single-core form so the
+     * experiment aggregation (core::aggregateTrials) applies
+     * unchanged. For a one-engine chip this equals the single-core
+     * run's metrics bit for bit.
+     */
+    core::RunMetrics merged;
+
+    ChipMetrics chip;
+
+    /** Queue-depth distribution merged across engines. */
+    Histogram queueOcc{0.0, 1.0, 1};
+
+    /** Per-engine marked-value frames (golden runs keep these). */
+    std::vector<core::ValueRecorder> recorders;
+
+    /** trace seq -> (engine, frame index in that engine's recorder). */
+    std::map<std::uint64_t, std::pair<unsigned, std::size_t>>
+        completions;
+};
+
+/** Run the chip fault-free; panics if any engine dies. */
+ChipRun runChipGolden(const core::AppFactory &factory,
+                      const core::ExperimentConfig &config,
+                      const NpuConfig &npu);
+
+/** Run faulty trial @p trial against a golden chip run. */
+ChipRun runChipTrial(const core::AppFactory &factory,
+                     const core::ExperimentConfig &config,
+                     const NpuConfig &npu, unsigned trial,
+                     const ChipRun &golden);
+
+/** Aggregated outcome of golden + trials on one chip. */
+struct ChipExperimentResult
+{
+    /** Single-core-form aggregates over the merged metrics. */
+    core::ExperimentResult core;
+
+    ChipMetrics goldenChip;
+    ChipMetrics faultyChip; ///< componentwise mean over trials
+
+    /** Golden run's merged queue-depth distribution. */
+    Histogram goldenQueueOcc{0.0, 1.0, 1};
+};
+
+/** Componentwise mean, accumulated in the given (trial) order. */
+ChipMetrics averageChipMetrics(const std::vector<ChipMetrics> &runs);
+
+/** Golden + trials, serially, on one chip. */
+ChipExperimentResult runChipExperiment(const core::AppFactory &factory,
+                                       const core::ExperimentConfig &config,
+                                       const NpuConfig &npu);
+
+} // namespace clumsy::npu
+
+#endif // CLUMSY_NPU_CHIP_HH

@@ -1,0 +1,58 @@
+#include "npu/config.hh"
+
+#include "common/logging.hh"
+
+namespace clumsy::npu
+{
+
+std::string
+to_string(DispatchPolicy policy)
+{
+    switch (policy) {
+      case DispatchPolicy::RoundRobin:
+        return "rr";
+      case DispatchPolicy::FlowHash:
+        return "flow";
+      case DispatchPolicy::ShortestQueue:
+        return "shortest";
+    }
+    panic("unreachable dispatch policy");
+}
+
+DispatchPolicy
+dispatchFromString(const std::string &name)
+{
+    if (name == "rr" || name == "round-robin")
+        return DispatchPolicy::RoundRobin;
+    if (name == "flow" || name == "flow-hash")
+        return DispatchPolicy::FlowHash;
+    if (name == "shortest" || name == "shortest-queue")
+        return DispatchPolicy::ShortestQueue;
+    fatal("unknown dispatch policy '%s' (rr, flow, shortest)",
+          name.c_str());
+}
+
+void
+NpuConfig::validate(const mem::HierarchyConfig &hier) const
+{
+    CLUMSY_ASSERT(peCount >= 1, "chip needs at least one engine");
+    CLUMSY_ASSERT(queueCapacity >= 1, "queues need room for a packet");
+    CLUMSY_ASSERT(arrivalGapCycles >= 0, "arrival gap must be >= 0");
+    CLUMSY_ASSERT(perPeCr.empty() || perPeCr.size() == peCount,
+                  "perPeCr must be empty or name every engine");
+    for (double cr : perPeCr)
+        CLUMSY_ASSERT(cr > 0.0 && cr <= 1.0,
+                      "per-engine Cr outside (0, 1]");
+    CLUMSY_ASSERT(clockMhz > 0.0, "clock must be positive");
+    // The single-engine-equivalence requirement: port service must be
+    // coverable by the access's own embedded L2 latency, otherwise a
+    // lone engine would queue behind itself.
+    CLUMSY_ASSERT(portHitCycles >= 0 &&
+                      portHitCycles <= hier.l2HitCycles,
+                  "port hit service exceeds the L2 hit latency");
+    CLUMSY_ASSERT(portMissCycles >= 0 &&
+                      portMissCycles <= hier.l2HitCycles + hier.memCycles,
+                  "port miss service exceeds the L2 miss latency");
+}
+
+} // namespace clumsy::npu

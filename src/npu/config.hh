@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Configuration of the multi-engine network-processor chip model.
+ *
+ * The paper evaluates one clumsy processor; real packet processors
+ * (IXP-class NPUs) replicate the engine N times behind a shared
+ * second-level cache. NpuConfig describes that chip: how many
+ * processing engines, how arriving packets are spread across them, how
+ * deep the per-engine input queues are and what happens when they
+ * fill, and the width of the shared L2 port every engine's misses
+ * funnel through.
+ */
+
+#ifndef CLUMSY_NPU_CONFIG_HH
+#define CLUMSY_NPU_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/hierarchy.hh"
+
+namespace clumsy::npu
+{
+
+/** How the dispatcher assigns arriving packets to engines. */
+enum class DispatchPolicy
+{
+    /** Next alive engine in cyclic order. */
+    RoundRobin,
+    /**
+     * Hash of the packet's 5-tuple: every packet of a flow lands on
+     * the same engine, so flow state (NAT bindings, DRR deficits)
+     * stays engine-local without sharing.
+     */
+    FlowHash,
+    /** Alive engine with the fewest queued packets (ties: lowest id). */
+    ShortestQueue,
+};
+
+/** Human-readable policy name ("rr", "flow", "shortest"). */
+std::string to_string(DispatchPolicy policy);
+
+/** Parse a policy name; fatal()s on an unknown one. */
+DispatchPolicy dispatchFromString(const std::string &name);
+
+/** Static configuration of one chip. */
+struct NpuConfig
+{
+    /** Number of processing engines. */
+    unsigned peCount = 1;
+
+    DispatchPolicy dispatch = DispatchPolicy::RoundRobin;
+
+    /** Per-engine input queue capacity, packets. */
+    unsigned queueCapacity = 16;
+
+    /**
+     * Queue-full behaviour: true drops the arriving packet (counted);
+     * false (default) backpressures — the arrival stalls and engines
+     * keep draining until the chosen queue has room.
+     */
+    bool dropWhenFull = false;
+
+    /**
+     * Inter-arrival gap of the offered load, in base cycles per
+     * packet (packet s arrives at chip time s*gap). 0 = saturated
+     * input: every packet is available immediately.
+     */
+    std::int64_t arrivalGapCycles = 0;
+
+    /**
+     * Per-engine relative cycle time overrides (a heterogeneous chip:
+     * some engines clocked clumsier than others). Empty = uniform,
+     * every engine runs the experiment's Cr. When non-empty the size
+     * must equal peCount.
+     */
+    std::vector<double> perPeCr;
+
+    /**
+     * Shared-L2 port service times, in base cycles per port use. Must
+     * not exceed the corresponding embedded L2 latencies
+     * (HierarchyConfig::l2HitCycles, +memCycles for misses): the port
+     * transfer overlaps the access's own L2 time, so a lone engine
+     * never queues and a one-engine chip reproduces the single-core
+     * model exactly.
+     */
+    std::int64_t portHitCycles = 4;
+    std::int64_t portMissCycles = 16;
+
+    /** Modeled core clock (SA-110 class), for packets/sec figures. */
+    double clockMhz = 233.0;
+
+    /** Sanity-check against the hierarchy the engines will use. */
+    void validate(const mem::HierarchyConfig &hier) const;
+};
+
+} // namespace clumsy::npu
+
+#endif // CLUMSY_NPU_CONFIG_HH

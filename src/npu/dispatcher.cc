@@ -1,0 +1,66 @@
+#include "npu/dispatcher.hh"
+
+#include "common/logging.hh"
+
+namespace clumsy::npu
+{
+
+std::uint32_t
+flowHash(const net::Packet &pkt)
+{
+    std::uint32_t h = 2166136261u;
+    auto mix = [&h](std::uint32_t v, unsigned bytes) {
+        for (unsigned i = 0; i < bytes; ++i) {
+            h ^= (v >> (i * 8)) & 0xffu;
+            h *= 16777619u;
+        }
+    };
+    mix(pkt.ip.src, 4);
+    mix(pkt.ip.dst, 4);
+    mix(pkt.srcPort, 2);
+    mix(pkt.dstPort, 2);
+    mix(pkt.ip.protocol, 1);
+    return h;
+}
+
+int
+Dispatcher::choose(const net::Packet &pkt,
+                   const std::vector<unsigned> &depths,
+                   const std::vector<char> &alive)
+{
+    CLUMSY_ASSERT(depths.size() == peCount_ && alive.size() == peCount_,
+                  "dispatcher state size mismatch");
+    switch (policy_) {
+      case DispatchPolicy::RoundRobin:
+        for (unsigned i = 0; i < peCount_; ++i) {
+            const unsigned pe = (rrNext_ + i) % peCount_;
+            if (alive[pe]) {
+                rrNext_ = (pe + 1) % peCount_;
+                return static_cast<int>(pe);
+            }
+        }
+        return -1;
+
+      case DispatchPolicy::FlowHash: {
+        // Pinned placement: packets of a flow must all land on the
+        // one engine holding the flow's state, dead or not.
+        const unsigned pe = flowHash(pkt) % peCount_;
+        return alive[pe] ? static_cast<int>(pe) : -1;
+      }
+
+      case DispatchPolicy::ShortestQueue: {
+        int best = -1;
+        for (unsigned pe = 0; pe < peCount_; ++pe) {
+            if (!alive[pe])
+                continue;
+            if (best < 0 ||
+                depths[pe] < depths[static_cast<unsigned>(best)])
+                best = static_cast<int>(pe);
+        }
+        return best;
+      }
+    }
+    panic("unreachable dispatch policy");
+}
+
+} // namespace clumsy::npu

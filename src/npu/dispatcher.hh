@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Packet-to-engine dispatch for the chip model.
+ *
+ * The dispatcher is pure policy: given a packet and the engines'
+ * current queue depths and liveness, it names the engine the packet
+ * should go to. Queue-full handling (drop vs backpressure) is the
+ * chip's job, so every policy stays a deterministic pure function of
+ * its inputs.
+ */
+
+#ifndef CLUMSY_NPU_DISPATCHER_HH
+#define CLUMSY_NPU_DISPATCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hh"
+#include "npu/config.hh"
+
+namespace clumsy::npu
+{
+
+/**
+ * FNV-1a hash of the packet's 5-tuple (src, dst, ports, protocol).
+ * Exposed for tests: flow affinity is the hash being stable.
+ */
+std::uint32_t flowHash(const net::Packet &pkt);
+
+/** Assigns arriving packets to processing engines. */
+class Dispatcher
+{
+  public:
+    Dispatcher(DispatchPolicy policy, unsigned peCount)
+        : policy_(policy), peCount_(peCount)
+    {
+    }
+
+    /**
+     * Choose the engine for @p pkt.
+     *
+     * @param depths current queue depth of each engine.
+     * @param alive  which engines can still process packets.
+     * @return the engine index, or -1 when no engine can take the
+     *         packet (every engine dead, or the packet's flow is
+     *         pinned to a dead engine) — the chip drops it.
+     */
+    int choose(const net::Packet &pkt,
+               const std::vector<unsigned> &depths,
+               const std::vector<char> &alive);
+
+  private:
+    DispatchPolicy policy_;
+    unsigned peCount_;
+    unsigned rrNext_ = 0;
+};
+
+} // namespace clumsy::npu
+
+#endif // CLUMSY_NPU_DISPATCHER_HH

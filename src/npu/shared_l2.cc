@@ -1,0 +1,42 @@
+#include "npu/shared_l2.hh"
+
+#include "common/logging.hh"
+
+namespace clumsy::npu
+{
+
+Quanta
+SharedL2Port::requestPort(unsigned requester, Quanta endTime,
+                          unsigned l2Accesses, unsigned l2Misses)
+{
+    (void)requester; // FIFO: arrival order is all that matters
+    CLUMSY_ASSERT(l2Misses <= l2Accesses,
+                  "more L2 misses than port uses");
+    const Quanta service =
+        static_cast<Quanta>(l2Accesses - l2Misses) * hitService_ +
+        static_cast<Quanta>(l2Misses) * missService_;
+    stats_.inc("requests");
+    stats_.inc("port_uses", l2Accesses);
+    if (service == 0)
+        return 0;
+
+    // The requester's own L2 latency (>= service, enforced by
+    // NpuConfig::validate) is already inside endTime, so its port-use
+    // window is [endTime - service, endTime). If an earlier transfer
+    // still holds the port, the window slides back by the difference
+    // and the requester stalls for it. For a lone engine endTime is
+    // non-decreasing and each window fits before the next access
+    // begins, so busyUntil_ never passes start and the delay is
+    // always zero — the private-L2 single-core timing exactly.
+    const Quanta start = endTime - service;
+    const Quanta begin = start > busyUntil_ ? start : busyUntil_;
+    const Quanta delay = begin - start;
+    busyUntil_ = begin + service;
+    if (delay > 0) {
+        stats_.inc("contended");
+        stats_.inc("wait_quanta", static_cast<std::uint64_t>(delay));
+    }
+    return delay;
+}
+
+} // namespace clumsy::npu

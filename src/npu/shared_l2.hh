@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The chip's shared L2 port: a single fixed-width port with FIFO
+ * arbitration. Every engine's L1 misses, refills and bypass reads
+ * occupy the port for a fixed service time (longer when the line also
+ * came from DRAM); an engine whose access finds the port busy with an
+ * earlier transfer queues behind it, and the queuing delay is folded
+ * into the access's cycle cost by ClumsyProcessor::chargeAccess().
+ */
+
+#ifndef CLUMSY_NPU_SHARED_L2_HH
+#define CLUMSY_NPU_SHARED_L2_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/l2_port.hh"
+
+namespace clumsy::npu
+{
+
+/** FIFO arbitration over one fixed-width L2 port. */
+class SharedL2Port : public mem::L2PortArbiter
+{
+  public:
+    /**
+     * @param hitService  port occupancy of an L2 hit transfer, quanta.
+     * @param missService occupancy when the line also transferred
+     *                    from DRAM.
+     */
+    SharedL2Port(Quanta hitService, Quanta missService)
+        : hitService_(hitService), missService_(missService)
+    {
+    }
+
+    Quanta requestPort(unsigned requester, Quanta endTime,
+                       unsigned l2Accesses, unsigned l2Misses) override;
+
+    /** Chip time the port is occupied until. */
+    Quanta busyUntil() const { return busyUntil_; }
+
+    /** Port counters: requests, port_uses, contended, wait_quanta. */
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    Quanta hitService_;
+    Quanta missService_;
+    Quanta busyUntil_ = 0;
+    StatGroup stats_{"l2port"};
+};
+
+} // namespace clumsy::npu
+
+#endif // CLUMSY_NPU_SHARED_L2_HH

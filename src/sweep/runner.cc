@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
 
 #include "apps/app.hh"
@@ -66,19 +67,30 @@ runSweep(const SweepSpec &spec, unsigned jobs,
 
     // Phase 1: one golden job per cell. The records are written once
     // here and only read afterwards, so phase 2 shares them freely.
+    // Chip-model cells run the npu harness instead of the single-core
+    // one; both produce RunMetrics, so the reduction is shared.
     std::vector<core::GoldenRecord> goldens(n);
+    std::vector<std::unique_ptr<npu::ChipRun>> chipGoldens(n);
     std::vector<double> goldenMs(n);
     pool.run(n, [&](std::size_t k) {
         const SweepCell &cell = cells[toRun[k]];
         const core::ExperimentConfig cfg = makeConfig(spec, cell);
         const auto start = Clock::now();
-        goldens[k] = core::runGolden(apps::appFactory(cell.app), cfg);
+        if (cell.isNpu()) {
+            chipGoldens[k] = std::make_unique<npu::ChipRun>(
+                npu::runChipGolden(apps::appFactory(cell.app), cfg,
+                                   makeNpuConfig(cell)));
+        } else {
+            goldens[k] =
+                core::runGolden(apps::appFactory(cell.app), cfg);
+        }
         goldenMs[k] = msSince(start);
     });
 
     // Phase 2: the (cell, trial) job grid. Each job seeds its own
     // fault stream from (config, trial), so placement is free.
     std::vector<core::RunMetrics> trialMetrics(n * trials);
+    std::vector<npu::ChipMetrics> trialChips(n * trials);
     std::vector<double> trialMs(n * trials);
     std::vector<std::atomic<unsigned>> remaining(n);
     for (auto &r : remaining)
@@ -92,8 +104,16 @@ runSweep(const SweepSpec &spec, unsigned jobs,
         const SweepCell &cell = cells[toRun[k]];
         const core::ExperimentConfig cfg = makeConfig(spec, cell);
         const auto start = Clock::now();
-        trialMetrics[j] = core::runFaultyTrial(
-            apps::appFactory(cell.app), cfg, t, goldens[k]);
+        if (cell.isNpu()) {
+            npu::ChipRun r = npu::runChipTrial(
+                apps::appFactory(cell.app), cfg, makeNpuConfig(cell),
+                t, *chipGoldens[k]);
+            trialMetrics[j] = std::move(r.merged);
+            trialChips[j] = std::move(r.chip);
+        } else {
+            trialMetrics[j] = core::runFaultyTrial(
+                apps::appFactory(cell.app), cfg, t, goldens[k]);
+        }
         trialMs[j] = msSince(start);
         if (remaining[k].fetch_sub(1, std::memory_order_acq_rel) ==
             1 && progress) {
@@ -118,8 +138,22 @@ runSweep(const SweepSpec &spec, unsigned jobs,
             trialMetrics.begin() +
                 static_cast<std::ptrdiff_t>((k + 1) * trials));
         CellOutcome &out = outcome.cells[i];
-        out.result =
-            core::aggregateTrials(cells[i].app, goldens[k], ordered);
+        if (cells[i].isNpu()) {
+            out.result = core::aggregateTrials(
+                cells[i].app,
+                core::GoldenRecord{chipGoldens[k]->merged, {}},
+                ordered);
+            out.hasNpu = true;
+            out.npuGolden = chipGoldens[k]->chip;
+            out.npuFaulty = npu::averageChipMetrics(
+                {trialChips.begin() +
+                     static_cast<std::ptrdiff_t>(k * trials),
+                 trialChips.begin() +
+                     static_cast<std::ptrdiff_t>((k + 1) * trials)});
+        } else {
+            out.result = core::aggregateTrials(cells[i].app,
+                                               goldens[k], ordered);
+        }
         out.wallMs = goldenMs[k];
         for (unsigned t = 0; t < trials; ++t)
             out.wallMs += trialMs[k * trials + t];

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/experiment.hh"
+#include "npu/chip.hh"
 #include "sweep/spec.hh"
 
 namespace clumsy::sweep
@@ -40,6 +41,11 @@ struct CellOutcome
     core::ExperimentResult result;
     double wallMs = 0.0; ///< golden + all trials, summed CPU-side
     bool resumed = false; ///< loaded from a previous output file
+
+    /** Chip-level extras, present when the cell ran the chip model. */
+    bool hasNpu = false;
+    npu::ChipMetrics npuGolden;
+    npu::ChipMetrics npuFaulty; ///< componentwise mean over trials
 };
 
 /** Everything a sweep produced, in cell expansion order. */

@@ -43,6 +43,32 @@ writeRunMetrics(JsonWriter &w, const core::RunMetrics &m)
     w.endObject();
 }
 
+void
+writeChipMetrics(JsonWriter &w, const npu::ChipMetrics &m)
+{
+    w.beginObject();
+    w.key("makespan_cycles").value(m.makespanCycles);
+    w.key("throughput_pps").value(m.throughputPps);
+    w.key("load_imbalance").value(m.loadImbalance);
+    w.key("queue_occ_mean").value(m.queueOccMean);
+    w.key("queue_occ_max").value(m.queueOccMax);
+    w.key("drops_queue_full").value(m.dropsQueueFull);
+    w.key("drops_dead_pe").value(m.dropsDeadPe);
+    w.key("backpressure_stalls").value(m.backpressureStalls);
+    w.key("l2_port_waits").value(m.l2PortWaits);
+    w.key("l2_port_wait_cycles").value(m.l2PortWaitCycles);
+    w.key("chip_edf").value(m.chipEdf);
+    w.key("pe_utilization").beginArray();
+    for (double v : m.peUtilization)
+        w.value(v);
+    w.endArray();
+    w.key("pe_packets").beginArray();
+    for (double v : m.pePackets)
+        w.value(v);
+    w.endArray();
+    w.endObject();
+}
+
 std::string
 cellJson(const CellOutcome &out, bool provenance)
 {
@@ -56,7 +82,20 @@ cellJson(const CellOutcome &out, bool provenance)
     w.key("codec").value(codecName(out.cell.codec));
     w.key("plane").value(planeName(out.cell.plane));
     w.key("fault_scale").value(out.cell.faultScale);
+    w.key("pes").value(static_cast<std::uint64_t>(out.cell.peCount));
+    w.key("dispatch").value(npu::to_string(out.cell.dispatch));
+    w.key("per_pe_cr")
+        .value(out.cell.perPeCr.empty() ? std::string("uniform")
+                                        : out.cell.perPeCr);
     w.key("result").raw(experimentResultJson(out.result));
+    if (out.hasNpu) {
+        w.key("npu").beginObject();
+        w.key("golden");
+        writeChipMetrics(w, out.npuGolden);
+        w.key("faulty");
+        writeChipMetrics(w, out.npuFaulty);
+        w.endObject();
+    }
     if (provenance)
         w.key("wall_ms").value(out.wallMs);
     w.endObject();
@@ -315,6 +354,28 @@ parseRunMetrics(const JVal &o)
     return m;
 }
 
+npu::ChipMetrics
+parseChipMetrics(const JVal &o)
+{
+    npu::ChipMetrics m;
+    m.makespanCycles = numField(o, "makespan_cycles");
+    m.throughputPps = numField(o, "throughput_pps");
+    m.loadImbalance = numField(o, "load_imbalance");
+    m.queueOccMean = numField(o, "queue_occ_mean");
+    m.queueOccMax = numField(o, "queue_occ_max");
+    m.dropsQueueFull = numField(o, "drops_queue_full");
+    m.dropsDeadPe = numField(o, "drops_dead_pe");
+    m.backpressureStalls = numField(o, "backpressure_stalls");
+    m.l2PortWaits = numField(o, "l2_port_waits");
+    m.l2PortWaitCycles = numField(o, "l2_port_wait_cycles");
+    m.chipEdf = numField(o, "chip_edf");
+    for (const JVal &v : field(o, "pe_utilization").arr)
+        m.peUtilization.push_back(v.num);
+    for (const JVal &v : field(o, "pe_packets").arr)
+        m.pePackets.push_back(v.num);
+    return m;
+}
+
 CellOutcome
 parseCell(const JVal &o)
 {
@@ -326,6 +387,22 @@ parseCell(const JVal &o)
     out.cell.codec = codecFromString(strField(o, "codec"));
     out.cell.plane = planeFromString(strField(o, "plane"));
     out.cell.faultScale = numField(o, "fault_scale");
+    // Chip dimensions: absent in documents written before the npu
+    // subsystem, which described plain single-engine cells.
+    if (o.find("pes"))
+        out.cell.peCount = static_cast<unsigned>(numField(o, "pes"));
+    if (o.find("dispatch"))
+        out.cell.dispatch =
+            npu::dispatchFromString(strField(o, "dispatch"));
+    if (o.find("per_pe_cr")) {
+        const std::string ppc = strField(o, "per_pe_cr");
+        out.cell.perPeCr = ppc == "uniform" ? "" : ppc;
+    }
+    if (const JVal *chip = o.find("npu")) {
+        out.hasNpu = true;
+        out.npuGolden = parseChipMetrics(field(*chip, "golden"));
+        out.npuFaulty = parseChipMetrics(field(*chip, "faulty"));
+    }
     if (const JVal *wall = o.find("wall_ms"))
         out.wallMs = wall->num;
 
@@ -408,7 +485,8 @@ std::string
 renderCsv(const SweepOutcome &outcome)
 {
     std::string out =
-        "app,cr,dynamic,scheme,codec,plane,fault_scale,fallibility,"
+        "app,cr,dynamic,scheme,codec,plane,fault_scale,pes,dispatch,"
+        "per_pe_cr,fallibility,"
         "any_error_prob,fatal_prob,fatal_fraction,cycles_per_packet,"
         "energy_per_packet_pj,l1d_energy_per_packet_pj,edf,"
         "golden_cycles_per_packet,golden_energy_per_packet_pj,"
@@ -422,6 +500,10 @@ renderCsv(const SweepOutcome &outcome)
         out += "," + codecName(c.cell.codec);
         out += "," + planeName(c.cell.plane);
         out += "," + formatDouble(c.cell.faultScale);
+        out += "," + std::to_string(c.cell.peCount);
+        out += "," + npu::to_string(c.cell.dispatch);
+        out += ",";
+        out += c.cell.perPeCr.empty() ? "uniform" : c.cell.perPeCr;
         out += "," + formatDouble(r.fallibility);
         out += "," + formatDouble(r.anyErrorProb);
         out += "," + formatDouble(r.fatalProb);

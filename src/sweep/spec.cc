@@ -186,6 +186,33 @@ SweepSpec::parse(const std::string &grid)
                           v.c_str());
                 spec.faultScales.push_back(s);
             }
+        } else if (key == "pes") {
+            spec.peCounts.clear();
+            for (const std::string &v : values) {
+                const std::uint64_t n = cli::parseU64("pes", v);
+                if (n == 0)
+                    fatal("pes must be >= 1");
+                spec.peCounts.push_back(static_cast<unsigned>(n));
+            }
+        } else if (key == "dispatch") {
+            spec.dispatches.clear();
+            for (const std::string &v : values)
+                spec.dispatches.push_back(npu::dispatchFromString(v));
+        } else if (key == "per-pe-cr") {
+            spec.perPeCrs.clear();
+            for (const std::string &v : values) {
+                if (v == "uniform") {
+                    spec.perPeCrs.push_back("");
+                    continue;
+                }
+                for (const std::string &cr : cli::split(v, ':')) {
+                    const double x = cli::parseDouble("per-pe-cr", cr);
+                    if (x <= 0.0 || x > 1.0)
+                        fatal("per-pe-cr entry %s outside (0, 1]",
+                              cr.c_str());
+                }
+                spec.perPeCrs.push_back(v);
+            }
         } else if (key == "packets") {
             spec.packets = cli::parseU64("packets", scalar());
         } else if (key == "trials") {
@@ -235,6 +262,18 @@ SweepSpec::toGridString() const
            joinDim<double>(faultScales, [](const double &s) {
                return formatDouble(s);
            });
+    out += ";pes=" + joinDim<unsigned>(peCounts, [](const unsigned &n) {
+               return std::to_string(n);
+           });
+    out += ";dispatch=" +
+           joinDim<npu::DispatchPolicy>(
+               dispatches, [](const npu::DispatchPolicy &d) {
+                   return npu::to_string(d);
+               });
+    out += ";per-pe-cr=" +
+           joinDim<std::string>(perPeCrs, [](const std::string &s) {
+               return s.empty() ? std::string("uniform") : s;
+           });
     out += ";packets=" + std::to_string(packets);
     out += ";trials=" + std::to_string(trials);
     out += ";seed=" + std::to_string(traceSeed);
@@ -246,17 +285,26 @@ std::size_t
 SweepSpec::cellCount() const
 {
     return apps.size() * points.size() * schemes.size() *
-           codecs.size() * planes.size() * faultScales.size();
+           codecs.size() * planes.size() * faultScales.size() *
+           peCounts.size() * dispatches.size() * perPeCrs.size();
 }
 
 std::string
 SweepCell::key() const
 {
-    return "app=" + app + ";cr=" + to_string(point) +
-           ";scheme=" + schemeName(scheme) +
-           ";codec=" + codecName(codec) +
-           ";plane=" + planeName(plane) +
-           ";fault-scale=" + formatDouble(faultScale);
+    std::string k = "app=" + app + ";cr=" + to_string(point) +
+                    ";scheme=" + schemeName(scheme) +
+                    ";codec=" + codecName(codec) +
+                    ";plane=" + planeName(plane) +
+                    ";fault-scale=" + formatDouble(faultScale);
+    // Chip dimensions appear only when non-default so pre-npu result
+    // files keep resuming against the unchanged historical keys.
+    if (isNpu()) {
+        k += ";pes=" + std::to_string(peCount) +
+             ";dispatch=" + npu::to_string(dispatch) + ";per-pe-cr=" +
+             (perPeCr.empty() ? std::string("uniform") : perPeCr);
+    }
+    return k;
 }
 
 std::vector<SweepCell>
@@ -265,7 +313,10 @@ expand(const SweepSpec &spec)
     CLUMSY_ASSERT(!spec.apps.empty() && !spec.points.empty() &&
                       !spec.schemes.empty() && !spec.codecs.empty() &&
                       !spec.planes.empty() &&
-                      !spec.faultScales.empty(),
+                      !spec.faultScales.empty() &&
+                      !spec.peCounts.empty() &&
+                      !spec.dispatches.empty() &&
+                      !spec.perPeCrs.empty(),
                   "every grid dimension needs at least one value");
     std::vector<SweepCell> cells;
     cells.reserve(spec.cellCount());
@@ -275,15 +326,27 @@ expand(const SweepSpec &spec)
                 for (const mem::CheckCodec codec : spec.codecs) {
                     for (const core::FaultPlane plane : spec.planes) {
                         for (const double scale : spec.faultScales) {
-                            SweepCell cell;
-                            cell.index = cells.size();
-                            cell.app = app;
-                            cell.point = point;
-                            cell.scheme = scheme;
-                            cell.codec = codec;
-                            cell.plane = plane;
-                            cell.faultScale = scale;
-                            cells.push_back(std::move(cell));
+                            for (const unsigned pes : spec.peCounts) {
+                                for (const npu::DispatchPolicy dis :
+                                     spec.dispatches) {
+                                    for (const std::string &ppc :
+                                         spec.perPeCrs) {
+                                        SweepCell cell;
+                                        cell.index = cells.size();
+                                        cell.app = app;
+                                        cell.point = point;
+                                        cell.scheme = scheme;
+                                        cell.codec = codec;
+                                        cell.plane = plane;
+                                        cell.faultScale = scale;
+                                        cell.peCount = pes;
+                                        cell.dispatch = dis;
+                                        cell.perPeCr = ppc;
+                                        cells.push_back(
+                                            std::move(cell));
+                                    }
+                                }
+                            }
                         }
                     }
                 }
@@ -309,6 +372,23 @@ makeConfig(const SweepSpec &spec, const SweepCell &cell)
     cfg.processor.hierarchy.scheme = cell.scheme;
     cfg.processor.hierarchy.codec = cell.codec;
     return cfg;
+}
+
+npu::NpuConfig
+makeNpuConfig(const SweepCell &cell)
+{
+    npu::NpuConfig npuCfg;
+    npuCfg.peCount = cell.peCount;
+    npuCfg.dispatch = cell.dispatch;
+    if (!cell.perPeCr.empty()) {
+        for (const std::string &cr : cli::split(cell.perPeCr, ':'))
+            npuCfg.perPeCr.push_back(cli::parseDouble("per-pe-cr", cr));
+        if (npuCfg.perPeCr.size() != cell.peCount)
+            fatal("per-pe-cr '%s' names %zu engines but pes=%u",
+                  cell.perPeCr.c_str(), npuCfg.perPeCr.size(),
+                  cell.peCount);
+    }
+    return npuCfg;
 }
 
 } // namespace clumsy::sweep

@@ -28,6 +28,7 @@
 #include "core/experiment.hh"
 #include "mem/cache.hh"
 #include "mem/recovery.hh"
+#include "npu/config.hh"
 
 namespace clumsy::sweep
 {
@@ -56,6 +57,19 @@ struct SweepSpec
     std::vector<core::FaultPlane> planes = {core::FaultPlane::Both};
     std::vector<double> faultScales = {1.0};
 
+    // Chip dimensions (src/npu/). The defaults describe a plain
+    // single-engine chip, which the runner executes through the
+    // single-core harness — identical results to a pre-npu sweep.
+    std::vector<unsigned> peCounts = {1};
+    std::vector<npu::DispatchPolicy> dispatches = {
+        npu::DispatchPolicy::RoundRobin};
+    /**
+     * Per-engine Cr assignments: each entry is a colon-separated Cr
+     * list ("1:0.5:0.5:0.25"), or "" (spelled "uniform" in grid
+     * strings) for every engine at the cell's Cr.
+     */
+    std::vector<std::string> perPeCrs = {""};
+
     // Scalar knobs shared by every cell.
     std::uint64_t packets = 2000;
     unsigned trials = 4;
@@ -65,8 +79,9 @@ struct SweepSpec
     /**
      * Parse a grid string (semicolon-separated key=value,value,...
      * pairs). Keys: app, cr, scheme, codec, plane, fault-scale,
-     * packets, trials, seed, fault-seed. "app=all" / "scheme=all"
-     * expand to the full sets. fatal()s on unknown keys or values.
+     * pes, dispatch, per-pe-cr, packets, trials, seed, fault-seed.
+     * "app=all" / "scheme=all" expand to the full sets. fatal()s on
+     * unknown keys or values.
      */
     static SweepSpec parse(const std::string &grid);
 
@@ -90,11 +105,29 @@ struct SweepCell
     mem::CheckCodec codec = mem::CheckCodec::Parity;
     core::FaultPlane plane = core::FaultPlane::Both;
     double faultScale = 1.0;
+    unsigned peCount = 1;
+    npu::DispatchPolicy dispatch = npu::DispatchPolicy::RoundRobin;
+    std::string perPeCr; ///< colon-separated Cr list; "" = uniform
+
+    /**
+     * @return true when the cell needs the chip model: anything but
+     * the default single-engine round-robin uniform configuration.
+     */
+    bool isNpu() const
+    {
+        return peCount != 1 ||
+               dispatch != npu::DispatchPolicy::RoundRobin ||
+               !perPeCr.empty();
+    }
 
     /**
      * Stable identity of the cell within any spec that contains it:
      * "app=crc;cr=0.5;scheme=two-strike;codec=parity;plane=both;
-     * fault-scale=1". Used as the JSON result key and by --resume.
+     * fault-scale=1". Cells using the chip model append
+     * ";pes=N;dispatch=D;per-pe-cr=X"; plain single-engine cells keep
+     * the historical six-dimension key, so result files written
+     * before the chip dimensions existed still resume cleanly. Used
+     * as the JSON result key and by --resume.
      */
     std::string key() const;
 };
@@ -105,6 +138,13 @@ std::vector<SweepCell> expand(const SweepSpec &spec);
 /** The ExperimentConfig a cell runs under. */
 core::ExperimentConfig makeConfig(const SweepSpec &spec,
                                   const SweepCell &cell);
+
+/**
+ * The chip configuration of a cell (meaningful when cell.isNpu()).
+ * fatal()s when the per-pe-cr list names a different number of
+ * engines than pes.
+ */
+npu::NpuConfig makeNpuConfig(const SweepCell &cell);
 
 /** Dash-form scheme name usable inside keys ("no-detection"). */
 std::string schemeName(mem::RecoveryScheme scheme);

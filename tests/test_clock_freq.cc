@@ -8,6 +8,7 @@
 
 #include "core/clock.hh"
 #include "core/freq_controller.hh"
+#include "core/processor.hh"
 
 using namespace clumsy::core;
 
@@ -98,6 +99,54 @@ TEST(FreqController, ResidencyStats)
     EXPECT_EQ(ctl.stats().get("residency_level0"), 1u);
     EXPECT_EQ(ctl.stats().get("residency_level1"), 1u);
     EXPECT_EQ(ctl.stats().get("residency_level2"), 1u);
+}
+
+/**
+ * Regression: a switch decided by the epoch that closes exactly on
+ * the 100th packet must happen *at* that packet — not one early (an
+ * off-by-one in the packets_ % epochPackets test) — and must charge
+ * the 10-cycle switch penalty exactly once, in that same endPacket.
+ */
+TEST(FreqController, EpochClosesExactlyOnHundredthPacket)
+{
+    ProcessorConfig cfg;
+    cfg.dynamicFrequency = true;
+    cfg.injectionEnabled = false; // quiet epoch: switch is guaranteed
+    ClumsyProcessor proc(cfg);
+    ASSERT_NE(proc.freqController(), nullptr);
+    ASSERT_EQ(proc.freqController()->epochPackets(), 100u);
+
+    // Packets 1..99: inside the first epoch, nothing may move.
+    for (int p = 0; p < 99; ++p) {
+        proc.beginPacket();
+        proc.endPacket();
+    }
+    EXPECT_EQ(proc.freqController()->switches(), 0u);
+    EXPECT_DOUBLE_EQ(proc.currentCr(), 1.0);
+    const clumsy::Quanta before = proc.now();
+
+    // Packet 100 closes the epoch: 0 faults < X2 * stored(1), so the
+    // controller steps to Cr = 0.75 and the processor pays the switch
+    // penalty. The packet itself did no work, so the *only* time that
+    // may pass in this endPacket is the penalty.
+    proc.beginPacket();
+    proc.endPacket();
+    EXPECT_EQ(proc.freqController()->switches(), 1u);
+    EXPECT_DOUBLE_EQ(proc.currentCr(), 0.75);
+    EXPECT_EQ(proc.now() - before, clumsy::cyclesToQuanta(10));
+
+    // Packets 101..199 belong to the second epoch: no further switch
+    // (and no second penalty) until packet 200.
+    for (int p = 0; p < 99; ++p) {
+        proc.beginPacket();
+        proc.endPacket();
+    }
+    EXPECT_EQ(proc.freqController()->switches(), 1u);
+    EXPECT_DOUBLE_EQ(proc.currentCr(), 0.75);
+    proc.beginPacket();
+    proc.endPacket();
+    EXPECT_EQ(proc.freqController()->switches(), 2u);
+    EXPECT_DOUBLE_EQ(proc.currentCr(), 0.5);
 }
 
 TEST(FreqControllerDeath, Validation)

@@ -139,6 +139,47 @@ TEST(Histogram, BinningAndOutOfRange)
     EXPECT_DOUBLE_EQ(h.binLo(5), 5.0);
 }
 
+TEST(Histogram, MergeFoldsCountsAndMoments)
+{
+    Histogram a(0.0, 10.0, 10);
+    Histogram b(0.0, 10.0, 10);
+    a.sample(1.5);
+    a.sample(-2.0);
+    b.sample(1.7);
+    b.sample(8.2);
+    b.sample(11.0);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 5u);
+    EXPECT_EQ(a.binCount(1), 2u);
+    EXPECT_EQ(a.binCount(8), 1u);
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+    // Mean folds the samples, not the histograms' means.
+    EXPECT_DOUBLE_EQ(a.mean(), (1.5 - 2.0 + 1.7 + 8.2 + 11.0) / 5.0);
+    // b is untouched.
+    EXPECT_EQ(b.total(), 3u);
+}
+
+TEST(Histogram, MergeEmptyIsIdentity)
+{
+    Histogram a(0.0, 4.0, 4);
+    a.sample(2.5);
+    const Histogram empty(0.0, 4.0, 4);
+    a.merge(empty);
+    EXPECT_EQ(a.total(), 1u);
+    EXPECT_EQ(a.binCount(2), 1u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+}
+
+TEST(Histogram, MergeRejectsMismatchedShape)
+{
+    Histogram a(0.0, 10.0, 10);
+    const Histogram wrongBins(0.0, 10.0, 5);
+    const Histogram wrongRange(0.0, 20.0, 10);
+    EXPECT_DEATH(a.merge(wrongBins), "shape");
+    EXPECT_DEATH(a.merge(wrongRange), "shape");
+}
+
 TEST(StatGroup, CountersAndDump)
 {
     StatGroup g("cache");

@@ -146,8 +146,12 @@ TEST(Hierarchy, FetchHitsAreFree)
 {
     Rig rig;
     const SimAddr pc = 0x7000;
-    EXPECT_GT(rig.hier.fetch(pc), 0); // cold
-    EXPECT_EQ(rig.hier.fetch(pc), 0); // hot
+    const auto cold = rig.hier.fetch(pc);
+    EXPECT_GT(cold.latency, 0);
+    EXPECT_EQ(cold.l2Accesses, 1u);
+    const auto hot = rig.hier.fetch(pc);
+    EXPECT_EQ(hot.latency, 0);
+    EXPECT_EQ(hot.l2Accesses, 0u);
 }
 
 TEST(Hierarchy, FlushRangePreservesDirtyNeighbors)

@@ -145,6 +145,57 @@ TEST(SweepSpec, MakeConfigCarriesEveryKnob)
     EXPECT_EQ(cfg.processor.hierarchy.codec, mem::CheckCodec::Secded);
 }
 
+TEST(SweepSpec, NpuDimensionsParseExpandAndKey)
+{
+    const SweepSpec spec = SweepSpec::parse(
+        "app=crc;pes=1,4;dispatch=rr,flow;per-pe-cr=uniform;"
+        "packets=100;trials=2");
+    EXPECT_EQ(spec.peCounts, (std::vector<unsigned>{1, 4}));
+    EXPECT_EQ(spec.dispatches,
+              (std::vector<npu::DispatchPolicy>{
+                  npu::DispatchPolicy::RoundRobin,
+                  npu::DispatchPolicy::FlowHash}));
+    EXPECT_EQ(spec.cellCount(), 4u);
+
+    const SweepSpec again = SweepSpec::parse(spec.toGridString());
+    EXPECT_EQ(again.toGridString(), spec.toGridString());
+
+    const auto cells = expand(spec);
+    ASSERT_EQ(cells.size(), 4u);
+    // The default single-engine rr cell keeps the historical key so
+    // result files written before the chip dimensions still resume.
+    EXPECT_EQ(cells[0].key(),
+              "app=crc;cr=1;scheme=no-detection;codec=parity;"
+              "plane=both;fault-scale=1");
+    EXPECT_FALSE(cells[0].isNpu());
+    // Anything chip-shaped spells out the chip dimensions.
+    EXPECT_EQ(cells[1].key(),
+              "app=crc;cr=1;scheme=no-detection;codec=parity;"
+              "plane=both;fault-scale=1;pes=1;dispatch=flow;"
+              "per-pe-cr=uniform");
+    EXPECT_TRUE(cells[1].isNpu());
+    EXPECT_TRUE(cells[2].isNpu());
+    EXPECT_EQ(cells[2].peCount, 4u);
+}
+
+TEST(SweepSpec, MakeNpuConfigParsesPerPeCr)
+{
+    SweepCell cell;
+    cell.peCount = 2;
+    cell.perPeCr = "1:0.5";
+    const npu::NpuConfig cfg = makeNpuConfig(cell);
+    EXPECT_EQ(cfg.peCount, 2u);
+    ASSERT_EQ(cfg.perPeCr.size(), 2u);
+    EXPECT_DOUBLE_EQ(cfg.perPeCr[0], 1.0);
+    EXPECT_DOUBLE_EQ(cfg.perPeCr[1], 0.5);
+
+    SweepCell bad;
+    bad.peCount = 4;
+    bad.perPeCr = "1:0.5";
+    EXPECT_EXIT(makeNpuConfig(bad), ::testing::ExitedWithCode(1),
+                "names 2 engines");
+}
+
 // --- work-stealing pool ----------------------------------------------
 
 TEST(WorkStealingPool, RunsEveryJobExactlyOnce)
@@ -253,6 +304,62 @@ TEST(SweepResume, SkipsCompletedCellsAndMergesOutput)
     EXPECT_FALSE(resumed.cells[1].resumed);
 
     // And the merged document equals a fresh full run, byte for byte.
+    const SweepOutcome fresh = runSweep(full, 2);
+    EXPECT_EQ(renderJson(resumed, false), renderJson(fresh, false));
+}
+
+// --- chip-model cells in the grid ------------------------------------
+
+namespace
+{
+
+/** smallSpec() plus a pe-count axis: two plain cells, two chip cells. */
+SweepSpec
+npuSpec()
+{
+    SweepSpec spec = smallSpec();
+    spec.peCounts = {1, 2};
+    return spec;
+}
+
+} // namespace
+
+TEST(SweepRunner, NpuCellsByteIdenticalAcrossWorkerCounts)
+{
+    const SweepSpec spec = npuSpec();
+    const SweepOutcome serial = runSweep(spec, 1);
+    const SweepOutcome parallel = runSweep(spec, 8);
+    EXPECT_EQ(renderJson(serial, false), renderJson(parallel, false));
+    EXPECT_EQ(stripWallColumn(renderCsv(serial)),
+              stripWallColumn(renderCsv(parallel)));
+
+    // pes=1 cells take the plain single-core path; pes=2 cells carry
+    // the chip extras.
+    ASSERT_EQ(serial.cells.size(), 4u);
+    for (const CellOutcome &c : serial.cells) {
+        EXPECT_EQ(c.hasNpu, c.cell.peCount == 2);
+        if (c.hasNpu) {
+            EXPECT_EQ(c.npuGolden.pePackets.size(), 2u);
+            EXPECT_GT(c.npuGolden.throughputPps, 0.0);
+        }
+    }
+}
+
+TEST(SweepResume, NpuCellsResumeByteIdentical)
+{
+    // First run covers only the two-engine cells.
+    SweepSpec first = npuSpec();
+    first.peCounts = {2};
+    const std::string path = tempPath("sweep_npu_resume.json");
+    writeFile(path, renderJson(runSweep(first, 2), false));
+
+    // The resumed full grid re-runs only the pes=1 cells, and the
+    // merged document — chip extras included — equals a fresh run
+    // byte for byte.
+    const SweepSpec full = npuSpec();
+    const auto completed = loadCompletedCells(path);
+    const SweepOutcome resumed = runSweep(full, 2, &completed);
+    EXPECT_EQ(resumed.resumedCount, 2u);
     const SweepOutcome fresh = runSweep(full, 2);
     EXPECT_EQ(renderJson(resumed, false), renderJson(fresh, false));
 }

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * clumsy_npu: command-line driver for the multi-engine chip model.
+ *
+ * Runs a workload on an N-engine chip (src/npu/) — each engine a
+ * private clumsy processor behind one shared L2 port — and prints the
+ * single-core-form experiment results plus the chip-level quantities:
+ * throughput at the modeled clock, per-engine utilization and packet
+ * counts, queue occupancy, drop/backpressure accounting, shared-port
+ * contention and chip ED2F2.
+ *
+ *   clumsy_npu --app route --pes 4 --cr 0.5 --scheme two-strike
+ *   clumsy_npu --app nat --pes 8 --dispatch flow --queue-cap 8
+ *   clumsy_npu --app crc --pes 4 --dispatch shortest --drop --json
+ *   clumsy_npu --app md5 --pes 1 --dispatch rr   # == clumsy_sim
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/app.hh"
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "npu/chip.hh"
+#include "npu/config.hh"
+#include "sweep/json.hh"
+#include "sweep/sink.hh"
+#include "sweep/spec.hh"
+
+using namespace clumsy;
+
+namespace
+{
+
+std::string
+chipMetricsJson(const npu::ChipMetrics &m)
+{
+    sweep::JsonWriter w;
+    w.beginObject();
+    w.key("makespan_cycles").value(m.makespanCycles);
+    w.key("throughput_pps").value(m.throughputPps);
+    w.key("load_imbalance").value(m.loadImbalance);
+    w.key("queue_occ_mean").value(m.queueOccMean);
+    w.key("queue_occ_max").value(m.queueOccMax);
+    w.key("drops_queue_full").value(m.dropsQueueFull);
+    w.key("drops_dead_pe").value(m.dropsDeadPe);
+    w.key("backpressure_stalls").value(m.backpressureStalls);
+    w.key("l2_port_waits").value(m.l2PortWaits);
+    w.key("l2_port_wait_cycles").value(m.l2PortWaitCycles);
+    w.key("chip_edf").value(m.chipEdf);
+    w.key("pe_utilization").beginArray();
+    for (double v : m.peUtilization)
+        w.value(v);
+    w.endArray();
+    w.key("pe_packets").beginArray();
+    for (double v : m.pePackets)
+        w.value(v);
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+void
+printJson(const std::string &app, const core::ExperimentConfig &cfg,
+          const npu::NpuConfig &npuCfg,
+          const npu::ChipExperimentResult &res)
+{
+    std::string perPeCr;
+    for (std::size_t i = 0; i < npuCfg.perPeCr.size(); ++i) {
+        if (i)
+            perPeCr += ":";
+        perPeCr += sweep::formatDouble(npuCfg.perPeCr[i]);
+    }
+
+    std::string out = "{\n";
+    out += "  \"app\": \"" + sweep::jsonEscape(app) + "\",\n";
+    out += "  \"cr\": " + sweep::jsonNumber(cfg.cr) + ",\n";
+    out += std::string("  \"dynamic\": ") +
+           (cfg.dynamicFrequency ? "true" : "false") + ",\n";
+    out += "  \"scheme\": \"" + sweep::schemeName(cfg.scheme) + "\",\n";
+    out += "  \"codec\": \"" +
+           sweep::codecName(cfg.processor.hierarchy.codec) + "\",\n";
+    out += "  \"plane\": \"" + sweep::planeName(cfg.plane) + "\",\n";
+    out += "  \"fault_scale\": " + sweep::jsonNumber(cfg.faultScale) +
+           ",\n";
+    out += "  \"pes\": " + std::to_string(npuCfg.peCount) + ",\n";
+    out += "  \"dispatch\": \"" + npu::to_string(npuCfg.dispatch) +
+           "\",\n";
+    out += "  \"per_pe_cr\": \"" +
+           (perPeCr.empty() ? std::string("uniform") : perPeCr) +
+           "\",\n";
+    out += "  \"queue_cap\": " + std::to_string(npuCfg.queueCapacity) +
+           ",\n";
+    out += std::string("  \"drop_when_full\": ") +
+           (npuCfg.dropWhenFull ? "true" : "false") + ",\n";
+    out += "  \"arrival_gap_cycles\": " +
+           std::to_string(npuCfg.arrivalGapCycles) + ",\n";
+    out += "  \"packets\": " + std::to_string(cfg.numPackets) + ",\n";
+    out += "  \"trials\": " + std::to_string(cfg.trials) + ",\n";
+    out += "  \"seed\": " + std::to_string(cfg.traceSeed) + ",\n";
+    out += "  \"fault_seed\": " + std::to_string(cfg.faultSeed) + ",\n";
+    out += "  \"result\": " + sweep::experimentResultJson(res.core) +
+           ",\n";
+    out += "  \"npu\": {\"golden\": " + chipMetricsJson(res.goldenChip) +
+           ", \"faulty\": " + chipMetricsJson(res.faultyChip) + "}\n";
+    out += "}\n";
+    std::fputs(out.c_str(), stdout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+
+    std::string app, dispatch = "rr", perPeCrText;
+    core::ExperimentConfig cfg;
+    cfg.numPackets = 2000;
+    cfg.trials = 4;
+    npu::NpuConfig npuCfg;
+    std::uint64_t arrivalGap = 0;
+    bool drop = false, csv = false, json = false;
+
+    cli::ArgParser parser(
+        "clumsy_npu",
+        "Run one workload on an N-engine chip behind a shared L2 and "
+        "report core results plus chip-level metrics.");
+    parser.section("workload");
+    parser.optString("--app", "NAME",
+                     "crc tl route drr nat md5 url (paper) + adpcm",
+                     &app);
+    parser.section("chip");
+    parser.optUnsigned("--pes", "N",
+                       "processing engines (default 1)", &npuCfg.peCount);
+    parser.optString("--dispatch", "P",
+                     "rr | flow | shortest (default rr)", &dispatch);
+    parser.optUnsigned("--queue-cap", "N",
+                       "per-engine input queue capacity (default 16)",
+                       &npuCfg.queueCapacity);
+    parser.flag("--drop",
+                "drop arrivals when the chosen queue is full "
+                "(default: backpressure)",
+                &drop);
+    parser.optU64("--arrival-gap", "N",
+                  "inter-arrival gap, base cycles (default 0 = "
+                  "saturated)",
+                  &arrivalGap);
+    parser.optString("--per-pe-cr", "LIST",
+                     "colon-separated per-engine Cr list "
+                     "(e.g. 1:0.5:0.5:0.25; default: uniform)",
+                     &perPeCrText);
+    parser.section("operating point");
+    parser.optDouble("--cr", "X",
+                     "relative cycle time (1, 0.75, 0.5, 0.25)",
+                     &cfg.cr);
+    parser.flag("--dynamic", "use the dynamic frequency controller",
+                [&cfg]() { cfg.dynamicFrequency = true; });
+    parser.option("--scheme", "S",
+                  "no-detection | one-strike | two-strike | "
+                  "three-strike (default: no-detection)",
+                  [&cfg](const std::string &v) {
+                      cfg.scheme = sweep::schemeFromName(v);
+                  });
+    parser.option("--codec", "C", "parity | secded (default: parity)",
+                  [&cfg](const std::string &v) {
+                      cfg.processor.hierarchy.codec =
+                          sweep::codecFromString(v);
+                  });
+    parser.flag("--subblock", "sub-block strike recovery", [&cfg]() {
+        cfg.processor.hierarchy.subBlockRecovery = true;
+    });
+    parser.section("experiment");
+    parser.optU64("--packets", "N", "packets per run (default 2000)",
+                  &cfg.numPackets);
+    parser.optUnsigned("--trials", "N", "faulty trials (default 4)",
+                       &cfg.trials);
+    parser.option("--plane", "P", "both | control | data (default both)",
+                  [&cfg](const std::string &v) {
+                      cfg.plane = sweep::planeFromString(v);
+                  });
+    parser.optDouble("--fault-scale", "X",
+                     "fault-rate multiplier (default 1)",
+                     &cfg.faultScale);
+    parser.optU64("--seed", "N", "trace seed", &cfg.traceSeed);
+    parser.optU64("--fault-seed", "N", "fault-stream seed",
+                  &cfg.faultSeed);
+    parser.section("output");
+    parser.flag("--csv", "CSV tables", &csv);
+    parser.flag("--json",
+                "machine-readable JSON (result schema shared with "
+                "clumsy_sim/clumsy_sweep)",
+                &json);
+    parser.parse(argc, argv);
+
+    if (app.empty())
+        fatal("--app is required (try --help)");
+
+    npuCfg.dispatch = npu::dispatchFromString(dispatch);
+    npuCfg.dropWhenFull = drop;
+    npuCfg.arrivalGapCycles = static_cast<std::int64_t>(arrivalGap);
+    for (const std::string &piece : cli::split(perPeCrText, ':'))
+        npuCfg.perPeCr.push_back(
+            cli::parseDouble("--per-pe-cr", piece));
+
+    const npu::ChipExperimentResult res =
+        npu::runChipExperiment(apps::appFactory(app), cfg, npuCfg);
+
+    if (json) {
+        printJson(app, cfg, npuCfg, res);
+        return 0;
+    }
+
+    const core::ExperimentResult &r = res.core;
+    TextTable table("clumsy_npu: " + app + " on " +
+                    std::to_string(npuCfg.peCount) + " PE" +
+                    (npuCfg.peCount == 1 ? "" : "s") + " (" +
+                    npu::to_string(npuCfg.dispatch) + ") @ Cr=" +
+                    TextTable::num(cfg.cr, 2) +
+                    (cfg.dynamicFrequency ? " (dynamic)" : "") + ", " +
+                    to_string(cfg.scheme));
+    table.header({"metric", "golden", "faulty (avg)"});
+    table.row({"packets processed",
+               std::to_string(r.golden.packetsProcessed),
+               std::to_string(r.faulty.packetsProcessed)});
+    table.row({"cycles / packet",
+               TextTable::num(r.golden.cyclesPerPacket, 1),
+               TextTable::num(r.cyclesPerPacket, 1)});
+    table.row({"energy / packet [uJ]",
+               TextTable::num(r.golden.energyPerPacketPj * 1e-6, 3),
+               TextTable::num(r.energyPerPacketPj * 1e-6, 3)});
+    table.row({"fallibility", "1.0000",
+               TextTable::num(r.fallibility, 4)});
+    table.row({"fatal hazard / packet", "0",
+               TextTable::sci(r.fatalProb, 2)});
+    table.row({"faults injected", "0",
+               std::to_string(r.faulty.faultsInjected)});
+    std::fputs((csv ? table.csv() : table.render()).c_str(), stdout);
+
+    TextTable chip("chip");
+    chip.header({"metric", "golden", "faulty (avg)"});
+    chip.row({"makespan [cycles]",
+              TextTable::num(res.goldenChip.makespanCycles, 0),
+              TextTable::num(res.faultyChip.makespanCycles, 0)});
+    chip.row({"throughput [pkt/s]",
+              TextTable::num(res.goldenChip.throughputPps, 0),
+              TextTable::num(res.faultyChip.throughputPps, 0)});
+    chip.row({"load imbalance",
+              TextTable::num(res.goldenChip.loadImbalance, 3),
+              TextTable::num(res.faultyChip.loadImbalance, 3)});
+    chip.row({"queue occupancy (mean)",
+              TextTable::num(res.goldenChip.queueOccMean, 2),
+              TextTable::num(res.faultyChip.queueOccMean, 2)});
+    chip.row({"queue occupancy (max)",
+              TextTable::num(res.goldenChip.queueOccMax, 0),
+              TextTable::num(res.faultyChip.queueOccMax, 0)});
+    chip.row({"drops (queue full)",
+              TextTable::num(res.goldenChip.dropsQueueFull, 0),
+              TextTable::num(res.faultyChip.dropsQueueFull, 0)});
+    chip.row({"drops (dead PE)",
+              TextTable::num(res.goldenChip.dropsDeadPe, 0),
+              TextTable::num(res.faultyChip.dropsDeadPe, 0)});
+    chip.row({"backpressure stalls",
+              TextTable::num(res.goldenChip.backpressureStalls, 0),
+              TextTable::num(res.faultyChip.backpressureStalls, 0)});
+    chip.row({"L2 port waits",
+              TextTable::num(res.goldenChip.l2PortWaits, 0),
+              TextTable::num(res.faultyChip.l2PortWaits, 0)});
+    chip.row({"L2 port wait [cycles]",
+              TextTable::num(res.goldenChip.l2PortWaitCycles, 0),
+              TextTable::num(res.faultyChip.l2PortWaitCycles, 0)});
+    chip.row({"chip ED2F2",
+              TextTable::sci(res.goldenChip.chipEdf, 3),
+              TextTable::sci(res.faultyChip.chipEdf, 3)});
+    std::fputs((csv ? chip.csv() : chip.render()).c_str(), stdout);
+
+    TextTable pes("per-engine (golden)");
+    pes.header({"PE", "packets", "utilization"});
+    for (std::size_t pe = 0;
+         pe < res.goldenChip.peUtilization.size(); ++pe)
+        pes.row({std::to_string(pe),
+                 TextTable::num(res.goldenChip.pePackets[pe], 0),
+                 TextTable::num(res.goldenChip.peUtilization[pe], 3)});
+    std::fputs((csv ? pes.csv() : pes.render()).c_str(), stdout);
+
+    TextTable occ("queue depth at enqueue (golden)");
+    occ.header({"depth", "count"});
+    for (unsigned b = 0; b < res.goldenQueueOcc.bins(); ++b) {
+        if (res.goldenQueueOcc.binCount(b) == 0)
+            continue;
+        occ.row({std::to_string(b),
+                 std::to_string(res.goldenQueueOcc.binCount(b))});
+    }
+    std::fputs((csv ? occ.csv() : occ.render()).c_str(), stdout);
+    return 0;
+}

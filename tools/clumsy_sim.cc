@@ -89,7 +89,9 @@ replay(const std::string &app, const std::string &path,
         std::fputs(proc.hierarchy().l1d().stats().dump().c_str(),
                    stdout);
     }
-    return 0;
+    // An aborted replay is a failed run: scripts driving replays need
+    // the exit code to distinguish "survived the trace" from "died".
+    return proc.fatalOccurred() ? 1 : 0;
 }
 
 /** Machine-readable output: config + the sweep result serializer. */

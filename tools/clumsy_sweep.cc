@@ -3,7 +3,8 @@
  * clumsy_sweep: parallel experiment-grid driver.
  *
  * Expands a declarative grid over {app, Cr, scheme, codec, plane,
- * fault-scale}, runs every cell's golden pass and faulty trials as
+ * fault-scale, pes, dispatch, per-pe-cr}, runs every cell's golden
+ * pass and faulty trials as
  * independent jobs on a work-stealing pool, and writes JSON (and
  * optionally CSV) with full provenance. Aggregates are bit-identical
  * for any --jobs value; see EXPERIMENTS.md for the schema.
@@ -40,8 +41,8 @@ main(int argc, char **argv)
     parser.optString(
         "--grid", "SPEC",
         "semicolon-separated key=value,value,... dimensions; keys: "
-        "app cr scheme codec plane fault-scale packets trials seed "
-        "fault-seed",
+        "app cr scheme codec plane fault-scale pes dispatch per-pe-cr "
+        "packets trials seed fault-seed",
         &grid);
     parser.section("execution");
     parser.optUnsigned("--jobs", "N",
