@@ -8,43 +8,122 @@
 namespace clumsy::core
 {
 
+FreqStep
+FaultFeedbackPolicy::decide(const EpochObservation &obs,
+                            std::uint64_t storedFaults) const
+{
+    const auto faults = static_cast<double>(obs.epochFaults);
+    const auto stored = static_cast<double>(storedFaults);
+    if (faults > x1_ * stored)
+        return FreqStep::SlowDown;
+    if (faults < x2_ * stored)
+        return FreqStep::SpeedUp;
+    return FreqStep::Hold;
+}
+
+FreqStep
+QueueBiasedPolicy::decide(const EpochObservation &obs,
+                          std::uint64_t storedFaults) const
+{
+    // The fault wall always dominates: a too-noisy epoch backs off no
+    // matter how deep the input queue is.
+    const auto faults = static_cast<double>(obs.epochFaults);
+    if (faults > x1_ * static_cast<double>(storedFaults))
+        return FreqStep::SlowDown;
+    if (obs.hasQueuePressure) {
+        if (obs.queuePressure >= queueHigh_)
+            return FreqStep::SpeedUp;
+        if (obs.queuePressure <= queueLow_)
+            return FreqStep::SlowDown;
+    }
+    return fault_.decide(obs, storedFaults);
+}
+
+namespace
+{
+
+std::unique_ptr<FreqPolicy>
+makePolicy(const FreqControllerConfig &config)
+{
+    switch (config.policy) {
+      case FreqPolicyKind::FaultFeedback:
+        return std::make_unique<FaultFeedbackPolicy>(config.x1,
+                                                     config.x2);
+      case FreqPolicyKind::QueueBiased:
+        return std::make_unique<QueueBiasedPolicy>(
+            config.x1, config.x2, config.queueLow, config.queueHigh);
+    }
+    panic("unreachable frequency policy kind");
+}
+
+} // namespace
+
 FreqController::FreqController(FreqControllerConfig config)
-    : config_(config), levels_(config.levels), level_(config.startLevel)
+    : config_(config), levels_(config.levels),
+      policy_(makePolicy(config)), level_(config.startLevel)
 {
     CLUMSY_ASSERT(config_.epochPackets > 0, "epoch must be non-empty");
     CLUMSY_ASSERT(config_.x1 > config_.x2, "X1 must exceed X2");
     CLUMSY_ASSERT(level_ < levels_.count(), "start level out of range");
+    CLUMSY_ASSERT(config_.queueLow < config_.queueHigh,
+                  "queue watermarks must be ordered low < high");
 }
 
 FreqController::Decision
 FreqController::onEpochEnd(std::uint64_t epochFaults)
 {
+    EpochObservation obs;
+    obs.epochFaults = epochFaults;
+    return onEpochEnd(obs);
+}
+
+FreqController::Decision
+FreqController::onEpochEnd(const EpochObservation &obs)
+{
     stats_.inc("epochs");
     stats_.inc("residency_level" + std::to_string(level_));
 
-    const auto faults = static_cast<double>(epochFaults);
-    const auto stored = static_cast<double>(storedFaults_);
+    const FreqStep step = policy_->decide(obs, storedFaults_);
 
     unsigned newLevel = level_;
-    if (faults > config_.x1 * stored) {
-        // Too many faults: back off toward the full-swing clock.
+    if (step == FreqStep::SlowDown) {
+        // Back off toward the full-swing clock.
         if (level_ > 0)
             newLevel = level_ - 1;
-    } else if (faults < config_.x2 * stored) {
-        // Quiet epoch: push the clock one level faster.
+    } else if (step == FreqStep::SpeedUp) {
+        // Push the clock one level faster.
         if (level_ + 1 < levels_.count())
             newLevel = level_ + 1;
     }
 
     Decision d{levels_.cr(newLevel), newLevel != level_, 0};
     if (d.changed) {
+        if (newLevel > level_) {
+            ++clockUps_;
+            stats_.inc("clock_ups");
+        } else {
+            ++clockDowns_;
+            stats_.inc("clock_downs");
+        }
         level_ = newLevel;
-        storedFaults_ = std::max<std::uint64_t>(epochFaults, 1);
+        storedFaults_ = std::max<std::uint64_t>(obs.epochFaults, 1);
         d.penaltyCycles = config_.switchPenaltyCycles;
         ++switches_;
         stats_.inc("switches");
+    } else {
+        stats_.inc("holds");
     }
+    ++epochs_;
+    crWeightedEpochs_ += levels_.cr(level_);
     return d;
+}
+
+double
+FreqController::meanCr() const
+{
+    if (epochs_ == 0)
+        return currentCr();
+    return crWeightedEpochs_ / static_cast<double>(epochs_);
 }
 
 } // namespace clumsy::core

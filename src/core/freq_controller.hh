@@ -16,18 +16,39 @@
  * penalty. The stored count is floored at 1 so fault-free epochs
  * (common at Cr = 1) read as "less than X2%" and push the controller
  * toward higher frequency, which is the leaning the paper describes.
+ *
+ * The *decision rule* is a pluggable policy (FreqPolicy) so the
+ * multi-engine chip (src/npu/) can bias it with local queue pressure:
+ * an engine whose input queue sits empty backs its clock off (save
+ * energy, shed fault risk), one whose bounded queue is backing up
+ * speeds up toward the fault wall. The fault wall always dominates —
+ * no amount of queue pressure overrides a too-many-faults epoch.
  */
 
 #ifndef CLUMSY_CORE_FREQ_CONTROLLER_HH
 #define CLUMSY_CORE_FREQ_CONTROLLER_HH
 
 #include <cstdint>
+#include <memory>
 
 #include "common/stats.hh"
 #include "core/clock.hh"
 
 namespace clumsy::core
 {
+
+/** Which decision rule drives the controller. */
+enum class FreqPolicyKind
+{
+    /** The paper's pure fault-feedback rule (X1/X2 thresholds). */
+    FaultFeedback,
+    /**
+     * Fault feedback biased by local input-queue pressure (per-PE
+     * DVS on the chip): back off when the queue runs empty, speed up
+     * when it backs up past the high watermark.
+     */
+    QueueBiased,
+};
 
 /** Controller parameters (defaults = the paper's tuned values). */
 struct FreqControllerConfig
@@ -38,6 +59,102 @@ struct FreqControllerConfig
     std::int64_t switchPenaltyCycles = 10;
     std::vector<double> levels = kPaperCrLevels;
     unsigned startLevel = 0;         ///< index into levels (Cr = 1)
+
+    FreqPolicyKind policy = FreqPolicyKind::FaultFeedback;
+
+    /**
+     * Queue-pressure watermarks of the QueueBiased policy, as
+     * fractions of the input-queue capacity. Mean pressure at or
+     * below queueLow backs the clock off; at or above queueHigh it
+     * speeds the clock up (unless the fault wall says otherwise).
+     */
+    double queueLow = 0.05;
+    double queueHigh = 0.50;
+
+    /**
+     * Epoch cadence is driven externally (the chip's epoch hook calls
+     * closeDvsEpoch) instead of by the processor's own packet count.
+     */
+    bool externalEpochs = false;
+};
+
+/** What one epoch's decision saw. */
+struct EpochObservation
+{
+    std::uint64_t epochFaults = 0; ///< faults observed this epoch
+
+    /** True when a queue-pressure reading accompanies the epoch. */
+    bool hasQueuePressure = false;
+
+    /** Mean input-queue depth over the epoch / queue capacity. */
+    double queuePressure = 0.0;
+};
+
+/** Direction a policy proposes for the clock. */
+enum class FreqStep
+{
+    SlowDown, ///< one Cr level toward full swing (slower, safer)
+    Hold,
+    SpeedUp,  ///< one Cr level toward the fault wall (faster)
+};
+
+/** Decision rule: observation + stored fault count -> direction. */
+class FreqPolicy
+{
+  public:
+    virtual ~FreqPolicy() = default;
+
+    /**
+     * Propose a step. @p storedFaults is the fault count recorded at
+     * the last level change, floored at 1 (see file comment).
+     */
+    virtual FreqStep decide(const EpochObservation &obs,
+                            std::uint64_t storedFaults) const = 0;
+};
+
+/** The paper's X1/X2 fault-feedback rule. */
+class FaultFeedbackPolicy : public FreqPolicy
+{
+  public:
+    FaultFeedbackPolicy(double x1, double x2) : x1_(x1), x2_(x2) {}
+
+    FreqStep decide(const EpochObservation &obs,
+                    std::uint64_t storedFaults) const override;
+
+  private:
+    double x1_;
+    double x2_;
+};
+
+/**
+ * Fault feedback biased by queue pressure. Precedence:
+ *
+ *   1. faults > X1 * stored          -> SlowDown (fault wall wins)
+ *   2. pressure >= queueHigh         -> SpeedUp  (queue backing up)
+ *   3. pressure <= queueLow          -> SlowDown (engine idle)
+ *   4. otherwise                     -> the paper's rule
+ *
+ * An observation without a pressure reading falls through to the
+ * paper's rule unchanged.
+ */
+class QueueBiasedPolicy : public FreqPolicy
+{
+  public:
+    QueueBiasedPolicy(double x1, double x2, double queueLow,
+                      double queueHigh)
+        : fault_(x1, x2), x1_(x1), queueLow_(queueLow),
+          queueHigh_(queueHigh)
+    {
+    }
+
+    FreqStep decide(const EpochObservation &obs,
+                    std::uint64_t storedFaults) const override;
+
+  private:
+    FaultFeedbackPolicy fault_;
+    double x1_;
+    double queueLow_;
+    double queueHigh_;
 };
 
 /** Epoch-based frequency adaptation state machine. */
@@ -60,6 +177,9 @@ class FreqController
      */
     Decision onEpochEnd(std::uint64_t epochFaults);
 
+    /** General form: the full observation, queue pressure included. */
+    Decision onEpochEnd(const EpochObservation &obs);
+
     /** Packets per epoch. */
     unsigned epochPackets() const { return config_.epochPackets; }
 
@@ -69,15 +189,39 @@ class FreqController
     /** Number of frequency switches so far. */
     std::uint64_t switches() const { return switches_; }
 
+    /** Epoch decisions taken so far. */
+    std::uint64_t epochs() const { return epochs_; }
+
+    /** Decisions that raised the clock (one Cr level faster). */
+    std::uint64_t clockUps() const { return clockUps_; }
+
+    /** Decisions that lowered the clock (one Cr level slower). */
+    std::uint64_t clockDowns() const { return clockDowns_; }
+
+    /**
+     * Residency-weighted mean Cr over the epochs decided so far
+     * (each epoch counts the level it *ended* at). currentCr() when
+     * no epoch has closed yet.
+     */
+    double meanCr() const;
+
     /** Per-level residency counters (epochs spent at each Cr). */
     const StatGroup &stats() const { return stats_; }
+
+    /** The configuration in force. */
+    const FreqControllerConfig &config() const { return config_; }
 
   private:
     FreqControllerConfig config_;
     FrequencyLevels levels_;
+    std::unique_ptr<FreqPolicy> policy_;
     unsigned level_;
     std::uint64_t storedFaults_ = 1; ///< floored at 1; see file comment
     std::uint64_t switches_ = 0;
+    std::uint64_t epochs_ = 0;
+    std::uint64_t clockUps_ = 0;
+    std::uint64_t clockDowns_ = 0;
+    double crWeightedEpochs_ = 0.0; ///< sum of end-of-epoch Cr values
     StatGroup stats_{"freqctl"};
 };
 

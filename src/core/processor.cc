@@ -184,18 +184,36 @@ void
 ClumsyProcessor::endPacket()
 {
     ++packets_;
-    if (!freqCtl_)
+    if (!freqCtl_ || freqCtl_->config().externalEpochs)
         return;
     if (packets_ % freqCtl_->epochPackets() != 0)
         return;
+    closeEpoch(EpochObservation{});
+}
+
+void
+ClumsyProcessor::closeEpoch(const EpochObservation &obs)
+{
     const std::uint64_t total = observedFaults();
-    const std::uint64_t epochFaults = total - epochStartFaults_;
+    EpochObservation fed = obs;
+    fed.epochFaults = total - epochStartFaults_;
     epochStartFaults_ = total;
-    const FreqController::Decision d = freqCtl_->onEpochEnd(epochFaults);
+    const FreqController::Decision d = freqCtl_->onEpochEnd(fed);
     if (d.changed) {
         hierarchy_.setCycleTime(d.cr);
         cycles_ += cyclesToQuanta(d.penaltyCycles);
     }
+}
+
+void
+ClumsyProcessor::closeDvsEpoch(double queuePressure)
+{
+    if (!freqCtl_)
+        return;
+    EpochObservation obs;
+    obs.hasQueuePressure = true;
+    obs.queuePressure = queuePressure;
+    closeEpoch(obs);
 }
 
 std::uint64_t

@@ -158,9 +158,20 @@ class ClumsyProcessor
     /**
      * Mark the end of one packet's processing; every epochPackets
      * packets the dynamic frequency controller (when enabled) makes
-     * its decision.
+     * its decision. When the controller's epoch cadence is external
+     * (FreqControllerConfig::externalEpochs, the chip's per-PE DVS),
+     * no epoch closes here — the chip calls closeDvsEpoch() instead.
      */
     void endPacket();
+
+    /**
+     * Chip-level epoch hook (src/npu/, dvs=queue): close one
+     * controller epoch now, feeding the engine's mean input-queue
+     * pressure (depth / capacity over the epoch) into the decision
+     * alongside the epoch's observed faults. No-op when the dynamic
+     * controller is disabled (e.g. the golden run).
+     */
+    void closeDvsEpoch(double queuePressure);
 
     /** Packets completed so far. */
     std::uint64_t packetsCompleted() const { return packets_; }
@@ -265,6 +276,9 @@ class ClumsyProcessor
 
     /** Advance time by an access's latency plus any port queuing. */
     void chargeAccess(const mem::Access &acc);
+
+    /** Close one controller epoch and apply its decision. */
+    void closeEpoch(const EpochObservation &obs);
 
     /** Apply one timed read access result. */
     std::uint32_t finishRead(const mem::Access &acc);

@@ -6,12 +6,15 @@
  * On a multi-engine chip (src/npu/) every processing engine funnels
  * its L1 misses, refills and bypass reads through one fixed-width L2
  * port, so an access can find the port busy with another engine's
- * transfer and must queue. This interface decouples the memory system
- * from the chip model: the hierarchy reports how many L2 port uses an
- * access performed, the processor asks the arbiter (when one is
- * attached) how long those uses had to wait, and the chip supplies the
- * FIFO port model. With no arbiter attached, behaviour is exactly the
- * private-L2 single-core model.
+ * transfer and must queue. How many transfers may overlap before that
+ * happens is the arbiter's business (the chip's port keeps a pool of
+ * miss-status holding registers; see npu::SharedL2Port). This
+ * interface decouples the memory system from the chip model: the
+ * hierarchy reports how many L2 port uses an access performed, the
+ * processor asks the arbiter (when one is attached) how long those
+ * uses had to wait, and the chip supplies the port model. With no
+ * arbiter attached, behaviour is exactly the private-L2 single-core
+ * model.
  */
 
 #ifndef CLUMSY_MEM_L2_PORT_HH

@@ -32,7 +32,23 @@ struct Engine
     std::uint64_t maxDepth = 0;
     bool alive = true;
 
+    /**
+     * Queue-pressure accumulators of the current DVS epoch
+     * (dvs=queue): depth/capacity sampled after every enqueue and
+     * every dequeue, reset when the chip closes the epoch.
+     */
+    double pressureSum = 0.0;
+    std::uint64_t pressureSamples = 0;
+
     Quanta dataTime() const { return proc->now() - origin; }
+
+    /** Mean pressure this epoch; 0 when the queue never moved. */
+    double epochPressure() const
+    {
+        return pressureSamples > 0
+                   ? pressureSum / static_cast<double>(pressureSamples)
+                   : 0.0;
+    }
 };
 
 /**
@@ -55,7 +71,7 @@ runChipOnce(const core::AppFactory &factory,
         !golden && config.plane != core::FaultPlane::ControlOnly;
 
     SharedL2Port port(cyclesToQuanta(npu.portHitCycles),
-                      cyclesToQuanta(npu.portMissCycles));
+                      cyclesToQuanta(npu.portMissCycles), npu.mshrs);
 
     ChipRun run;
     run.recorders.resize(npu.peCount);
@@ -75,6 +91,30 @@ runChipOnce(const core::AppFactory &factory,
         core::ProcessorConfig pc =
             core::makeRunProcessorConfig(peConfig, golden, trial);
         pc.faultSeed += pe * kPeSeedStride;
+        switch (npu.dvs) {
+          case DvsMode::Static:
+            // Ablation baseline: frozen at the launch Cr even when
+            // the operating point asked for dynamic frequency.
+            pc.dynamicFrequency = false;
+            break;
+          case DvsMode::Fault:
+            break; // the single-core behaviour, untouched
+          case DvsMode::Queue:
+            // Per-PE DVS: always adaptive on faulty runs (golden
+            // stays static, matching makeRunProcessorConfig's
+            // convention), driven by chip-level epochs through a
+            // queue-biased policy, launched at the operating point's
+            // Cr (which must sit on the controller's ladder).
+            pc.dynamicFrequency = !golden;
+            if (pc.dynamicFrequency) {
+                pc.freqCtl.policy = core::FreqPolicyKind::QueueBiased;
+                pc.freqCtl.externalEpochs = true;
+                pc.freqCtl.startLevel =
+                    core::FrequencyLevels(pc.freqCtl.levels)
+                        .indexOf(peConfig.cr);
+            }
+            break;
+        }
         e.proc = std::make_unique<core::ClumsyProcessor>(pc);
         e.app = factory();
         e.proc->setInjectionEnabled(injectControl);
@@ -117,10 +157,33 @@ runChipOnce(const core::AppFactory &factory,
         }
     }
 
+    // Chip-level DVS epochs (dvs=queue): every epochPackets completed
+    // packets chip-wide, all alive engines decide together, each on
+    // its own mean queue pressure since the previous epoch.
+    const bool chipEpochs = npu.dvs == DvsMode::Queue;
+    const std::uint64_t epochPackets =
+        config.processor.freqCtl.epochPackets;
+    auto samplePressure = [&](Engine &e) {
+        if (!chipEpochs)
+            return;
+        e.pressureSum += static_cast<double>(e.queue.size()) /
+                         static_cast<double>(npu.queueCapacity);
+        ++e.pressureSamples;
+    };
+    auto closeChipEpoch = [&]() {
+        for (Engine &e : engines) {
+            if (e.alive)
+                e.proc->closeDvsEpoch(e.epochPressure());
+            e.pressureSum = 0.0;
+            e.pressureSamples = 0;
+        }
+    };
+
     auto processOne = [&](unsigned pe) {
         Engine &e = engines[pe];
         const net::Packet pkt = e.queue.front();
         e.queue.pop_front();
+        samplePressure(e);
         const Quanta before = e.proc->now();
         e.proc->beginPacket();
         core::ValueRecorder &rec = run.recorders[pe];
@@ -141,6 +204,8 @@ runChipOnce(const core::AppFactory &factory,
         e.proc->endPacket();
         ++e.processed;
         ++completed;
+        if (chipEpochs && completed % epochPackets == 0)
+            closeChipEpoch();
         run.completions[pkt.seq] = {pe, frame};
         if (goldenRef) {
             const auto it = goldenRef->completions.find(pkt.seq);
@@ -227,6 +292,7 @@ runChipOnce(const core::AppFactory &factory,
         }
         e.queue.push_back(pending);
         havePending = false;
+        samplePressure(e);
         e.maxDepth = std::max<std::uint64_t>(e.maxDepth,
                                              e.queue.size());
         occ[static_cast<unsigned>(pe)].sample(
@@ -330,14 +396,29 @@ runChipOnce(const core::AppFactory &factory,
 
     chip.peUtilization.resize(npu.peCount);
     chip.pePackets.resize(npu.peCount);
+    chip.peCrFinal.resize(npu.peCount);
+    chip.peCrMean.resize(npu.peCount);
+    chip.peEpochs.resize(npu.peCount);
+    chip.peStepsUp.resize(npu.peCount);
+    chip.peStepsDown.resize(npu.peCount);
     for (unsigned pe = 0; pe < npu.peCount; ++pe) {
+        const Engine &e = engines[pe];
         chip.peUtilization[pe] =
             makespanQ > 0
-                ? static_cast<double>(engines[pe].busy) /
+                ? static_cast<double>(e.busy) /
                       static_cast<double>(makespanQ)
                 : 0.0;
-        chip.pePackets[pe] =
-            static_cast<double>(engines[pe].processed);
+        chip.pePackets[pe] = static_cast<double>(e.processed);
+        chip.peCrFinal[pe] = e.proc->currentCr();
+        const core::FreqController *ctl = e.proc->freqController();
+        chip.peCrMean[pe] =
+            ctl ? ctl->meanCr() : e.proc->currentCr();
+        chip.peEpochs[pe] =
+            ctl ? static_cast<double>(ctl->epochs()) : 0.0;
+        chip.peStepsUp[pe] =
+            ctl ? static_cast<double>(ctl->clockUps()) : 0.0;
+        chip.peStepsDown[pe] =
+            ctl ? static_cast<double>(ctl->clockDowns()) : 0.0;
     }
     return run;
 }
@@ -375,6 +456,11 @@ averageChipMetrics(const std::vector<ChipMetrics> &runs)
     avg.loadImbalance = 0.0;
     avg.peUtilization.assign(runs.front().peUtilization.size(), 0.0);
     avg.pePackets.assign(runs.front().pePackets.size(), 0.0);
+    avg.peCrFinal.assign(runs.front().peCrFinal.size(), 0.0);
+    avg.peCrMean.assign(runs.front().peCrMean.size(), 0.0);
+    avg.peEpochs.assign(runs.front().peEpochs.size(), 0.0);
+    avg.peStepsUp.assign(runs.front().peStepsUp.size(), 0.0);
+    avg.peStepsDown.assign(runs.front().peStepsDown.size(), 0.0);
     for (const ChipMetrics &m : runs) {
         avg.makespanCycles += m.makespanCycles;
         avg.throughputPps += m.throughputPps;
@@ -391,6 +477,16 @@ averageChipMetrics(const std::vector<ChipMetrics> &runs)
             avg.peUtilization[i] += m.peUtilization[i];
         for (std::size_t i = 0; i < avg.pePackets.size(); ++i)
             avg.pePackets[i] += m.pePackets[i];
+        for (std::size_t i = 0; i < avg.peCrFinal.size(); ++i)
+            avg.peCrFinal[i] += m.peCrFinal[i];
+        for (std::size_t i = 0; i < avg.peCrMean.size(); ++i)
+            avg.peCrMean[i] += m.peCrMean[i];
+        for (std::size_t i = 0; i < avg.peEpochs.size(); ++i)
+            avg.peEpochs[i] += m.peEpochs[i];
+        for (std::size_t i = 0; i < avg.peStepsUp.size(); ++i)
+            avg.peStepsUp[i] += m.peStepsUp[i];
+        for (std::size_t i = 0; i < avg.peStepsDown.size(); ++i)
+            avg.peStepsDown[i] += m.peStepsDown[i];
     }
     const double n = static_cast<double>(runs.size());
     avg.makespanCycles /= n;
@@ -407,6 +503,16 @@ averageChipMetrics(const std::vector<ChipMetrics> &runs)
     for (double &v : avg.peUtilization)
         v /= n;
     for (double &v : avg.pePackets)
+        v /= n;
+    for (double &v : avg.peCrFinal)
+        v /= n;
+    for (double &v : avg.peCrMean)
+        v /= n;
+    for (double &v : avg.peEpochs)
+        v /= n;
+    for (double &v : avg.peStepsUp)
+        v /= n;
+    for (double &v : avg.peStepsDown)
         v /= n;
     return avg;
 }

@@ -8,11 +8,17 @@
  * Time is advanced by a deterministic step loop: engines run whole
  * packets, and the engine with the smallest (local data time, engine
  * id) runs next, so results are byte-identical across hosts and
- * repeat invocations. A one-engine chip is bit-identical to the
- * single-core harness (core/experiment.hh): same processor config,
- * same fault seeds, same packet order, and the shared L2 port's
- * service times are covered by the access's own L2 latency so a lone
- * engine never queues.
+ * repeat invocations. A one-engine chip at the default knobs
+ * (dvs=fault, mshrs=1) is bit-identical to the single-core harness
+ * (core/experiment.hh): same processor config, same fault seeds, same
+ * packet order, and the shared L2 port's service times are covered by
+ * the access's own L2 latency so a lone engine never queues.
+ *
+ * With dvs=queue the chip takes over the epoch cadence (per-PE DVS):
+ * every FreqControllerConfig::epochPackets completed packets
+ * chip-wide, every alive engine's queue-biased controller decides on
+ * its own fault history and its own mean input-queue pressure, so
+ * per-engine Cr trajectories diverge under imbalanced load.
  *
  * Golden-vs-faulty comparison stays per-packet even though engines
  * complete packets out of trace order: each run records, per trace
@@ -75,6 +81,18 @@ struct ChipMetrics
 
     std::vector<double> peUtilization; ///< busy/makespan per engine
     std::vector<double> pePackets;     ///< packets completed per engine
+
+    /**
+     * Per-engine Cr trajectory and epoch-decision counters (per-PE
+     * DVS observability). Engines with no dynamic controller (golden
+     * runs, dvs=static, static operating points) report their fixed
+     * Cr and zero decisions.
+     */
+    std::vector<double> peCrFinal;   ///< Cr at end of run per engine
+    std::vector<double> peCrMean;    ///< residency-weighted mean Cr
+    std::vector<double> peEpochs;    ///< epoch decisions per engine
+    std::vector<double> peStepsUp;   ///< clock-up decisions per engine
+    std::vector<double> peStepsDown; ///< clock-down decisions per engine
 };
 
 /** Everything one chip run (golden or one faulty trial) produced. */

@@ -28,7 +28,36 @@ dispatchFromString(const std::string &name)
         return DispatchPolicy::FlowHash;
     if (name == "shortest" || name == "shortest-queue")
         return DispatchPolicy::ShortestQueue;
-    fatal("unknown dispatch policy '%s' (rr, flow, shortest)",
+    fatal("unknown dispatch policy '%s' (valid choices: rr, flow, "
+          "shortest)",
+          name.c_str());
+}
+
+std::string
+to_string(DvsMode mode)
+{
+    switch (mode) {
+      case DvsMode::Static:
+        return "static";
+      case DvsMode::Fault:
+        return "fault";
+      case DvsMode::Queue:
+        return "queue";
+    }
+    panic("unreachable dvs mode");
+}
+
+DvsMode
+dvsFromString(const std::string &name)
+{
+    if (name == "static")
+        return DvsMode::Static;
+    if (name == "fault")
+        return DvsMode::Fault;
+    if (name == "queue")
+        return DvsMode::Queue;
+    fatal("unknown dvs mode '%s' (valid choices: static, fault, "
+          "queue)",
           name.c_str());
 }
 
@@ -44,6 +73,7 @@ NpuConfig::validate(const mem::HierarchyConfig &hier) const
         CLUMSY_ASSERT(cr > 0.0 && cr <= 1.0,
                       "per-engine Cr outside (0, 1]");
     CLUMSY_ASSERT(clockMhz > 0.0, "clock must be positive");
+    CLUMSY_ASSERT(mshrs >= 1, "the port needs at least one MSHR");
     // The single-engine-equivalence requirement: port service must be
     // coverable by the access's own embedded L2 latency, otherwise a
     // lone engine would queue behind itself.

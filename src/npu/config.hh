@@ -44,6 +44,39 @@ std::string to_string(DispatchPolicy policy);
 /** Parse a policy name; fatal()s on an unknown one. */
 DispatchPolicy dispatchFromString(const std::string &name);
 
+/** How the chip drives each engine's frequency controller. */
+enum class DvsMode
+{
+    /**
+     * Engines are frozen at their launch Cr for the whole run, even
+     * when the experiment asked for dynamic frequency (the ablation
+     * baseline the adaptive modes are measured against).
+     */
+    Static,
+    /**
+     * The paper's per-engine fault-feedback controller, exactly as
+     * the single-core harness runs it: each engine closes its own
+     * epochs on its own packet count, adapting on fault feedback
+     * alone iff the experiment's operating point is dynamic. The
+     * default — a one-engine chip stays bit-identical to clumsy_sim.
+     */
+    Fault,
+    /**
+     * Per-PE DVS: every engine runs a queue-biased controller and
+     * the chip closes epochs for all engines together (chip-level
+     * epochs, every epochPackets completed packets), feeding each
+     * decision the engine's own mean input-queue pressure. Busy
+     * engines clock up toward the fault wall; idle engines back off.
+     */
+    Queue,
+};
+
+/** Human-readable mode name ("static", "fault", "queue"). */
+std::string to_string(DvsMode mode);
+
+/** Parse a dvs mode name; fatal()s on an unknown one. */
+DvsMode dvsFromString(const std::string &name);
+
 /** Static configuration of one chip. */
 struct NpuConfig
 {
@@ -87,6 +120,16 @@ struct NpuConfig
      */
     std::int64_t portHitCycles = 4;
     std::int64_t portMissCycles = 16;
+
+    /**
+     * Miss-status holding registers on the shared L2 port: up to this
+     * many transfers may be in flight at once before the port
+     * serializes. 1 reproduces the fully-serialized FIFO exactly.
+     */
+    unsigned mshrs = 1;
+
+    /** Per-engine frequency adaptation mode. */
+    DvsMode dvs = DvsMode::Fault;
 
     /** Modeled core clock (SA-110 class), for packets/sec figures. */
     double clockMhz = 233.0;

@@ -1,5 +1,7 @@
 #include "npu/shared_l2.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace clumsy::npu
@@ -22,21 +24,29 @@ SharedL2Port::requestPort(unsigned requester, Quanta endTime,
 
     // The requester's own L2 latency (>= service, enforced by
     // NpuConfig::validate) is already inside endTime, so its port-use
-    // window is [endTime - service, endTime). If an earlier transfer
-    // still holds the port, the window slides back by the difference
+    // window is [endTime - service, endTime). The transfer occupies
+    // whichever MSHR frees first; if even that one is still busy with
+    // an earlier transfer, the window slides back by the difference
     // and the requester stalls for it. For a lone engine endTime is
     // non-decreasing and each window fits before the next access
-    // begins, so busyUntil_ never passes start and the delay is
-    // always zero — the private-L2 single-core timing exactly.
+    // begins, so no slot ever passes start and the delay is always
+    // zero — the private-L2 single-core timing exactly, at any K.
     const Quanta start = endTime - service;
-    const Quanta begin = start > busyUntil_ ? start : busyUntil_;
+    auto slot = std::min_element(slots_.begin(), slots_.end());
+    const Quanta begin = start > *slot ? start : *slot;
     const Quanta delay = begin - start;
-    busyUntil_ = begin + service;
+    *slot = begin + service;
     if (delay > 0) {
         stats_.inc("contended");
         stats_.inc("wait_quanta", static_cast<std::uint64_t>(delay));
     }
     return delay;
+}
+
+Quanta
+SharedL2Port::busyUntil() const
+{
+    return *std::max_element(slots_.begin(), slots_.end());
 }
 
 } // namespace clumsy::npu

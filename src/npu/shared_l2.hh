@@ -1,15 +1,20 @@
 /**
  * @file
- * The chip's shared L2 port: a single fixed-width port with FIFO
- * arbitration. Every engine's L1 misses, refills and bypass reads
- * occupy the port for a fixed service time (longer when the line also
- * came from DRAM); an engine whose access finds the port busy with an
- * earlier transfer queues behind it, and the queuing delay is folded
- * into the access's cycle cost by ClumsyProcessor::chargeAccess().
+ * The chip's shared L2 port: a fixed-width port with FIFO arbitration
+ * and a small pool of miss-status holding registers. Every engine's
+ * L1 misses, refills and bypass reads occupy one MSHR for a fixed
+ * service time (longer when the line also came from DRAM). Up to K
+ * transfers are in flight at once; an access that finds every MSHR
+ * busy with earlier transfers queues behind the one that frees first,
+ * and the queuing delay is folded into the access's cycle cost by
+ * ClumsyProcessor::chargeAccess(). With K = 1 the port is the
+ * fully-serialized FIFO of the original model, bit for bit.
  */
 
 #ifndef CLUMSY_NPU_SHARED_L2_HH
 #define CLUMSY_NPU_SHARED_L2_HH
+
+#include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -18,7 +23,7 @@
 namespace clumsy::npu
 {
 
-/** FIFO arbitration over one fixed-width L2 port. */
+/** FIFO arbitration over a fixed-width, K-MSHR L2 port. */
 class SharedL2Port : public mem::L2PortArbiter
 {
   public:
@@ -26,17 +31,27 @@ class SharedL2Port : public mem::L2PortArbiter
      * @param hitService  port occupancy of an L2 hit transfer, quanta.
      * @param missService occupancy when the line also transferred
      *                    from DRAM.
+     * @param mshrs       transfers that may overlap before the port
+     *                    serializes (>= 1).
      */
-    SharedL2Port(Quanta hitService, Quanta missService)
-        : hitService_(hitService), missService_(missService)
+    SharedL2Port(Quanta hitService, Quanta missService,
+                 unsigned mshrs = 1)
+        : hitService_(hitService), missService_(missService),
+          slots_(mshrs, 0)
     {
     }
 
     Quanta requestPort(unsigned requester, Quanta endTime,
                        unsigned l2Accesses, unsigned l2Misses) override;
 
-    /** Chip time the port is occupied until. */
-    Quanta busyUntil() const { return busyUntil_; }
+    /** Chip time the last MSHR frees up (port fully idle after). */
+    Quanta busyUntil() const;
+
+    /** Number of MSHRs. */
+    unsigned mshrs() const
+    {
+        return static_cast<unsigned>(slots_.size());
+    }
 
     /** Port counters: requests, port_uses, contended, wait_quanta. */
     const StatGroup &stats() const { return stats_; }
@@ -44,7 +59,7 @@ class SharedL2Port : public mem::L2PortArbiter
   private:
     Quanta hitService_;
     Quanta missService_;
-    Quanta busyUntil_ = 0;
+    std::vector<Quanta> slots_; ///< per-MSHR busy-until times
     StatGroup stats_{"l2port"};
 };
 

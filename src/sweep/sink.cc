@@ -66,6 +66,26 @@ writeChipMetrics(JsonWriter &w, const npu::ChipMetrics &m)
     for (double v : m.pePackets)
         w.value(v);
     w.endArray();
+    w.key("pe_cr_final").beginArray();
+    for (double v : m.peCrFinal)
+        w.value(v);
+    w.endArray();
+    w.key("pe_cr_mean").beginArray();
+    for (double v : m.peCrMean)
+        w.value(v);
+    w.endArray();
+    w.key("pe_epochs").beginArray();
+    for (double v : m.peEpochs)
+        w.value(v);
+    w.endArray();
+    w.key("pe_steps_up").beginArray();
+    for (double v : m.peStepsUp)
+        w.value(v);
+    w.endArray();
+    w.key("pe_steps_down").beginArray();
+    for (double v : m.peStepsDown)
+        w.value(v);
+    w.endArray();
     w.endObject();
 }
 
@@ -87,6 +107,8 @@ cellJson(const CellOutcome &out, bool provenance)
     w.key("per_pe_cr")
         .value(out.cell.perPeCr.empty() ? std::string("uniform")
                                         : out.cell.perPeCr);
+    w.key("dvs").value(npu::to_string(out.cell.dvs));
+    w.key("mshrs").value(static_cast<std::uint64_t>(out.cell.mshrs));
     w.key("result").raw(experimentResultJson(out.result));
     if (out.hasNpu) {
         w.key("npu").beginObject();
@@ -373,6 +395,23 @@ parseChipMetrics(const JVal &o)
         m.peUtilization.push_back(v.num);
     for (const JVal &v : field(o, "pe_packets").arr)
         m.pePackets.push_back(v.num);
+    // Trajectory arrays: absent in chip documents written before the
+    // per-PE DVS knobs existed.
+    if (const JVal *a = o.find("pe_cr_final"))
+        for (const JVal &v : a->arr)
+            m.peCrFinal.push_back(v.num);
+    if (const JVal *a = o.find("pe_cr_mean"))
+        for (const JVal &v : a->arr)
+            m.peCrMean.push_back(v.num);
+    if (const JVal *a = o.find("pe_epochs"))
+        for (const JVal &v : a->arr)
+            m.peEpochs.push_back(v.num);
+    if (const JVal *a = o.find("pe_steps_up"))
+        for (const JVal &v : a->arr)
+            m.peStepsUp.push_back(v.num);
+    if (const JVal *a = o.find("pe_steps_down"))
+        for (const JVal &v : a->arr)
+            m.peStepsDown.push_back(v.num);
     return m;
 }
 
@@ -398,6 +437,11 @@ parseCell(const JVal &o)
         const std::string ppc = strField(o, "per_pe_cr");
         out.cell.perPeCr = ppc == "uniform" ? "" : ppc;
     }
+    // dvs/mshrs: absent in documents written before those knobs.
+    if (o.find("dvs"))
+        out.cell.dvs = npu::dvsFromString(strField(o, "dvs"));
+    if (o.find("mshrs"))
+        out.cell.mshrs = static_cast<unsigned>(numField(o, "mshrs"));
     if (const JVal *chip = o.find("npu")) {
         out.hasNpu = true;
         out.npuGolden = parseChipMetrics(field(*chip, "golden"));
@@ -456,6 +500,14 @@ experimentResultJson(const core::ExperimentResult &res)
 }
 
 std::string
+chipMetricsJson(const npu::ChipMetrics &metrics)
+{
+    JsonWriter w;
+    writeChipMetrics(w, metrics);
+    return w.str();
+}
+
+std::string
 renderJson(const SweepOutcome &outcome, bool provenance)
 {
     std::string out = "{\n";
@@ -486,7 +538,7 @@ renderCsv(const SweepOutcome &outcome)
 {
     std::string out =
         "app,cr,dynamic,scheme,codec,plane,fault_scale,pes,dispatch,"
-        "per_pe_cr,fallibility,"
+        "per_pe_cr,dvs,mshrs,fallibility,"
         "any_error_prob,fatal_prob,fatal_fraction,cycles_per_packet,"
         "energy_per_packet_pj,l1d_energy_per_packet_pj,edf,"
         "golden_cycles_per_packet,golden_energy_per_packet_pj,"
@@ -504,6 +556,8 @@ renderCsv(const SweepOutcome &outcome)
         out += "," + npu::to_string(c.cell.dispatch);
         out += ",";
         out += c.cell.perPeCr.empty() ? "uniform" : c.cell.perPeCr;
+        out += "," + npu::to_string(c.cell.dvs);
+        out += "," + std::to_string(c.cell.mshrs);
         out += "," + formatDouble(r.fallibility);
         out += "," + formatDouble(r.anyErrorProb);
         out += "," + formatDouble(r.fatalProb);

@@ -55,6 +55,12 @@ std::string renderCsv(const SweepOutcome &outcome);
 std::string experimentResultJson(const core::ExperimentResult &res);
 
 /**
+ * Serialize one ChipMetrics as a compact JSON object. Shared with
+ * clumsy_npu --json so both emitters stay field-for-field identical.
+ */
+std::string chipMetricsJson(const npu::ChipMetrics &metrics);
+
+/**
  * Parse the "results" entries of a previously written sweep JSON
  * file into outcomes keyed by cell key. Returns an empty map when
  * the file does not exist; fatal()s when it exists but is not a

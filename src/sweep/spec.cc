@@ -213,6 +213,18 @@ SweepSpec::parse(const std::string &grid)
                 }
                 spec.perPeCrs.push_back(v);
             }
+        } else if (key == "dvs") {
+            spec.dvsModes.clear();
+            for (const std::string &v : values)
+                spec.dvsModes.push_back(npu::dvsFromString(v));
+        } else if (key == "mshrs") {
+            spec.mshrs.clear();
+            for (const std::string &v : values) {
+                const std::uint64_t n = cli::parseU64("mshrs", v);
+                if (n == 0)
+                    fatal("mshrs must be >= 1");
+                spec.mshrs.push_back(static_cast<unsigned>(n));
+            }
         } else if (key == "packets") {
             spec.packets = cli::parseU64("packets", scalar());
         } else if (key == "trials") {
@@ -274,6 +286,13 @@ SweepSpec::toGridString() const
            joinDim<std::string>(perPeCrs, [](const std::string &s) {
                return s.empty() ? std::string("uniform") : s;
            });
+    out += ";dvs=" +
+           joinDim<npu::DvsMode>(dvsModes, [](const npu::DvsMode &m) {
+               return npu::to_string(m);
+           });
+    out += ";mshrs=" + joinDim<unsigned>(mshrs, [](const unsigned &n) {
+               return std::to_string(n);
+           });
     out += ";packets=" + std::to_string(packets);
     out += ";trials=" + std::to_string(trials);
     out += ";seed=" + std::to_string(traceSeed);
@@ -286,7 +305,8 @@ SweepSpec::cellCount() const
 {
     return apps.size() * points.size() * schemes.size() *
            codecs.size() * planes.size() * faultScales.size() *
-           peCounts.size() * dispatches.size() * perPeCrs.size();
+           peCounts.size() * dispatches.size() * perPeCrs.size() *
+           dvsModes.size() * mshrs.size();
 }
 
 std::string
@@ -298,11 +318,17 @@ SweepCell::key() const
                     ";plane=" + planeName(plane) +
                     ";fault-scale=" + formatDouble(faultScale);
     // Chip dimensions appear only when non-default so pre-npu result
-    // files keep resuming against the unchanged historical keys.
+    // files keep resuming against the unchanged historical keys; dvs
+    // and mshrs elide at their defaults for the same reason (chip
+    // result files written before those knobs existed).
     if (isNpu()) {
         k += ";pes=" + std::to_string(peCount) +
              ";dispatch=" + npu::to_string(dispatch) + ";per-pe-cr=" +
              (perPeCr.empty() ? std::string("uniform") : perPeCr);
+        if (dvs != npu::DvsMode::Fault)
+            k += ";dvs=" + npu::to_string(dvs);
+        if (mshrs != 1)
+            k += ";mshrs=" + std::to_string(mshrs);
     }
     return k;
 }
@@ -316,7 +342,8 @@ expand(const SweepSpec &spec)
                       !spec.faultScales.empty() &&
                       !spec.peCounts.empty() &&
                       !spec.dispatches.empty() &&
-                      !spec.perPeCrs.empty(),
+                      !spec.perPeCrs.empty() &&
+                      !spec.dvsModes.empty() && !spec.mshrs.empty(),
                   "every grid dimension needs at least one value");
     std::vector<SweepCell> cells;
     cells.reserve(spec.cellCount());
@@ -331,19 +358,29 @@ expand(const SweepSpec &spec)
                                      spec.dispatches) {
                                     for (const std::string &ppc :
                                          spec.perPeCrs) {
-                                        SweepCell cell;
-                                        cell.index = cells.size();
-                                        cell.app = app;
-                                        cell.point = point;
-                                        cell.scheme = scheme;
-                                        cell.codec = codec;
-                                        cell.plane = plane;
-                                        cell.faultScale = scale;
-                                        cell.peCount = pes;
-                                        cell.dispatch = dis;
-                                        cell.perPeCr = ppc;
-                                        cells.push_back(
-                                            std::move(cell));
+                                        for (const npu::DvsMode dvs :
+                                             spec.dvsModes) {
+                                            for (const unsigned msh :
+                                                 spec.mshrs) {
+                                                SweepCell cell;
+                                                cell.index =
+                                                    cells.size();
+                                                cell.app = app;
+                                                cell.point = point;
+                                                cell.scheme = scheme;
+                                                cell.codec = codec;
+                                                cell.plane = plane;
+                                                cell.faultScale =
+                                                    scale;
+                                                cell.peCount = pes;
+                                                cell.dispatch = dis;
+                                                cell.perPeCr = ppc;
+                                                cell.dvs = dvs;
+                                                cell.mshrs = msh;
+                                                cells.push_back(
+                                                    std::move(cell));
+                                            }
+                                        }
                                     }
                                 }
                             }
@@ -380,6 +417,8 @@ makeNpuConfig(const SweepCell &cell)
     npu::NpuConfig npuCfg;
     npuCfg.peCount = cell.peCount;
     npuCfg.dispatch = cell.dispatch;
+    npuCfg.dvs = cell.dvs;
+    npuCfg.mshrs = cell.mshrs;
     if (!cell.perPeCr.empty()) {
         for (const std::string &cr : cli::split(cell.perPeCr, ':'))
             npuCfg.perPeCr.push_back(cli::parseDouble("per-pe-cr", cr));

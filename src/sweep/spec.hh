@@ -70,6 +70,12 @@ struct SweepSpec
      */
     std::vector<std::string> perPeCrs = {""};
 
+    /** Per-engine frequency adaptation modes (static/fault/queue). */
+    std::vector<npu::DvsMode> dvsModes = {npu::DvsMode::Fault};
+
+    /** Shared-L2 port MSHR counts. */
+    std::vector<unsigned> mshrs = {1};
+
     // Scalar knobs shared by every cell.
     std::uint64_t packets = 2000;
     unsigned trials = 4;
@@ -79,7 +85,8 @@ struct SweepSpec
     /**
      * Parse a grid string (semicolon-separated key=value,value,...
      * pairs). Keys: app, cr, scheme, codec, plane, fault-scale,
-     * pes, dispatch, per-pe-cr, packets, trials, seed, fault-seed.
+     * pes, dispatch, per-pe-cr, dvs, mshrs, packets, trials, seed,
+     * fault-seed.
      * "app=all" / "scheme=all" expand to the full sets. fatal()s on
      * unknown keys or values.
      */
@@ -108,26 +115,31 @@ struct SweepCell
     unsigned peCount = 1;
     npu::DispatchPolicy dispatch = npu::DispatchPolicy::RoundRobin;
     std::string perPeCr; ///< colon-separated Cr list; "" = uniform
+    npu::DvsMode dvs = npu::DvsMode::Fault;
+    unsigned mshrs = 1;
 
     /**
      * @return true when the cell needs the chip model: anything but
-     * the default single-engine round-robin uniform configuration.
+     * the default single-engine round-robin uniform fault-mode
+     * single-MSHR configuration.
      */
     bool isNpu() const
     {
         return peCount != 1 ||
                dispatch != npu::DispatchPolicy::RoundRobin ||
-               !perPeCr.empty();
+               !perPeCr.empty() || dvs != npu::DvsMode::Fault ||
+               mshrs != 1;
     }
 
     /**
      * Stable identity of the cell within any spec that contains it:
      * "app=crc;cr=0.5;scheme=two-strike;codec=parity;plane=both;
      * fault-scale=1". Cells using the chip model append
-     * ";pes=N;dispatch=D;per-pe-cr=X"; plain single-engine cells keep
-     * the historical six-dimension key, so result files written
-     * before the chip dimensions existed still resume cleanly. Used
-     * as the JSON result key and by --resume.
+     * ";pes=N;dispatch=D;per-pe-cr=X", plus ";dvs=M" and ";mshrs=K"
+     * only at non-default values; plain single-engine cells keep the
+     * historical six-dimension key. Both elisions let result files
+     * written before the newer dimensions existed resume cleanly.
+     * Used as the JSON result key and by --resume.
      */
     std::string key() const;
 };

@@ -158,4 +158,122 @@ TEST(FreqControllerDeath, Validation)
     inverted.x1 = 0.5;
     inverted.x2 = 0.8;
     EXPECT_DEATH(FreqController{inverted}, "X1");
+    FreqControllerConfig marks;
+    marks.policy = FreqPolicyKind::QueueBiased;
+    marks.queueLow = 0.6;
+    marks.queueHigh = 0.4;
+    EXPECT_DEATH(FreqController{marks}, "low < high");
+}
+
+// --- pluggable decision policies --------------------------------------
+
+TEST(FreqPolicy, QueueBiasPrecedence)
+{
+    const QueueBiasedPolicy policy(2.0, 0.8, 0.05, 0.5);
+    EpochObservation obs;
+    obs.hasQueuePressure = true;
+
+    // 1. The fault wall dominates any queue pressure: a noisy epoch
+    //    backs off even with the input queue overflowing.
+    obs.epochFaults = 30;
+    obs.queuePressure = 1.0;
+    EXPECT_EQ(policy.decide(obs, 10), FreqStep::SlowDown);
+
+    // 2. Below the wall, a backed-up queue pushes toward the wall.
+    obs.epochFaults = 15; // within [0.8*10, 2*10]: fault rule = Hold
+    EXPECT_EQ(policy.decide(obs, 10), FreqStep::SpeedUp);
+
+    // 3. An idle queue backs the clock off even when the fault rule
+    //    alone would speed up.
+    obs.epochFaults = 2; // < 0.8*10: fault rule = SpeedUp
+    obs.queuePressure = 0.0;
+    EXPECT_EQ(policy.decide(obs, 10), FreqStep::SlowDown);
+
+    // 4. Between the watermarks the paper's rule decides.
+    obs.queuePressure = 0.25;
+    EXPECT_EQ(policy.decide(obs, 10), FreqStep::SpeedUp);
+    obs.epochFaults = 15;
+    EXPECT_EQ(policy.decide(obs, 10), FreqStep::Hold);
+}
+
+TEST(FreqPolicy, QueueBiasWithoutPressureReadingIsThePaperRule)
+{
+    const QueueBiasedPolicy biased(2.0, 0.8, 0.05, 0.5);
+    const FaultFeedbackPolicy paper(2.0, 0.8);
+    EpochObservation obs; // hasQueuePressure = false
+    for (const std::uint64_t faults : {0ull, 5ull, 10ull, 50ull}) {
+        obs.epochFaults = faults;
+        EXPECT_EQ(biased.decide(obs, 10), paper.decide(obs, 10))
+            << faults << " faults";
+    }
+}
+
+TEST(FreqController, QueueBiasedEpochsMoveTheLadderBothWays)
+{
+    FreqControllerConfig cfg;
+    cfg.policy = FreqPolicyKind::QueueBiased;
+    cfg.startLevel = 2; // launch at Cr = 0.5
+    FreqController ctl{cfg};
+    EXPECT_DOUBLE_EQ(ctl.currentCr(), 0.5);
+
+    EpochObservation busy;
+    busy.hasQueuePressure = true;
+    busy.queuePressure = 0.9;
+    auto d = ctl.onEpochEnd(busy);
+    EXPECT_TRUE(d.changed);
+    EXPECT_DOUBLE_EQ(d.cr, 0.25); // sped up toward the fault wall
+    EXPECT_EQ(ctl.clockUps(), 1u);
+
+    EpochObservation idle;
+    idle.hasQueuePressure = true;
+    idle.queuePressure = 0.0;
+    d = ctl.onEpochEnd(idle);
+    d = ctl.onEpochEnd(idle);
+    d = ctl.onEpochEnd(idle);
+    EXPECT_DOUBLE_EQ(d.cr, 1.0); // backed all the way off
+    EXPECT_EQ(ctl.clockDowns(), 3u);
+    EXPECT_EQ(ctl.epochs(), 4u);
+    // Residency-weighted mean over end-of-epoch levels:
+    // (0.25 + 0.5 + 0.75 + 1.0) / 4.
+    EXPECT_DOUBLE_EQ(ctl.meanCr(), 0.625);
+}
+
+/**
+ * externalEpochs hands the epoch cadence to the chip: the processor's
+ * own packet counter must never close an epoch, and closeDvsEpoch()
+ * must close exactly one, fed with the caller's queue pressure.
+ */
+TEST(FreqController, ExternalEpochsAreDrivenByTheHookAlone)
+{
+    ProcessorConfig cfg;
+    cfg.dynamicFrequency = true;
+    cfg.injectionEnabled = false;
+    cfg.freqCtl.policy = FreqPolicyKind::QueueBiased;
+    cfg.freqCtl.externalEpochs = true;
+    cfg.freqCtl.startLevel = 2; // Cr = 0.5
+    ClumsyProcessor proc(cfg);
+    ASSERT_NE(proc.freqController(), nullptr);
+
+    // 250 packets, no hook: zero epochs despite crossing the 100- and
+    // 200-packet marks that would close internal epochs.
+    for (int p = 0; p < 250; ++p) {
+        proc.beginPacket();
+        proc.endPacket();
+    }
+    EXPECT_EQ(proc.freqController()->epochs(), 0u);
+    EXPECT_DOUBLE_EQ(proc.currentCr(), 0.5);
+
+    // The chip hook closes one epoch; idle pressure backs off one
+    // level and charges the switch penalty.
+    const clumsy::Quanta before = proc.now();
+    proc.closeDvsEpoch(0.0);
+    EXPECT_EQ(proc.freqController()->epochs(), 1u);
+    EXPECT_DOUBLE_EQ(proc.currentCr(), 0.75);
+    EXPECT_EQ(proc.now() - before, clumsy::cyclesToQuanta(10));
+
+    // A backed-up queue pushes the other way.
+    proc.closeDvsEpoch(1.0);
+    EXPECT_DOUBLE_EQ(proc.currentCr(), 0.5);
+    EXPECT_EQ(proc.freqController()->clockUps(), 1u);
+    EXPECT_EQ(proc.freqController()->clockDowns(), 1u);
 }

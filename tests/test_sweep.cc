@@ -178,6 +178,63 @@ TEST(SweepSpec, NpuDimensionsParseExpandAndKey)
     EXPECT_EQ(cells[2].peCount, 4u);
 }
 
+TEST(SweepSpec, DvsAndMshrAxesParseExpandAndKey)
+{
+    const SweepSpec spec = SweepSpec::parse(
+        "app=crc;pes=2;dvs=static,queue;mshrs=1,4;packets=100;"
+        "trials=2");
+    EXPECT_EQ(spec.dvsModes,
+              (std::vector<npu::DvsMode>{npu::DvsMode::Static,
+                                         npu::DvsMode::Queue}));
+    EXPECT_EQ(spec.mshrs, (std::vector<unsigned>{1, 4}));
+    EXPECT_EQ(spec.cellCount(), 4u);
+
+    const SweepSpec again = SweepSpec::parse(spec.toGridString());
+    EXPECT_EQ(again.toGridString(), spec.toGridString());
+
+    const auto cells = expand(spec);
+    ASSERT_EQ(cells.size(), 4u);
+    // mshrs is the innermost axis, dvs the one outside it.
+    EXPECT_EQ(cells[0].dvs, npu::DvsMode::Static);
+    EXPECT_EQ(cells[0].mshrs, 1u);
+    EXPECT_EQ(cells[1].mshrs, 4u);
+    EXPECT_EQ(cells[2].dvs, npu::DvsMode::Queue);
+    // Non-default values spell themselves out in the key...
+    EXPECT_NE(cells[0].key().find(";dvs=static"), std::string::npos);
+    EXPECT_NE(cells[1].key().find(";mshrs=4"), std::string::npos);
+    // ...and the knobs reach the chip configuration.
+    const npu::NpuConfig cfg = makeNpuConfig(cells[3]);
+    EXPECT_EQ(cfg.dvs, npu::DvsMode::Queue);
+    EXPECT_EQ(cfg.mshrs, 4u);
+
+    EXPECT_EXIT(SweepSpec::parse("app=crc;dvs=turbo"),
+                ::testing::ExitedWithCode(1), "valid choices");
+    EXPECT_EXIT(SweepSpec::parse("app=crc;mshrs=0"),
+                ::testing::ExitedWithCode(1), "mshrs");
+}
+
+TEST(SweepSpec, DefaultDvsAndMshrsKeepHistoricalKeys)
+{
+    // Result files written before the dvs/mshrs axes existed must
+    // still resume: a chip cell at the defaults (dvs=fault, mshrs=1)
+    // keys exactly as it did before those axes were added.
+    const SweepSpec spec = SweepSpec::parse(
+        "app=crc;pes=2;dispatch=flow;packets=100;trials=2");
+    const auto cells = expand(spec);
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_EQ(cells[0].key(),
+              "app=crc;cr=1;scheme=no-detection;codec=parity;"
+              "plane=both;fault-scale=1;pes=2;dispatch=flow;"
+              "per-pe-cr=uniform");
+    // And either axis alone turns a default cell into a chip cell.
+    const auto dvsCells =
+        expand(SweepSpec::parse("app=crc;dvs=queue"));
+    ASSERT_EQ(dvsCells.size(), 1u);
+    EXPECT_TRUE(dvsCells[0].isNpu());
+    EXPECT_NE(dvsCells[0].key().find(";dvs=queue"),
+              std::string::npos);
+}
+
 TEST(SweepSpec, MakeNpuConfigParsesPerPeCr)
 {
     SweepCell cell;
@@ -362,6 +419,40 @@ TEST(SweepResume, NpuCellsResumeByteIdentical)
     EXPECT_EQ(resumed.resumedCount, 2u);
     const SweepOutcome fresh = runSweep(full, 2);
     EXPECT_EQ(renderJson(resumed, false), renderJson(fresh, false));
+}
+
+TEST(SweepResume, DvsAndMshrCellsResumeByteIdentical)
+{
+    // The new axes ride the same resume machinery: keys with dvs and
+    // mshrs parts round-trip through the result file, and per-PE
+    // trajectory arrays survive the reload byte for byte.
+    SweepSpec spec = smallSpec();
+    spec.points = {{0.5, false}};
+    spec.peCounts = {2};
+    spec.dvsModes = {npu::DvsMode::Static, npu::DvsMode::Queue};
+    spec.mshrs = {1, 2};
+
+    SweepSpec first = spec;
+    first.mshrs = {2};
+    const std::string path = tempPath("sweep_dvs_resume.json");
+    writeFile(path, renderJson(runSweep(first, 2), false));
+
+    const auto completed = loadCompletedCells(path);
+    const SweepOutcome resumed = runSweep(spec, 2, &completed);
+    EXPECT_EQ(resumed.resumedCount, 2u);
+    const SweepOutcome fresh = runSweep(spec, 2);
+    EXPECT_EQ(renderJson(resumed, false), renderJson(fresh, false));
+    // Queue-mode cells report their per-engine epoch decisions.
+    for (const CellOutcome &c : fresh.cells) {
+        ASSERT_TRUE(c.hasNpu);
+        const double epochs = c.npuFaulty.peEpochs.empty()
+                                  ? 0.0
+                                  : c.npuFaulty.peEpochs[0];
+        if (c.cell.dvs == npu::DvsMode::Queue)
+            EXPECT_GT(epochs, 0.0) << c.cell.key();
+        else
+            EXPECT_EQ(epochs, 0.0) << c.cell.key();
+    }
 }
 
 // --- JSON emitter ----------------------------------------------------

@@ -12,6 +12,8 @@
  *   clumsy_npu --app route --pes 4 --cr 0.5 --scheme two-strike
  *   clumsy_npu --app nat --pes 8 --dispatch flow --queue-cap 8
  *   clumsy_npu --app crc --pes 4 --dispatch shortest --drop --json
+ *   clumsy_npu --app url --pes 4 --dvs queue --arrival-gap 400
+ *   clumsy_npu --app drr --pes 8 --mshrs 4 --scheme two-strike
  *   clumsy_npu --app md5 --pes 1 --dispatch rr   # == clumsy_sim
  */
 
@@ -33,34 +35,6 @@ using namespace clumsy;
 
 namespace
 {
-
-std::string
-chipMetricsJson(const npu::ChipMetrics &m)
-{
-    sweep::JsonWriter w;
-    w.beginObject();
-    w.key("makespan_cycles").value(m.makespanCycles);
-    w.key("throughput_pps").value(m.throughputPps);
-    w.key("load_imbalance").value(m.loadImbalance);
-    w.key("queue_occ_mean").value(m.queueOccMean);
-    w.key("queue_occ_max").value(m.queueOccMax);
-    w.key("drops_queue_full").value(m.dropsQueueFull);
-    w.key("drops_dead_pe").value(m.dropsDeadPe);
-    w.key("backpressure_stalls").value(m.backpressureStalls);
-    w.key("l2_port_waits").value(m.l2PortWaits);
-    w.key("l2_port_wait_cycles").value(m.l2PortWaitCycles);
-    w.key("chip_edf").value(m.chipEdf);
-    w.key("pe_utilization").beginArray();
-    for (double v : m.peUtilization)
-        w.value(v);
-    w.endArray();
-    w.key("pe_packets").beginArray();
-    for (double v : m.pePackets)
-        w.value(v);
-    w.endArray();
-    w.endObject();
-    return w.str();
-}
 
 void
 printJson(const std::string &app, const core::ExperimentConfig &cfg,
@@ -91,6 +65,8 @@ printJson(const std::string &app, const core::ExperimentConfig &cfg,
     out += "  \"per_pe_cr\": \"" +
            (perPeCr.empty() ? std::string("uniform") : perPeCr) +
            "\",\n";
+    out += "  \"dvs\": \"" + npu::to_string(npuCfg.dvs) + "\",\n";
+    out += "  \"mshrs\": " + std::to_string(npuCfg.mshrs) + ",\n";
     out += "  \"queue_cap\": " + std::to_string(npuCfg.queueCapacity) +
            ",\n";
     out += std::string("  \"drop_when_full\": ") +
@@ -103,8 +79,10 @@ printJson(const std::string &app, const core::ExperimentConfig &cfg,
     out += "  \"fault_seed\": " + std::to_string(cfg.faultSeed) + ",\n";
     out += "  \"result\": " + sweep::experimentResultJson(res.core) +
            ",\n";
-    out += "  \"npu\": {\"golden\": " + chipMetricsJson(res.goldenChip) +
-           ", \"faulty\": " + chipMetricsJson(res.faultyChip) + "}\n";
+    out += "  \"npu\": {\"golden\": " +
+           sweep::chipMetricsJson(res.goldenChip) +
+           ", \"faulty\": " + sweep::chipMetricsJson(res.faultyChip) +
+           "}\n";
     out += "}\n";
     std::fputs(out.c_str(), stdout);
 }
@@ -116,7 +94,7 @@ main(int argc, char **argv)
 {
     setQuiet(true);
 
-    std::string app, dispatch = "rr", perPeCrText;
+    std::string app, dispatch = "rr", perPeCrText, dvs = "fault";
     core::ExperimentConfig cfg;
     cfg.numPackets = 2000;
     cfg.trials = 4;
@@ -152,6 +130,14 @@ main(int argc, char **argv)
                      "colon-separated per-engine Cr list "
                      "(e.g. 1:0.5:0.5:0.25; default: uniform)",
                      &perPeCrText);
+    parser.optString("--dvs", "M",
+                     "per-engine frequency adaptation: static | fault "
+                     "| queue (default fault)",
+                     &dvs);
+    parser.optUnsigned("--mshrs", "K",
+                       "shared-L2 port MSHRs: transfers that overlap "
+                       "before the port serializes (default 1)",
+                       &npuCfg.mshrs);
     parser.section("operating point");
     parser.optDouble("--cr", "X",
                      "relative cycle time (1, 0.75, 0.5, 0.25)",
@@ -199,6 +185,7 @@ main(int argc, char **argv)
         fatal("--app is required (try --help)");
 
     npuCfg.dispatch = npu::dispatchFromString(dispatch);
+    npuCfg.dvs = npu::dvsFromString(dvs);
     npuCfg.dropWhenFull = drop;
     npuCfg.arrivalGapCycles = static_cast<std::int64_t>(arrivalGap);
     for (const std::string &piece : cli::split(perPeCrText, ':'))
@@ -284,6 +271,20 @@ main(int argc, char **argv)
                  TextTable::num(res.goldenChip.pePackets[pe], 0),
                  TextTable::num(res.goldenChip.peUtilization[pe], 3)});
     std::fputs((csv ? pes.csv() : pes.render()).c_str(), stdout);
+
+    TextTable dvsTab("per-engine DVS (faulty avg)");
+    dvsTab.header({"PE", "Cr final", "Cr mean", "epochs", "ups",
+                   "downs"});
+    for (std::size_t pe = 0; pe < res.faultyChip.peCrFinal.size();
+         ++pe)
+        dvsTab.row({std::to_string(pe),
+                    TextTable::num(res.faultyChip.peCrFinal[pe], 3),
+                    TextTable::num(res.faultyChip.peCrMean[pe], 3),
+                    TextTable::num(res.faultyChip.peEpochs[pe], 1),
+                    TextTable::num(res.faultyChip.peStepsUp[pe], 1),
+                    TextTable::num(res.faultyChip.peStepsDown[pe],
+                                   1)});
+    std::fputs((csv ? dvsTab.csv() : dvsTab.render()).c_str(), stdout);
 
     TextTable occ("queue depth at enqueue (golden)");
     occ.header({"depth", "count"});
