@@ -10,8 +10,10 @@
  * argues clumsy packet processors win because packet throughput is
  * what matters, not single-packet latency — this bench quantifies
  * that claim on the replicated-engine chip a real NPU would build.
- * Each grid runs twice, at mshrs=1 (fully serialized port) and
- * mshrs=4 (overlapped misses), to show where the roll-off moves.
+ * Each grid runs three times: at mshrs=1 (fully serialized port),
+ * mshrs=4 (overlapped misses) to show where the roll-off moves, and
+ * mshrs=4 with l2=shared so engines hit on each other's refills and
+ * the cross-engine hit fraction is visible next to the wait numbers.
  */
 
 #include <string>
@@ -45,20 +47,30 @@ main(int argc, char **argv)
 
         // The MSHR dimension: a single-slot port serializes every
         // transfer (the roll-off around 4 engines); 4 MSHRs let
-        // misses overlap and push the knee outward.
-        for (const unsigned mshrs : {1u, 4u}) {
+        // misses overlap and push the knee outward. The third pass
+        // keeps mshrs=4 but makes the L2 contents genuinely shared.
+        struct Variant
+        {
+            unsigned mshrs;
+            npu::L2Mode l2;
+        };
+        for (const Variant v : {Variant{1u, npu::L2Mode::Private},
+                                Variant{4u, npu::L2Mode::Private},
+                                Variant{4u, npu::L2Mode::Shared}}) {
             TextTable table(
                 app + " @ Cr=0.50, two-strike: scaling with engine "
                 "count (rr dispatch, saturated input, mshrs=" +
-                std::to_string(mshrs) + ")");
+                std::to_string(v.mshrs) +
+                ", l2=" + npu::to_string(v.l2) + ")");
             table.header({"PEs", "throughput [pkt/s]", "speedup",
                           "imbalance", "L2 wait [cyc/pkt]",
-                          "fallibility", "chip ED2F2"});
+                          "x-hit frac", "fallibility", "chip ED2F2"});
             double basePps = 0.0;
             for (const unsigned pes : {1u, 2u, 4u, 8u, 16u}) {
                 npu::NpuConfig npuCfg;
                 npuCfg.peCount = pes;
-                npuCfg.mshrs = mshrs;
+                npuCfg.mshrs = v.mshrs;
+                npuCfg.l2 = v.l2;
                 const npu::ChipExperimentResult res =
                     npu::runChipExperiment(apps::appFactory(app), cfg,
                                            npuCfg);
@@ -80,6 +92,7 @@ main(int argc, char **argv)
                     TextTable::num(chip.loadImbalance, 3),
                     TextTable::num(chip.l2PortWaitCycles / processed,
                                    1),
+                    TextTable::num(chip.crossEngineHitFraction, 3),
                     TextTable::num(res.core.fallibility, 4),
                     TextTable::sci(chip.chipEdf, 3),
                 });
@@ -91,6 +104,8 @@ main(int argc, char **argv)
               "the shared L2 port (fixed-width, FIFO) is what bends "
               "the curve — L2 wait is queuing delay already included "
               "in the cycle counts, not an extra charge. mshrs=K lets "
-              "K transfers overlap before the port serializes.");
+              "K transfers overlap before the port serializes; with "
+              "l2=shared, x-hit frac is the share of data-plane L2 "
+              "hits served from lines another engine filled.");
     return 0;
 }

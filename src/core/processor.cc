@@ -49,7 +49,7 @@ ClumsyProcessor::chargeAccess(const mem::Access &acc)
     // reports only the extra wait caused by other engines.
     const Quanta wait = l2Port_->requestPort(
         l2PortId_, cycles_ - l2PortOrigin_, acc.l2Accesses,
-        acc.l2Misses);
+        acc.l2Misses, acc.l2Lines, acc.l2LineCount);
     if (wait > 0) {
         cycles_ += wait;
         l2PortWaitQuanta_ += wait;

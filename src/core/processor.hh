@@ -220,6 +220,25 @@ class ClumsyProcessor
     void attachL2Port(mem::L2PortArbiter *port, unsigned requesterId,
                       Quanta origin);
 
+    /**
+     * Swap the storage behind this engine's L2 operations (the chip's
+     * shared-L2 view; nullptr restores the private array). The chip
+     * model migrates the private contents into the shared array
+     * before swapping (npu::SharedL2Cache::migrateFrom), so no state
+     * is stranded.
+     */
+    void setL2Backend(mem::L2Backend *backend)
+    {
+        hierarchy_.setL2Backend(backend);
+    }
+
+    /** The simulated DRAM (shared-L2 victim/refill routing). */
+    mem::BackingStore &backingStore() { return store_; }
+    const mem::BackingStore &backingStore() const { return store_; }
+
+    /** The energy account (shared-L2 writeback energy charging). */
+    energy::EnergyAccount &energyAccount() { return account_; }
+
     /** Quanta spent stalled on the shared L2 port so far. */
     Quanta l2PortWaitQuanta() const { return l2PortWaitQuanta_; }
 

@@ -1,6 +1,8 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
@@ -166,6 +168,15 @@ Cache::invalidate(SimAddr addr)
     lineAt(setIndex(addr), static_cast<unsigned>(way)).valid = false;
 }
 
+void
+Cache::retag(SimAddr from, SimAddr to)
+{
+    CLUMSY_ASSERT(setIndex(from) == setIndex(to),
+                  "retag must stay within the set");
+    CLUMSY_ASSERT(findWay(to) < 0, "retag destination already present");
+    mustFind(from).tag = tagOf(to);
+}
+
 std::uint32_t
 Cache::readWordRaw(SimAddr addr) const
 {
@@ -243,6 +254,41 @@ Cache::reset()
         line.lruTick = 0;
     }
     tick_ = 0;
+}
+
+std::size_t
+Cache::validLineCount() const
+{
+    std::size_t n = 0;
+    for (const Line &line : lines_)
+        if (line.valid)
+            ++n;
+    return n;
+}
+
+std::vector<SimAddr>
+Cache::dirtyLineBases() const
+{
+    std::vector<SimAddr> bases;
+    for (const Line &line : lines_)
+        if (line.valid && line.dirty)
+            bases.push_back(line.tag << setShift_);
+    return bases;
+}
+
+std::vector<SimAddr>
+Cache::residentLineBasesByLru() const
+{
+    std::vector<std::pair<std::uint64_t, SimAddr>> byTick;
+    for (const Line &line : lines_)
+        if (line.valid)
+            byTick.emplace_back(line.lruTick, line.tag << setShift_);
+    std::sort(byTick.begin(), byTick.end());
+    std::vector<SimAddr> bases;
+    bases.reserve(byTick.size());
+    for (const auto &[tick, base] : byTick)
+        bases.push_back(base);
+    return bases;
 }
 
 double

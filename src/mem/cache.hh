@@ -74,6 +74,16 @@ class Cache
      *  absent). */
     void invalidate(SimAddr addr);
 
+    /**
+     * Re-tag the (present) line containing @p from so it answers to
+     * @p to instead. Both addresses must map to the same set and the
+     * destination must be absent. Data, dirty bit, check bits and LRU
+     * position are untouched and no counters move: this is
+     * bookkeeping (the shared L2's shared->colored conversion), not a
+     * memory transaction.
+     */
+    void retag(SimAddr from, SimAddr to);
+
     /** Raw stored 32-bit word; the line must be present, addr
      *  4-aligned. */
     std::uint32_t readWordRaw(SimAddr addr) const;
@@ -132,6 +142,25 @@ class Cache
 
     /** Invalidate every line and zero LRU state (contents dropped). */
     void reset();
+
+    /** Valid lines currently resident (capacity occupancy probe). */
+    std::size_t validLineCount() const;
+
+    /**
+     * Base addresses of every dirty resident line, in array order
+     * (set-major, then way) — a deterministic iteration for bulk
+     * flushes.
+     */
+    std::vector<SimAddr> dirtyLineBases() const;
+
+    /**
+     * Base addresses of every resident line, least-recently-used
+     * first. Replaying fills in this order into another array
+     * reproduces the relative LRU ordering — the shared L2 uses it to
+     * migrate an engine's private contents without changing which
+     * victim the next fill picks.
+     */
+    std::vector<SimAddr> residentLineBasesByLru() const;
 
     /** D-cache miss rate over lifetime (misses / lookups). */
     double missRate() const;

@@ -30,6 +30,8 @@ MemHierarchy::MemHierarchy(const HierarchyConfig &config,
                   "DRAM size must be a multiple of the L2 line size");
     CLUMSY_ASSERT(config_.l2.lineBytes >= config_.l1d.lineBytes,
                   "L2 lines must contain whole L1 lines");
+    privateL2_.bind(&l2_, store_, energy_, &stats_);
+    l2b_ = &privateL2_;
     setCycleTime(1.0);
 }
 
@@ -54,36 +56,25 @@ MemHierarchy::setCycleTime(double cr)
 }
 
 void
-MemHierarchy::writebackToMem(const Cache::Evicted &evicted)
-{
-    if (!evicted.valid || !evicted.dirty)
-        return;
-    store_->writeBlock(evicted.base, evicted.data.data(),
-                       static_cast<SimSize>(evicted.data.size()));
-    if (energy_)
-        energy_->addMemAccess();
-    stats_.inc("l2_writebacks_to_mem");
-}
-
-void
 MemHierarchy::ensureL2(SimAddr addr, Access &acc)
 {
-    if (l2_.lookup(addr)) {
+    const SimAddr base = l2LineBase(addr);
+    if (l2b_->lookup(addr)) {
         acc.latency += cyclesToQuanta(config_.l2HitCycles);
         ++acc.l2Accesses;
+        acc.noteL2Line(base, false, l2b_->sharedFrame(addr));
         if (energy_)
             energy_->addL2Access();
         return;
     }
-    const SimAddr base = l2_.lineBase(addr);
     std::vector<std::uint8_t> buf(config_.l2.lineBytes);
     store_->readBlock(base, buf.data(), config_.l2.lineBytes);
-    const Cache::Evicted victim = l2_.fill(base, buf.data());
-    writebackToMem(victim);
+    l2b_->fill(base, buf.data());
     acc.latency +=
         cyclesToQuanta(config_.l2HitCycles + config_.memCycles);
     ++acc.l2Accesses;
     ++acc.l2Misses;
+    acc.noteL2Line(base, true, l2b_->sharedFrame(addr));
     if (energy_) {
         energy_->addL2Access();
         energy_->addMemAccess();
@@ -96,11 +87,13 @@ MemHierarchy::writebackToL2(const Cache::Evicted &evicted, Access &acc)
     if (!evicted.valid || !evicted.dirty)
         return;
     // Writebacks are buffered: charge energy and occupancy statistics
-    // but no latency on the demand access's critical path.
+    // but no latency on the demand access's critical path. The wb
+    // Access is discarded, so buffered transfers also generate no
+    // port-arbiter line events.
     Access wb;
     ensureL2(evicted.base, wb);
-    l2_.writeRange(evicted.base, evicted.data.data(),
-                   static_cast<SimSize>(evicted.data.size()), true);
+    l2b_->writeRange(evicted.base, evicted.data.data(),
+                     static_cast<SimSize>(evicted.data.size()), true);
     stats_.inc("l1d_writebacks_to_l2");
     (void)acc;
 }
@@ -133,7 +126,7 @@ MemHierarchy::ensureL1D(SimAddr addr, Access &acc)
     std::vector<std::uint8_t> buf(config_.l1d.lineBytes);
     // The containing L2 line is now resident; copy our slice of it.
     for (SimAddr off = 0; off < config_.l1d.lineBytes; off += 4) {
-        const std::uint32_t w = l2_.readWordRaw(base + off);
+        const std::uint32_t w = l2b_->readWordRaw(base + off);
         std::memcpy(&buf[off], &w, 4);
     }
     const Cache::Evicted victim = l1d_.fill(base, buf.data());
@@ -248,8 +241,8 @@ MemHierarchy::read(SimAddr addr, unsigned bytes)
             std::vector<std::uint8_t> line(config_.l1d.lineBytes);
             l1d_.readLine(wordAddr, line.data());
             ensureL2(wordAddr, acc);
-            l2_.writeRange(l1d_.lineBase(wordAddr), line.data(),
-                           config_.l1d.lineBytes, true);
+            l2b_->writeRange(l1d_.lineBase(wordAddr), line.data(),
+                             config_.l1d.lineBytes, true);
         }
         if (config_.subBlockRecovery) {
             // Refetch only the faulted word (paper footnote 2): the
@@ -257,7 +250,7 @@ MemHierarchy::read(SimAddr addr, unsigned bytes)
             // stays put.
             stats_.inc("subblock_refetches");
             ensureL2(wordAddr, acc);
-            const std::uint32_t fresh = l2_.readWordRaw(wordAddr);
+            const std::uint32_t fresh = l2b_->readWordRaw(wordAddr);
             l1d_.writeWordRaw(wordAddr, fresh,
                               l1d_.computeCheck(fresh));
         } else {
@@ -271,9 +264,11 @@ MemHierarchy::read(SimAddr addr, unsigned bytes)
             stats_.inc("l2_bypasses");
             acc.latency += cyclesToQuanta(config_.l2HitCycles);
             ++acc.l2Accesses;
+            acc.noteL2Line(l2LineBase(wordAddr), false,
+                           l2b_->sharedFrame(wordAddr));
             if (energy_)
                 energy_->addL2Access();
-            sensed = l2_.readWordRaw(wordAddr);
+            sensed = l2b_->readWordRaw(wordAddr);
         }
     }
 
@@ -353,7 +348,7 @@ MemHierarchy::fetch(SimAddr pc)
     const SimAddr base = l1i_.lineBase(lineAddr);
     std::vector<std::uint8_t> buf(config_.l1i.lineBytes);
     for (SimAddr off = 0; off < config_.l1i.lineBytes; off += 4) {
-        const std::uint32_t w = l2_.readWordRaw(base + off);
+        const std::uint32_t w = l2b_->readWordRaw(base + off);
         std::memcpy(&buf[off], &w, 4);
     }
     // Instruction lines are clean; evictions never write back.
@@ -368,18 +363,10 @@ MemHierarchy::flushRange(SimAddr addr, SimSize len)
     // Flush L2 before L1: when both hold a line dirty, the L1 copy is
     // the more recent, so it must reach DRAM last.
     std::vector<std::uint8_t> buf(config_.l2.lineBytes);
-    const SimAddr first2 = l2_.lineBase(addr);
+    const SimAddr first2 = l2LineBase(addr);
     for (SimAddr a = first2; a < addr + len;
-         a += config_.l2.lineBytes) {
-        if (!l2_.contains(a))
-            continue;
-        if (l2_.isDirty(a)) {
-            l2_.readLine(a, buf.data());
-            store_->writeBlock(l2_.lineBase(a), buf.data(),
-                               config_.l2.lineBytes);
-        }
-        l2_.invalidate(a);
-    }
+         a += config_.l2.lineBytes)
+        l2b_->flushLine(a);
     const SimAddr first1 = l1d_.lineBase(addr);
     for (SimAddr a = first1; a < addr + len;
          a += config_.l1d.lineBytes) {
@@ -400,8 +387,8 @@ MemHierarchy::peekWord(SimAddr addr) const
     const SimAddr wordAddr = addr & ~SimAddr{3};
     if (l1d_.contains(wordAddr))
         return l1d_.readWordRaw(wordAddr);
-    if (l2_.contains(wordAddr))
-        return l2_.readWordRaw(wordAddr);
+    if (l2b_->contains(wordAddr))
+        return l2b_->readWordRaw(wordAddr);
     return store_->read32(wordAddr);
 }
 

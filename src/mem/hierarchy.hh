@@ -23,6 +23,8 @@
 #include "fault/injector.hh"
 #include "mem/backing_store.hh"
 #include "mem/cache.hh"
+#include "mem/l2_backend.hh"
+#include "mem/l2_port.hh"
 #include "mem/recovery.hh"
 
 namespace clumsy::mem
@@ -78,6 +80,24 @@ struct Access
     unsigned parityTrips = 0;    ///< detections this access triggered
     unsigned l2Accesses = 0;     ///< demand uses of the L2 port
     unsigned l2Misses = 0;       ///< ... of which refilled from DRAM
+
+    /**
+     * The L2 lines behind the port uses, for the chip port arbiter's
+     * MSHR merging. Sized for the deepest access the recovery
+     * machinery can produce (ensure + strike writeback + refetch +
+     * bypass); overflow silently drops events, which only forgoes a
+     * merge opportunity — never correctness.
+     */
+    static constexpr unsigned kMaxL2Lines = 8;
+    L2LineUse l2Lines[kMaxL2Lines];
+    unsigned l2LineCount = 0;
+
+    /** Record one L2 line use for the arbiter. */
+    void noteL2Line(SimAddr base, bool miss, bool shareable)
+    {
+        if (l2LineCount < kMaxL2Lines)
+            l2Lines[l2LineCount++] = L2LineUse{base, miss, shareable};
+    }
 };
 
 /** The three-level hierarchy plus fault/recovery machinery. */
@@ -140,8 +160,23 @@ class MemHierarchy
     /** L1 I-cache. */
     const Cache &l1i() const { return l1i_; }
 
-    /** Unified L2. */
-    const Cache &l2() const { return l2_; }
+    /** Unified L2 (the active backend's array: private or shared). */
+    const Cache &l2() const { return l2b_->cache(); }
+
+    /**
+     * Swap the storage behind the L2 operations (nullptr restores the
+     * private backend). The chip model injects a npu::SharedL2Cache
+     * view here when the data plane starts, after migrating the
+     * private array's contents into the shared one, so no pre-switch
+     * state is stranded.
+     */
+    void setL2Backend(L2Backend *backend)
+    {
+        l2b_ = backend ? backend : &privateL2_;
+    }
+
+    /** @return true while the private backend is active. */
+    bool usingPrivateL2() const { return l2b_ == &privateL2_; }
 
     /** Hierarchy-level counters (reads, writes, trips, strikes...). */
     const StatGroup &stats() const { return stats_; }
@@ -176,6 +211,8 @@ class MemHierarchy
     Cache l1d_;
     Cache l1i_;
     Cache l2_;
+    PrivateL2Backend privateL2_;
+    L2Backend *l2b_ = nullptr; ///< active backend, never null
     StatGroup stats_{"hier"};
     double cr_ = 1.0;
     Quanta l1dQuanta_;
@@ -203,6 +240,12 @@ class MemHierarchy
     /** L1D hit latency at the current cycle time, in quanta. */
     Quanta l1dHitQuanta() const { return l1dQuanta_; }
 
+    /** L2 line base of addr (geometry-only; backend-independent). */
+    SimAddr l2LineBase(SimAddr addr) const
+    {
+        return addr & ~(config_.l2.lineBytes - 1);
+    }
+
     /** Bring the L2 line containing addr in; charge latency/energy. */
     void ensureL2(SimAddr addr, Access &acc);
 
@@ -211,9 +254,6 @@ class MemHierarchy
 
     /** Write back an evicted dirty L1 line into the L2. */
     void writebackToL2(const Cache::Evicted &evicted, Access &acc);
-
-    /** Handle an evicted dirty L2 line (write to DRAM). */
-    void writebackToMem(const Cache::Evicted &evicted);
 
     /** Fill corruption pass over a just-installed L1D line. */
     void corruptFilledLine(SimAddr lineBase);

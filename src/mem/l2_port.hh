@@ -25,6 +25,25 @@
 namespace clumsy::mem
 {
 
+/**
+ * One L2 line a memory access touched, reported alongside the access's
+ * port-use counts. The arbiter needs line identity to model MSHR
+ * merging on a *shared* L2: when engine B hits a line whose transfer
+ * engine A started and which is still in flight at the port, B's
+ * request folds into A's MSHR and waits for that transfer to end
+ * rather than starting its own. `shareable` marks lines whose contents
+ * other engines can legitimately consume (the shared-frame lines of
+ * npu::SharedL2Cache); a private L2 backend marks nothing shareable,
+ * so the arbiter's merge machinery never engages and private timing is
+ * unchanged.
+ */
+struct L2LineUse
+{
+    SimAddr base = 0;      ///< L2 line base address
+    bool miss = false;     ///< the use transferred the line from DRAM
+    bool shareable = false; ///< other engines may hit this transfer
+};
+
 /** Contention model for a shared L2 access port. */
 class L2PortArbiter
 {
@@ -43,12 +62,17 @@ class L2PortArbiter
      * @param l2Accesses number of L2 port uses in the access.
      * @param l2Misses   how many of those also transferred a line
      *                   from DRAM (longer port occupancy).
+     * @param lines      the distinct line uses behind those counts
+     *                   (may be fewer than l2Accesses when an access
+     *                   re-touches a line; never more).
+     * @param lineCount  entries in @p lines.
      * @return extra quanta the requester must stall; 0 when the port
      *         was free, which is always the case for a lone requester.
      */
     virtual Quanta requestPort(unsigned requester, Quanta endTime,
-                               unsigned l2Accesses,
-                               unsigned l2Misses) = 0;
+                               unsigned l2Accesses, unsigned l2Misses,
+                               const L2LineUse *lines,
+                               unsigned lineCount) = 0;
 };
 
 } // namespace clumsy::mem

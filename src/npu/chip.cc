@@ -27,6 +27,8 @@ struct Engine
     double initCycles = 0.0;
     double initEnergy = 0.0;
     double initL1d = 0.0;
+    std::uint64_t initL2Hits = 0;   ///< private-L2 hits before data plane
+    std::uint64_t initL2Misses = 0; ///< ... and misses
     Quanta busy = 0; ///< quanta spent inside packet processing
     std::uint64_t processed = 0;
     std::uint64_t maxDepth = 0;
@@ -122,17 +124,51 @@ runChipOnce(const core::AppFactory &factory,
         e.initCycles = e.proc->nowCycles();
         e.initEnergy = e.proc->totalEnergyPj();
         e.initL1d = e.proc->l1dEnergyPj();
+        e.initL2Hits = e.proc->hierarchy().l2().stats().get("hits");
+        e.initL2Misses = e.proc->hierarchy().l2().stats().get("misses");
         e.origin = e.proc->now();
         e.proc->attachL2Port(&port, pe, e.origin);
         e.proc->setInjectionEnabled(injectData);
         e.alive = !e.proc->fatalOccurred();
     }
 
+    // Genuinely shared L2 contents (l2=shared): swap every engine's
+    // L2 backend to a view of one chip-wide array at the data-plane
+    // boundary. The stores are diffed line-by-line (control-plane
+    // faults leave engines with different bytes, and those lines must
+    // never share a frame), dirty private lines — bytes the stores
+    // don't hold yet — diverge their lines too, and then each
+    // engine's warmed private contents migrate into the shared array
+    // in LRU order, so the data plane starts exactly as warm as it
+    // does with private L2s.
+    std::unique_ptr<SharedL2Cache> sharedL2;
+    if (npu.l2 == L2Mode::Shared) {
+        sharedL2 = std::make_unique<SharedL2Cache>(
+            config.processor.hierarchy.l2,
+            config.processor.hierarchy.codec, config.processor.memBytes,
+            npu.peCount);
+        std::vector<SharedL2Cache::View *> views(npu.peCount);
+        for (unsigned pe = 0; pe < npu.peCount; ++pe) {
+            Engine &e = engines[pe];
+            views[pe] = sharedL2->attach(pe, &e.proc->backingStore(),
+                                         &e.proc->energyAccount());
+        }
+        sharedL2->seedDivergence();
+        for (unsigned pe = 0; pe < npu.peCount; ++pe)
+            sharedL2->noteDirtyLines(
+                engines[pe].proc->hierarchy().l2());
+        for (unsigned pe = 0; pe < npu.peCount; ++pe)
+            sharedL2->migrateFrom(pe,
+                                  engines[pe].proc->hierarchy().l2());
+        for (unsigned pe = 0; pe < npu.peCount; ++pe)
+            engines[pe].proc->setL2Backend(views[pe]);
+    }
+
     net::TraceConfig traceCfg = engines[0].app->traceConfig();
     traceCfg.seed = config.traceSeed;
     net::TraceGenerator gen(traceCfg);
 
-    Dispatcher disp(npu.dispatch, npu.peCount);
+    Dispatcher disp(npu.dispatch, npu.peCount, npu.flowRehash);
     std::vector<Histogram> occ(
         npu.peCount, Histogram(0.0, npu.queueCapacity + 1.0,
                                npu.queueCapacity + 1));
@@ -206,7 +242,12 @@ runChipOnce(const core::AppFactory &factory,
         ++completed;
         if (chipEpochs && completed % epochPackets == 0)
             closeChipEpoch();
-        run.completions[pkt.seq] = {pe, frame};
+        // A trace sequence number must complete exactly once, no
+        // matter how backpressure re-arbitration shuffles arrivals.
+        const bool freshSeq =
+            run.completions.emplace(pkt.seq, std::make_pair(pe, frame))
+                .second;
+        CLUMSY_ASSERT(freshSeq, "packet sequence completed twice");
         if (goldenRef) {
             const auto it = goldenRef->completions.find(pkt.seq);
             if (it != goldenRef->completions.end()) {
@@ -389,6 +430,40 @@ runChipOnce(const core::AppFactory &factory,
     chip.l2PortWaits = static_cast<double>(waits);
     chip.l2PortWaitCycles = quantaToCycles(waitQ);
 
+    // Per-engine data-plane L2 demand traffic, plus the shared-mode
+    // cross-engine counters (all zero when the L2 is private, so
+    // mode-mixed averages stay meaningful).
+    chip.peL2Hits.resize(npu.peCount);
+    chip.peL2Misses.resize(npu.peCount);
+    std::uint64_t l2HitsTotal = 0, crossHits = 0, evictedByOther = 0;
+    for (unsigned pe = 0; pe < npu.peCount; ++pe) {
+        const Engine &e = engines[pe];
+        std::uint64_t hits = 0, misses = 0;
+        if (sharedL2) {
+            const SharedL2Cache::EngineStats &s =
+                sharedL2->engineStats(pe);
+            hits = s.hits;
+            misses = s.misses;
+            crossHits += s.crossHits;
+            evictedByOther += s.evictedByOther;
+        } else {
+            const auto &l2s = e.proc->hierarchy().l2().stats();
+            hits = l2s.get("hits") - e.initL2Hits;
+            misses = l2s.get("misses") - e.initL2Misses;
+        }
+        chip.peL2Hits[pe] = static_cast<double>(hits);
+        chip.peL2Misses[pe] = static_cast<double>(misses);
+        l2HitsTotal += hits;
+    }
+    chip.crossEngineHits = static_cast<double>(crossHits);
+    chip.crossEngineHitFraction =
+        l2HitsTotal > 0 ? static_cast<double>(crossHits) /
+                              static_cast<double>(l2HitsTotal)
+                        : 0.0;
+    chip.l2EvictionsByOther = static_cast<double>(evictedByOther);
+    chip.mshrMerges =
+        static_cast<double>(port.stats().get("mshr_merges"));
+
     const double fall = core::fallibility(merged);
     const double delay = chip.makespanCycles / processed;
     chip.chipEdf =
@@ -456,6 +531,8 @@ averageChipMetrics(const std::vector<ChipMetrics> &runs)
     avg.loadImbalance = 0.0;
     avg.peUtilization.assign(runs.front().peUtilization.size(), 0.0);
     avg.pePackets.assign(runs.front().pePackets.size(), 0.0);
+    avg.peL2Hits.assign(runs.front().peL2Hits.size(), 0.0);
+    avg.peL2Misses.assign(runs.front().peL2Misses.size(), 0.0);
     avg.peCrFinal.assign(runs.front().peCrFinal.size(), 0.0);
     avg.peCrMean.assign(runs.front().peCrMean.size(), 0.0);
     avg.peEpochs.assign(runs.front().peEpochs.size(), 0.0);
@@ -472,11 +549,19 @@ averageChipMetrics(const std::vector<ChipMetrics> &runs)
         avg.backpressureStalls += m.backpressureStalls;
         avg.l2PortWaits += m.l2PortWaits;
         avg.l2PortWaitCycles += m.l2PortWaitCycles;
+        avg.crossEngineHits += m.crossEngineHits;
+        avg.crossEngineHitFraction += m.crossEngineHitFraction;
+        avg.l2EvictionsByOther += m.l2EvictionsByOther;
+        avg.mshrMerges += m.mshrMerges;
         avg.chipEdf += m.chipEdf;
         for (std::size_t i = 0; i < avg.peUtilization.size(); ++i)
             avg.peUtilization[i] += m.peUtilization[i];
         for (std::size_t i = 0; i < avg.pePackets.size(); ++i)
             avg.pePackets[i] += m.pePackets[i];
+        for (std::size_t i = 0; i < avg.peL2Hits.size(); ++i)
+            avg.peL2Hits[i] += m.peL2Hits[i];
+        for (std::size_t i = 0; i < avg.peL2Misses.size(); ++i)
+            avg.peL2Misses[i] += m.peL2Misses[i];
         for (std::size_t i = 0; i < avg.peCrFinal.size(); ++i)
             avg.peCrFinal[i] += m.peCrFinal[i];
         for (std::size_t i = 0; i < avg.peCrMean.size(); ++i)
@@ -499,10 +584,18 @@ averageChipMetrics(const std::vector<ChipMetrics> &runs)
     avg.backpressureStalls /= n;
     avg.l2PortWaits /= n;
     avg.l2PortWaitCycles /= n;
+    avg.crossEngineHits /= n;
+    avg.crossEngineHitFraction /= n;
+    avg.l2EvictionsByOther /= n;
+    avg.mshrMerges /= n;
     avg.chipEdf /= n;
     for (double &v : avg.peUtilization)
         v /= n;
     for (double &v : avg.pePackets)
+        v /= n;
+    for (double &v : avg.peL2Hits)
+        v /= n;
+    for (double &v : avg.peL2Misses)
         v /= n;
     for (double &v : avg.peCrFinal)
         v /= n;

@@ -73,6 +73,19 @@ struct ChipMetrics
     double l2PortWaitCycles = 0.0; ///< total port queuing, cycles
 
     /**
+     * Shared-L2 observability (NpuConfig::l2 == Shared; all zero in
+     * private mode, so averages mix cleanly across modes):
+     * data-plane hits on a shared frame another engine's refill
+     * installed, the fraction of all data-plane L2 hits they make up,
+     * lines of one engine evicted by another engine's fill, and port
+     * requests that folded into another engine's in-flight transfer.
+     */
+    double crossEngineHits = 0.0;
+    double crossEngineHitFraction = 0.0;
+    double l2EvictionsByOther = 0.0;
+    double mshrMerges = 0.0;
+
+    /**
      * Chip-level ED2F2: per-packet energy times the square of the
      * *makespan*-based per-packet delay (parallelism helps delay, not
      * energy) times fallibility squared.
@@ -81,6 +94,10 @@ struct ChipMetrics
 
     std::vector<double> peUtilization; ///< busy/makespan per engine
     std::vector<double> pePackets;     ///< packets completed per engine
+
+    /** Per-engine data-plane L2 demand hits/misses (both L2 modes). */
+    std::vector<double> peL2Hits;
+    std::vector<double> peL2Misses;
 
     /**
      * Per-engine Cr trajectory and epoch-decision counters (per-PE

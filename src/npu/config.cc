@@ -61,6 +61,29 @@ dvsFromString(const std::string &name)
           name.c_str());
 }
 
+std::string
+to_string(L2Mode mode)
+{
+    switch (mode) {
+      case L2Mode::Private:
+        return "private";
+      case L2Mode::Shared:
+        return "shared";
+    }
+    panic("unreachable L2 mode");
+}
+
+L2Mode
+l2ModeFromString(const std::string &name)
+{
+    if (name == "private")
+        return L2Mode::Private;
+    if (name == "shared")
+        return L2Mode::Shared;
+    fatal("unknown L2 mode '%s' (valid choices: private, shared)",
+          name.c_str());
+}
+
 void
 NpuConfig::validate(const mem::HierarchyConfig &hier) const
 {

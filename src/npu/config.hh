@@ -77,6 +77,30 @@ std::string to_string(DvsMode mode);
 /** Parse a dvs mode name; fatal()s on an unknown one. */
 DvsMode dvsFromString(const std::string &name);
 
+/** What the engines' L2 operations resolve against. */
+enum class L2Mode
+{
+    /**
+     * Each engine owns a private L2 array; only the port (timing) is
+     * shared. The original chip model, and the default.
+     */
+    Private,
+    /**
+     * One L2 array shared by every engine (npu::SharedL2Cache):
+     * engine A's refill can hit for engine B, engines evict each
+     * other's lines, and concurrent misses on the same shared line
+     * merge at the port's MSHRs. Values are provably unchanged from
+     * private mode; only hit/miss patterns and port timing move.
+     */
+    Shared,
+};
+
+/** Human-readable mode name ("private", "shared"). */
+std::string to_string(L2Mode mode);
+
+/** Parse an L2 mode name; fatal()s on an unknown one. */
+L2Mode l2ModeFromString(const std::string &name);
+
 /** Static configuration of one chip. */
 struct NpuConfig
 {
@@ -130,6 +154,17 @@ struct NpuConfig
 
     /** Per-engine frequency adaptation mode. */
     DvsMode dvs = DvsMode::Fault;
+
+    /** L2 contents model: private per engine, or genuinely shared. */
+    L2Mode l2 = L2Mode::Private;
+
+    /**
+     * FlowHash only: when a flow's pinned engine dies, rehash the flow
+     * onto the first alive engine probed from its hash instead of
+     * dropping its packets. Off by default — pinned flows dropping
+     * with their engine is the original model's semantics.
+     */
+    bool flowRehash = false;
 
     /** Modeled core clock (SA-110 class), for packets/sec figures. */
     double clockMhz = 233.0;

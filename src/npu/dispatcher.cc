@@ -43,9 +43,21 @@ Dispatcher::choose(const net::Packet &pkt,
 
       case DispatchPolicy::FlowHash: {
         // Pinned placement: packets of a flow must all land on the
-        // one engine holding the flow's state, dead or not.
-        const unsigned pe = flowHash(pkt) % peCount_;
-        return alive[pe] ? static_cast<int>(pe) : -1;
+        // one engine holding the flow's state, dead or not. With
+        // rehash enabled, a dead pinned engine sends the flow to the
+        // first alive engine probed from its hash — the same probe for
+        // every packet of the flow, so the flow stays whole.
+        const std::uint32_t h = flowHash(pkt);
+        if (!flowRehash_) {
+            const unsigned pe = h % peCount_;
+            return alive[pe] ? static_cast<int>(pe) : -1;
+        }
+        for (unsigned i = 0; i < peCount_; ++i) {
+            const unsigned pe = (h + i) % peCount_;
+            if (alive[pe])
+                return static_cast<int>(pe);
+        }
+        return -1;
       }
 
       case DispatchPolicy::ShortestQueue: {

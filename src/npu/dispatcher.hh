@@ -31,8 +31,16 @@ std::uint32_t flowHash(const net::Packet &pkt);
 class Dispatcher
 {
   public:
-    Dispatcher(DispatchPolicy policy, unsigned peCount)
-        : policy_(policy), peCount_(peCount)
+    /**
+     * @param flowRehash FlowHash only: when a flow's pinned engine is
+     *        dead, probe (hash + i) % peCount for the first alive
+     *        engine instead of returning -1. Every packet of the flow
+     *        probes identically, so the flow stays on one engine
+     *        after the move.
+     */
+    Dispatcher(DispatchPolicy policy, unsigned peCount,
+               bool flowRehash = false)
+        : policy_(policy), peCount_(peCount), flowRehash_(flowRehash)
     {
     }
 
@@ -52,6 +60,7 @@ class Dispatcher
   private:
     DispatchPolicy policy_;
     unsigned peCount_;
+    bool flowRehash_;
     unsigned rrNext_ = 0;
 };
 

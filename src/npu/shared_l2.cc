@@ -1,6 +1,7 @@
 #include "npu/shared_l2.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/logging.hh"
 
@@ -9,9 +10,10 @@ namespace clumsy::npu
 
 Quanta
 SharedL2Port::requestPort(unsigned requester, Quanta endTime,
-                          unsigned l2Accesses, unsigned l2Misses)
+                          unsigned l2Accesses, unsigned l2Misses,
+                          const mem::L2LineUse *lines,
+                          unsigned lineCount)
 {
-    (void)requester; // FIFO: arrival order is all that matters
     CLUMSY_ASSERT(l2Misses <= l2Accesses,
                   "more L2 misses than port uses");
     const Quanta service =
@@ -33,12 +35,51 @@ SharedL2Port::requestPort(unsigned requester, Quanta endTime,
     // zero — the private-L2 single-core timing exactly, at any K.
     const Quanta start = endTime - service;
     auto slot = std::min_element(slots_.begin(), slots_.end());
-    const Quanta begin = start > *slot ? start : *slot;
+    Quanta begin = start > *slot ? start : *slot;
+
+    // MSHR merging (shared L2 contents only — a private backend marks
+    // no line shareable): a hit on a shared frame whose DRAM transfer
+    // another engine started, and which is still in flight at this
+    // access's start, folds into that transfer's MSHR: the hit cannot
+    // complete before the data has actually arrived.
+    for (unsigned i = 0; i < lineCount; ++i) {
+        if (lines[i].miss || !lines[i].shareable)
+            continue;
+        const auto it = inflight_.find(lines[i].base);
+        if (it == inflight_.end() || it->second.requester == requester)
+            continue;
+        if (it->second.end > begin) {
+            begin = it->second.end;
+            stats_.inc("mshr_merges");
+        }
+    }
+
     const Quanta delay = begin - start;
     *slot = begin + service;
     if (delay > 0) {
         stats_.inc("contended");
         stats_.inc("wait_quanta", static_cast<std::uint64_t>(delay));
+    }
+
+    // Record this access's shareable DRAM transfers as merge targets.
+    // The per-line completion time is approximated by the whole
+    // access's port window end — conservative by at most the access's
+    // other uses' service.
+    for (unsigned i = 0; i < lineCount; ++i) {
+        if (!lines[i].miss || !lines[i].shareable)
+            continue;
+        inflight_[lines[i].base] = Inflight{requester, *slot};
+    }
+
+    // Bound the table: entries whose transfer has completed relative
+    // to the current window can never merge again.
+    if (inflight_.size() > 4096) {
+        for (auto it = inflight_.begin(); it != inflight_.end();) {
+            if (it->second.end <= begin)
+                it = inflight_.erase(it);
+            else
+                ++it;
+        }
     }
     return delay;
 }
@@ -47,6 +88,248 @@ Quanta
 SharedL2Port::busyUntil() const
 {
     return *std::max_element(slots_.begin(), slots_.end());
+}
+
+SharedL2Cache::SharedL2Cache(const mem::CacheGeometry &geom,
+                             mem::CheckCodec codec, SimSize memBytes,
+                             unsigned peCount)
+    : cache_("l2", geom, codec),
+      memBytes_(memBytes),
+      lineBytes_(geom.lineBytes),
+      stride_(memBytes),
+      peCount_(peCount),
+      stores_(peCount, nullptr),
+      energies_(peCount, nullptr),
+      views_(peCount),
+      engineStats_(peCount),
+      diverged_(memBytes / geom.lineBytes, 0)
+{
+    CLUMSY_ASSERT(peCount >= 1, "shared L2 needs at least one engine");
+    CLUMSY_ASSERT(memBytes % geom.lineBytes == 0,
+                  "DRAM size must be a multiple of the L2 line size");
+    // Coloring must preserve the set index: the stride has to be a
+    // multiple of the L2 set span (sets * lineBytes).
+    const SimSize setSpan = geom.sets() * geom.lineBytes;
+    CLUMSY_ASSERT(stride_ % setSpan == 0,
+                  "coloring stride must be a multiple of the set span");
+    // Colored keys addr + stride*(pe+1) must fit in SimAddr.
+    CLUMSY_ASSERT((static_cast<std::uint64_t>(peCount) + 1) * stride_ <=
+                      (std::uint64_t{1} << 32),
+                  "too many engines for the coloring stride");
+}
+
+SharedL2Cache::View *
+SharedL2Cache::attach(unsigned pe, mem::BackingStore *store,
+                      energy::EnergyAccount *energy)
+{
+    CLUMSY_ASSERT(pe < peCount_, "engine id out of range");
+    CLUMSY_ASSERT(store != nullptr && store->size() == memBytes_,
+                  "engine store size mismatch");
+    stores_[pe] = store;
+    energies_[pe] = energy;
+    views_[pe].bind(this, pe);
+    return &views_[pe];
+}
+
+void
+SharedL2Cache::seedDivergence()
+{
+    for (unsigned pe = 0; pe < peCount_; ++pe)
+        CLUMSY_ASSERT(stores_[pe] != nullptr,
+                      "seedDivergence before every engine attached");
+    if (peCount_ == 1)
+        return;
+    std::vector<std::uint8_t> ref(lineBytes_);
+    std::vector<std::uint8_t> buf(lineBytes_);
+    for (SimAddr base = 0; base < memBytes_; base += lineBytes_) {
+        if (diverged(base))
+            continue;
+        stores_[0]->readBlock(base, ref.data(), lineBytes_);
+        for (unsigned pe = 1; pe < peCount_; ++pe) {
+            stores_[pe]->readBlock(base, buf.data(), lineBytes_);
+            if (std::memcmp(ref.data(), buf.data(), lineBytes_) != 0) {
+                markDiverged(base);
+                stats_.inc("seeded_diverged");
+                break;
+            }
+        }
+    }
+}
+
+void
+SharedL2Cache::noteDirtyLines(const mem::Cache &privateL2)
+{
+    for (const SimAddr base : privateL2.dirtyLineBases())
+        markDiverged(base);
+}
+
+void
+SharedL2Cache::migrateFrom(unsigned pe, const mem::Cache &privateL2)
+{
+    std::vector<std::uint8_t> buf(lineBytes_);
+    for (const SimAddr base : privateL2.residentLineBasesByLru()) {
+        const bool dirty = privateL2.isDirty(base);
+        CLUMSY_ASSERT(!dirty || diverged(base),
+                      "dirty line migrating into a shared frame");
+        if (!diverged(base) && cache_.contains(base)) {
+            // Another engine already installed this frame; this
+            // engine's copy is byte-identical (non-diverged means
+            // clean everywhere and store-identical), so nothing moves.
+            continue;
+        }
+        privateL2.readLine(base, buf.data());
+        fill(pe, base, buf.data());
+        if (dirty)
+            cache_.setDirty(keyFor(pe, base));
+        stats_.inc("migrated_lines");
+    }
+}
+
+void
+SharedL2Cache::markDiverged(SimAddr base)
+{
+    char &flag = diverged_[base / lineBytes_];
+    if (flag)
+        return;
+    flag = 1;
+    ++divergedCount_;
+    stats_.inc("diverged_lines");
+}
+
+bool
+SharedL2Cache::lookup(unsigned pe, SimAddr addr)
+{
+    const SimAddr base = lineBase(addr);
+    const bool hit = cache_.lookup(keyFor(pe, addr));
+    if (!hit) {
+        ++engineStats_[pe].misses;
+        return false;
+    }
+    ++engineStats_[pe].hits;
+    if (!diverged(base)) {
+        const auto it = fillOwner_.find(base);
+        CLUMSY_ASSERT(it != fillOwner_.end(),
+                      "shared frame without a fill owner");
+        if (it->second != pe)
+            ++engineStats_[pe].crossHits;
+    }
+    return true;
+}
+
+void
+SharedL2Cache::handleVictim(unsigned pe,
+                            const mem::Cache::Evicted &victim)
+{
+    if (!victim.valid)
+        return;
+    const SimAddr q = victim.base / stride_;
+    if (q == 0) {
+        // Shared frame: always clean (every engine's store already
+        // holds the bytes), so eviction is free.
+        CLUMSY_ASSERT(!victim.dirty, "dirty shared frame");
+        const auto it = fillOwner_.find(victim.base);
+        CLUMSY_ASSERT(it != fillOwner_.end(),
+                      "evicted shared frame without a fill owner");
+        if (it->second != pe)
+            ++engineStats_[it->second].evictedByOther;
+        fillOwner_.erase(it);
+        return;
+    }
+    // Colored line: route the writeback to the OWNER's store — the
+    // requester's store may hold different bytes under this address.
+    const unsigned owner = static_cast<unsigned>(q - 1);
+    CLUMSY_ASSERT(owner < peCount_, "victim key decodes to no engine");
+    if (victim.dirty) {
+        const SimAddr dramBase = victim.base - stride_ * (q);
+        stores_[owner]->writeBlock(
+            dramBase, victim.data.data(),
+            static_cast<SimSize>(victim.data.size()));
+        if (energies_[owner])
+            energies_[owner]->addMemAccess();
+        stats_.inc("writebacks_to_mem");
+    }
+    if (owner != pe)
+        ++engineStats_[owner].evictedByOther;
+}
+
+void
+SharedL2Cache::fill(unsigned pe, SimAddr base, const std::uint8_t *data)
+{
+    const mem::Cache::Evicted victim =
+        cache_.fill(keyFor(pe, base), data);
+    handleVictim(pe, victim);
+    if (!diverged(base))
+        fillOwner_[base] = pe;
+}
+
+bool
+SharedL2Cache::contains(unsigned pe, SimAddr addr) const
+{
+    return cache_.contains(keyFor(pe, addr));
+}
+
+void
+SharedL2Cache::convertToColored(unsigned pe, SimAddr base)
+{
+    CLUMSY_ASSERT(cache_.contains(base),
+                  "shared->colored conversion of an absent frame");
+    CLUMSY_ASSERT(!cache_.isDirty(base), "dirty shared frame");
+    // The stride preserves the set index, so the colored key lives in
+    // the same set: the line is re-tagged in place, keeping its LRU
+    // position, so a one-engine shared chip ages lines exactly like a
+    // private one.
+    cache_.retag(base, base + stride_ * (SimAddr{pe} + 1));
+    fillOwner_.erase(base);
+    markDiverged(base);
+    stats_.inc("shared_to_colored");
+}
+
+void
+SharedL2Cache::writeRange(unsigned pe, SimAddr addr,
+                          const std::uint8_t *src, SimSize len,
+                          bool markDirty)
+{
+    const SimAddr base = lineBase(addr);
+    // A write makes this engine's copy differ from the others': a
+    // shared frame must first become this engine's colored line.
+    if (!diverged(base))
+        convertToColored(pe, base);
+    cache_.writeRange(addr + stride_ * (SimAddr{pe} + 1), src, len,
+                      markDirty);
+}
+
+void
+SharedL2Cache::flushLine(unsigned pe, SimAddr addr)
+{
+    const SimAddr base = lineBase(addr);
+    if (!diverged(base)) {
+        // DMA is about to rewrite this engine's DRAM bytes under the
+        // line, so the stores will differ afterwards: diverge now.
+        // The shared frame (when present) is clean — drop it; other
+        // engines refill their colored copies from their own stores.
+        if (cache_.contains(base)) {
+            CLUMSY_ASSERT(!cache_.isDirty(base), "dirty shared frame");
+            cache_.invalidate(base);
+            fillOwner_.erase(base);
+        }
+        markDiverged(base);
+        return;
+    }
+    const SimAddr key = base + stride_ * (SimAddr{pe} + 1);
+    if (!cache_.contains(key))
+        return;
+    if (cache_.isDirty(key)) {
+        std::vector<std::uint8_t> buf(lineBytes_);
+        cache_.readLine(key, buf.data());
+        stores_[pe]->writeBlock(base, buf.data(), lineBytes_);
+    }
+    cache_.invalidate(key);
+}
+
+std::uint32_t
+SharedL2Cache::readWordRaw(unsigned pe, SimAddr addr) const
+{
+    return cache_.readWordRaw(keyFor(pe, addr));
 }
 
 } // namespace clumsy::npu

@@ -57,6 +57,10 @@ writeChipMetrics(JsonWriter &w, const npu::ChipMetrics &m)
     w.key("backpressure_stalls").value(m.backpressureStalls);
     w.key("l2_port_waits").value(m.l2PortWaits);
     w.key("l2_port_wait_cycles").value(m.l2PortWaitCycles);
+    w.key("cross_engine_hits").value(m.crossEngineHits);
+    w.key("cross_engine_hit_fraction").value(m.crossEngineHitFraction);
+    w.key("l2_evictions_by_other").value(m.l2EvictionsByOther);
+    w.key("mshr_merges").value(m.mshrMerges);
     w.key("chip_edf").value(m.chipEdf);
     w.key("pe_utilization").beginArray();
     for (double v : m.peUtilization)
@@ -64,6 +68,14 @@ writeChipMetrics(JsonWriter &w, const npu::ChipMetrics &m)
     w.endArray();
     w.key("pe_packets").beginArray();
     for (double v : m.pePackets)
+        w.value(v);
+    w.endArray();
+    w.key("pe_l2_hits").beginArray();
+    for (double v : m.peL2Hits)
+        w.value(v);
+    w.endArray();
+    w.key("pe_l2_misses").beginArray();
+    for (double v : m.peL2Misses)
         w.value(v);
     w.endArray();
     w.key("pe_cr_final").beginArray();
@@ -109,6 +121,7 @@ cellJson(const CellOutcome &out, bool provenance)
                                         : out.cell.perPeCr);
     w.key("dvs").value(npu::to_string(out.cell.dvs));
     w.key("mshrs").value(static_cast<std::uint64_t>(out.cell.mshrs));
+    w.key("l2").value(npu::to_string(out.cell.l2));
     w.key("result").raw(experimentResultJson(out.result));
     if (out.hasNpu) {
         w.key("npu").beginObject();
@@ -390,11 +403,28 @@ parseChipMetrics(const JVal &o)
     m.backpressureStalls = numField(o, "backpressure_stalls");
     m.l2PortWaits = numField(o, "l2_port_waits");
     m.l2PortWaitCycles = numField(o, "l2_port_wait_cycles");
+    // Shared-L2 counters: absent in chip documents written before the
+    // shared-contents model existed.
+    if (o.find("cross_engine_hits"))
+        m.crossEngineHits = numField(o, "cross_engine_hits");
+    if (o.find("cross_engine_hit_fraction"))
+        m.crossEngineHitFraction =
+            numField(o, "cross_engine_hit_fraction");
+    if (o.find("l2_evictions_by_other"))
+        m.l2EvictionsByOther = numField(o, "l2_evictions_by_other");
+    if (o.find("mshr_merges"))
+        m.mshrMerges = numField(o, "mshr_merges");
     m.chipEdf = numField(o, "chip_edf");
     for (const JVal &v : field(o, "pe_utilization").arr)
         m.peUtilization.push_back(v.num);
     for (const JVal &v : field(o, "pe_packets").arr)
         m.pePackets.push_back(v.num);
+    if (const JVal *a = o.find("pe_l2_hits"))
+        for (const JVal &v : a->arr)
+            m.peL2Hits.push_back(v.num);
+    if (const JVal *a = o.find("pe_l2_misses"))
+        for (const JVal &v : a->arr)
+            m.peL2Misses.push_back(v.num);
     // Trajectory arrays: absent in chip documents written before the
     // per-PE DVS knobs existed.
     if (const JVal *a = o.find("pe_cr_final"))
@@ -442,6 +472,8 @@ parseCell(const JVal &o)
         out.cell.dvs = npu::dvsFromString(strField(o, "dvs"));
     if (o.find("mshrs"))
         out.cell.mshrs = static_cast<unsigned>(numField(o, "mshrs"));
+    if (o.find("l2"))
+        out.cell.l2 = npu::l2ModeFromString(strField(o, "l2"));
     if (const JVal *chip = o.find("npu")) {
         out.hasNpu = true;
         out.npuGolden = parseChipMetrics(field(*chip, "golden"));
@@ -538,7 +570,7 @@ renderCsv(const SweepOutcome &outcome)
 {
     std::string out =
         "app,cr,dynamic,scheme,codec,plane,fault_scale,pes,dispatch,"
-        "per_pe_cr,dvs,mshrs,fallibility,"
+        "per_pe_cr,dvs,mshrs,l2,fallibility,"
         "any_error_prob,fatal_prob,fatal_fraction,cycles_per_packet,"
         "energy_per_packet_pj,l1d_energy_per_packet_pj,edf,"
         "golden_cycles_per_packet,golden_energy_per_packet_pj,"
@@ -558,6 +590,7 @@ renderCsv(const SweepOutcome &outcome)
         out += c.cell.perPeCr.empty() ? "uniform" : c.cell.perPeCr;
         out += "," + npu::to_string(c.cell.dvs);
         out += "," + std::to_string(c.cell.mshrs);
+        out += "," + npu::to_string(c.cell.l2);
         out += "," + formatDouble(r.fallibility);
         out += "," + formatDouble(r.anyErrorProb);
         out += "," + formatDouble(r.fatalProb);

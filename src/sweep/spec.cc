@@ -225,6 +225,10 @@ SweepSpec::parse(const std::string &grid)
                     fatal("mshrs must be >= 1");
                 spec.mshrs.push_back(static_cast<unsigned>(n));
             }
+        } else if (key == "l2") {
+            spec.l2Modes.clear();
+            for (const std::string &v : values)
+                spec.l2Modes.push_back(npu::l2ModeFromString(v));
         } else if (key == "packets") {
             spec.packets = cli::parseU64("packets", scalar());
         } else if (key == "trials") {
@@ -293,6 +297,10 @@ SweepSpec::toGridString() const
     out += ";mshrs=" + joinDim<unsigned>(mshrs, [](const unsigned &n) {
                return std::to_string(n);
            });
+    out += ";l2=" +
+           joinDim<npu::L2Mode>(l2Modes, [](const npu::L2Mode &m) {
+               return npu::to_string(m);
+           });
     out += ";packets=" + std::to_string(packets);
     out += ";trials=" + std::to_string(trials);
     out += ";seed=" + std::to_string(traceSeed);
@@ -306,7 +314,7 @@ SweepSpec::cellCount() const
     return apps.size() * points.size() * schemes.size() *
            codecs.size() * planes.size() * faultScales.size() *
            peCounts.size() * dispatches.size() * perPeCrs.size() *
-           dvsModes.size() * mshrs.size();
+           dvsModes.size() * mshrs.size() * l2Modes.size();
 }
 
 std::string
@@ -329,6 +337,8 @@ SweepCell::key() const
             k += ";dvs=" + npu::to_string(dvs);
         if (mshrs != 1)
             k += ";mshrs=" + std::to_string(mshrs);
+        if (l2 != npu::L2Mode::Private)
+            k += ";l2=" + npu::to_string(l2);
     }
     return k;
 }
@@ -343,7 +353,8 @@ expand(const SweepSpec &spec)
                       !spec.peCounts.empty() &&
                       !spec.dispatches.empty() &&
                       !spec.perPeCrs.empty() &&
-                      !spec.dvsModes.empty() && !spec.mshrs.empty(),
+                      !spec.dvsModes.empty() && !spec.mshrs.empty() &&
+                      !spec.l2Modes.empty(),
                   "every grid dimension needs at least one value");
     std::vector<SweepCell> cells;
     cells.reserve(spec.cellCount());
@@ -362,23 +373,30 @@ expand(const SweepSpec &spec)
                                              spec.dvsModes) {
                                             for (const unsigned msh :
                                                  spec.mshrs) {
-                                                SweepCell cell;
-                                                cell.index =
-                                                    cells.size();
-                                                cell.app = app;
-                                                cell.point = point;
-                                                cell.scheme = scheme;
-                                                cell.codec = codec;
-                                                cell.plane = plane;
-                                                cell.faultScale =
-                                                    scale;
-                                                cell.peCount = pes;
-                                                cell.dispatch = dis;
-                                                cell.perPeCr = ppc;
-                                                cell.dvs = dvs;
-                                                cell.mshrs = msh;
-                                                cells.push_back(
-                                                    std::move(cell));
+                                                for (const npu::L2Mode
+                                                         l2m :
+                                                     spec.l2Modes) {
+                                                    SweepCell cell;
+                                                    cell.index =
+                                                        cells.size();
+                                                    cell.app = app;
+                                                    cell.point = point;
+                                                    cell.scheme =
+                                                        scheme;
+                                                    cell.codec = codec;
+                                                    cell.plane = plane;
+                                                    cell.faultScale =
+                                                        scale;
+                                                    cell.peCount = pes;
+                                                    cell.dispatch = dis;
+                                                    cell.perPeCr = ppc;
+                                                    cell.dvs = dvs;
+                                                    cell.mshrs = msh;
+                                                    cell.l2 = l2m;
+                                                    cells.push_back(
+                                                        std::move(
+                                                            cell));
+                                                }
                                             }
                                         }
                                     }
@@ -419,6 +437,7 @@ makeNpuConfig(const SweepCell &cell)
     npuCfg.dispatch = cell.dispatch;
     npuCfg.dvs = cell.dvs;
     npuCfg.mshrs = cell.mshrs;
+    npuCfg.l2 = cell.l2;
     if (!cell.perPeCr.empty()) {
         for (const std::string &cr : cli::split(cell.perPeCr, ':'))
             npuCfg.perPeCr.push_back(cli::parseDouble("per-pe-cr", cr));

@@ -76,6 +76,9 @@ struct SweepSpec
     /** Shared-L2 port MSHR counts. */
     std::vector<unsigned> mshrs = {1};
 
+    /** L2 contents models (private / shared). */
+    std::vector<npu::L2Mode> l2Modes = {npu::L2Mode::Private};
+
     // Scalar knobs shared by every cell.
     std::uint64_t packets = 2000;
     unsigned trials = 4;
@@ -85,8 +88,8 @@ struct SweepSpec
     /**
      * Parse a grid string (semicolon-separated key=value,value,...
      * pairs). Keys: app, cr, scheme, codec, plane, fault-scale,
-     * pes, dispatch, per-pe-cr, dvs, mshrs, packets, trials, seed,
-     * fault-seed.
+     * pes, dispatch, per-pe-cr, dvs, mshrs, l2, packets, trials,
+     * seed, fault-seed.
      * "app=all" / "scheme=all" expand to the full sets. fatal()s on
      * unknown keys or values.
      */
@@ -117,29 +120,30 @@ struct SweepCell
     std::string perPeCr; ///< colon-separated Cr list; "" = uniform
     npu::DvsMode dvs = npu::DvsMode::Fault;
     unsigned mshrs = 1;
+    npu::L2Mode l2 = npu::L2Mode::Private;
 
     /**
      * @return true when the cell needs the chip model: anything but
      * the default single-engine round-robin uniform fault-mode
-     * single-MSHR configuration.
+     * single-MSHR private-L2 configuration.
      */
     bool isNpu() const
     {
         return peCount != 1 ||
                dispatch != npu::DispatchPolicy::RoundRobin ||
                !perPeCr.empty() || dvs != npu::DvsMode::Fault ||
-               mshrs != 1;
+               mshrs != 1 || l2 != npu::L2Mode::Private;
     }
 
     /**
      * Stable identity of the cell within any spec that contains it:
      * "app=crc;cr=0.5;scheme=two-strike;codec=parity;plane=both;
      * fault-scale=1". Cells using the chip model append
-     * ";pes=N;dispatch=D;per-pe-cr=X", plus ";dvs=M" and ";mshrs=K"
-     * only at non-default values; plain single-engine cells keep the
-     * historical six-dimension key. Both elisions let result files
-     * written before the newer dimensions existed resume cleanly.
-     * Used as the JSON result key and by --resume.
+     * ";pes=N;dispatch=D;per-pe-cr=X", plus ";dvs=M", ";mshrs=K" and
+     * ";l2=shared" only at non-default values; plain single-engine
+     * cells keep the historical six-dimension key. The elisions let
+     * result files written before the newer dimensions existed resume
+     * cleanly. Used as the JSON result key and by --resume.
      */
     std::string key() const;
 };

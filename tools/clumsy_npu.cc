@@ -14,6 +14,7 @@
  *   clumsy_npu --app crc --pes 4 --dispatch shortest --drop --json
  *   clumsy_npu --app url --pes 4 --dvs queue --arrival-gap 400
  *   clumsy_npu --app drr --pes 8 --mshrs 4 --scheme two-strike
+ *   clumsy_npu --app route --pes 4 --l2 shared --dispatch flow
  *   clumsy_npu --app md5 --pes 1 --dispatch rr   # == clumsy_sim
  */
 
@@ -67,6 +68,9 @@ printJson(const std::string &app, const core::ExperimentConfig &cfg,
            "\",\n";
     out += "  \"dvs\": \"" + npu::to_string(npuCfg.dvs) + "\",\n";
     out += "  \"mshrs\": " + std::to_string(npuCfg.mshrs) + ",\n";
+    out += "  \"l2\": \"" + npu::to_string(npuCfg.l2) + "\",\n";
+    out += std::string("  \"flow_rehash\": ") +
+           (npuCfg.flowRehash ? "true" : "false") + ",\n";
     out += "  \"queue_cap\": " + std::to_string(npuCfg.queueCapacity) +
            ",\n";
     out += std::string("  \"drop_when_full\": ") +
@@ -94,7 +98,8 @@ main(int argc, char **argv)
 {
     setQuiet(true);
 
-    std::string app, dispatch = "rr", perPeCrText, dvs = "fault";
+    std::string app, dispatch = "rr", perPeCrText, dvs = "fault",
+                l2 = "private";
     core::ExperimentConfig cfg;
     cfg.numPackets = 2000;
     cfg.trials = 4;
@@ -138,6 +143,14 @@ main(int argc, char **argv)
                        "shared-L2 port MSHRs: transfers that overlap "
                        "before the port serializes (default 1)",
                        &npuCfg.mshrs);
+    parser.optString("--l2", "M",
+                     "L2 contents: private per engine | shared one "
+                     "array chip-wide (default private)",
+                     &l2);
+    parser.flag("--flow-rehash",
+                "flow dispatch: rehash flows off dead engines instead "
+                "of dropping their packets",
+                [&npuCfg]() { npuCfg.flowRehash = true; });
     parser.section("operating point");
     parser.optDouble("--cr", "X",
                      "relative cycle time (1, 0.75, 0.5, 0.25)",
@@ -186,6 +199,7 @@ main(int argc, char **argv)
 
     npuCfg.dispatch = npu::dispatchFromString(dispatch);
     npuCfg.dvs = npu::dvsFromString(dvs);
+    npuCfg.l2 = npu::l2ModeFromString(l2);
     npuCfg.dropWhenFull = drop;
     npuCfg.arrivalGapCycles = static_cast<std::int64_t>(arrivalGap);
     for (const std::string &piece : cli::split(perPeCrText, ':'))
@@ -258,6 +272,19 @@ main(int argc, char **argv)
     chip.row({"L2 port wait [cycles]",
               TextTable::num(res.goldenChip.l2PortWaitCycles, 0),
               TextTable::num(res.faultyChip.l2PortWaitCycles, 0)});
+    chip.row({"cross-engine L2 hits",
+              TextTable::num(res.goldenChip.crossEngineHits, 0),
+              TextTable::num(res.faultyChip.crossEngineHits, 0)});
+    chip.row({"cross-engine hit fraction",
+              TextTable::num(res.goldenChip.crossEngineHitFraction, 4),
+              TextTable::num(res.faultyChip.crossEngineHitFraction,
+                             4)});
+    chip.row({"L2 evictions by other PE",
+              TextTable::num(res.goldenChip.l2EvictionsByOther, 0),
+              TextTable::num(res.faultyChip.l2EvictionsByOther, 0)});
+    chip.row({"MSHR merges",
+              TextTable::num(res.goldenChip.mshrMerges, 0),
+              TextTable::num(res.faultyChip.mshrMerges, 0)});
     chip.row({"chip ED2F2",
               TextTable::sci(res.goldenChip.chipEdf, 3),
               TextTable::sci(res.faultyChip.chipEdf, 3)});
