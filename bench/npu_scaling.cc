@@ -71,6 +71,10 @@ main(int argc, char **argv)
                 npuCfg.peCount = pes;
                 npuCfg.mshrs = v.mshrs;
                 npuCfg.l2 = v.l2;
+                // Fan the faulty trials out across --jobs workers;
+                // results are byte-identical for every value, so
+                // this only buys wall clock.
+                npuCfg.chipJobs = opt.jobs;
                 const npu::ChipExperimentResult res =
                     npu::runChipExperiment(apps::appFactory(app), cfg,
                                            npuCfg);

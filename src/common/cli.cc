@@ -28,7 +28,10 @@ parseU64(const std::string &opt, const std::string &value)
     char *end = nullptr;
     const unsigned long long v =
         std::strtoull(value.c_str(), &end, 10);
-    if (errno != 0 || end == value.c_str() || *end != '\0')
+    // strtoull accepts and negates a leading minus; a count option
+    // must reject it instead.
+    if (errno != 0 || end == value.c_str() || *end != '\0' ||
+        value.find('-') != std::string::npos)
         fatal("%s: '%s' is not an unsigned integer", opt.c_str(),
               value.c_str());
     return v;

@@ -1,4 +1,4 @@
-#include "sweep/pool.hh"
+#include "common/pool.hh"
 
 #include <algorithm>
 #include <deque>
@@ -6,7 +6,7 @@
 #include <thread>
 #include <vector>
 
-namespace clumsy::sweep
+namespace clumsy
 {
 
 namespace
@@ -53,6 +53,16 @@ WorkStealingPool::hardwareWorkers()
     return hw == 0 ? 1 : hw;
 }
 
+unsigned
+WorkStealingPool::budgetedWorkers(unsigned requested,
+                                  unsigned outerWorkers)
+{
+    const unsigned hw = hardwareWorkers();
+    const unsigned want = requested == 0 ? hw : requested;
+    const unsigned outer = outerWorkers == 0 ? 1 : outerWorkers;
+    return std::max(1U, std::min(want, hw / outer));
+}
+
 void
 WorkStealingPool::run(std::size_t n,
                       const std::function<void(std::size_t)> &fn) const
@@ -96,4 +106,4 @@ WorkStealingPool::run(std::size_t n,
         t.join();
 }
 
-} // namespace clumsy::sweep
+} // namespace clumsy

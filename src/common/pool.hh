@@ -1,29 +1,33 @@
 /**
  * @file
- * Work-stealing thread pool for sweep jobs.
+ * Work-stealing thread pool for batches of indexed jobs.
  *
  * run(n, fn) executes fn(0) .. fn(n-1) across the configured number
  * of workers and blocks until all jobs finish. Job indices are dealt
  * round-robin into per-worker deques; a worker drains its own deque
  * from the front and, when empty, steals from the back of its
- * neighbours. Because sweep jobs are whole simulations (milliseconds
- * to seconds each), stealing granularity is one job and the pool
- * spawns fresh threads per run() — scheduling overhead is noise next
- * to the work.
+ * neighbours. Because jobs are whole simulations or whole simulation
+ * phases (milliseconds to seconds each), stealing granularity is one
+ * job and the pool spawns fresh threads per run() — scheduling
+ * overhead is noise next to the work.
  *
  * Determinism contract: the pool guarantees nothing about execution
  * order, so callers must make jobs independent and write results into
  * per-index slots; any cross-job reduction happens after run()
  * returns, in index order.
+ *
+ * The pool is shared by the sweep runner (cell/trial jobs) and the
+ * chip model (intra-run bring-up and trial fan-out); budgetedWorkers()
+ * keeps the two layers from oversubscribing when nested.
  */
 
-#ifndef CLUMSY_SWEEP_POOL_HH
-#define CLUMSY_SWEEP_POOL_HH
+#ifndef CLUMSY_COMMON_POOL_HH
+#define CLUMSY_COMMON_POOL_HH
 
 #include <cstddef>
 #include <functional>
 
-namespace clumsy::sweep
+namespace clumsy
 {
 
 /** Executes batches of indexed jobs on worker threads. */
@@ -46,10 +50,20 @@ class WorkStealingPool
     /** A sensible default worker count for this machine. */
     static unsigned hardwareWorkers();
 
+    /**
+     * Worker budget for a pool nested under @p outerWorkers
+     * already-parallel jobs. Resolves @p requested (0 means "hardware
+     * default") and clamps it so outer x inner never exceeds the
+     * machine: an 8-way sweep on an 8-core box gets 1 chip job per
+     * cell, a serial run gets all of them.
+     */
+    static unsigned budgetedWorkers(unsigned requested,
+                                    unsigned outerWorkers);
+
   private:
     unsigned workers_;
 };
 
-} // namespace clumsy::sweep
+} // namespace clumsy
 
-#endif // CLUMSY_SWEEP_POOL_HH
+#endif // CLUMSY_COMMON_POOL_HH

@@ -169,6 +169,17 @@ class MemHierarchy
      * view here when the data plane starts, after migrating the
      * private array's contents into the shared one, so no pre-switch
      * state is stranded.
+     *
+     * Horizon-safety contract (chip-jobs parallelism): while the
+     * private backend is active — the whole bring-up horizon, from
+     * construction until this call — every operation of this
+     * hierarchy touches only state owned by its engine (own arrays,
+     * own backing store, own injector/energy account), so distinct
+     * engines' hierarchies may run on distinct threads with no
+     * synchronization. A shared backend couples engines through one
+     * array, so this swap must happen at a barrier, in engine order,
+     * and all stepping after it is serialized by the chip's
+     * deterministic event loop (DESIGN.md).
      */
     void setL2Backend(L2Backend *backend)
     {

@@ -6,9 +6,11 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "common/pool.hh"
 #include "core/metrics.hh"
 #include "net/trace_gen.hh"
 #include "npu/dispatcher.hh"
+#include "npu/event_queue.hh"
 #include "npu/shared_l2.hh"
 
 namespace clumsy::npu
@@ -16,6 +18,14 @@ namespace clumsy::npu
 
 namespace
 {
+
+/** NpuConfig::chipJobs resolved: 0 means the machine's default. */
+unsigned
+resolveChipJobs(unsigned chipJobs)
+{
+    return chipJobs == 0 ? WorkStealingPool::hardwareWorkers()
+                         : chipJobs;
+}
 
 /** One processing engine and its run state. */
 struct Engine
@@ -84,8 +94,19 @@ runChipOnce(const core::AppFactory &factory,
     // when the data plane starts, with each engine's origin at its
     // own post-init local time so all engines enter the shared chip
     // timeline at t = 0.
+    //
+    // Bring-up is the run's one true horizon — [boot, first arrival) —
+    // during which engines touch only engine-local state (own
+    // processor, own hierarchy behind the private L2 backend, own
+    // fault stream), so with chip-jobs > 1 it runs on the worker pool.
+    // Writes land in distinct engines[pe] slots and every
+    // cross-engine interaction (fatal scan, shared-L2 construction)
+    // happens after the barrier in ascending engine order, exactly as
+    // the serial loop ordered it: byte-identical by construction.
+    const WorkStealingPool chipPool(resolveChipJobs(npu.chipJobs));
     std::vector<Engine> engines(npu.peCount);
-    for (unsigned pe = 0; pe < npu.peCount; ++pe) {
+    chipPool.run(npu.peCount, [&](std::size_t peIdx) {
+        const unsigned pe = static_cast<unsigned>(peIdx);
         Engine &e = engines[pe];
         core::ExperimentConfig peConfig = config;
         if (!npu.perPeCr.empty())
@@ -130,7 +151,7 @@ runChipOnce(const core::AppFactory &factory,
         e.proc->attachL2Port(&port, pe, e.origin);
         e.proc->setInjectionEnabled(injectData);
         e.alive = !e.proc->fatalOccurred();
-    }
+    });
 
     // Genuinely shared L2 contents (l2=shared): swap every engine's
     // L2 backend to a view of one chip-wide array at the data-plane
@@ -153,7 +174,7 @@ runChipOnce(const core::AppFactory &factory,
             views[pe] = sharedL2->attach(pe, &e.proc->backingStore(),
                                          &e.proc->energyAccount());
         }
-        sharedL2->seedDivergence();
+        sharedL2->seedDivergence(&chipPool);
         for (unsigned pe = 0; pe < npu.peCount; ++pe)
             sharedL2->noteDirtyLines(
                 engines[pe].proc->hierarchy().l2());
@@ -193,6 +214,12 @@ runChipOnce(const core::AppFactory &factory,
         }
     }
 
+    // Engines holding work, ordered by (data time, engine id). The
+    // queue's comparison is the linear scan's strict less-than over
+    // pure integers, so its top is always the engine the scan would
+    // have picked — byte-identical schedule, O(log P) per step.
+    EngineEventQueue events(npu.peCount);
+
     // Chip-level DVS epochs (dvs=queue): every epochPackets completed
     // packets chip-wide, all alive engines decide together, each on
     // its own mean queue pressure since the previous epoch.
@@ -207,9 +234,16 @@ runChipOnce(const core::AppFactory &factory,
         ++e.pressureSamples;
     };
     auto closeChipEpoch = [&]() {
-        for (Engine &e : engines) {
-            if (e.alive)
+        for (unsigned pe = 0; pe < npu.peCount; ++pe) {
+            Engine &e = engines[pe];
+            if (e.alive) {
                 e.proc->closeDvsEpoch(e.epochPressure());
+                // A frequency switch charges a penalty, moving the
+                // engine's clock: refresh its position in the event
+                // queue.
+                if (events.contains(pe))
+                    events.update(pe, e.dataTime());
+            }
             e.pressureSum = 0.0;
             e.pressureSamples = 0;
         }
@@ -235,6 +269,7 @@ runChipOnce(const core::AppFactory &factory,
             }
             dropsDeadPe += e.queue.size();
             e.queue.clear();
+            events.erase(pe);
             return;
         }
         e.proc->endPacket();
@@ -242,6 +277,14 @@ runChipOnce(const core::AppFactory &factory,
         ++completed;
         if (chipEpochs && completed % epochPackets == 0)
             closeChipEpoch();
+        // endPacket and epoch closes can advance engine clocks
+        // (frequency-switch penalties), so re-key this engine — and
+        // closeChipEpoch() above re-keys every other queued engine —
+        // only after both ran.
+        if (e.queue.empty())
+            events.erase(pe);
+        else
+            events.update(pe, e.dataTime());
         // A trace sequence number must complete exactly once, no
         // matter how backpressure re-arbitration shuffles arrivals.
         const bool freshSeq =
@@ -267,20 +310,12 @@ runChipOnce(const core::AppFactory &factory,
 
     while (true) {
         // The engine that runs next: smallest (data time, id) among
-        // alive engines holding work. Pure integer comparisons keep
-        // the schedule byte-identical everywhere.
-        int stepPe = -1;
-        Quanta stepDt = 0;
-        for (unsigned pe = 0; pe < npu.peCount; ++pe) {
-            const Engine &e = engines[pe];
-            if (!e.alive || e.queue.empty())
-                continue;
-            const Quanta dt = e.dataTime();
-            if (stepPe < 0 || dt < stepDt) {
-                stepPe = static_cast<int>(pe);
-                stepDt = dt;
-            }
-        }
+        // alive engines holding work — the event queue's top. Pure
+        // integer comparisons keep the schedule byte-identical
+        // everywhere.
+        const int stepPe =
+            events.empty() ? -1 : static_cast<int>(events.top());
+        const Quanta stepDt = events.empty() ? 0 : events.topKey();
 
         const bool arrivalsLeft =
             havePending || nextSeq < config.numPackets;
@@ -332,6 +367,8 @@ runChipOnce(const core::AppFactory &factory,
             continue;
         }
         e.queue.push_back(pending);
+        if (!events.contains(static_cast<unsigned>(pe)))
+            events.push(static_cast<unsigned>(pe), e.dataTime());
         havePending = false;
         samplePressure(e);
         e.maxDepth = std::max<std::uint64_t>(e.maxDepth,
@@ -623,14 +660,33 @@ runChipExperiment(const core::AppFactory &factory,
     }
 
     const ChipRun golden = runChipGolden(factory, config, npu);
+
+    // Horizon-stepped trial fan-out: faulty trials are mutually
+    // independent (own processors, own fault streams, read-only view
+    // of the golden run), so with chip-jobs > 1 they run concurrently,
+    // each writing its own runs[t] slot. Trials keep their insides
+    // serial — the trial grain already fills the budget — and the
+    // reduction below walks slots in trial order, so the aggregate is
+    // byte-identical to the serial loop for every chip-jobs value.
+    const unsigned jobs =
+        std::min<unsigned>(resolveChipJobs(npu.chipJobs), config.trials);
+    NpuConfig trialNpu = npu;
+    if (jobs > 1)
+        trialNpu.chipJobs = 1;
+    std::vector<ChipRun> runs(config.trials);
+    const WorkStealingPool pool(jobs);
+    pool.run(config.trials, [&](std::size_t t) {
+        runs[t] = runChipTrial(factory, config, trialNpu,
+                               static_cast<unsigned>(t), golden);
+    });
+
     std::vector<core::RunMetrics> trials;
     std::vector<ChipMetrics> chips;
     trials.reserve(config.trials);
     chips.reserve(config.trials);
     for (unsigned t = 0; t < config.trials; ++t) {
-        ChipRun r = runChipTrial(factory, config, npu, t, golden);
-        trials.push_back(std::move(r.merged));
-        chips.push_back(std::move(r.chip));
+        trials.push_back(std::move(runs[t].merged));
+        chips.push_back(std::move(runs[t].chip));
     }
 
     ChipExperimentResult result;

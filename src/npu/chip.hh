@@ -163,7 +163,13 @@ struct ChipExperimentResult
 /** Componentwise mean, accumulated in the given (trial) order. */
 ChipMetrics averageChipMetrics(const std::vector<ChipMetrics> &runs);
 
-/** Golden + trials, serially, on one chip. */
+/**
+ * Golden + trials on one chip. With NpuConfig::chipJobs > 1 the
+ * engine bring-up horizon and the faulty-trial fan-out run on a
+ * worker pool (the factory must then be callable from multiple
+ * threads; the stock apps::appFactory is); the result is byte-
+ * identical to the serial run for every chipJobs value.
+ */
 ChipExperimentResult runChipExperiment(const core::AppFactory &factory,
                                        const core::ExperimentConfig &config,
                                        const NpuConfig &npu);

@@ -166,6 +166,17 @@ struct NpuConfig
      */
     bool flowRehash = false;
 
+    /**
+     * Worker threads one chip experiment may use for horizon-stepped
+     * parallelism: engine bring-up to the first-arrival horizon,
+     * shared-store diffing, and fan-out of independent faulty trials.
+     * Results are byte-identical for every value — parallel sections
+     * write per-index slots and every cross-engine interaction is
+     * applied at a barrier in engine order (DESIGN.md). 1 = fully
+     * serial (the default); 0 = this machine's hardware default.
+     */
+    unsigned chipJobs = 1;
+
     /** Modeled core clock (SA-110 class), for packets/sec figures. */
     double clockMhz = 233.0;
 

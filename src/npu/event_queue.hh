@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Indexed binary min-heap over the chip's engines, keyed on
+ * (next event time, engine id).
+ *
+ * The chip's step loop repeatedly needs the alive engine holding work
+ * with the smallest (local data time, engine id) pair. A linear scan
+ * is O(P) per micro-step; this queue makes it O(log P) while keeping
+ * the *same total order*: keys compare by time first and engine id
+ * second, so ties break toward the lowest engine id exactly as the
+ * scan's strict less-than did. Membership is explicit — an engine is
+ * in the queue iff it is alive and has queued packets — and every
+ * mutation (push after an enqueue, update after a packet, erase on
+ * drain or death) is keyed by engine id through a position index, so
+ * decrease-key and increase-key are both O(log P).
+ *
+ * Purely serial data structure: the step loop that uses it is the
+ * deterministic schedule itself and never runs concurrently (see
+ * DESIGN.md on horizon-stepped parallelism for why).
+ */
+
+#ifndef CLUMSY_NPU_EVENT_QUEUE_HH
+#define CLUMSY_NPU_EVENT_QUEUE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace clumsy::npu
+{
+
+/** Min-heap of engine ids ordered by (key, id), with decrease-key. */
+class EngineEventQueue
+{
+  public:
+    /** @param engines  engine ids run [0, engines). */
+    explicit EngineEventQueue(unsigned engines)
+        : pos_(engines, kAbsent), key_(engines, 0)
+    {
+        heap_.reserve(engines);
+    }
+
+    bool empty() const { return heap_.empty(); }
+
+    std::size_t size() const { return heap_.size(); }
+
+    /** Is engine @p pe currently queued? */
+    bool contains(unsigned pe) const { return pos_[pe] != kAbsent; }
+
+    /** The queued engine with the smallest (key, id). */
+    unsigned top() const
+    {
+        CLUMSY_ASSERT(!heap_.empty(), "top() on an empty event queue");
+        return heap_.front();
+    }
+
+    /** The top engine's key. */
+    Quanta topKey() const { return key_[top()]; }
+
+    /** The key engine @p pe was queued with. */
+    Quanta keyOf(unsigned pe) const
+    {
+        CLUMSY_ASSERT(contains(pe), "keyOf() on an absent engine");
+        return key_[pe];
+    }
+
+    /** Queue absent engine @p pe with @p key. */
+    void push(unsigned pe, Quanta key)
+    {
+        CLUMSY_ASSERT(!contains(pe), "push() on a queued engine");
+        key_[pe] = key;
+        pos_[pe] = heap_.size();
+        heap_.push_back(pe);
+        siftUp(pos_[pe]);
+    }
+
+    /**
+     * Re-key queued engine @p pe (decrease- or increase-key; the
+     * element sifts whichever way the new key demands).
+     */
+    void update(unsigned pe, Quanta key)
+    {
+        CLUMSY_ASSERT(contains(pe), "update() on an absent engine");
+        key_[pe] = key;
+        const std::size_t i = siftUp(pos_[pe]);
+        siftDown(i);
+    }
+
+    /** Remove queued engine @p pe. */
+    void erase(unsigned pe)
+    {
+        CLUMSY_ASSERT(contains(pe), "erase() on an absent engine");
+        const std::size_t i = pos_[pe];
+        const std::size_t last = heap_.size() - 1;
+        if (i != last) {
+            heap_[i] = heap_[last];
+            pos_[heap_[i]] = i;
+        }
+        heap_.pop_back();
+        pos_[pe] = kAbsent;
+        if (i < heap_.size()) {
+            const std::size_t j = siftUp(i);
+            siftDown(j);
+        }
+    }
+
+  private:
+    static constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+
+    std::vector<unsigned> heap_;    ///< engine ids, heap-ordered
+    std::vector<std::size_t> pos_;  ///< engine id -> index in heap_
+    std::vector<Quanta> key_;       ///< engine id -> queued key
+
+    /** (key, id) lexicographic order — the scan's tie-break. */
+    bool before(unsigned a, unsigned b) const
+    {
+        return key_[a] < key_[b] || (key_[a] == key_[b] && a < b);
+    }
+
+    std::size_t siftUp(std::size_t i)
+    {
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!before(heap_[i], heap_[parent]))
+                break;
+            std::swap(heap_[i], heap_[parent]);
+            pos_[heap_[i]] = i;
+            pos_[heap_[parent]] = parent;
+            i = parent;
+        }
+        return i;
+    }
+
+    void siftDown(std::size_t i)
+    {
+        for (;;) {
+            const std::size_t left = 2 * i + 1;
+            const std::size_t right = left + 1;
+            std::size_t best = i;
+            if (left < heap_.size() && before(heap_[left], heap_[best]))
+                best = left;
+            if (right < heap_.size() &&
+                before(heap_[right], heap_[best]))
+                best = right;
+            if (best == i)
+                return;
+            std::swap(heap_[i], heap_[best]);
+            pos_[heap_[i]] = i;
+            pos_[heap_[best]] = best;
+            i = best;
+        }
+    }
+};
+
+} // namespace clumsy::npu
+
+#endif // CLUMSY_NPU_EVENT_QUEUE_HH

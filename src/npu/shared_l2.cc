@@ -132,26 +132,74 @@ SharedL2Cache::attach(unsigned pe, mem::BackingStore *store,
 }
 
 void
-SharedL2Cache::seedDivergence()
+SharedL2Cache::seedDivergence(const WorkStealingPool *pool)
 {
     for (unsigned pe = 0; pe < peCount_; ++pe)
         CLUMSY_ASSERT(stores_[pe] != nullptr,
                       "seedDivergence before every engine attached");
     if (peCount_ == 1)
         return;
-    std::vector<std::uint8_t> ref(lineBytes_);
-    std::vector<std::uint8_t> buf(lineBytes_);
-    for (SimAddr base = 0; base < memBytes_; base += lineBytes_) {
-        if (diverged(base))
-            continue;
-        stores_[0]->readBlock(base, ref.data(), lineBytes_);
+
+    // Does any engine's copy of the line at @p base differ from
+    // engine 0's? Pure reads: stores are only inspected, never
+    // touched, and the divergence state is not consulted (nothing is
+    // diverged yet when seeding runs in the setup sequence).
+    auto lineDiffers = [this](SimAddr base, std::uint8_t *ref,
+                              std::uint8_t *buf) {
+        stores_[0]->readBlock(base, ref, lineBytes_);
         for (unsigned pe = 1; pe < peCount_; ++pe) {
-            stores_[pe]->readBlock(base, buf.data(), lineBytes_);
-            if (std::memcmp(ref.data(), buf.data(), lineBytes_) != 0) {
+            stores_[pe]->readBlock(base, buf, lineBytes_);
+            if (std::memcmp(ref, buf, lineBytes_) != 0)
+                return true;
+        }
+        return false;
+    };
+
+    const std::size_t lines =
+        static_cast<std::size_t>(memBytes_ / lineBytes_);
+    const unsigned jobs =
+        pool ? static_cast<unsigned>(std::min<std::size_t>(
+                   pool->workers(), lines))
+             : 1;
+
+    if (jobs <= 1) {
+        std::vector<std::uint8_t> ref(lineBytes_);
+        std::vector<std::uint8_t> buf(lineBytes_);
+        for (SimAddr base = 0; base < memBytes_; base += lineBytes_) {
+            if (diverged(base))
+                continue;
+            if (lineDiffers(base, ref.data(), buf.data())) {
                 markDiverged(base);
                 stats_.inc("seeded_diverged");
-                break;
             }
+        }
+        return;
+    }
+
+    // Fan the diff out over contiguous, disjoint line ranges; every
+    // job only reads and records its mismatches in its own slot. The
+    // marks are applied at the barrier in ascending line order — the
+    // order the serial loop discovers them in — so bitmap, count and
+    // stats come out byte-identical.
+    std::vector<std::vector<SimAddr>> found(jobs);
+    const std::size_t chunk = (lines + jobs - 1) / jobs;
+    pool->run(jobs, [&](std::size_t job) {
+        std::vector<std::uint8_t> ref(lineBytes_);
+        std::vector<std::uint8_t> buf(lineBytes_);
+        const std::size_t lo = job * chunk;
+        const std::size_t hi = std::min(lines, lo + chunk);
+        for (std::size_t line = lo; line < hi; ++line) {
+            const SimAddr base = static_cast<SimAddr>(line) * lineBytes_;
+            if (diverged(base))
+                continue;
+            if (lineDiffers(base, ref.data(), buf.data()))
+                found[job].push_back(base);
+        }
+    });
+    for (const std::vector<SimAddr> &bases : found) {
+        for (const SimAddr base : bases) {
+            markDiverged(base);
+            stats_.inc("seeded_diverged");
         }
     }
 }

@@ -58,6 +58,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/pool.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "energy/chip_energy.hh"
@@ -234,8 +235,15 @@ class SharedL2Cache
      * mark mismatching DRAM lines diverged. Called once, after every
      * engine is attached: control-plane faults leave different bytes
      * in different stores, and those lines must never share a frame.
+     *
+     * With a @p pool of more than one worker the diff itself fans out
+     * over disjoint line ranges (reads only; each job records its
+     * mismatches in a per-job slot) and the divergence marks are
+     * applied at the barrier in ascending line order — the serial
+     * iteration order — so the bitmap, the count and the stats are
+     * byte-identical to the single-threaded diff.
      */
-    void seedDivergence();
+    void seedDivergence(const WorkStealingPool *pool = nullptr);
 
     /**
      * Mark every line @p privateL2 holds dirty as diverged. A dirty

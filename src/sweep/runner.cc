@@ -7,7 +7,7 @@
 
 #include "apps/app.hh"
 #include "common/logging.hh"
-#include "sweep/pool.hh"
+#include "common/pool.hh"
 
 namespace clumsy::sweep
 {
@@ -65,6 +65,17 @@ runSweep(const SweepSpec &spec, unsigned jobs,
     const unsigned trials = spec.trials;
     const std::size_t n = toRun.size();
 
+    // Nested-parallelism budget: a cell's chip-jobs request (the
+    // chip-jobs= axis) is clamped so sweep workers times chip workers
+    // never oversubscribes the machine. Chip runs are byte-identical
+    // across chip-jobs values, so the clamp changes scheduling only.
+    auto cellNpuConfig = [&](const SweepCell &cell) {
+        npu::NpuConfig npuCfg = makeNpuConfig(cell);
+        npuCfg.chipJobs = WorkStealingPool::budgetedWorkers(
+            npuCfg.chipJobs, outcome.jobs);
+        return npuCfg;
+    };
+
     // Phase 1: one golden job per cell. The records are written once
     // here and only read afterwards, so phase 2 shares them freely.
     // Chip-model cells run the npu harness instead of the single-core
@@ -79,7 +90,7 @@ runSweep(const SweepSpec &spec, unsigned jobs,
         if (cell.isNpu()) {
             chipGoldens[k] = std::make_unique<npu::ChipRun>(
                 npu::runChipGolden(apps::appFactory(cell.app), cfg,
-                                   makeNpuConfig(cell)));
+                                   cellNpuConfig(cell)));
         } else {
             goldens[k] =
                 core::runGolden(apps::appFactory(cell.app), cfg);
@@ -106,7 +117,7 @@ runSweep(const SweepSpec &spec, unsigned jobs,
         const auto start = Clock::now();
         if (cell.isNpu()) {
             npu::ChipRun r = npu::runChipTrial(
-                apps::appFactory(cell.app), cfg, makeNpuConfig(cell),
+                apps::appFactory(cell.app), cfg, cellNpuConfig(cell),
                 t, *chipGoldens[k]);
             trialMetrics[j] = std::move(r.merged);
             trialChips[j] = std::move(r.chip);

@@ -122,6 +122,10 @@ cellJson(const CellOutcome &out, bool provenance)
     w.key("dvs").value(npu::to_string(out.cell.dvs));
     w.key("mshrs").value(static_cast<std::uint64_t>(out.cell.mshrs));
     w.key("l2").value(npu::to_string(out.cell.l2));
+    // Gaps are parsed non-negative; the uint cast is lossless.
+    w.key("gap").value(static_cast<std::uint64_t>(out.cell.arrivalGap));
+    w.key("chip_jobs")
+        .value(static_cast<std::uint64_t>(out.cell.chipJobs));
     w.key("result").raw(experimentResultJson(out.result));
     if (out.hasNpu) {
         w.key("npu").beginObject();
@@ -474,6 +478,13 @@ parseCell(const JVal &o)
         out.cell.mshrs = static_cast<unsigned>(numField(o, "mshrs"));
     if (o.find("l2"))
         out.cell.l2 = npu::l2ModeFromString(strField(o, "l2"));
+    // gap/chip_jobs: absent in documents written before those axes.
+    if (o.find("gap"))
+        out.cell.arrivalGap =
+            static_cast<std::int64_t>(numField(o, "gap"));
+    if (o.find("chip_jobs"))
+        out.cell.chipJobs =
+            static_cast<unsigned>(numField(o, "chip_jobs"));
     if (const JVal *chip = o.find("npu")) {
         out.hasNpu = true;
         out.npuGolden = parseChipMetrics(field(*chip, "golden"));
@@ -570,7 +581,7 @@ renderCsv(const SweepOutcome &outcome)
 {
     std::string out =
         "app,cr,dynamic,scheme,codec,plane,fault_scale,pes,dispatch,"
-        "per_pe_cr,dvs,mshrs,l2,fallibility,"
+        "per_pe_cr,dvs,mshrs,l2,gap,chip_jobs,fallibility,"
         "any_error_prob,fatal_prob,fatal_fraction,cycles_per_packet,"
         "energy_per_packet_pj,l1d_energy_per_packet_pj,edf,"
         "golden_cycles_per_packet,golden_energy_per_packet_pj,"
@@ -591,6 +602,8 @@ renderCsv(const SweepOutcome &outcome)
         out += "," + npu::to_string(c.cell.dvs);
         out += "," + std::to_string(c.cell.mshrs);
         out += "," + npu::to_string(c.cell.l2);
+        out += "," + std::to_string(c.cell.arrivalGap);
+        out += "," + std::to_string(c.cell.chipJobs);
         out += "," + formatDouble(r.fallibility);
         out += "," + formatDouble(r.anyErrorProb);
         out += "," + formatDouble(r.fatalProb);

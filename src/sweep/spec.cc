@@ -229,6 +229,16 @@ SweepSpec::parse(const std::string &grid)
             spec.l2Modes.clear();
             for (const std::string &v : values)
                 spec.l2Modes.push_back(npu::l2ModeFromString(v));
+        } else if (key == "gap") {
+            spec.arrivalGaps.clear();
+            for (const std::string &v : values)
+                spec.arrivalGaps.push_back(
+                    static_cast<std::int64_t>(cli::parseU64("gap", v)));
+        } else if (key == "chip-jobs") {
+            spec.chipJobs.clear();
+            for (const std::string &v : values)
+                spec.chipJobs.push_back(static_cast<unsigned>(
+                    cli::parseU64("chip-jobs", v)));
         } else if (key == "packets") {
             spec.packets = cli::parseU64("packets", scalar());
         } else if (key == "trials") {
@@ -301,6 +311,14 @@ SweepSpec::toGridString() const
            joinDim<npu::L2Mode>(l2Modes, [](const npu::L2Mode &m) {
                return npu::to_string(m);
            });
+    out += ";gap=" +
+           joinDim<std::int64_t>(arrivalGaps, [](const std::int64_t &g) {
+               return std::to_string(g);
+           });
+    out += ";chip-jobs=" +
+           joinDim<unsigned>(chipJobs, [](const unsigned &j) {
+               return std::to_string(j);
+           });
     out += ";packets=" + std::to_string(packets);
     out += ";trials=" + std::to_string(trials);
     out += ";seed=" + std::to_string(traceSeed);
@@ -314,7 +332,8 @@ SweepSpec::cellCount() const
     return apps.size() * points.size() * schemes.size() *
            codecs.size() * planes.size() * faultScales.size() *
            peCounts.size() * dispatches.size() * perPeCrs.size() *
-           dvsModes.size() * mshrs.size() * l2Modes.size();
+           dvsModes.size() * mshrs.size() * l2Modes.size() *
+           arrivalGaps.size() * chipJobs.size();
 }
 
 std::string
@@ -339,6 +358,10 @@ SweepCell::key() const
             k += ";mshrs=" + std::to_string(mshrs);
         if (l2 != npu::L2Mode::Private)
             k += ";l2=" + npu::to_string(l2);
+        if (arrivalGap != 0)
+            k += ";gap=" + std::to_string(arrivalGap);
+        if (chipJobs != 1)
+            k += ";chip-jobs=" + std::to_string(chipJobs);
     }
     return k;
 }
@@ -354,60 +377,48 @@ expand(const SweepSpec &spec)
                       !spec.dispatches.empty() &&
                       !spec.perPeCrs.empty() &&
                       !spec.dvsModes.empty() && !spec.mshrs.empty() &&
-                      !spec.l2Modes.empty(),
+                      !spec.l2Modes.empty() &&
+                      !spec.arrivalGaps.empty() &&
+                      !spec.chipJobs.empty(),
                   "every grid dimension needs at least one value");
     std::vector<SweepCell> cells;
     cells.reserve(spec.cellCount());
-    for (const std::string &app : spec.apps) {
-        for (const OperatingPoint &point : spec.points) {
-            for (const mem::RecoveryScheme scheme : spec.schemes) {
-                for (const mem::CheckCodec codec : spec.codecs) {
-                    for (const core::FaultPlane plane : spec.planes) {
-                        for (const double scale : spec.faultScales) {
-                            for (const unsigned pes : spec.peCounts) {
-                                for (const npu::DispatchPolicy dis :
-                                     spec.dispatches) {
-                                    for (const std::string &ppc :
-                                         spec.perPeCrs) {
-                                        for (const npu::DvsMode dvs :
-                                             spec.dvsModes) {
-                                            for (const unsigned msh :
-                                                 spec.mshrs) {
-                                                for (const npu::L2Mode
-                                                         l2m :
-                                                     spec.l2Modes) {
-                                                    SweepCell cell;
-                                                    cell.index =
-                                                        cells.size();
-                                                    cell.app = app;
-                                                    cell.point = point;
-                                                    cell.scheme =
-                                                        scheme;
-                                                    cell.codec = codec;
-                                                    cell.plane = plane;
-                                                    cell.faultScale =
-                                                        scale;
-                                                    cell.peCount = pes;
-                                                    cell.dispatch = dis;
-                                                    cell.perPeCr = ppc;
-                                                    cell.dvs = dvs;
-                                                    cell.mshrs = msh;
-                                                    cell.l2 = l2m;
-                                                    cells.push_back(
-                                                        std::move(
-                                                            cell));
-                                                }
-                                            }
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
+    // Cartesian product in the canonical nesting order (outermost
+    // first); the stacked loops keep fourteen dimensions readable.
+    // clang-format off
+    for (const std::string &app : spec.apps)
+    for (const OperatingPoint &point : spec.points)
+    for (const mem::RecoveryScheme scheme : spec.schemes)
+    for (const mem::CheckCodec codec : spec.codecs)
+    for (const core::FaultPlane plane : spec.planes)
+    for (const double scale : spec.faultScales)
+    for (const unsigned pes : spec.peCounts)
+    for (const npu::DispatchPolicy dis : spec.dispatches)
+    for (const std::string &ppc : spec.perPeCrs)
+    for (const npu::DvsMode dvs : spec.dvsModes)
+    for (const unsigned msh : spec.mshrs)
+    for (const npu::L2Mode l2m : spec.l2Modes)
+    for (const std::int64_t gap : spec.arrivalGaps)
+    for (const unsigned cjobs : spec.chipJobs) {
+        SweepCell cell;
+        cell.index = cells.size();
+        cell.app = app;
+        cell.point = point;
+        cell.scheme = scheme;
+        cell.codec = codec;
+        cell.plane = plane;
+        cell.faultScale = scale;
+        cell.peCount = pes;
+        cell.dispatch = dis;
+        cell.perPeCr = ppc;
+        cell.dvs = dvs;
+        cell.mshrs = msh;
+        cell.l2 = l2m;
+        cell.arrivalGap = gap;
+        cell.chipJobs = cjobs;
+        cells.push_back(std::move(cell));
     }
+    // clang-format on
     return cells;
 }
 
@@ -438,6 +449,8 @@ makeNpuConfig(const SweepCell &cell)
     npuCfg.dvs = cell.dvs;
     npuCfg.mshrs = cell.mshrs;
     npuCfg.l2 = cell.l2;
+    npuCfg.arrivalGapCycles = cell.arrivalGap;
+    npuCfg.chipJobs = cell.chipJobs;
     if (!cell.perPeCr.empty()) {
         for (const std::string &cr : cli::split(cell.perPeCr, ':'))
             npuCfg.perPeCr.push_back(cli::parseDouble("per-pe-cr", cr));

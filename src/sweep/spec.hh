@@ -79,6 +79,21 @@ struct SweepSpec
     /** L2 contents models (private / shared). */
     std::vector<npu::L2Mode> l2Modes = {npu::L2Mode::Private};
 
+    /**
+     * Offered-load inter-arrival gaps, base cycles per packet
+     * (NpuConfig::arrivalGapCycles). 0 = saturated input. A non-zero
+     * gap routes the cell through the chip model.
+     */
+    std::vector<std::int64_t> arrivalGaps = {0};
+
+    /**
+     * Chip-jobs values (NpuConfig::chipJobs): worker threads one chip
+     * run may use, clamped by the runner so sweep jobs times chip
+     * jobs never oversubscribes. Results are byte-identical across
+     * values — this axis moves wall-clock, not physics.
+     */
+    std::vector<unsigned> chipJobs = {1};
+
     // Scalar knobs shared by every cell.
     std::uint64_t packets = 2000;
     unsigned trials = 4;
@@ -88,8 +103,8 @@ struct SweepSpec
     /**
      * Parse a grid string (semicolon-separated key=value,value,...
      * pairs). Keys: app, cr, scheme, codec, plane, fault-scale,
-     * pes, dispatch, per-pe-cr, dvs, mshrs, l2, packets, trials,
-     * seed, fault-seed.
+     * pes, dispatch, per-pe-cr, dvs, mshrs, l2, gap, chip-jobs,
+     * packets, trials, seed, fault-seed.
      * "app=all" / "scheme=all" expand to the full sets. fatal()s on
      * unknown keys or values.
      */
@@ -121,29 +136,33 @@ struct SweepCell
     npu::DvsMode dvs = npu::DvsMode::Fault;
     unsigned mshrs = 1;
     npu::L2Mode l2 = npu::L2Mode::Private;
+    std::int64_t arrivalGap = 0; ///< inter-arrival gap, base cycles
+    unsigned chipJobs = 1;       ///< chip-run worker threads
 
     /**
      * @return true when the cell needs the chip model: anything but
      * the default single-engine round-robin uniform fault-mode
-     * single-MSHR private-L2 configuration.
+     * single-MSHR private-L2 saturated-serial configuration.
      */
     bool isNpu() const
     {
         return peCount != 1 ||
                dispatch != npu::DispatchPolicy::RoundRobin ||
                !perPeCr.empty() || dvs != npu::DvsMode::Fault ||
-               mshrs != 1 || l2 != npu::L2Mode::Private;
+               mshrs != 1 || l2 != npu::L2Mode::Private ||
+               arrivalGap != 0 || chipJobs != 1;
     }
 
     /**
      * Stable identity of the cell within any spec that contains it:
      * "app=crc;cr=0.5;scheme=two-strike;codec=parity;plane=both;
      * fault-scale=1". Cells using the chip model append
-     * ";pes=N;dispatch=D;per-pe-cr=X", plus ";dvs=M", ";mshrs=K" and
-     * ";l2=shared" only at non-default values; plain single-engine
-     * cells keep the historical six-dimension key. The elisions let
-     * result files written before the newer dimensions existed resume
-     * cleanly. Used as the JSON result key and by --resume.
+     * ";pes=N;dispatch=D;per-pe-cr=X", plus ";dvs=M", ";mshrs=K",
+     * ";l2=shared", ";gap=G" and ";chip-jobs=J" only at non-default
+     * values; plain single-engine cells keep the historical
+     * six-dimension key. The elisions let result files written before
+     * the newer dimensions existed resume cleanly. Used as the JSON
+     * result key and by --resume.
      */
     std::string key() const;
 };

@@ -621,3 +621,97 @@ TEST(NpuConfig, DispatchNamesRoundTrip)
                 ::testing::ExitedWithCode(1),
                 "valid choices: rr, flow, shortest");
 }
+
+// --- horizon-stepped chip parallelism --------------------------------
+
+/**
+ * The chip-jobs determinism contract, end to end: for every workload,
+ * a chip experiment at chip-jobs=4 (parallel engine bring-up, parallel
+ * store diffing, concurrent faulty trials) must be byte-identical to
+ * the serial run — core aggregates and both chip metric blocks.
+ * Serialized JSON compares every double exactly.
+ */
+TEST(ChipParallel, ChipJobsByteIdenticalForEveryApp)
+{
+    std::vector<std::string> names = apps::allAppNames();
+    for (const std::string &ext : apps::extensionAppNames())
+        names.push_back(ext);
+    for (const std::string &app : names) {
+        core::ExperimentConfig cfg = smallConfig();
+        cfg.numPackets = 200;
+        NpuConfig serial;
+        serial.peCount = 4;
+        serial.dispatch = DispatchPolicy::FlowHash;
+        serial.dvs = DvsMode::Queue;
+        serial.l2 = L2Mode::Shared;
+        serial.mshrs = 2;
+        NpuConfig parallel = serial;
+        parallel.chipJobs = 4;
+
+        const ChipExperimentResult a =
+            runChipExperiment(apps::appFactory(app), cfg, serial);
+        const ChipExperimentResult b =
+            runChipExperiment(apps::appFactory(app), cfg, parallel);
+
+        EXPECT_EQ(sweep::experimentResultJson(a.core),
+                  sweep::experimentResultJson(b.core))
+            << "app " << app;
+        EXPECT_EQ(sweep::chipMetricsJson(a.goldenChip),
+                  sweep::chipMetricsJson(b.goldenChip))
+            << "app " << app;
+        EXPECT_EQ(sweep::chipMetricsJson(a.faultyChip),
+                  sweep::chipMetricsJson(b.faultyChip))
+            << "app " << app;
+    }
+}
+
+/**
+ * chip-jobs=0 resolves to the machine's hardware default; whatever
+ * that is, the result must still match the serial run (the ISSUE's
+ * contract is "byte-identical for every value").
+ */
+TEST(ChipParallel, HardwareDefaultChipJobsMatchesSerial)
+{
+    core::ExperimentConfig cfg = smallConfig();
+    NpuConfig serial;
+    serial.peCount = 8;
+    serial.dvs = DvsMode::Queue;
+    serial.l2 = L2Mode::Shared;
+    serial.mshrs = 4;
+    NpuConfig autoJobs = serial;
+    autoJobs.chipJobs = 0;
+
+    const ChipExperimentResult a =
+        runChipExperiment(apps::appFactory("route"), cfg, serial);
+    const ChipExperimentResult b =
+        runChipExperiment(apps::appFactory("route"), cfg, autoJobs);
+
+    EXPECT_EQ(sweep::experimentResultJson(a.core),
+              sweep::experimentResultJson(b.core));
+    EXPECT_EQ(sweep::chipMetricsJson(a.goldenChip),
+              sweep::chipMetricsJson(b.goldenChip));
+    EXPECT_EQ(sweep::chipMetricsJson(a.faultyChip),
+              sweep::chipMetricsJson(b.faultyChip));
+}
+
+/**
+ * Single-trial experiments exercise the degenerate fan-out (the trial
+ * pool collapses to one job but bring-up still runs parallel), and a
+ * one-engine chip exercises a one-job bring-up pool. Neither may
+ * disturb the single-core bit-equivalence guarantee.
+ */
+TEST(ChipParallel, OneEngineOneTrialStaysSingleCoreIdentical)
+{
+    core::ExperimentConfig cfg = smallConfig();
+    cfg.trials = 1;
+    NpuConfig npuCfg; // 1 PE, rr, uniform
+    npuCfg.chipJobs = 4;
+
+    const ChipExperimentResult chip =
+        runChipExperiment(apps::appFactory("nat"), cfg, npuCfg);
+    const core::ExperimentResult single =
+        core::runExperiment(apps::appFactory("nat"), cfg);
+
+    EXPECT_EQ(sweep::experimentResultJson(chip.core),
+              sweep::experimentResultJson(single));
+}

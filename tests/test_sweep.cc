@@ -10,9 +10,9 @@
 #include <fstream>
 
 #include "apps/app.hh"
+#include "common/pool.hh"
 #include "core/experiment.hh"
 #include "sweep/json.hh"
-#include "sweep/pool.hh"
 #include "sweep/runner.hh"
 #include "sweep/sink.hh"
 #include "sweep/spec.hh"
@@ -253,6 +253,41 @@ TEST(SweepSpec, MakeNpuConfigParsesPerPeCr)
                 "names 2 engines");
 }
 
+TEST(SweepSpec, GapAndChipJobsAxesParseExpandAndKey)
+{
+    const SweepSpec spec = SweepSpec::parse(
+        "app=crc;gap=0,400;chip-jobs=1,4;packets=100;trials=2");
+    EXPECT_EQ(spec.arrivalGaps, (std::vector<std::int64_t>{0, 400}));
+    EXPECT_EQ(spec.chipJobs, (std::vector<unsigned>{1, 4}));
+    EXPECT_EQ(spec.cellCount(), 4u);
+
+    const SweepSpec again = SweepSpec::parse(spec.toGridString());
+    EXPECT_EQ(again.toGridString(), spec.toGridString());
+
+    const auto cells = expand(spec);
+    ASSERT_EQ(cells.size(), 4u);
+    // chip-jobs is the innermost axis, gap the one outside it.
+    EXPECT_EQ(cells[0].arrivalGap, 0);
+    EXPECT_EQ(cells[0].chipJobs, 1u);
+    EXPECT_EQ(cells[1].chipJobs, 4u);
+    EXPECT_EQ(cells[2].arrivalGap, 400);
+    // Defaults keep the historical key (pre-axis result files must
+    // still resume); non-defaults spell themselves out.
+    EXPECT_EQ(cells[0].key(),
+              "app=crc;cr=1;scheme=no-detection;codec=parity;"
+              "plane=both;fault-scale=1");
+    EXPECT_FALSE(cells[0].isNpu());
+    EXPECT_NE(cells[1].key().find(";chip-jobs=4"), std::string::npos);
+    EXPECT_EQ(cells[1].key().find(";gap="), std::string::npos);
+    EXPECT_NE(cells[2].key().find(";gap=400"), std::string::npos);
+    EXPECT_TRUE(cells[2].isNpu());
+
+    // Both knobs reach the chip configuration.
+    const npu::NpuConfig cfg = makeNpuConfig(cells[3]);
+    EXPECT_EQ(cfg.arrivalGapCycles, 400);
+    EXPECT_EQ(cfg.chipJobs, 4u);
+}
+
 // --- work-stealing pool ----------------------------------------------
 
 TEST(WorkStealingPool, RunsEveryJobExactlyOnce)
@@ -452,6 +487,45 @@ TEST(SweepResume, DvsAndMshrCellsResumeByteIdentical)
             EXPECT_GT(epochs, 0.0) << c.cell.key();
         else
             EXPECT_EQ(epochs, 0.0) << c.cell.key();
+    }
+}
+
+TEST(SweepResume, GapAndChipJobsCellsResumeByteIdentical)
+{
+    // Keys with gap and chip-jobs parts round-trip through the result
+    // file, and a resumed mixed grid re-renders byte for byte. The
+    // chip-jobs=2 cells also double as an end-to-end check that the
+    // parallel chip runner feeds the sweep the same bytes.
+    SweepSpec spec = smallSpec();
+    spec.points = {{0.5, false}};
+    spec.peCounts = {2};
+    spec.arrivalGaps = {0, 300};
+    spec.chipJobs = {1, 2};
+
+    SweepSpec first = spec;
+    first.chipJobs = {2};
+    const std::string path = tempPath("sweep_gap_resume.json");
+    writeFile(path, renderJson(runSweep(first, 2), false));
+
+    const auto completed = loadCompletedCells(path);
+    const SweepOutcome resumed = runSweep(spec, 2, &completed);
+    EXPECT_EQ(resumed.resumedCount, 2u);
+    const SweepOutcome fresh = runSweep(spec, 2);
+    EXPECT_EQ(renderJson(resumed, false), renderJson(fresh, false));
+
+    // chip-jobs is a host knob: within one (app, gap) point the two
+    // chip-jobs cells carry identical simulated results.
+    for (const CellOutcome &a : fresh.cells) {
+        if (a.cell.chipJobs != 1)
+            continue;
+        for (const CellOutcome &b : fresh.cells) {
+            if (b.cell.chipJobs == 1 ||
+                b.cell.arrivalGap != a.cell.arrivalGap)
+                continue;
+            EXPECT_EQ(experimentResultJson(a.result),
+                      experimentResultJson(b.result))
+                << a.cell.key() << " vs " << b.cell.key();
+        }
     }
 }
 

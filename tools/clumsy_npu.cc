@@ -75,6 +75,9 @@ printJson(const std::string &app, const core::ExperimentConfig &cfg,
            ",\n";
     out += std::string("  \"drop_when_full\": ") +
            (npuCfg.dropWhenFull ? "true" : "false") + ",\n";
+    // NpuConfig::chipJobs is deliberately not echoed: it is a host
+    // scheduling knob, not part of the modeled chip, and the JSON of
+    // --chip-jobs K must stay byte-identical to --chip-jobs 1.
     out += "  \"arrival_gap_cycles\": " +
            std::to_string(npuCfg.arrivalGapCycles) + ",\n";
     out += "  \"packets\": " + std::to_string(cfg.numPackets) + ",\n";
@@ -151,6 +154,12 @@ main(int argc, char **argv)
                 "flow dispatch: rehash flows off dead engines instead "
                 "of dropping their packets",
                 [&npuCfg]() { npuCfg.flowRehash = true; });
+    parser.optUnsigned("--chip-jobs", "N",
+                       "worker threads for one chip run (bring-up + "
+                       "trial fan-out); results are byte-identical "
+                       "for every value (default 1 = serial, 0 = "
+                       "hardware)",
+                       &npuCfg.chipJobs);
     parser.section("operating point");
     parser.optDouble("--cr", "X",
                      "relative cycle time (1, 0.75, 0.5, 0.25)",
