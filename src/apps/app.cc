@@ -8,6 +8,7 @@
 #include "apps/md5.hh"
 #include "apps/nat.hh"
 #include "apps/route.hh"
+#include "apps/session.hh"
 #include "apps/tl.hh"
 #include "apps/url.hh"
 #include "common/logging.hh"
@@ -127,7 +128,7 @@ allAppNames()
 const std::vector<std::string> &
 extensionAppNames()
 {
-    static const std::vector<std::string> names = {"adpcm"};
+    static const std::vector<std::string> names = {"adpcm", "session"};
     return names;
 }
 
@@ -150,6 +151,8 @@ makeApp(const std::string &name)
         return std::make_unique<UrlApp>();
     if (name == "adpcm")
         return std::make_unique<AdpcmApp>();
+    if (name == "session")
+        return std::make_unique<SessionApp>();
     fatal("unknown application '%s'", name.c_str());
 }
 

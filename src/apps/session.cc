@@ -1,0 +1,114 @@
+#include "apps/session.hh"
+
+#include "net/checksum.hh"
+
+namespace clumsy::apps
+{
+
+net::TraceConfig
+SessionApp::traceConfig() const
+{
+    net::TraceConfig cfg;
+    cfg.numFlows = 512; // live sessions churning through the table
+    cfg.numDestinations = 256;
+    cfg.minPayload = 32;
+    cfg.maxPayload = 256;
+    cfg.flowZipf = 0.9;
+    cfg.churn.enabled = true;
+    cfg.churn.meanLifetimePackets = 2048.0;
+    return cfg;
+}
+
+void
+SessionApp::initialize(ClumsyProcessor &proc)
+{
+    allocStaging(proc);
+    proc.setCodeRegion(0, 4096);
+    table_ = std::make_unique<SessionTable>(proc, params_.capacity,
+                                            params_.timeoutPackets);
+    clock_ = 0;
+}
+
+void
+SessionApp::processPacket(ClumsyProcessor &proc, const net::Packet &pkt,
+                          ValueRecorder &rec)
+{
+    stagePacket(proc, pkt);
+    ++clock_;
+
+    // Host ground truth first, on the packet's own wire fields: the
+    // slot this session *should* occupy, no matter what the timed
+    // loads below return.
+    const SessionTable::FlowKey wireKey{pkt.ip.src, pkt.ip.dst,
+                                        pkt.srcPort, pkt.dstPort,
+                                        pkt.ip.protocol};
+    const SessionTable::LookupResult golden =
+        table_->noteArrival(wireKey, clock_);
+
+    // Parse the 5-tuple through the timed, faulty path.
+    SessionTable::FlowKey key;
+    key.src = loadSrcIp(proc);
+    key.dst = loadDstIp(proc);
+    key.srcPort = bswap16(proc.read16(pktBase() + kSrcPortOff));
+    key.dstPort = bswap16(proc.read16(pktBase() + kDstPortOff));
+    key.proto = proc.read8(pktBase() + 9);
+    proc.execute(10);
+    if (proc.fatalOccurred())
+        return;
+    rec.record("src_addr", key.src);
+
+    const SessionTable::LookupResult r =
+        table_->lookup(proc, key, clock_, &rec, "session_probe");
+    if (proc.fatalOccurred())
+        return;
+    rec.record("session_slot", r.slot);
+    rec.record("session_created", r.created ? 1 : 0);
+    rec.record("session_evicted", r.evicted ? 1 : 0);
+    if (r.slot == SessionTable::kNoSlot)
+        return; // probe window full of live strangers: drop
+
+    // Per-session accounting in simulated memory.
+    const std::uint32_t len = loadPayloadLen(proc);
+    proc.execute(2);
+    table_->account(proc, r.slot, len);
+    rec.record("session_pkts", table_->loadPktCount(proc, r.slot));
+    rec.record("session_bytes", table_->loadByteCount(proc, r.slot));
+    if (proc.fatalOccurred())
+        return;
+
+    // Stateful NAT rewrite: the session's public address and port
+    // replace the private source; the checksum is patched for the two
+    // 16-bit words of the address that changed (RFC 1624 twice).
+    const std::uint16_t natPort = table_->loadNatPort(proc, r.slot);
+    const std::uint32_t pubIp = SessionTable::publicIpFor(r.slot);
+    const std::uint16_t oldSum = loadChecksum(proc);
+    proc.execute(4);
+    const auto oldHi = static_cast<std::uint16_t>(key.src >> 16);
+    const auto oldLo = static_cast<std::uint16_t>(key.src & 0xffff);
+    const auto newHi = static_cast<std::uint16_t>(pubIp >> 16);
+    const auto newLo = static_cast<std::uint16_t>(pubIp & 0xffff);
+    std::uint16_t sum = net::incrementalChecksum(oldSum, oldHi, newHi);
+    sum = net::incrementalChecksum(sum, oldLo, newLo);
+    proc.execute(10);
+
+    storeSrcIp(proc, pubIp);
+    proc.write16(pktBase() + kSrcPortOff, bswap16(natPort));
+    storeChecksum(proc, sum);
+    proc.execute(4);
+    if (proc.fatalOccurred())
+        return;
+
+    // Read back what actually landed in the header.
+    rec.record("nat_port",
+               bswap16(proc.read16(pktBase() + kSrcPortOff)));
+    rec.record("translated_ip", loadSrcIp(proc));
+    proc.execute(4);
+
+    // Untimed audit of the slot the session should own (keyed by the
+    // host mirror so corrupted loads cannot steer it).
+    if (golden.slot != SessionTable::kNoSlot)
+        rec.record("initialization",
+                   table_->auditEntry(proc, golden.slot));
+}
+
+} // namespace clumsy::apps

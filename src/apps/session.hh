@@ -1,0 +1,66 @@
+/**
+ * @file
+ * session: stateful connection tracking / stateful NAT.
+ *
+ * Every packet is matched to its session in the bounded SessionTable
+ * by 5-tuple; first packets create the session, idle sessions are
+ * evicted on timeout, and each session carries per-flow counters and
+ * a NAT rewrite (source address + port) in simulated, faultable
+ * memory. Unlike the stateless paper workloads, a single fault in a
+ * session record keeps corrupting every later packet of that flow —
+ * the workload makes long-lived state the fault surface. Runs under
+ * the churn traffic model by default, so sessions genuinely open,
+ * idle out and get evicted.
+ *
+ * Marked values: "src_addr", the probed "session_probe" slots, the
+ * final "session_slot", "session_created"/"session_evicted" flags,
+ * the per-session "session_pkts"/"session_bytes" counters, the
+ * "nat_port" and "translated_ip" written back, and "initialization"
+ * (audit of the slot the packet's session should own).
+ */
+
+#ifndef CLUMSY_APPS_SESSION_HH
+#define CLUMSY_APPS_SESSION_HH
+
+#include <memory>
+
+#include "apps/app.hh"
+#include "apps/tables.hh"
+
+namespace clumsy::apps
+{
+
+/** Session-table knobs (CLI: --session-capacity/--session-timeout). */
+struct SessionParams
+{
+    std::uint32_t capacity = 1024;
+    std::uint32_t timeoutPackets = 4096;
+};
+
+/** The stateful session-tracking workload. */
+class SessionApp : public BaseApp
+{
+  public:
+    explicit SessionApp(SessionParams params = {}) : params_(params) {}
+
+    std::string name() const override { return "session"; }
+
+    net::TraceConfig traceConfig() const override;
+
+    void initialize(ClumsyProcessor &proc) override;
+
+    void processPacket(ClumsyProcessor &proc, const net::Packet &pkt,
+                       ValueRecorder &rec) override;
+
+    /** The table (tests/inspection). */
+    const SessionTable &table() const { return *table_; }
+
+  private:
+    SessionParams params_;
+    std::unique_ptr<SessionTable> table_;
+    std::uint32_t clock_ = 0; ///< arrival ordinal (host-side)
+};
+
+} // namespace clumsy::apps
+
+#endif // CLUMSY_APPS_SESSION_HH

@@ -241,6 +241,178 @@ NatTable::auditChecksum(const core::ClumsyProcessor &proc,
     return f.h;
 }
 
+// --- SessionTable ---------------------------------------------------
+
+SessionTable::SessionTable(core::ClumsyProcessor &proc,
+                           std::uint32_t capacity,
+                           std::uint32_t timeoutPackets)
+    : capacity_(capacity), timeout_(timeoutPackets), mirror_(capacity)
+{
+    CLUMSY_ASSERT(capacity_ > 0, "session table needs capacity");
+    CLUMSY_ASSERT(timeout_ > 0, "session timeout must be >= 1");
+    base_ = proc.alloc(capacity_ * kEntryBytes, 4);
+    // The table boots empty: a zero occupied word marks a free slot.
+    std::vector<std::uint8_t> zeros(capacity_ * kEntryBytes, 0);
+    proc.dmaWrite(base_, zeros.data(),
+                  static_cast<SimSize>(zeros.size()));
+}
+
+std::uint32_t
+SessionTable::hashKey(const FlowKey &key) const
+{
+    Fnv f;
+    f.mix(key.src);
+    f.mix(key.dst);
+    f.mix(static_cast<std::uint32_t>(key.srcPort) << 16 | key.dstPort);
+    f.mix(key.proto);
+    return static_cast<std::uint32_t>(f.h % capacity_);
+}
+
+SessionTable::LookupResult
+SessionTable::lookup(core::ClumsyProcessor &proc, const FlowKey &key,
+                     std::uint32_t now, core::ValueRecorder *rec,
+                     const std::string &recKey)
+{
+    const std::uint32_t home = hashKey(key);
+    const std::uint32_t portWord =
+        static_cast<std::uint32_t>(key.srcPort) << 16 | key.dstPort;
+    const std::uint32_t protoWord =
+        static_cast<std::uint32_t>(key.proto) << 16 | 0x1u;
+
+    auto install = [&](std::uint32_t slot) {
+        const SimAddr e = entryAddr(slot);
+        proc.write32(e + 0, key.src);
+        proc.write32(e + 4, key.dst);
+        proc.write32(e + 8, portWord);
+        proc.write32(e + 12, protoWord);
+        proc.write32(e + 16, natPortFor(slot));
+        proc.write32(e + 20, now);
+        proc.write32(e + 24, 0);
+        proc.write32(e + 28, 0);
+        proc.execute(20);
+    };
+
+    for (std::uint32_t i = 0; i < kMaxProbes; ++i) {
+        const std::uint32_t slot = (home + i) % capacity_;
+        if (rec)
+            rec->record(recKey, slot);
+        const SimAddr e = entryAddr(slot);
+        const std::uint32_t state = proc.read32(e + 12);
+        proc.execute(3);
+        if ((state & 0x1u) == 0) {
+            // Free slot: the session starts here.
+            install(slot);
+            return {slot, true, false};
+        }
+        const std::uint32_t seen = proc.read32(e + 20);
+        proc.execute(2);
+        if (now - seen > timeout_) {
+            // The incumbent timed out: evict it in place. (Unsigned
+            // wrap on a corrupted clock reads as expired — one more
+            // way a fault surfaces as a wrong slot assignment.)
+            install(slot);
+            return {slot, true, true};
+        }
+        const std::uint32_t src = proc.read32(e + 0);
+        const std::uint32_t dst = proc.read32(e + 4);
+        const std::uint32_t ports = proc.read32(e + 8);
+        proc.execute(6);
+        if (src == key.src && dst == key.dst && ports == portWord &&
+            state == protoWord) {
+            // Live match: refresh the idle clock.
+            proc.write32(e + 20, now);
+            proc.execute(3);
+            return {slot, false, false};
+        }
+        if (proc.fatalOccurred())
+            return {kNoSlot, false, false};
+    }
+    // Probe window exhausted by live strangers: drop the packet.
+    return {kNoSlot, false, false};
+}
+
+void
+SessionTable::account(core::ClumsyProcessor &proc, std::uint32_t slot,
+                      std::uint32_t bytes)
+{
+    const SimAddr e = entryAddr(slot);
+    proc.write32(e + 24, proc.read32(e + 24) + 1);
+    proc.write32(e + 28, proc.read32(e + 28) + bytes);
+    proc.execute(6);
+}
+
+std::uint16_t
+SessionTable::loadNatPort(core::ClumsyProcessor &proc,
+                          std::uint32_t slot) const
+{
+    proc.execute(2);
+    return static_cast<std::uint16_t>(proc.read32(entryAddr(slot) + 16));
+}
+
+std::uint32_t
+SessionTable::loadPktCount(core::ClumsyProcessor &proc,
+                           std::uint32_t slot) const
+{
+    proc.execute(2);
+    return proc.read32(entryAddr(slot) + 24);
+}
+
+std::uint32_t
+SessionTable::loadByteCount(core::ClumsyProcessor &proc,
+                            std::uint32_t slot) const
+{
+    proc.execute(2);
+    return proc.read32(entryAddr(slot) + 28);
+}
+
+std::uint64_t
+SessionTable::auditEntry(const core::ClumsyProcessor &proc,
+                         std::uint32_t slot) const
+{
+    Fnv f;
+    const SimAddr e = entryAddr(slot);
+    for (SimSize off = 0; off < kEntryBytes; off += 4)
+        f.mix(proc.peek32(e + off));
+    return f.h;
+}
+
+SessionTable::LookupResult
+SessionTable::noteArrival(const FlowKey &key, std::uint32_t now)
+{
+    // The same probe sequence and expiry rule as lookup(), on host
+    // state the injector cannot touch.
+    const std::uint32_t home = hashKey(key);
+    auto sameKey = [&](const HostEntry &h) {
+        return h.key.src == key.src && h.key.dst == key.dst &&
+               h.key.srcPort == key.srcPort &&
+               h.key.dstPort == key.dstPort && h.key.proto == key.proto;
+    };
+    for (std::uint32_t i = 0; i < kMaxProbes; ++i) {
+        const std::uint32_t slot = (home + i) % capacity_;
+        HostEntry &h = mirror_[slot];
+        if (!h.used) {
+            h.used = true;
+            h.key = key;
+            h.lastSeen = now;
+            ++hostCreated_;
+            return {slot, true, false};
+        }
+        if (now - h.lastSeen > timeout_) {
+            h.key = key;
+            h.lastSeen = now;
+            ++hostCreated_;
+            ++hostEvicted_;
+            return {slot, true, true};
+        }
+        if (sameKey(h)) {
+            h.lastSeen = now;
+            return {slot, false, false};
+        }
+    }
+    ++hostDropped_;
+    return {kNoSlot, false, false};
+}
+
 // --- UrlTable -------------------------------------------------------
 
 UrlTable::UrlTable(core::ClumsyProcessor &proc,

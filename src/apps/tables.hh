@@ -223,6 +223,136 @@ class UrlTable
     std::uint32_t count_ = 0;
 };
 
+/**
+ * Bounded connection-tracking session table (the "session" workload):
+ * an open-addressed hash table of 32-byte session records in simulated
+ * memory, with timeout-driven eviction — the state machinery of a
+ * stateful NAT / firewall. Layout per entry (word offsets):
+ *   +0  source IP       +4  destination IP
+ *   +8  srcPort<<16|dstPort   +12 proto<<16|occupied
+ *   +16 assigned NAT port     +20 last-seen packet clock
+ *   +24 session packet count  +28 session byte count
+ * Lookups probe linearly over at most kMaxProbes slots, creating the
+ * session on first sight, evicting in place when the incumbent's
+ * last-seen clock has timed out, and dropping the packet when the
+ * probe window is full of live strangers. A host-side mirror runs the
+ * identical algorithm on wire-truth fields, giving golden slot
+ * assignments that corrupted loads cannot skew.
+ */
+class SessionTable
+{
+  public:
+    static constexpr SimSize kEntryBytes = 32;
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+    static constexpr std::uint32_t kMaxProbes = 64;
+
+    /** The 5-tuple identifying a session. */
+    struct FlowKey
+    {
+        std::uint32_t src = 0;
+        std::uint32_t dst = 0;
+        std::uint16_t srcPort = 0;
+        std::uint16_t dstPort = 0;
+        std::uint8_t proto = 0;
+    };
+
+    /** Outcome of one lookup (simulated or mirrored). */
+    struct LookupResult
+    {
+        std::uint32_t slot = kNoSlot;
+        bool created = false; ///< installed a fresh session
+        bool evicted = false; ///< ... into a timed-out incumbent's slot
+    };
+
+    /**
+     * @param capacity number of slots; @param timeoutPackets sessions
+     * idle longer than this (in arrival-clock ticks) are evictable.
+     */
+    SessionTable(core::ClumsyProcessor &proc, std::uint32_t capacity,
+                 std::uint32_t timeoutPackets);
+
+    /**
+     * Find or create the session for @p key at arrival clock @p now,
+     * through timed accesses; probed slots are recorded under
+     * @p recKey (the session analogue of "radix_node").
+     */
+    LookupResult lookup(core::ClumsyProcessor &proc, const FlowKey &key,
+                        std::uint32_t now,
+                        core::ValueRecorder *rec = nullptr,
+                        const std::string &recKey = {});
+
+    /** Charge one packet of @p bytes to the session (timed RMW). */
+    void account(core::ClumsyProcessor &proc, std::uint32_t slot,
+                 std::uint32_t bytes);
+
+    /** Deterministic NAT port assigned to a slot's session. */
+    static std::uint16_t natPortFor(std::uint32_t slot)
+    {
+        return static_cast<std::uint16_t>(10000u + slot % 50000u);
+    }
+
+    /** Deterministic public address for a slot (203.0.113.x). */
+    static std::uint32_t publicIpFor(std::uint32_t slot)
+    {
+        return 0xcb007100u | (slot & 0xffu);
+    }
+
+    /** Timed load of the slot's assigned NAT port. */
+    std::uint16_t loadNatPort(core::ClumsyProcessor &proc,
+                              std::uint32_t slot) const;
+
+    /** Timed load of the slot's packet counter. */
+    std::uint32_t loadPktCount(core::ClumsyProcessor &proc,
+                               std::uint32_t slot) const;
+
+    /** Timed load of the slot's byte counter. */
+    std::uint32_t loadByteCount(core::ClumsyProcessor &proc,
+                                std::uint32_t slot) const;
+
+    /** Untimed hash of one slot's eight words (peek-based). */
+    std::uint64_t auditEntry(const core::ClumsyProcessor &proc,
+                             std::uint32_t slot) const;
+
+    /**
+     * Host-side ground truth: run the identical lookup algorithm on
+     * the packet's wire-truth key. Must be called exactly once per
+     * packet, before the timed lookup, with fields taken from the
+     * net::Packet itself.
+     */
+    LookupResult noteArrival(const FlowKey &key, std::uint32_t now);
+
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint32_t timeoutPackets() const { return timeout_; }
+
+    /** Mirror counters (ground truth for the divergence tests). */
+    std::uint64_t hostCreated() const { return hostCreated_; }
+    std::uint64_t hostEvicted() const { return hostEvicted_; }
+    std::uint64_t hostDropped() const { return hostDropped_; }
+
+  private:
+    SimAddr entryAddr(std::uint32_t slot) const
+    {
+        return base_ + slot * kEntryBytes;
+    }
+
+    std::uint32_t hashKey(const FlowKey &key) const;
+
+    struct HostEntry
+    {
+        FlowKey key;
+        std::uint32_t lastSeen = 0;
+        bool used = false;
+    };
+
+    SimAddr base_ = 0;
+    std::uint32_t capacity_ = 0;
+    std::uint32_t timeout_ = 0;
+    std::vector<HostEntry> mirror_;
+    std::uint64_t hostCreated_ = 0;
+    std::uint64_t hostEvicted_ = 0;
+    std::uint64_t hostDropped_ = 0;
+};
+
 } // namespace clumsy::apps
 
 #endif // CLUMSY_APPS_TABLES_HH

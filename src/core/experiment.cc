@@ -4,9 +4,27 @@
 #include <map>
 
 #include "common/logging.hh"
+#include "traffic/traffic.hh"
 
 namespace clumsy::core
 {
+
+namespace
+{
+
+/** FNV-1a over a byte range (the recorder's rolling digest). */
+std::uint64_t
+fnvBytes(std::uint64_t h, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace
 
 std::string
 to_string(FaultPlane plane)
@@ -25,15 +43,25 @@ to_string(FaultPlane plane)
 void
 ValueRecorder::beginPacket()
 {
-    packets_.emplace_back();
+    // A frame marker in the digest separates consecutive packets, so
+    // moving a value across a frame boundary changes the digest even
+    // though the byte stream of keys and values would not.
+    const std::uint64_t mark = 0xf4a3e0ull;
+    digest_ = fnvBytes(digest_, &mark, sizeof mark);
+    ++framesBegun_;
+    if (mode_ == Mode::Full)
+        packets_.emplace_back();
 }
 
 void
 ValueRecorder::record(const std::string &key, std::uint64_t value)
 {
-    CLUMSY_ASSERT(!packets_.empty(),
+    CLUMSY_ASSERT(framesBegun_ > 0,
                   "record() before the first beginPacket()");
-    packets_.back().emplace_back(key, value);
+    digest_ = fnvBytes(digest_, key.data(), key.size());
+    digest_ = fnvBytes(digest_, &value, sizeof value);
+    if (mode_ == Mode::Full)
+        packets_.back().emplace_back(key, value);
 }
 
 std::vector<std::string>
@@ -47,6 +75,8 @@ std::vector<std::string>
 ValueRecorder::comparePacket(std::size_t idx, const ValueRecorder &other,
                              std::size_t otherIdx) const
 {
+    CLUMSY_ASSERT(mode_ == Mode::Full && other.mode_ == Mode::Full,
+                  "comparePacket() needs Full-mode recorders");
     CLUMSY_ASSERT(idx < packets_.size() &&
                       otherIdx < other.packets_.size(),
                   "packet frame out of range");
@@ -95,6 +125,23 @@ makeRunProcessorConfig(const ExperimentConfig &config, bool golden,
     return pc;
 }
 
+net::TraceConfig
+resolveTraceConfig(const ExperimentConfig &config, const PacketApp &app)
+{
+    net::TraceConfig tc = app.traceConfig();
+    tc.seed = config.traceSeed;
+    if (config.traceFlows != 0)
+        tc.numFlows = config.traceFlows;
+    if (config.churnLifetime != 0) {
+        tc.churn.enabled = true;
+        tc.churn.meanLifetimePackets =
+            static_cast<double>(config.churnLifetime);
+    }
+    if (config.flowZipf >= 0.0)
+        tc.flowZipf = config.flowZipf;
+    return tc;
+}
+
 namespace
 {
 
@@ -131,15 +178,14 @@ runOnce(const AppFactory &factory, const ExperimentConfig &config,
     const double initEnergy = proc.totalEnergyPj();
     const double initL1d = proc.l1dEnergyPj();
 
-    net::TraceConfig traceCfg = app->traceConfig();
-    traceCfg.seed = config.traceSeed;
-    net::TraceGenerator gen(traceCfg);
+    const auto src =
+        traffic::makeSource(resolveTraceConfig(config, *app), 0);
 
     proc.setInjectionEnabled(injectData);
     RunMetrics &m = run.metrics;
     m.packetsAttempted = config.numPackets;
     for (std::uint64_t i = 0; i < config.numPackets; ++i) {
-        const net::Packet pkt = gen.next();
+        const net::Packet pkt = src->next();
         if (proc.fatalOccurred())
             break;
         proc.beginPacket();

@@ -43,10 +43,29 @@ enum class FaultPlane
 /** Human-readable plane name. */
 std::string to_string(FaultPlane plane);
 
-/** Records the per-packet marked values of an application run. */
+/**
+ * Records the per-packet marked values of an application run.
+ *
+ * Full mode (the default) stores every frame so faulty trials can be
+ * compared packet by packet. Digest mode stores nothing: frames fold
+ * into a rolling 64-bit FNV-1a digest, so multi-million-packet
+ * streaming runs (npu::runChipStream, bench/traffic_scale) keep peak
+ * memory independent of packet count. Both modes maintain the digest
+ * over identical bytes, so a Full recorder's digest() equals the
+ * Digest recorder's for the same run.
+ */
 class ValueRecorder
 {
   public:
+    enum class Mode
+    {
+        Full,   ///< store frames (golden-vs-faulty comparison)
+        Digest, ///< rolling digest only, O(1) memory
+    };
+
+    ValueRecorder() = default;
+    explicit ValueRecorder(Mode mode) : mode_(mode) {}
+
     /** Start the frame for the next packet. */
     void beginPacket();
 
@@ -54,7 +73,13 @@ class ValueRecorder
     void record(const std::string &key, std::uint64_t value);
 
     /** Number of packet frames recorded. */
-    std::size_t packetCount() const { return packets_.size(); }
+    std::size_t packetCount() const { return framesBegun_; }
+
+    /** The mode this recorder runs in. */
+    Mode mode() const { return mode_; }
+
+    /** Rolling FNV-1a digest over frame marks, keys and values. */
+    std::uint64_t digest() const { return digest_; }
 
     /**
      * Compare one packet frame against another recorder's same frame.
@@ -78,6 +103,9 @@ class ValueRecorder
   private:
     using Frame = std::vector<std::pair<std::string, std::uint64_t>>;
     std::vector<Frame> packets_;
+    Mode mode_ = Mode::Full;
+    std::size_t framesBegun_ = 0;
+    std::uint64_t digest_ = 0xcbf29ce484222325ull; ///< FNV offset basis
 };
 
 /** Interface every NetBench-style workload implements. */
@@ -130,6 +158,24 @@ struct ExperimentConfig
     /** Fault-rate multiplier (1 = the paper's rates). */
     double faultScale = 1.0;
 
+    // Traffic-model overrides (sweep axes flows= / churn=; applied
+    // over the app's own traceConfig() by resolveTraceConfig()):
+
+    /**
+     * Flow population override (0 = the app's default). Under churn
+     * this is the *live* population; flows churn through it.
+     */
+    std::uint32_t traceFlows = 0;
+
+    /**
+     * Mean flow lifetime in packets; a nonzero value forces the churn
+     * model on with this lifetime (0 = the app's own churn setting).
+     */
+    std::uint64_t churnLifetime = 0;
+
+    /** Flow-popularity Zipf skew override (< 0 = the app's default). */
+    double flowZipf = -1.0;
+
     /** Template for the processors built by the harness. */
     ProcessorConfig processor;
 };
@@ -174,6 +220,17 @@ struct GoldenRecord
  */
 ProcessorConfig makeRunProcessorConfig(const ExperimentConfig &config,
                                        bool golden, unsigned trial);
+
+/**
+ * The trace configuration a run actually generates from: the app's
+ * traceConfig() with the experiment's seed and traffic-model
+ * overrides (flows / churn lifetime / flow Zipf) applied. Both
+ * harnesses (single-core and chip) build their traffic::PacketSource
+ * from this, so golden, faulty, sim and npu runs of one experiment
+ * replay the identical stream.
+ */
+net::TraceConfig resolveTraceConfig(const ExperimentConfig &config,
+                                    const PacketApp &app);
 
 /** Execute the golden (injection-disabled) run for one experiment. */
 GoldenRecord runGolden(const AppFactory &factory,

@@ -19,6 +19,40 @@ const char *const kUrlStems[] = {
 
 } // namespace
 
+void
+TraceConfig::validate() const
+{
+    if (numFlows == 0)
+        fatal("trace flows must be >= 1 (numFlows=0)");
+    if (numDestinations == 0)
+        fatal("trace needs at least one destination "
+              "(numDestinations=0)");
+    if (minPayload > maxPayload)
+        fatal("payload bounds inverted (min %u > max %u)", minPayload,
+              maxPayload);
+    if (destZipf < 0.0)
+        fatal("destination Zipf exponent must be >= 0, got %g",
+              destZipf);
+    if (flowZipf < 0.0)
+        fatal("flow Zipf exponent must be >= 0, got %g", flowZipf);
+    if (httpPayloads && numUrls == 0)
+        fatal("HTTP payloads need at least one URL (numUrls=0)");
+    if (churn.meanLifetimePackets < 1.0)
+        fatal("mean flow lifetime must be >= 1 packet, got %g",
+              churn.meanLifetimePackets);
+    if (churn.burstAlpha <= 0.0)
+        fatal("burst tail exponent must be > 0, got %g",
+              churn.burstAlpha);
+    if (churn.minBurst == 0)
+        fatal("min burst must be >= 1 packet");
+    if (churn.offGapFactor < 0.0)
+        fatal("off-gap factor must be >= 0, got %g",
+              churn.offGapFactor);
+    if (churn.rampStartFactor <= 0.0)
+        fatal("ramp start factor must be > 0, got %g",
+              churn.rampStartFactor);
+}
+
 std::vector<std::uint32_t>
 TraceGenerator::makeDestPool(const TraceConfig &config)
 {
@@ -52,45 +86,42 @@ TraceGenerator::makeUrlPool(const TraceConfig &config)
 TraceGenerator::TraceGenerator(TraceConfig config)
     : config_(config), rng_(config.seed)
 {
-    CLUMSY_ASSERT(config_.numFlows > 0 && config_.numDestinations > 0,
-                  "trace needs flows and destinations");
-    CLUMSY_ASSERT(config_.minPayload <= config_.maxPayload,
-                  "payload bounds inverted");
+    config_.validate();
 
     destPool_ = makeDestPool(config_);
 
     flows_.reserve(config_.numFlows);
-    for (std::uint32_t i = 0; i < config_.numFlows; ++i) {
-        Flow f;
-        // Private 10/8 sources (what NAT translates).
-        f.src = 0x0a000000u |
-                (static_cast<std::uint32_t>(rng_.next()) & 0x00ffffffu);
-        const auto destIdx = rng_.zipf(destPool_.size(), config_.destZipf);
-        f.dst = destPool_[destIdx - 1];
-        f.srcPort = static_cast<std::uint16_t>(1024 + rng_.below(60000));
-        f.dstPort = rng_.bernoulli(0.6)
-                        ? 80
-                        : static_cast<std::uint16_t>(1 + rng_.below(1023));
-        f.protocol = rng_.bernoulli(0.7)
-                         ? static_cast<std::uint8_t>(IpProto::Tcp)
-                         : static_cast<std::uint8_t>(IpProto::Udp);
-        flows_.push_back(f);
-    }
+    for (std::uint32_t i = 0; i < config_.numFlows; ++i)
+        flows_.push_back(drawFlow(rng_));
 
     if (config_.httpPayloads)
         urlPool_ = makeUrlPool(config_);
 }
 
+FlowTuple
+TraceGenerator::drawFlow(Rng &rng) const
+{
+    FlowTuple f;
+    // Private 10/8 sources (what NAT translates).
+    f.src = 0x0a000000u |
+            (static_cast<std::uint32_t>(rng.next()) & 0x00ffffffu);
+    const auto destIdx = rng.zipf(destPool_.size(), config_.destZipf);
+    f.dst = destPool_[destIdx - 1];
+    f.srcPort = static_cast<std::uint16_t>(1024 + rng.below(60000));
+    f.dstPort = rng.bernoulli(0.6)
+                    ? 80
+                    : static_cast<std::uint16_t>(1 + rng.below(1023));
+    f.protocol = rng.bernoulli(0.7)
+                     ? static_cast<std::uint8_t>(IpProto::Tcp)
+                     : static_cast<std::uint8_t>(IpProto::Udp);
+    return f;
+}
+
 Packet
-TraceGenerator::next()
+TraceGenerator::emit(const FlowTuple &flow)
 {
     Packet pkt;
     pkt.seq = seq_++;
-
-    // Pick a flow with Zipf popularity (hot flows dominate, as in
-    // real traces).
-    const auto flowIdx = rng_.zipf(flows_.size(), 0.8) - 1;
-    const Flow &flow = flows_[flowIdx];
 
     pkt.ip.src = flow.src;
     pkt.ip.dst = flow.dst;
@@ -121,6 +152,15 @@ TraceGenerator::next()
     const auto hdr = pkt.ip.toBytes();
     pkt.ip.checksum = internetChecksum(hdr.data(), hdr.size());
     return pkt;
+}
+
+Packet
+TraceGenerator::next()
+{
+    // Pick a flow with Zipf popularity (hot flows dominate, as in
+    // real traces).
+    const auto flowIdx = rng_.zipf(flows_.size(), config_.flowZipf) - 1;
+    return emit(flows_[flowIdx]);
 }
 
 std::vector<Packet>

@@ -63,16 +63,27 @@ fromHex(const std::string &hex, std::size_t lineNo)
 } // namespace
 
 void
-writeTrace(std::ostream &os, const std::vector<Packet> &trace)
+writeTraceHeader(std::ostream &os)
 {
     os << kMagic << '\n';
-    for (const Packet &p : trace) {
-        os << std::dec << p.seq << ' ' << std::hex << p.ip.src << ' '
-           << p.ip.dst << ' ' << static_cast<unsigned>(p.ip.ttl) << ' '
-           << p.ip.id << ' ' << static_cast<unsigned>(p.ip.protocol)
-           << ' ' << p.srcPort << ' ' << p.dstPort << ' '
-           << toHex(p.payload) << '\n';
-    }
+}
+
+void
+writePacket(std::ostream &os, const Packet &p)
+{
+    os << std::dec << p.seq << ' ' << std::hex << p.ip.src << ' '
+       << p.ip.dst << ' ' << static_cast<unsigned>(p.ip.ttl) << ' '
+       << p.ip.id << ' ' << static_cast<unsigned>(p.ip.protocol) << ' '
+       << p.srcPort << ' ' << p.dstPort << ' ' << toHex(p.payload)
+       << '\n';
+}
+
+void
+writeTrace(std::ostream &os, const std::vector<Packet> &trace)
+{
+    writeTraceHeader(os);
+    for (const Packet &p : trace)
+        writePacket(os, p);
 }
 
 void

@@ -25,6 +25,16 @@
 namespace clumsy::net
 {
 
+/**
+ * Write the `clumsy-trace v1` header line. Streaming writers emit
+ * this once, then one writePacket() per packet, so a multi-million
+ * packet dump never holds the trace in memory.
+ */
+void writeTraceHeader(std::ostream &os);
+
+/** Serialize one packet record (one line). */
+void writePacket(std::ostream &os, const Packet &p);
+
 /** Serialize a trace to a stream. */
 void writeTrace(std::ostream &os, const std::vector<Packet> &trace);
 

@@ -12,6 +12,7 @@
 #include "npu/dispatcher.hh"
 #include "npu/event_queue.hh"
 #include "npu/shared_l2.hh"
+#include "traffic/traffic.hh"
 
 namespace clumsy::npu
 {
@@ -73,9 +74,12 @@ constexpr std::uint64_t kPeSeedStride = 0x6a09e667f3bcc909ull;
 ChipRun
 runChipOnce(const core::AppFactory &factory,
             const core::ExperimentConfig &config, const NpuConfig &npu,
-            bool golden, unsigned trial, const ChipRun *goldenRef)
+            bool golden, unsigned trial, const ChipRun *goldenRef,
+            bool stream = false)
 {
     npu.validate(config.processor.hierarchy);
+    CLUMSY_ASSERT(!stream || goldenRef == nullptr,
+                  "streaming runs cannot compare against a reference");
 
     const bool injectControl =
         !golden && config.plane != core::FaultPlane::DataOnly;
@@ -86,7 +90,10 @@ runChipOnce(const core::AppFactory &factory,
                       cyclesToQuanta(npu.portMissCycles), npu.mshrs);
 
     ChipRun run;
-    run.recorders.resize(npu.peCount);
+    run.recorders.assign(
+        npu.peCount,
+        core::ValueRecorder(stream ? core::ValueRecorder::Mode::Digest
+                                   : core::ValueRecorder::Mode::Full));
 
     // Build and initialize every engine. The control plane runs with
     // the L2 private (boot-time table construction is not the
@@ -185,19 +192,22 @@ runChipOnce(const core::AppFactory &factory,
             engines[pe].proc->setL2Backend(views[pe]);
     }
 
-    net::TraceConfig traceCfg = engines[0].app->traceConfig();
-    traceCfg.seed = config.traceSeed;
-    net::TraceGenerator gen(traceCfg);
+    // The arrival stream: a traffic source owns both the packet bytes
+    // and each packet's arrival time (static gaps or the churn model's
+    // ramped/bursty gaps), quantized here onto the chip timeline.
+    const auto src = traffic::makeSource(
+        core::resolveTraceConfig(config, *engines[0].app),
+        npu.arrivalGapCycles);
 
     Dispatcher disp(npu.dispatch, npu.peCount, npu.flowRehash);
     std::vector<Histogram> occ(
         npu.peCount, Histogram(0.0, npu.queueCapacity + 1.0,
                                npu.queueCapacity + 1));
 
-    const Quanta gapQ = cyclesToQuanta(npu.arrivalGapCycles);
-    std::uint64_t nextSeq = 0;
+    std::uint64_t generated = 0;
     bool havePending = false;
     net::Packet pending;
+    Quanta pendingArrival = 0;
 
     core::RunMetrics &merged = run.merged;
     std::uint64_t completed = 0;
@@ -285,6 +295,8 @@ runChipOnce(const core::AppFactory &factory,
             events.erase(pe);
         else
             events.update(pe, e.dataTime());
+        if (stream)
+            return; // no per-sequence bookkeeping: O(1) memory
         // A trace sequence number must complete exactly once, no
         // matter how backpressure re-arbitration shuffles arrivals.
         const bool freshSeq =
@@ -317,29 +329,27 @@ runChipOnce(const core::AppFactory &factory,
             events.empty() ? -1 : static_cast<int>(events.top());
         const Quanta stepDt = events.empty() ? 0 : events.topKey();
 
-        const bool arrivalsLeft =
-            havePending || nextSeq < config.numPackets;
-        if (!arrivalsLeft && stepPe < 0)
+        // Pull the next arrival eagerly: its timestamp comes from the
+        // source (the churn model only knows a packet's arrival once
+        // it has drawn the packet), and it stays pending until some
+        // engine accepts it.
+        if (!havePending && generated < config.numPackets) {
+            pending = src->next();
+            pendingArrival = cyclesToQuanta(src->lastArrivalCycles());
+            havePending = true;
+            ++generated;
+        }
+        if (!havePending && stepPe < 0)
             break;
 
-        bool doDispatch = false;
-        if (arrivalsLeft) {
-            const std::uint64_t seq =
-                havePending ? pending.seq : nextSeq;
-            const Quanta arrival = static_cast<Quanta>(seq) * gapQ;
-            doDispatch = stepPe < 0 || arrival <= stepDt;
-        }
+        const bool doDispatch =
+            havePending && (stepPe < 0 || pendingArrival <= stepDt);
 
         if (!doDispatch) {
             processOne(static_cast<unsigned>(stepPe));
             continue;
         }
 
-        if (!havePending) {
-            pending = gen.next();
-            havePending = true;
-            ++nextSeq;
-        }
         for (unsigned pe = 0; pe < npu.peCount; ++pe) {
             depths[pe] =
                 static_cast<unsigned>(engines[pe].queue.size());
@@ -558,6 +568,37 @@ runChipTrial(const core::AppFactory &factory,
     run.recorders.clear();
     run.completions.clear();
     return run;
+}
+
+ChipStreamResult
+runChipStream(const core::AppFactory &factory,
+              const core::ExperimentConfig &config, const NpuConfig &npu,
+              bool golden, unsigned trial)
+{
+    ChipRun run = runChipOnce(factory, config, npu, golden, trial,
+                              nullptr, /*stream=*/true);
+    ChipStreamResult result;
+    result.merged = std::move(run.merged);
+    result.chip = std::move(run.chip);
+    result.peDigests.reserve(run.recorders.size());
+
+    // Fold (digest, packet count) per engine, in PE order. Engines own
+    // their packets regardless of chip-jobs, so the fold is identical
+    // for every worker count.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto fold = [&h](std::uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    };
+    for (const core::ValueRecorder &rec : run.recorders) {
+        result.peDigests.push_back(rec.digest());
+        fold(rec.digest());
+        fold(rec.packetCount());
+    }
+    result.valueDigest = h;
+    return result;
 }
 
 ChipMetrics

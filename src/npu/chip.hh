@@ -164,6 +164,39 @@ struct ChipExperimentResult
 ChipMetrics averageChipMetrics(const std::vector<ChipMetrics> &runs);
 
 /**
+ * Outcome of one O(1)-memory streaming chip run: the usual merged and
+ * chip-level metrics, plus the recorders' rolling digests in place of
+ * stored frames. Two runs that processed identical packets identically
+ * produce equal valueDigest values.
+ */
+struct ChipStreamResult
+{
+    core::RunMetrics merged;
+    ChipMetrics chip;
+
+    /** Order-independent-of-jobs fold of the per-engine digests. */
+    std::uint64_t valueDigest = 0;
+
+    /** Per-engine rolling recorder digests (PE order). */
+    std::vector<std::uint64_t> peDigests;
+};
+
+/**
+ * One chip run in streaming mode: recorders run in Digest mode and no
+ * per-sequence completion map is kept, so peak memory is independent
+ * of config.numPackets — the form bench/traffic_scale uses for
+ * 10M-packet runs. The step loop, engine scheduling, metrics and the
+ * packet stream are exactly runChipGolden/runChipTrial's; only the
+ * O(packets) bookkeeping is gone, which is why golden-vs-faulty
+ * comparison is unavailable here (use the digests to check identity,
+ * not to localize divergence).
+ */
+ChipStreamResult runChipStream(const core::AppFactory &factory,
+                               const core::ExperimentConfig &config,
+                               const NpuConfig &npu, bool golden = true,
+                               unsigned trial = 0);
+
+/**
  * Golden + trials on one chip. With NpuConfig::chipJobs > 1 the
  * engine bring-up horizon and the faulty-trial fan-out run on a
  * worker pool (the factory must then be callable from multiple

@@ -239,6 +239,18 @@ SweepSpec::parse(const std::string &grid)
             for (const std::string &v : values)
                 spec.chipJobs.push_back(static_cast<unsigned>(
                     cli::parseU64("chip-jobs", v)));
+        } else if (key == "flows") {
+            // 0 is the app-default sentinel (what toGridString prints
+            // for an unswept axis), so grids round-trip; the tools'
+            // --flows flag still rejects 0 outright.
+            spec.flows.clear();
+            for (const std::string &v : values)
+                spec.flows.push_back(static_cast<std::uint32_t>(
+                    cli::parseU64("flows", v)));
+        } else if (key == "churn") {
+            spec.churns.clear();
+            for (const std::string &v : values)
+                spec.churns.push_back(cli::parseU64("churn", v));
         } else if (key == "packets") {
             spec.packets = cli::parseU64("packets", scalar());
         } else if (key == "trials") {
@@ -319,6 +331,14 @@ SweepSpec::toGridString() const
            joinDim<unsigned>(chipJobs, [](const unsigned &j) {
                return std::to_string(j);
            });
+    out += ";flows=" +
+           joinDim<std::uint32_t>(flows, [](const std::uint32_t &n) {
+               return std::to_string(n);
+           });
+    out += ";churn=" +
+           joinDim<std::uint64_t>(churns, [](const std::uint64_t &n) {
+               return std::to_string(n);
+           });
     out += ";packets=" + std::to_string(packets);
     out += ";trials=" + std::to_string(trials);
     out += ";seed=" + std::to_string(traceSeed);
@@ -333,7 +353,8 @@ SweepSpec::cellCount() const
            codecs.size() * planes.size() * faultScales.size() *
            peCounts.size() * dispatches.size() * perPeCrs.size() *
            dvsModes.size() * mshrs.size() * l2Modes.size() *
-           arrivalGaps.size() * chipJobs.size();
+           arrivalGaps.size() * chipJobs.size() * flows.size() *
+           churns.size();
 }
 
 std::string
@@ -363,6 +384,13 @@ SweepCell::key() const
         if (chipJobs != 1)
             k += ";chip-jobs=" + std::to_string(chipJobs);
     }
+    // Traffic dimensions apply to both harnesses; they elide at their
+    // 0 (= app default) values so every pre-traffic result file keeps
+    // resuming against unchanged keys.
+    if (flows != 0)
+        k += ";flows=" + std::to_string(flows);
+    if (churn != 0)
+        k += ";churn=" + std::to_string(churn);
     return k;
 }
 
@@ -379,7 +407,8 @@ expand(const SweepSpec &spec)
                       !spec.dvsModes.empty() && !spec.mshrs.empty() &&
                       !spec.l2Modes.empty() &&
                       !spec.arrivalGaps.empty() &&
-                      !spec.chipJobs.empty(),
+                      !spec.chipJobs.empty() && !spec.flows.empty() &&
+                      !spec.churns.empty(),
                   "every grid dimension needs at least one value");
     std::vector<SweepCell> cells;
     cells.reserve(spec.cellCount());
@@ -399,7 +428,9 @@ expand(const SweepSpec &spec)
     for (const unsigned msh : spec.mshrs)
     for (const npu::L2Mode l2m : spec.l2Modes)
     for (const std::int64_t gap : spec.arrivalGaps)
-    for (const unsigned cjobs : spec.chipJobs) {
+    for (const unsigned cjobs : spec.chipJobs)
+    for (const std::uint32_t nflows : spec.flows)
+    for (const std::uint64_t life : spec.churns) {
         SweepCell cell;
         cell.index = cells.size();
         cell.app = app;
@@ -416,6 +447,8 @@ expand(const SweepSpec &spec)
         cell.l2 = l2m;
         cell.arrivalGap = gap;
         cell.chipJobs = cjobs;
+        cell.flows = nflows;
+        cell.churn = life;
         cells.push_back(std::move(cell));
     }
     // clang-format on
@@ -437,6 +470,8 @@ makeConfig(const SweepSpec &spec, const SweepCell &cell)
     cfg.faultScale = cell.faultScale;
     cfg.processor.hierarchy.scheme = cell.scheme;
     cfg.processor.hierarchy.codec = cell.codec;
+    cfg.traceFlows = cell.flows;
+    cfg.churnLifetime = cell.churn;
     return cfg;
 }
 

@@ -94,6 +94,17 @@ struct SweepSpec
      */
     std::vector<unsigned> chipJobs = {1};
 
+    /**
+     * Traffic-model dimensions (src/traffic/): flow-population
+     * overrides (0 = the app's own default) and churn mean flow
+     * lifetimes in packets (0 = the app's own churn setting; nonzero
+     * forces the churn model on). Orthogonal to the harness choice —
+     * both the single-core and chip paths stream from the same
+     * traffic::PacketSource.
+     */
+    std::vector<std::uint32_t> flows = {0};
+    std::vector<std::uint64_t> churns = {0};
+
     // Scalar knobs shared by every cell.
     std::uint64_t packets = 2000;
     unsigned trials = 4;
@@ -104,7 +115,7 @@ struct SweepSpec
      * Parse a grid string (semicolon-separated key=value,value,...
      * pairs). Keys: app, cr, scheme, codec, plane, fault-scale,
      * pes, dispatch, per-pe-cr, dvs, mshrs, l2, gap, chip-jobs,
-     * packets, trials, seed, fault-seed.
+     * flows, churn, packets, trials, seed, fault-seed.
      * "app=all" / "scheme=all" expand to the full sets. fatal()s on
      * unknown keys or values.
      */
@@ -138,6 +149,8 @@ struct SweepCell
     npu::L2Mode l2 = npu::L2Mode::Private;
     std::int64_t arrivalGap = 0; ///< inter-arrival gap, base cycles
     unsigned chipJobs = 1;       ///< chip-run worker threads
+    std::uint32_t flows = 0;     ///< flow override (0 = app default)
+    std::uint64_t churn = 0;     ///< mean flow lifetime (0 = app's own)
 
     /**
      * @return true when the cell needs the chip model: anything but

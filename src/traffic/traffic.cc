@@ -1,0 +1,150 @@
+#include "traffic/traffic.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace clumsy::traffic
+{
+
+namespace
+{
+
+/**
+ * Decorrelates the churn RNG from the packet-body stream RNG (both
+ * derive from the same trace seed): flow births, slot picks and burst
+ * draws must never perturb TTL/id/payload bytes, or a churn-knob
+ * change would silently rewrite every packet body.
+ */
+constexpr std::uint64_t kChurnSeedSalt = 0xf10c4a811ce5eedull;
+
+} // namespace
+
+FlowTable::FlowTable(const net::TraceGenerator &gen, Rng &rng,
+                     const net::ChurnConfig &churn, std::uint32_t slots)
+{
+    CLUMSY_ASSERT(slots > 0, "flow table needs at least one slot");
+    slots_.reserve(slots);
+    for (std::uint32_t i = 0; i < slots; ++i) {
+        FlowSlot s;
+        s.tuple = gen.drawFlow(rng);
+        s.remaining = drawLifetime(rng, churn);
+        slots_.push_back(s);
+        ++opened_;
+    }
+}
+
+std::uint64_t
+FlowTable::drawLifetime(Rng &rng, const net::ChurnConfig &churn)
+{
+    // Geometric on {1, 2, ...} via inversion: success probability
+    // p = 1/mean gives mean `mean`. mean <= 1 degenerates to L = 1.
+    const double mean = churn.meanLifetimePackets;
+    const double u = rng.uniform();
+    if (mean <= 1.0)
+        return 1;
+    const double p = 1.0 / mean;
+    const double draws = std::log1p(-u) / std::log1p(-p);
+    if (draws >= 1e18) // guard the cast; astronomically rare
+        return static_cast<std::uint64_t>(1e18);
+    return 1 + static_cast<std::uint64_t>(draws);
+}
+
+bool
+FlowTable::consume(std::size_t slot, const net::TraceGenerator &gen,
+                   Rng &rng, const net::ChurnConfig &churn)
+{
+    FlowSlot &s = slots_[slot];
+    CLUMSY_ASSERT(s.remaining > 0, "consuming a closed flow");
+    if (--s.remaining > 0)
+        return false;
+    ++closed_;
+    s.tuple = gen.drawFlow(rng);
+    s.remaining = drawLifetime(rng, churn);
+    ++opened_;
+    return true;
+}
+
+ChurnSource::ChurnSource(const net::TraceConfig &config,
+                         std::int64_t nominalGapCycles)
+    : gen_(config), churnRng_(config.seed ^ kChurnSeedSalt),
+      flows_(gen_, churnRng_, config.churn, config.numFlows),
+      slotPackets_(config.numFlows, 0), nominalGap_(nominalGapCycles)
+{
+}
+
+std::uint64_t
+ChurnSource::drawBurst(Rng &rng, const net::ChurnConfig &churn)
+{
+    // Discrete Pareto: ccdf P[B > x] ~ (minBurst / x)^alpha. u is in
+    // [0, 1), so 1-u is in (0, 1] and the scale draw is >= 1.
+    const double u = rng.uniform();
+    const double scale =
+        std::pow(1.0 - u, -1.0 / churn.burstAlpha);
+    const double burst = static_cast<double>(churn.minBurst) * scale;
+    const double cap = 4294967296.0; // 2^32: beyond any real run
+    if (burst >= cap)
+        return static_cast<std::uint64_t>(cap);
+    const auto b = static_cast<std::uint64_t>(burst);
+    return b < churn.minBurst ? churn.minBurst : b;
+}
+
+double
+ChurnSource::rampFactor(std::uint64_t seq) const
+{
+    const net::ChurnConfig &c = gen_.config().churn;
+    if (c.rampPackets == 0 || seq >= c.rampPackets)
+        return 1.0;
+    const double t = static_cast<double>(seq) /
+                     static_cast<double>(c.rampPackets);
+    return c.rampStartFactor + (1.0 - c.rampStartFactor) * t;
+}
+
+net::Packet
+ChurnSource::next()
+{
+    const net::ChurnConfig &churn = gen_.config().churn;
+
+    // ON/OFF burstiness: when the current burst is spent, start a new
+    // one; its first packet sits an OFF gap behind its predecessor.
+    bool burstStart = false;
+    if (burstRemaining_ == 0) {
+        burstRemaining_ = drawBurst(churnRng_, churn);
+        ++counters_.bursts;
+        burstStart = counters_.packets > 0;
+    }
+    --burstRemaining_;
+
+    // Zipf-popular slot pick: rank 1 is the hottest live flow.
+    const auto slot = static_cast<std::size_t>(
+        churnRng_.zipf(flows_.size(), gen_.config().flowZipf) - 1);
+
+    // The packet the first arrival of the stream lands at t = 0; each
+    // later packet trails its predecessor by the nominal gap scaled
+    // by the warm-up ramp, stretched by the OFF factor at burst
+    // boundaries.
+    if (counters_.packets > 0) {
+        double factor = rampFactor(counters_.packets);
+        if (burstStart)
+            factor *= churn.offGapFactor;
+        arrival_ += static_cast<std::int64_t>(std::llround(
+            static_cast<double>(nominalGap_) * factor));
+    }
+
+    net::Packet pkt = gen_.emit(flows_.tuple(slot));
+    ++slotPackets_[slot];
+    ++counters_.packets;
+    flows_.consume(slot, gen_, churnRng_, churn);
+    return pkt;
+}
+
+std::unique_ptr<PacketSource>
+makeSource(const net::TraceConfig &config, std::int64_t nominalGapCycles)
+{
+    config.validate();
+    if (config.churn.enabled)
+        return std::make_unique<ChurnSource>(config, nominalGapCycles);
+    return std::make_unique<StaticSource>(config, nominalGapCycles);
+}
+
+} // namespace clumsy::traffic

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Streaming, O(1)-memory traffic models layered on net::TraceGenerator
+ * (ROADMAP: "Internet-scale traffic model").
+ *
+ * A PacketSource produces the packet stream a harness consumes —
+ * next() plus the arrival time (base cycles) of the packet it just
+ * produced, which feeds the chip's offered-load gap machinery. Two
+ * models implement it:
+ *
+ *  - StaticSource: the historical static-flow TraceGenerator with
+ *    fixed inter-arrival gaps. Bit-identical to driving the generator
+ *    directly, so every pre-churn golden trace replays unchanged.
+ *
+ *  - ChurnSource: a FlowTable-driven churn model. A fixed array of
+ *    numFlows *live-flow slots* holds the current population; each
+ *    packet picks a slot with Zipf popularity (hot flows dominate),
+ *    and a flow that exhausts its seeded geometric lifetime closes,
+ *    its slot instantly re-opened by a fresh flow — millions of
+ *    distinct flows stream through constant memory. The stream
+ *    alternates heavy-tailed (discrete Pareto) ON bursts with OFF
+ *    gaps, and an optional linear arrival-rate ramp models a link
+ *    warming up. All draws come from a churn RNG separate from the
+ *    packet-body stream RNG, so the model stays deterministic per
+ *    seed at any packet count: golden and faulty runs, and runs at
+ *    different --jobs/--chip-jobs, replay identical sequences.
+ */
+
+#ifndef CLUMSY_TRAFFIC_TRAFFIC_HH
+#define CLUMSY_TRAFFIC_TRAFFIC_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.hh"
+#include "net/trace_gen.hh"
+
+namespace clumsy::traffic
+{
+
+/** Streaming packet source: the contract every harness consumes. */
+class PacketSource
+{
+  public:
+    virtual ~PacketSource() = default;
+
+    /** Produce the next packet of the stream. */
+    virtual net::Packet next() = 0;
+
+    /**
+     * Arrival time, in base cycles, of the packet the last next()
+     * returned (0 before the first call). Non-decreasing.
+     */
+    virtual std::int64_t lastArrivalCycles() const = 0;
+
+    /** The trace configuration in force. */
+    virtual const net::TraceConfig &config() const = 0;
+};
+
+/** The static-flow generator behind the PacketSource contract. */
+class StaticSource final : public PacketSource
+{
+  public:
+    StaticSource(const net::TraceConfig &config,
+                 std::int64_t nominalGapCycles)
+        : gen_(config), gap_(nominalGapCycles)
+    {
+    }
+
+    net::Packet next() override
+    {
+        net::Packet pkt = gen_.next();
+        arrival_ = static_cast<std::int64_t>(pkt.seq) * gap_;
+        return pkt;
+    }
+
+    std::int64_t lastArrivalCycles() const override { return arrival_; }
+
+    const net::TraceConfig &config() const override
+    {
+        return gen_.config();
+    }
+
+  private:
+    net::TraceGenerator gen_;
+    std::int64_t gap_ = 0;
+    std::int64_t arrival_ = 0;
+};
+
+/** One live-flow slot of the churn population. */
+struct FlowSlot
+{
+    net::FlowTuple tuple;
+    std::uint64_t remaining = 0; ///< packets until this flow closes
+};
+
+/**
+ * The live flow population: a fixed array of slots, each holding one
+ * open flow and its remaining lifetime. Slot count never changes —
+ * flows churn *through* the slots — so memory is O(numFlows)
+ * regardless of how many flows ever existed.
+ */
+class FlowTable
+{
+  public:
+    /** Open the initial population (one flow per slot). */
+    FlowTable(const net::TraceGenerator &gen, Rng &rng,
+              const net::ChurnConfig &churn, std::uint32_t slots);
+
+    /** The slot's current flow. */
+    const net::FlowTuple &tuple(std::size_t slot) const
+    {
+        return slots_[slot].tuple;
+    }
+
+    /**
+     * Account one packet against @p slot; when the flow's lifetime is
+     * exhausted, close it and open a fresh flow in place.
+     * @return true when the packet closed the flow (churn event).
+     */
+    bool consume(std::size_t slot, const net::TraceGenerator &gen,
+                 Rng &rng, const net::ChurnConfig &churn);
+
+    std::size_t size() const { return slots_.size(); }
+
+    /** Flows opened so far, including the initial population. */
+    std::uint64_t flowsOpened() const { return opened_; }
+
+    /** Flows that ran out their lifetime and closed. */
+    std::uint64_t flowsClosed() const { return closed_; }
+
+    /**
+     * Draw one geometric flow lifetime (mean churn.meanLifetimePackets,
+     * support >= 1). Exposed for the distribution property tests.
+     */
+    static std::uint64_t drawLifetime(Rng &rng,
+                                      const net::ChurnConfig &churn);
+
+  private:
+    std::vector<FlowSlot> slots_;
+    std::uint64_t opened_ = 0;
+    std::uint64_t closed_ = 0;
+};
+
+/** Stream-level counters a ChurnSource accumulates (all O(1)). */
+struct ChurnCounters
+{
+    std::uint64_t packets = 0;
+    std::uint64_t bursts = 0; ///< ON bursts started
+};
+
+/** The churn traffic model (see the file comment). */
+class ChurnSource final : public PacketSource
+{
+  public:
+    ChurnSource(const net::TraceConfig &config,
+                std::int64_t nominalGapCycles);
+
+    net::Packet next() override;
+
+    std::int64_t lastArrivalCycles() const override { return arrival_; }
+
+    const net::TraceConfig &config() const override
+    {
+        return gen_.config();
+    }
+
+    const FlowTable &flows() const { return flows_; }
+
+    const ChurnCounters &counters() const { return counters_; }
+
+    /**
+     * Packets emitted per population slot. Slot ranks are fixed while
+     * flows churn through them, so these counts follow the configured
+     * Zipf rank-frequency law (the property tests fit its slope).
+     */
+    const std::vector<std::uint64_t> &slotPackets() const
+    {
+        return slotPackets_;
+    }
+
+    /**
+     * Draw one ON-burst length: discrete Pareto with tail exponent
+     * churn.burstAlpha and scale churn.minBurst. Exposed for the
+     * distribution property tests.
+     */
+    static std::uint64_t drawBurst(Rng &rng,
+                                   const net::ChurnConfig &churn);
+
+    /** The ramp's gap multiplier for packet @p seq (>= 1 decaying). */
+    double rampFactor(std::uint64_t seq) const;
+
+  private:
+    net::TraceGenerator gen_; ///< packet bodies (stream RNG)
+    Rng churnRng_;            ///< slot picks, lifetimes, bursts
+    FlowTable flows_;
+    std::vector<std::uint64_t> slotPackets_;
+    ChurnCounters counters_;
+    std::int64_t nominalGap_ = 0;
+    std::int64_t arrival_ = 0;
+    std::uint64_t burstRemaining_ = 0;
+};
+
+/**
+ * Build the source a trace configuration asks for: a ChurnSource when
+ * config.churn.enabled, else a StaticSource. @p nominalGapCycles is
+ * the offered-load inter-arrival gap in base cycles (0 = saturated).
+ */
+std::unique_ptr<PacketSource> makeSource(const net::TraceConfig &config,
+                                         std::int64_t nominalGapCycles);
+
+} // namespace clumsy::traffic
+
+#endif // CLUMSY_TRAFFIC_TRAFFIC_HH

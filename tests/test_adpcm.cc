@@ -17,12 +17,16 @@ using core::ValueRecorder;
 
 TEST(Adpcm, RegisteredAsExtension)
 {
-    EXPECT_EQ(extensionAppNames().size(), 1u);
+    EXPECT_EQ(extensionAppNames().size(), 2u);
     EXPECT_EQ(extensionAppNames()[0], "adpcm");
+    EXPECT_EQ(extensionAppNames()[1], "session");
     EXPECT_EQ(makeApp("adpcm")->name(), "adpcm");
+    EXPECT_EQ(makeApp("session")->name(), "session");
     // The paper's Table I set stays untouched.
-    for (const auto &name : allAppNames())
+    for (const auto &name : allAppNames()) {
         EXPECT_NE(name, "adpcm");
+        EXPECT_NE(name, "session");
+    }
 }
 
 TEST(Adpcm, ReferenceEncoderBasics)

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests of the stateful session workload: the bounded SessionTable
+ * (install, hit, counters, timeout eviction, probe-exhaustion drops,
+ * host-mirror agreement) and the session app under the golden-vs-
+ * faulty harness (divergence, determinism, chip byte-identity).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/session.hh"
+#include "apps/tables.hh"
+#include "core/experiment.hh"
+#include "core/processor.hh"
+#include "npu/chip.hh"
+#include "npu/config.hh"
+#include "sweep/sink.hh"
+
+using namespace clumsy;
+using apps::SessionTable;
+using core::ClumsyProcessor;
+
+namespace
+{
+
+SessionTable::FlowKey
+key(std::uint32_t n)
+{
+    SessionTable::FlowKey k;
+    k.src = 0x0a000000u + n;
+    k.dst = 0xc0a80000u + n;
+    k.srcPort = static_cast<std::uint16_t>(1000 + n);
+    k.dstPort = 80;
+    k.proto = 6;
+    return k;
+}
+
+core::AppFactory
+sessionFactory(apps::SessionParams params = {})
+{
+    return [params] {
+        return std::make_unique<apps::SessionApp>(params);
+    };
+}
+
+} // namespace
+
+TEST(SessionTable, InstallHitAndCounters)
+{
+    ClumsyProcessor proc;
+    SessionTable table(proc, 64, 1000);
+
+    const auto first = table.lookup(proc, key(1), 1);
+    ASSERT_NE(first.slot, SessionTable::kNoSlot);
+    EXPECT_TRUE(first.created);
+    EXPECT_FALSE(first.evicted);
+
+    // Same 5-tuple later: same slot, no fresh install.
+    const auto again = table.lookup(proc, key(1), 5);
+    EXPECT_EQ(again.slot, first.slot);
+    EXPECT_FALSE(again.created);
+
+    // A different flow lands elsewhere.
+    const auto other = table.lookup(proc, key(2), 6);
+    ASSERT_NE(other.slot, SessionTable::kNoSlot);
+    EXPECT_NE(other.slot, first.slot);
+    EXPECT_TRUE(other.created);
+
+    table.account(proc, first.slot, 100);
+    table.account(proc, first.slot, 250);
+    EXPECT_EQ(table.loadPktCount(proc, first.slot), 2u);
+    EXPECT_EQ(table.loadByteCount(proc, first.slot), 350u);
+    EXPECT_EQ(table.loadNatPort(proc, first.slot),
+              SessionTable::natPortFor(first.slot));
+    EXPECT_FALSE(proc.fatalOccurred());
+}
+
+TEST(SessionTable, TimeoutEvictsIdleSessions)
+{
+    ClumsyProcessor proc;
+    SessionTable table(proc, 64, /*timeoutPackets=*/10);
+
+    const auto a = table.lookup(proc, key(1), 1);
+    ASSERT_TRUE(a.created);
+
+    // Within the timeout the session survives and refreshes lastSeen.
+    EXPECT_FALSE(table.lookup(proc, key(1), 9).created);
+
+    // Past the timeout the same flow re-creates (its own slot expired
+    // under it: created, evicted).
+    const auto late = table.lookup(proc, key(1), 100);
+    EXPECT_EQ(late.slot, a.slot);
+    EXPECT_TRUE(late.created);
+    EXPECT_TRUE(late.evicted);
+
+    // The host mirror runs the same algorithm on the same clock.
+    SessionTable mirror(proc, 64, 10);
+    EXPECT_TRUE(mirror.noteArrival(key(1), 1).created);
+    EXPECT_FALSE(mirror.noteArrival(key(1), 9).created);
+    const auto hostLate = mirror.noteArrival(key(1), 100);
+    EXPECT_TRUE(hostLate.created);
+    EXPECT_TRUE(hostLate.evicted);
+    EXPECT_EQ(mirror.hostCreated(), 2u);
+    EXPECT_EQ(mirror.hostEvicted(), 1u);
+}
+
+TEST(SessionTable, ProbeExhaustionDropsWhenFull)
+{
+    // Capacity 4, no expirable incumbents: the fifth live flow has
+    // nowhere to go and must report kNoSlot, on both the simulated
+    // table and the host mirror.
+    ClumsyProcessor proc;
+    SessionTable table(proc, 4, 1000);
+    for (std::uint32_t n = 0; n < 4; ++n)
+        ASSERT_NE(table.lookup(proc, key(n), 1).slot,
+                  SessionTable::kNoSlot);
+    EXPECT_EQ(table.lookup(proc, key(99), 2).slot,
+              SessionTable::kNoSlot);
+
+    SessionTable mirror(proc, 4, 1000);
+    for (std::uint32_t n = 0; n < 4; ++n)
+        mirror.noteArrival(key(n), 1);
+    EXPECT_EQ(mirror.noteArrival(key(99), 2).slot,
+              SessionTable::kNoSlot);
+    EXPECT_EQ(mirror.hostDropped(), 1u);
+}
+
+TEST(SessionApp, GoldenRunIsCleanAndSessionsChurn)
+{
+    core::ExperimentConfig cfg;
+    cfg.numPackets = 1500;
+    cfg.faultScale = 0.0;
+    const auto res = core::runExperiment(sessionFactory(), cfg);
+    EXPECT_EQ(res.anyErrorProb, 0.0);
+    EXPECT_EQ(res.fatalFraction, 0.0);
+    EXPECT_GT(res.golden.packetsProcessed, 0u);
+}
+
+TEST(SessionApp, FaultsDivergeSessionState)
+{
+    // The point of the workload: one fault in a session record keeps
+    // corrupting later packets of the flow, so at a high fault scale
+    // the session-state keys must show errors.
+    core::ExperimentConfig cfg;
+    cfg.numPackets = 800;
+    cfg.trials = 2;
+    cfg.faultScale = 50.0;
+    const auto res = core::runExperiment(sessionFactory(), cfg);
+    EXPECT_GT(res.anyErrorProb, 0.0);
+
+    double sessionErr = 0.0;
+    for (const auto &[type, prob] : res.errorProbByType)
+        if (type.rfind("session_", 0) == 0 ||
+            type == "initialization" || type == "nat_port" ||
+            type == "translated_ip")
+            sessionErr += prob;
+    EXPECT_GT(sessionErr, 0.0);
+}
+
+TEST(SessionApp, ExperimentIsDeterministic)
+{
+    core::ExperimentConfig cfg;
+    cfg.numPackets = 600;
+    cfg.trials = 2;
+    cfg.faultScale = 20.0;
+    const auto a = core::runExperiment(sessionFactory(), cfg);
+    const auto b = core::runExperiment(sessionFactory(), cfg);
+    EXPECT_EQ(sweep::experimentResultJson(a),
+              sweep::experimentResultJson(b));
+}
+
+TEST(SessionApp, TinyTableDropsUnderChurn)
+{
+    // An 8-slot table against a 512-flow churning population must hit
+    // the drop path (kNoSlot) without dying.
+    core::ExperimentConfig cfg;
+    cfg.numPackets = 1200;
+    cfg.faultScale = 0.0;
+    apps::SessionParams tiny;
+    tiny.capacity = 8;
+    tiny.timeoutPackets = 64;
+    const auto res = core::runExperiment(sessionFactory(tiny), cfg);
+    EXPECT_EQ(res.anyErrorProb, 0.0);
+    EXPECT_GT(res.golden.packetsProcessed, 0u);
+}
+
+TEST(SessionApp, ChipExperimentByteIdenticalAcrossChipJobs)
+{
+    core::ExperimentConfig cfg;
+    cfg.numPackets = 500;
+    cfg.trials = 2;
+    cfg.faultScale = 10.0;
+    npu::NpuConfig npuCfg;
+    npuCfg.peCount = 4;
+    npuCfg.dispatch = npu::DispatchPolicy::FlowHash;
+
+    const auto serial =
+        npu::runChipExperiment(sessionFactory(), cfg, npuCfg);
+    npu::NpuConfig parallel = npuCfg;
+    parallel.chipJobs = 4;
+    const auto threaded =
+        npu::runChipExperiment(sessionFactory(), cfg, parallel);
+
+    EXPECT_EQ(sweep::experimentResultJson(serial.core),
+              sweep::experimentResultJson(threaded.core));
+    EXPECT_EQ(sweep::chipMetricsJson(serial.faultyChip),
+              sweep::chipMetricsJson(threaded.faultyChip));
+}

@@ -19,10 +19,12 @@
  */
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/app.hh"
+#include "apps/session.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
@@ -107,6 +109,7 @@ main(int argc, char **argv)
     cfg.numPackets = 2000;
     cfg.trials = 4;
     npu::NpuConfig npuCfg;
+    apps::SessionParams sess;
     std::uint64_t arrivalGap = 0;
     bool drop = false, csv = false, json = false;
 
@@ -116,8 +119,50 @@ main(int argc, char **argv)
         "report core results plus chip-level metrics.");
     parser.section("workload");
     parser.optString("--app", "NAME",
-                     "crc tl route drr nat md5 url (paper) + adpcm",
+                     "crc tl route drr nat md5 url (paper) + adpcm "
+                     "session",
                      &app);
+    parser.section("traffic");
+    parser.option("--flows", "N",
+                  "live flow population override (default: the app's)",
+                  [&cfg](const std::string &v) {
+                      const std::uint64_t n = cli::parseU64("flows", v);
+                      if (n == 0)
+                          fatal("flows must be >= 1");
+                      cfg.traceFlows = static_cast<std::uint32_t>(n);
+                  });
+    parser.optU64("--churn", "N",
+                  "mean flow lifetime in packets; forces the churn "
+                  "traffic model on (default: the app's own setting)",
+                  &cfg.churnLifetime);
+    parser.option("--flow-zipf", "X",
+                  "flow-popularity Zipf exponent (default: the app's)",
+                  [&cfg](const std::string &v) {
+                      const double x = cli::parseDouble("flow-zipf", v);
+                      if (x < 0.0)
+                          fatal("flow-zipf must be >= 0, got %s",
+                                v.c_str());
+                      cfg.flowZipf = x;
+                  });
+    parser.option("--session-capacity", "N",
+                  "session app: table slots (default 1024)",
+                  [&sess](const std::string &v) {
+                      const std::uint64_t n =
+                          cli::parseU64("session-capacity", v);
+                      if (n == 0)
+                          fatal("session capacity must be >= 1");
+                      sess.capacity = static_cast<std::uint32_t>(n);
+                  });
+    parser.option("--session-timeout", "N",
+                  "session app: idle timeout in packets (default 4096)",
+                  [&sess](const std::string &v) {
+                      const std::uint64_t n =
+                          cli::parseU64("session-timeout", v);
+                      if (n == 0)
+                          fatal("session timeout must be >= 1");
+                      sess.timeoutPackets =
+                          static_cast<std::uint32_t>(n);
+                  });
     parser.section("chip");
     parser.optUnsigned("--pes", "N",
                        "processing engines (default 1)", &npuCfg.peCount);
@@ -215,8 +260,15 @@ main(int argc, char **argv)
         npuCfg.perPeCr.push_back(
             cli::parseDouble("--per-pe-cr", piece));
 
+    const core::AppFactory factory =
+        app == "session"
+            ? core::AppFactory([sess] {
+                  return std::make_unique<apps::SessionApp>(sess);
+              })
+            : apps::appFactory(app);
+
     const npu::ChipExperimentResult res =
-        npu::runChipExperiment(apps::appFactory(app), cfg, npuCfg);
+        npu::runChipExperiment(factory, cfg, npuCfg);
 
     if (json) {
         printJson(app, cfg, npuCfg, res);

@@ -16,9 +16,12 @@
  */
 
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "apps/app.hh"
+#include "apps/session.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
@@ -28,6 +31,7 @@
 #include "sweep/json.hh"
 #include "sweep/sink.hh"
 #include "sweep/spec.hh"
+#include "traffic/traffic.hh"
 
 using namespace clumsy;
 
@@ -36,11 +40,11 @@ namespace
 
 /** One faulty pass over a saved trace, no golden comparison. */
 int
-replay(const std::string &app, const std::string &path,
+replay(const core::AppFactory &factory, const std::string &path,
        const core::ExperimentConfig &cfg, bool stats)
 {
     const auto trace = net::loadTrace(path);
-    auto instance = apps::makeApp(app);
+    auto instance = factory();
     core::ProcessorConfig pc = cfg.processor;
     pc.staticCr = cfg.cr;
     pc.dynamicFrequency = cfg.dynamicFrequency;
@@ -130,6 +134,7 @@ main(int argc, char **argv)
     core::ExperimentConfig cfg;
     cfg.numPackets = 2000;
     cfg.trials = 4;
+    apps::SessionParams sess;
     bool stats = false, csv = false, json = false;
 
     cli::ArgParser parser(
@@ -138,8 +143,50 @@ main(int argc, char **argv)
         "full result set.");
     parser.section("workload");
     parser.optString("--app", "NAME",
-                     "crc tl route drr nat md5 url (paper) + adpcm",
+                     "crc tl route drr nat md5 url (paper) + adpcm "
+                     "session",
                      &app);
+    parser.section("traffic");
+    parser.option("--flows", "N",
+                  "live flow population override (default: the app's)",
+                  [&cfg](const std::string &v) {
+                      const std::uint64_t n = cli::parseU64("flows", v);
+                      if (n == 0)
+                          fatal("flows must be >= 1");
+                      cfg.traceFlows = static_cast<std::uint32_t>(n);
+                  });
+    parser.optU64("--churn", "N",
+                  "mean flow lifetime in packets; forces the churn "
+                  "traffic model on (default: the app's own setting)",
+                  &cfg.churnLifetime);
+    parser.option("--flow-zipf", "X",
+                  "flow-popularity Zipf exponent (default: the app's)",
+                  [&cfg](const std::string &v) {
+                      const double x = cli::parseDouble("flow-zipf", v);
+                      if (x < 0.0)
+                          fatal("flow-zipf must be >= 0, got %s",
+                                v.c_str());
+                      cfg.flowZipf = x;
+                  });
+    parser.option("--session-capacity", "N",
+                  "session app: table slots (default 1024)",
+                  [&sess](const std::string &v) {
+                      const std::uint64_t n =
+                          cli::parseU64("session-capacity", v);
+                      if (n == 0)
+                          fatal("session capacity must be >= 1");
+                      sess.capacity = static_cast<std::uint32_t>(n);
+                  });
+    parser.option("--session-timeout", "N",
+                  "session app: idle timeout in packets (default 4096)",
+                  [&sess](const std::string &v) {
+                      const std::uint64_t n =
+                          cli::parseU64("session-timeout", v);
+                      if (n == 0)
+                          fatal("session timeout must be >= 1");
+                      sess.timeoutPackets =
+                          static_cast<std::uint32_t>(n);
+                  });
     parser.section("operating point");
     parser.optDouble("--cr", "X",
                      "relative cycle time (1, 0.75, 0.5, 0.25)",
@@ -194,12 +241,29 @@ main(int argc, char **argv)
     if (app.empty())
         fatal("--app is required (try --help)");
 
+    // The session app is the one workload with CLI-tunable knobs; all
+    // others come from the stock factory.
+    const core::AppFactory factory =
+        app == "session"
+            ? core::AppFactory([sess] {
+                  return std::make_unique<apps::SessionApp>(sess);
+              })
+            : apps::appFactory(app);
+
     if (!dumpTrace.empty()) {
-        auto probe = apps::makeApp(app);
-        net::TraceConfig tc = probe->traceConfig();
-        tc.seed = cfg.traceSeed;
-        net::TraceGenerator gen(tc);
-        net::saveTrace(dumpTrace, gen.generate(cfg.numPackets));
+        // Stream the trace straight to disk: packet counts beyond
+        // memory are fine, exactly like the harnesses' own sources.
+        const auto probe = factory();
+        const auto src = traffic::makeSource(
+            core::resolveTraceConfig(cfg, *probe), 0);
+        std::ofstream os(dumpTrace);
+        if (!os)
+            fatal("cannot write trace file '%s'", dumpTrace.c_str());
+        net::writeTraceHeader(os);
+        for (std::uint64_t i = 0; i < cfg.numPackets; ++i)
+            net::writePacket(os, src->next());
+        if (!os.flush())
+            fatal("short write to trace file '%s'", dumpTrace.c_str());
         std::printf("wrote %llu packets to %s\n",
                     static_cast<unsigned long long>(cfg.numPackets),
                     dumpTrace.c_str());
@@ -207,9 +271,9 @@ main(int argc, char **argv)
     }
 
     if (!replayTrace.empty())
-        return replay(app, replayTrace, cfg, stats);
+        return replay(factory, replayTrace, cfg, stats);
 
-    const auto res = core::runExperiment(apps::appFactory(app), cfg);
+    const auto res = core::runExperiment(factory, cfg);
 
     if (json) {
         printJson(app, cfg, res);
