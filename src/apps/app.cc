@@ -5,6 +5,7 @@
 #include "apps/adpcm.hh"
 #include "apps/crc.hh"
 #include "apps/drr.hh"
+#include "apps/lpm.hh"
 #include "apps/md5.hh"
 #include "apps/nat.hh"
 #include "apps/route.hh"
@@ -128,7 +129,8 @@ allAppNames()
 const std::vector<std::string> &
 extensionAppNames()
 {
-    static const std::vector<std::string> names = {"adpcm", "session"};
+    static const std::vector<std::string> names = {"adpcm", "session",
+                                                   "lpm"};
     return names;
 }
 
@@ -153,6 +155,8 @@ makeApp(const std::string &name)
         return std::make_unique<AdpcmApp>();
     if (name == "session")
         return std::make_unique<SessionApp>();
+    if (name == "lpm")
+        return std::make_unique<LpmApp>();
     fatal("unknown application '%s'", name.c_str());
 }
 

@@ -81,4 +81,23 @@ NatApp::processPacket(ClumsyProcessor &proc, const net::Packet &pkt,
         rec.record("initialization", table_->auditEntry(proc, gIdx));
 }
 
+bool
+NatApp::applyCtrlEvent(ClumsyProcessor &proc,
+                       const ctrl::CtrlEvent &event)
+{
+    switch (event.kind) {
+    case ctrl::CtrlEventKind::NatAdd:
+        // A static rule: pre-install the binding the same way a first
+        // packet would, so later packets from this source hit it.
+        table_->noteArrival(event.key);
+        table_->translate(proc, event.key);
+        return true;
+    case ctrl::CtrlEventKind::NatRemove:
+        table_->removeBinding(proc, event.key);
+        return true;
+    default:
+        return false;
+    }
+}
+
 } // namespace clumsy::apps

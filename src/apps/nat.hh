@@ -35,6 +35,13 @@ class NatApp : public BaseApp
     void processPacket(ClumsyProcessor &proc, const net::Packet &pkt,
                        ValueRecorder &rec) override;
 
+    /** NatAdd pre-installs a binding; NatRemove tombstones one. */
+    bool applyCtrlEvent(ClumsyProcessor &proc,
+                        const ctrl::CtrlEvent &event) override;
+
+    /** The table (tests/inspection). */
+    NatTable &table() { return *table_; }
+
   private:
     std::unique_ptr<NatTable> table_;
 };

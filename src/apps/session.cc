@@ -111,4 +111,18 @@ SessionApp::processPacket(ClumsyProcessor &proc, const net::Packet &pkt,
                    table_->auditEntry(proc, golden.slot));
 }
 
+bool
+SessionApp::applyCtrlEvent(ClumsyProcessor &proc,
+                           const ctrl::CtrlEvent &event)
+{
+    if (event.kind != ctrl::CtrlEventKind::SessionFlush)
+        return false;
+    // Flush a deterministic window of slots (an operator clearing
+    // state): flushed sessions are re-created by their next packet,
+    // resetting counters and possibly landing in a different slot.
+    const std::uint32_t start = event.key % table_->capacity();
+    table_->flushWindow(proc, start, event.value);
+    return true;
+}
+
 } // namespace clumsy::apps

@@ -52,6 +52,10 @@ class SessionApp : public BaseApp
     void processPacket(ClumsyProcessor &proc, const net::Packet &pkt,
                        ValueRecorder &rec) override;
 
+    /** SessionFlush clears a window of slots mid-stream. */
+    bool applyCtrlEvent(ClumsyProcessor &proc,
+                        const ctrl::CtrlEvent &event) override;
+
     /** The table (tests/inspection). */
     const SessionTable &table() const { return *table_; }
 

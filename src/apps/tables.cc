@@ -172,10 +172,22 @@ NatTable::translate(core::ClumsyProcessor &proc, std::uint32_t privIp,
 void
 NatTable::noteArrival(std::uint32_t privIp)
 {
-    if (!index_.count(privIp) && index_.size() < capacity_) {
-        index_.emplace(privIp,
-                       static_cast<std::uint32_t>(index_.size()));
-    }
+    // nextIdx_ tracks the simulated counter cell: monotone, never
+    // recycled, so indices stay aligned even after removeBinding().
+    if (!index_.count(privIp) && nextIdx_ < capacity_)
+        index_.emplace(privIp, nextIdx_++);
+}
+
+void
+NatTable::removeBinding(core::ClumsyProcessor &proc, std::uint32_t privIp)
+{
+    // Tombstone: lookups treat a stored kNoMatch as a miss, so the
+    // next packet from this source walks the miss path and installs a
+    // fresh binding. The leaf-value store is the in-place single-word
+    // publish whose dirty L2 line the shared-cache divergence bitmap
+    // tracks.
+    radix_.insert(proc, privIp, RadixTree::kNoMatch);
+    index_.erase(privIp);
 }
 
 std::uint32_t
@@ -329,6 +341,36 @@ SessionTable::lookup(core::ClumsyProcessor &proc, const FlowKey &key,
     }
     // Probe window exhausted by live strangers: drop the packet.
     return {kNoSlot, false, false};
+}
+
+std::uint32_t
+SessionTable::flushWindow(core::ClumsyProcessor &proc,
+                          std::uint32_t start, std::uint32_t count)
+{
+    std::uint32_t flushed = 0;
+    const std::uint32_t n = count < capacity_ ? count : capacity_;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t slot = (start + i) % capacity_;
+        const SimAddr e = entryAddr(slot);
+        // Timed read-modify-write of the occupied word: the flush
+        // itself runs on the faultable path.
+        const std::uint32_t state = proc.read32(e + 12);
+        proc.execute(2);
+        if ((state & 0x1u) != 0) {
+            proc.write32(e + 12, 0);
+            proc.execute(2);
+        }
+        if (proc.fatalOccurred())
+            return flushed;
+        // Host mirror is the ground truth the audits compare against.
+        HostEntry &h = mirror_[slot];
+        if (h.used) {
+            h.used = false;
+            ++flushed;
+            ++hostFlushed_;
+        }
+    }
+    return flushed;
 }
 
 void

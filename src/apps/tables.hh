@@ -166,12 +166,29 @@ class NatTable
     std::uint64_t auditEntry(const core::ClumsyProcessor &proc,
                              std::uint32_t idx) const;
 
+    /**
+     * Control-plane rule removal (ctrl::CtrlEventKind::NatRemove):
+     * tombstone the radix leaf with kNoMatch through the timed path —
+     * a single-word in-place publish — and drop the host-side
+     * binding. The source's next packet re-creates a fresh binding
+     * under a new index, exactly like a real NAT whose mapping was
+     * cleared.
+     */
+    void removeBinding(core::ClumsyProcessor &proc, std::uint32_t privIp);
+
   private:
     RadixTree radix_;
     SimAddr base_ = 0;
     SimAddr countAddr_ = 0;
     std::uint32_t capacity_ = 0;
     std::unordered_map<std::uint32_t, std::uint32_t> index_;
+
+    /**
+     * Next golden index to assign. Monotone like the simulated
+     * counter cell: removals shrink index_ but never recycle indices,
+     * keeping host and simulated assignments aligned under churn.
+     */
+    std::uint32_t nextIdx_ = 0;
 };
 
 /**
@@ -328,6 +345,16 @@ class SessionTable
     std::uint64_t hostCreated() const { return hostCreated_; }
     std::uint64_t hostEvicted() const { return hostEvicted_; }
     std::uint64_t hostDropped() const { return hostDropped_; }
+    std::uint64_t hostFlushed() const { return hostFlushed_; }
+
+    /**
+     * Control-plane flush (ctrl::CtrlEventKind::SessionFlush): clear
+     * the occupied bit of @p count slots starting at @p start through
+     * timed read-modify-writes, mirrored host-side. @return the
+     * number of live sessions flushed (host ground truth).
+     */
+    std::uint32_t flushWindow(core::ClumsyProcessor &proc,
+                              std::uint32_t start, std::uint32_t count);
 
   private:
     SimAddr entryAddr(std::uint32_t slot) const
@@ -351,6 +378,7 @@ class SessionTable
     std::uint64_t hostCreated_ = 0;
     std::uint64_t hostEvicted_ = 0;
     std::uint64_t hostDropped_ = 0;
+    std::uint64_t hostFlushed_ = 0;
 };
 
 } // namespace clumsy::apps

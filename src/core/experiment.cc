@@ -178,8 +178,13 @@ runOnce(const AppFactory &factory, const ExperimentConfig &config,
     const double initEnergy = proc.totalEnergyPj();
     const double initL1d = proc.l1dEnergyPj();
 
-    const auto src =
-        traffic::makeSource(resolveTraceConfig(config, *app), 0);
+    const net::TraceConfig trace = resolveTraceConfig(config, *app);
+    const auto src = traffic::makeSource(trace, 0);
+
+    // Control-plane churn stream (nullptr at rate 0). Golden and
+    // faulty runs replay the identical schedule: the stream is seeded
+    // from the trace seed, decorrelated by kCtrlSeedSalt.
+    const auto ctrlSrc = ctrl::makeCtrlSource(config.ctrl, trace);
 
     proc.setInjectionEnabled(injectData);
     RunMetrics &m = run.metrics;
@@ -188,6 +193,23 @@ runOnce(const AppFactory &factory, const ExperimentConfig &config,
         const net::Packet pkt = src->next();
         if (proc.fatalOccurred())
             break;
+        // Apply every update scheduled before this packet, through
+        // the timed (and, in faulty runs, injected) path: a fatal
+        // during an update truncates the run exactly like a fatal
+        // during forwarding.
+        if (ctrlSrc) {
+            while (const ctrl::CtrlEvent *ev = ctrlSrc->peek()) {
+                if (ev->beforePacket > i)
+                    break;
+                if (app->applyCtrlEvent(proc, *ev))
+                    ++m.ctrlEventsApplied;
+                ctrlSrc->advance();
+                if (proc.fatalOccurred())
+                    break;
+            }
+            if (proc.fatalOccurred())
+                break;
+        }
         proc.beginPacket();
         run.recorder.beginPacket();
         app->processPacket(proc, pkt, run.recorder);

@@ -26,6 +26,7 @@
 
 #include "core/metrics.hh"
 #include "core/processor.hh"
+#include "ctrl/ctrl.hh"
 #include "mem/recovery.hh"
 #include "net/trace_gen.hh"
 
@@ -137,6 +138,20 @@ class PacketApp
     virtual void processPacket(ClumsyProcessor &proc,
                                const net::Packet &pkt,
                                ValueRecorder &rec) = 0;
+
+    /**
+     * Apply one control-plane event (src/ctrl/) between packets,
+     * through the timed, faulty memory path. Workloads without an
+     * updatable structure ignore the event. @return true when the
+     * event was applied (counted in RunMetrics::ctrlEventsApplied).
+     */
+    virtual bool applyCtrlEvent(ClumsyProcessor &proc,
+                                const ctrl::CtrlEvent &event)
+    {
+        (void)proc;
+        (void)event;
+        return false;
+    }
 };
 
 /** Factory so the harness can run an app on fresh state repeatedly. */
@@ -175,6 +190,14 @@ struct ExperimentConfig
 
     /** Flow-popularity Zipf skew override (< 0 = the app's default). */
     double flowZipf = -1.0;
+
+    /**
+     * Control-plane churn stream (sweep axes ctrl= / updates=; CLI
+     * --ctrl-rate / --ctrl-mix). rate 0 (the default) disables the
+     * stream entirely, keeping runs bit-identical to builds that
+     * predate the subsystem.
+     */
+    ctrl::CtrlConfig ctrl;
 
     /** Template for the processors built by the harness. */
     ProcessorConfig processor;

@@ -51,6 +51,9 @@ struct RunMetrics
     std::uint64_t eccCorrections = 0;
     std::uint64_t freqSwitches = 0;
 
+    /** Control-plane events applied during the data plane (ctrl=). */
+    std::uint64_t ctrlEventsApplied = 0;
+
     /** Packets whose named marked value mismatched the golden run. */
     std::map<std::string, std::uint64_t> errorsByType;
 };

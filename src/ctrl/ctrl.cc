@@ -1,0 +1,174 @@
+#include "ctrl/ctrl.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace clumsy::ctrl
+{
+
+std::string
+to_string(CtrlEventKind kind)
+{
+    switch (kind) {
+    case CtrlEventKind::FibInsert:
+        return "fib-insert";
+    case CtrlEventKind::FibWithdraw:
+        return "fib-withdraw";
+    case CtrlEventKind::NatAdd:
+        return "nat-add";
+    case CtrlEventKind::NatRemove:
+        return "nat-remove";
+    case CtrlEventKind::SessionFlush:
+        return "session-flush";
+    }
+    return "?";
+}
+
+std::string
+to_string(CtrlMix mix)
+{
+    switch (mix) {
+    case CtrlMix::Fib:
+        return "fib";
+    case CtrlMix::Nat:
+        return "nat";
+    case CtrlMix::Session:
+        return "session";
+    case CtrlMix::All:
+        return "all";
+    }
+    return "?";
+}
+
+CtrlMix
+mixFromString(const std::string &name)
+{
+    if (name == "fib")
+        return CtrlMix::Fib;
+    if (name == "nat")
+        return CtrlMix::Nat;
+    if (name == "session")
+        return CtrlMix::Session;
+    if (name == "all")
+        return CtrlMix::All;
+    fatal("unknown ctrl mix '%s' (valid choices: fib, nat, session, "
+          "all)",
+          name.c_str());
+}
+
+namespace
+{
+
+/**
+ * The streaming generator: geometric inter-event gaps at `rate`
+ * events per 1000 packets, kinds drawn from the mix, keys drawn with
+ * the trace generator's own flow recipe from a decorrelated RNG.
+ */
+class ChurnCtrlSource final : public CtrlSource
+{
+  public:
+    ChurnCtrlSource(const CtrlConfig &config,
+                    const net::TraceConfig &trace)
+        : config_(config), gen_(trace),
+          rng_(trace.seed ^ kCtrlSeedSalt)
+    {
+        step();
+    }
+
+    const CtrlEvent *peek() override { return &event_; }
+
+    void advance() override { step(); }
+
+  private:
+    void step()
+    {
+        // Exponential inter-event gap with mean 1000/rate packets,
+        // floored at one packet so events stay strictly interleaved
+        // with forwarding rather than bursting unboundedly.
+        const double gap =
+            rng_.exponential(static_cast<double>(config_.rate) / 1000.0);
+        pos_ += 1 + static_cast<std::uint64_t>(gap);
+        event_ = draw();
+        event_.beforePacket = pos_;
+        event_.seq = seq_++;
+    }
+
+    CtrlEvent draw()
+    {
+        CtrlEvent ev;
+        ev.kind = drawKind();
+        const net::FlowTuple flow = gen_.drawFlow(rng_);
+        switch (ev.kind) {
+        case CtrlEventKind::FibInsert:
+        case CtrlEventKind::FibWithdraw: {
+            // A prefix covering a pool destination, 8..24 bits: short
+            // enough to alias many flows, long enough to need a deep
+            // tree-bitmap walk.
+            const auto len =
+                static_cast<std::uint8_t>(8 + rng_.below(17));
+            const std::uint32_t mask =
+                len == 0 ? 0 : 0xffffffffu << (32 - len);
+            ev.key = flow.dst & mask;
+            ev.prefixLen = len;
+            ev.value = ev.key ^ 0x01010101u; // nexthop, RouteTable-style
+            break;
+        }
+        case CtrlEventKind::NatAdd:
+        case CtrlEventKind::NatRemove:
+            ev.key = flow.src; // a private 10/8 source
+            break;
+        case CtrlEventKind::SessionFlush:
+            ev.key = static_cast<std::uint32_t>(rng_.next());
+            ev.value = 64; // slots flushed per event
+            break;
+        }
+        return ev;
+    }
+
+    CtrlEventKind drawKind()
+    {
+        switch (config_.mix) {
+        case CtrlMix::Fib:
+            // Inserts outnumber withdraws so the FIB grows, then
+            // churns around a working size.
+            return rng_.below(10) < 7 ? CtrlEventKind::FibInsert
+                                      : CtrlEventKind::FibWithdraw;
+        case CtrlMix::Nat:
+            return rng_.below(2) == 0 ? CtrlEventKind::NatAdd
+                                      : CtrlEventKind::NatRemove;
+        case CtrlMix::Session:
+            return CtrlEventKind::SessionFlush;
+        case CtrlMix::All:
+            break;
+        }
+        const std::uint64_t r = rng_.below(8);
+        if (r < 3)
+            return CtrlEventKind::FibInsert;
+        if (r < 5)
+            return CtrlEventKind::FibWithdraw;
+        if (r == 5)
+            return CtrlEventKind::NatAdd;
+        if (r == 6)
+            return CtrlEventKind::NatRemove;
+        return CtrlEventKind::SessionFlush;
+    }
+
+    CtrlConfig config_;
+    net::TraceGenerator gen_; ///< key recipe only; never stepped
+    Rng rng_;
+    CtrlEvent event_;
+    std::uint64_t pos_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<CtrlSource>
+makeCtrlSource(const CtrlConfig &config, const net::TraceConfig &trace)
+{
+    if (config.rate == 0)
+        return nullptr;
+    return std::make_unique<ChurnCtrlSource>(config, trace);
+}
+
+} // namespace clumsy::ctrl

@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "common/pool.hh"
 #include "core/metrics.hh"
+#include "ctrl/ctrl.hh"
 #include "net/trace_gen.hh"
 #include "npu/dispatcher.hh"
 #include "npu/event_queue.hh"
@@ -43,6 +44,7 @@ struct Engine
     Quanta busy = 0; ///< quanta spent inside packet processing
     std::uint64_t processed = 0;
     std::uint64_t maxDepth = 0;
+    std::uint64_t ctrlApplied = 0; ///< control-plane events applied
     bool alive = true;
 
     /**
@@ -195,9 +197,21 @@ runChipOnce(const core::AppFactory &factory,
     // The arrival stream: a traffic source owns both the packet bytes
     // and each packet's arrival time (static gaps or the churn model's
     // ramped/bursty gaps), quantized here onto the chip timeline.
-    const auto src = traffic::makeSource(
-        core::resolveTraceConfig(config, *engines[0].app),
-        npu.arrivalGapCycles);
+    const net::TraceConfig chipTrace =
+        core::resolveTraceConfig(config, *engines[0].app);
+    const auto src = traffic::makeSource(chipTrace, npu.arrivalGapCycles);
+
+    // Control-plane churn (ctrl= nonzero): every engine owns a full
+    // copy of the update stream — its tables are private, so it must
+    // see every update — drained against the trace sequence numbers it
+    // processes. Which events an engine has applied when it starts a
+    // packet therefore depends only on the dispatcher's (deterministic)
+    // packet placement, never on chip-jobs or wall-clock interleaving,
+    // and a one-engine chip drains the stream exactly as the
+    // single-core harness does (seq == loop index there).
+    std::vector<std::unique_ptr<ctrl::CtrlSource>> ctrlSrcs(npu.peCount);
+    for (unsigned pe = 0; pe < npu.peCount; ++pe)
+        ctrlSrcs[pe] = ctrl::makeCtrlSource(config.ctrl, chipTrace);
 
     Dispatcher disp(npu.dispatch, npu.peCount, npu.flowRehash);
     std::vector<Histogram> occ(
@@ -264,6 +278,31 @@ runChipOnce(const core::AppFactory &factory,
         const net::Packet pkt = e.queue.front();
         e.queue.pop_front();
         samplePressure(e);
+        if (ctrlSrcs[pe]) {
+            while (const ctrl::CtrlEvent *ev = ctrlSrcs[pe]->peek()) {
+                if (ev->beforePacket > pkt.seq)
+                    break;
+                if (e.app->applyCtrlEvent(*e.proc, *ev))
+                    ++e.ctrlApplied;
+                ctrlSrcs[pe]->advance();
+                if (e.proc->fatalOccurred())
+                    break;
+            }
+            if (e.proc->fatalOccurred()) {
+                // A fault during the update is an engine fatal like
+                // any other; the popped packet never started, so it
+                // joins the rest of the queue as dead-PE drops.
+                e.alive = false;
+                if (!sawFatal) {
+                    sawFatal = true;
+                    firstFatalReason = e.proc->fatalReason();
+                }
+                dropsDeadPe += 1 + e.queue.size();
+                e.queue.clear();
+                events.erase(pe);
+                return;
+            }
+        }
         const Quanta before = e.proc->now();
         e.proc->beginPacket();
         core::ValueRecorder &rec = run.recorders[pe];
@@ -418,6 +457,7 @@ runChipOnce(const core::AppFactory &factory,
         merged.freqSwitches += e.proc->freqController()
                                    ? e.proc->freqController()->switches()
                                    : 0;
+        merged.ctrlEventsApplied += e.ctrlApplied;
     }
     merged.cyclesPerPacket = dataCycles / processed;
     merged.totalEnergyPj = totalEnergy;

@@ -36,6 +36,10 @@ writeRunMetrics(JsonWriter &w, const core::RunMetrics &m)
     w.key("parity_trips").value(m.parityTrips);
     w.key("ecc_corrections").value(m.eccCorrections);
     w.key("freq_switches").value(m.freqSwitches);
+    // Elided at zero so pre-ctrl documents and rate-0 runs serialize
+    // byte-identically to what earlier versions wrote.
+    if (m.ctrlEventsApplied != 0)
+        w.key("ctrl_events_applied").value(m.ctrlEventsApplied);
     w.key("errors_by_type").beginObject();
     for (const auto &kv : m.errorsByType)
         w.key(kv.first).value(kv.second);
@@ -126,6 +130,19 @@ cellJson(const CellOutcome &out, bool provenance)
     w.key("gap").value(static_cast<std::uint64_t>(out.cell.arrivalGap));
     w.key("chip_jobs")
         .value(static_cast<std::uint64_t>(out.cell.chipJobs));
+    // Traffic and control-plane dimensions only at non-default values:
+    // parseCell must reconstruct the exact cell key, and the elision
+    // keeps documents from before these axes byte-stable.
+    if (out.cell.flows != 0)
+        w.key("flows").value(
+            static_cast<std::uint64_t>(out.cell.flows));
+    if (out.cell.churn != 0)
+        w.key("churn").value(out.cell.churn);
+    if (out.cell.ctrlRate != 0) {
+        w.key("ctrl").value(
+            static_cast<std::uint64_t>(out.cell.ctrlRate));
+        w.key("updates").value(ctrl::to_string(out.cell.updates));
+    }
     w.key("result").raw(experimentResultJson(out.result));
     if (out.hasNpu) {
         w.key("npu").beginObject();
@@ -387,6 +404,8 @@ parseRunMetrics(const JVal &o)
     m.parityTrips = u64Field(o, "parity_trips");
     m.eccCorrections = u64Field(o, "ecc_corrections");
     m.freqSwitches = u64Field(o, "freq_switches");
+    if (o.find("ctrl_events_applied"))
+        m.ctrlEventsApplied = u64Field(o, "ctrl_events_applied");
     for (const auto &kv : field(o, "errors_by_type").obj)
         m.errorsByType[kv.first] =
             static_cast<std::uint64_t>(kv.second.num);
@@ -485,6 +504,19 @@ parseCell(const JVal &o)
     if (o.find("chip_jobs"))
         out.cell.chipJobs =
             static_cast<unsigned>(numField(o, "chip_jobs"));
+    // flows/churn/ctrl/updates: written only at non-default values
+    // (and absent in documents from before those axes existed).
+    if (o.find("flows"))
+        out.cell.flows =
+            static_cast<std::uint32_t>(numField(o, "flows"));
+    if (o.find("churn"))
+        out.cell.churn =
+            static_cast<std::uint64_t>(numField(o, "churn"));
+    if (o.find("ctrl"))
+        out.cell.ctrlRate =
+            static_cast<std::uint32_t>(numField(o, "ctrl"));
+    if (o.find("updates"))
+        out.cell.updates = ctrl::mixFromString(strField(o, "updates"));
     if (const JVal *chip = o.find("npu")) {
         out.hasNpu = true;
         out.npuGolden = parseChipMetrics(field(*chip, "golden"));
@@ -581,7 +613,8 @@ renderCsv(const SweepOutcome &outcome)
 {
     std::string out =
         "app,cr,dynamic,scheme,codec,plane,fault_scale,pes,dispatch,"
-        "per_pe_cr,dvs,mshrs,l2,gap,chip_jobs,fallibility,"
+        "per_pe_cr,dvs,mshrs,l2,gap,chip_jobs,flows,churn,ctrl,"
+        "updates,fallibility,"
         "any_error_prob,fatal_prob,fatal_fraction,cycles_per_packet,"
         "energy_per_packet_pj,l1d_energy_per_packet_pj,edf,"
         "golden_cycles_per_packet,golden_energy_per_packet_pj,"
@@ -604,6 +637,10 @@ renderCsv(const SweepOutcome &outcome)
         out += "," + npu::to_string(c.cell.l2);
         out += "," + std::to_string(c.cell.arrivalGap);
         out += "," + std::to_string(c.cell.chipJobs);
+        out += "," + std::to_string(c.cell.flows);
+        out += "," + std::to_string(c.cell.churn);
+        out += "," + std::to_string(c.cell.ctrlRate);
+        out += "," + ctrl::to_string(c.cell.updates);
         out += "," + formatDouble(r.fallibility);
         out += "," + formatDouble(r.anyErrorProb);
         out += "," + formatDouble(r.fatalProb);

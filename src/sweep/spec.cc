@@ -251,6 +251,17 @@ SweepSpec::parse(const std::string &grid)
             spec.churns.clear();
             for (const std::string &v : values)
                 spec.churns.push_back(cli::parseU64("churn", v));
+        } else if (key == "ctrl") {
+            // 0 is the no-control-plane sentinel (what toGridString
+            // prints for an unswept axis), so grids round-trip.
+            spec.ctrlRates.clear();
+            for (const std::string &v : values)
+                spec.ctrlRates.push_back(static_cast<std::uint32_t>(
+                    cli::parseU64("ctrl", v)));
+        } else if (key == "updates") {
+            spec.updateMixes.clear();
+            for (const std::string &v : values)
+                spec.updateMixes.push_back(ctrl::mixFromString(v));
         } else if (key == "packets") {
             spec.packets = cli::parseU64("packets", scalar());
         } else if (key == "trials") {
@@ -339,6 +350,14 @@ SweepSpec::toGridString() const
            joinDim<std::uint64_t>(churns, [](const std::uint64_t &n) {
                return std::to_string(n);
            });
+    out += ";ctrl=" +
+           joinDim<std::uint32_t>(ctrlRates, [](const std::uint32_t &n) {
+               return std::to_string(n);
+           });
+    out += ";updates=" +
+           joinDim<ctrl::CtrlMix>(updateMixes, [](const ctrl::CtrlMix &m) {
+               return ctrl::to_string(m);
+           });
     out += ";packets=" + std::to_string(packets);
     out += ";trials=" + std::to_string(trials);
     out += ";seed=" + std::to_string(traceSeed);
@@ -354,7 +373,7 @@ SweepSpec::cellCount() const
            peCounts.size() * dispatches.size() * perPeCrs.size() *
            dvsModes.size() * mshrs.size() * l2Modes.size() *
            arrivalGaps.size() * chipJobs.size() * flows.size() *
-           churns.size();
+           churns.size() * ctrlRates.size() * updateMixes.size();
 }
 
 std::string
@@ -391,6 +410,15 @@ SweepCell::key() const
         k += ";flows=" + std::to_string(flows);
     if (churn != 0)
         k += ";churn=" + std::to_string(churn);
+    // Control-plane dimensions elide entirely at rate 0 (the mix is
+    // meaningless without a stream), so every pre-ctrl result file
+    // keeps resuming against unchanged keys; the mix also elides at
+    // its "all" default.
+    if (ctrlRate != 0) {
+        k += ";ctrl=" + std::to_string(ctrlRate);
+        if (updates != ctrl::CtrlMix::All)
+            k += ";updates=" + ctrl::to_string(updates);
+    }
     return k;
 }
 
@@ -408,7 +436,8 @@ expand(const SweepSpec &spec)
                       !spec.l2Modes.empty() &&
                       !spec.arrivalGaps.empty() &&
                       !spec.chipJobs.empty() && !spec.flows.empty() &&
-                      !spec.churns.empty(),
+                      !spec.churns.empty() && !spec.ctrlRates.empty() &&
+                      !spec.updateMixes.empty(),
                   "every grid dimension needs at least one value");
     std::vector<SweepCell> cells;
     cells.reserve(spec.cellCount());
@@ -430,7 +459,9 @@ expand(const SweepSpec &spec)
     for (const std::int64_t gap : spec.arrivalGaps)
     for (const unsigned cjobs : spec.chipJobs)
     for (const std::uint32_t nflows : spec.flows)
-    for (const std::uint64_t life : spec.churns) {
+    for (const std::uint64_t life : spec.churns)
+    for (const std::uint32_t crate : spec.ctrlRates)
+    for (const ctrl::CtrlMix cmix : spec.updateMixes) {
         SweepCell cell;
         cell.index = cells.size();
         cell.app = app;
@@ -449,6 +480,8 @@ expand(const SweepSpec &spec)
         cell.chipJobs = cjobs;
         cell.flows = nflows;
         cell.churn = life;
+        cell.ctrlRate = crate;
+        cell.updates = cmix;
         cells.push_back(std::move(cell));
     }
     // clang-format on
@@ -472,6 +505,8 @@ makeConfig(const SweepSpec &spec, const SweepCell &cell)
     cfg.processor.hierarchy.codec = cell.codec;
     cfg.traceFlows = cell.flows;
     cfg.churnLifetime = cell.churn;
+    cfg.ctrl.rate = cell.ctrlRate;
+    cfg.ctrl.mix = cell.updates;
     return cfg;
 }
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/experiment.hh"
+#include "ctrl/ctrl.hh"
 #include "mem/cache.hh"
 #include "mem/recovery.hh"
 #include "npu/config.hh"
@@ -105,6 +106,16 @@ struct SweepSpec
     std::vector<std::uint32_t> flows = {0};
     std::vector<std::uint64_t> churns = {0};
 
+    /**
+     * Control-plane churn dimensions (src/ctrl/): update rates in
+     * events per 1000 packets (0 = no control plane, the default that
+     * keeps every run bit-identical to a pre-ctrl sweep) and the event
+     * mix each rate draws from. Both harnesses interleave the same
+     * stream, so the axes compose with every chip dimension.
+     */
+    std::vector<std::uint32_t> ctrlRates = {0};
+    std::vector<ctrl::CtrlMix> updateMixes = {ctrl::CtrlMix::All};
+
     // Scalar knobs shared by every cell.
     std::uint64_t packets = 2000;
     unsigned trials = 4;
@@ -115,7 +126,7 @@ struct SweepSpec
      * Parse a grid string (semicolon-separated key=value,value,...
      * pairs). Keys: app, cr, scheme, codec, plane, fault-scale,
      * pes, dispatch, per-pe-cr, dvs, mshrs, l2, gap, chip-jobs,
-     * flows, churn, packets, trials, seed, fault-seed.
+     * flows, churn, ctrl, updates, packets, trials, seed, fault-seed.
      * "app=all" / "scheme=all" expand to the full sets. fatal()s on
      * unknown keys or values.
      */
@@ -151,6 +162,8 @@ struct SweepCell
     unsigned chipJobs = 1;       ///< chip-run worker threads
     std::uint32_t flows = 0;     ///< flow override (0 = app default)
     std::uint64_t churn = 0;     ///< mean flow lifetime (0 = app's own)
+    std::uint32_t ctrlRate = 0;  ///< ctrl events per 1000 pkts (0 = off)
+    ctrl::CtrlMix updates = ctrl::CtrlMix::All; ///< event mix at ctrl>0
 
     /**
      * @return true when the cell needs the chip model: anything but

@@ -17,15 +17,18 @@ using core::ValueRecorder;
 
 TEST(Adpcm, RegisteredAsExtension)
 {
-    EXPECT_EQ(extensionAppNames().size(), 2u);
+    EXPECT_EQ(extensionAppNames().size(), 3u);
     EXPECT_EQ(extensionAppNames()[0], "adpcm");
     EXPECT_EQ(extensionAppNames()[1], "session");
+    EXPECT_EQ(extensionAppNames()[2], "lpm");
     EXPECT_EQ(makeApp("adpcm")->name(), "adpcm");
     EXPECT_EQ(makeApp("session")->name(), "session");
+    EXPECT_EQ(makeApp("lpm")->name(), "lpm");
     // The paper's Table I set stays untouched.
     for (const auto &name : allAppNames()) {
         EXPECT_NE(name, "adpcm");
         EXPECT_NE(name, "session");
+        EXPECT_NE(name, "lpm");
     }
 }
 

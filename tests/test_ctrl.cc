@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Tests of the control-plane churn subsystem (src/ctrl/): the seeded
+ * event stream (determinism, seed decorrelation, rate scaling, mix
+ * filtering, the streaming contract), the RCU epoch/grace-period
+ * domain, and the harness-level interleave (events applied in golden
+ * runs, rate-0 bit-identity, nat/session update hooks).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/app.hh"
+#include "apps/nat.hh"
+#include "apps/session.hh"
+#include "core/experiment.hh"
+#include "ctrl/ctrl.hh"
+#include "ctrl/rcu.hh"
+#include "net/trace_gen.hh"
+
+using namespace clumsy;
+using ctrl::CtrlConfig;
+using ctrl::CtrlEvent;
+using ctrl::CtrlEventKind;
+using ctrl::CtrlMix;
+using ctrl::RcuDomain;
+
+namespace
+{
+
+net::TraceConfig
+traceConfig(std::uint64_t seed = 1)
+{
+    net::TraceConfig tc;
+    tc.seed = seed;
+    tc.numFlows = 64;
+    tc.numDestinations = 128;
+    return tc;
+}
+
+/** Drain up to @p n events into a vector. */
+std::vector<CtrlEvent>
+drain(ctrl::CtrlSource &src, std::size_t n)
+{
+    std::vector<CtrlEvent> out;
+    while (out.size() < n) {
+        const CtrlEvent *ev = src.peek();
+        if (!ev)
+            break;
+        out.push_back(*ev);
+        src.advance();
+    }
+    return out;
+}
+
+} // namespace
+
+// ---- the stream ----------------------------------------------------
+
+TEST(CtrlSource, RateZeroYieldsNoSource)
+{
+    CtrlConfig cfg; // rate 0 by default
+    EXPECT_EQ(ctrl::makeCtrlSource(cfg, traceConfig()), nullptr);
+}
+
+TEST(CtrlSource, ScheduleIsDeterministic)
+{
+    CtrlConfig cfg;
+    cfg.rate = 50;
+    const auto a = ctrl::makeCtrlSource(cfg, traceConfig());
+    const auto b = ctrl::makeCtrlSource(cfg, traceConfig());
+    ASSERT_NE(a, nullptr);
+    const auto ea = drain(*a, 200);
+    const auto eb = drain(*b, 200);
+    ASSERT_EQ(ea.size(), 200u);
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+        EXPECT_EQ(ea[i].beforePacket, eb[i].beforePacket);
+        EXPECT_EQ(ea[i].kind, eb[i].kind);
+        EXPECT_EQ(ea[i].key, eb[i].key);
+        EXPECT_EQ(ea[i].prefixLen, eb[i].prefixLen);
+        EXPECT_EQ(ea[i].value, eb[i].value);
+        EXPECT_EQ(ea[i].seq, i);
+    }
+}
+
+TEST(CtrlSource, SchedulePositionsAreMonotone)
+{
+    CtrlConfig cfg;
+    cfg.rate = 200;
+    const auto src = ctrl::makeCtrlSource(cfg, traceConfig());
+    const auto events = drain(*src, 500);
+    ASSERT_EQ(events.size(), 500u);
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_GE(events[i].beforePacket, events[i - 1].beforePacket);
+}
+
+TEST(CtrlSource, DifferentSeedsGiveDifferentSchedules)
+{
+    CtrlConfig cfg;
+    cfg.rate = 50;
+    const auto a = ctrl::makeCtrlSource(cfg, traceConfig(1));
+    const auto b = ctrl::makeCtrlSource(cfg, traceConfig(2));
+    const auto ea = drain(*a, 64);
+    const auto eb = drain(*b, 64);
+    bool differ = false;
+    for (std::size_t i = 0; i < ea.size() && !differ; ++i)
+        differ = ea[i].beforePacket != eb[i].beforePacket ||
+                 ea[i].key != eb[i].key;
+    EXPECT_TRUE(differ);
+}
+
+TEST(CtrlSource, RateControlsEventDensity)
+{
+    auto countBefore = [](std::uint32_t rate, std::uint64_t horizon) {
+        CtrlConfig cfg;
+        cfg.rate = rate;
+        const auto src = ctrl::makeCtrlSource(cfg, traceConfig());
+        std::uint64_t n = 0;
+        while (const CtrlEvent *ev = src->peek()) {
+            if (ev->beforePacket >= horizon)
+                break;
+            ++n;
+            src->advance();
+        }
+        return n;
+    };
+    // rate is events per 1000 packets: expect the empirical density
+    // within a factor of two of nominal over a long horizon.
+    const std::uint64_t at100 = countBefore(100, 20000);
+    EXPECT_GT(at100, 1000u);
+    EXPECT_LT(at100, 4000u);
+    // A 10x rate produces clearly more events.
+    const std::uint64_t at10 = countBefore(10, 20000);
+    EXPECT_GT(at100, 4 * at10);
+}
+
+TEST(CtrlSource, MixFiltersEventKinds)
+{
+    auto kindsOf = [](CtrlMix mix) {
+        CtrlConfig cfg;
+        cfg.rate = 100;
+        cfg.mix = mix;
+        const auto src = ctrl::makeCtrlSource(cfg, traceConfig());
+        return drain(*src, 200);
+    };
+    for (const CtrlEvent &ev : kindsOf(CtrlMix::Fib))
+        EXPECT_TRUE(ev.kind == CtrlEventKind::FibInsert ||
+                    ev.kind == CtrlEventKind::FibWithdraw);
+    for (const CtrlEvent &ev : kindsOf(CtrlMix::Nat))
+        EXPECT_TRUE(ev.kind == CtrlEventKind::NatAdd ||
+                    ev.kind == CtrlEventKind::NatRemove);
+    for (const CtrlEvent &ev : kindsOf(CtrlMix::Session))
+        EXPECT_EQ(ev.kind, CtrlEventKind::SessionFlush);
+    // The full mix eventually produces every kind.
+    bool seen[5] = {};
+    for (const CtrlEvent &ev : kindsOf(CtrlMix::All))
+        seen[static_cast<int>(ev.kind)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(CtrlSource, FibEventsCarryValidPrefixes)
+{
+    CtrlConfig cfg;
+    cfg.rate = 100;
+    cfg.mix = CtrlMix::Fib;
+    const auto src = ctrl::makeCtrlSource(cfg, traceConfig());
+    for (const CtrlEvent &ev : drain(*src, 200)) {
+        EXPECT_GE(ev.prefixLen, 1);
+        EXPECT_LE(ev.prefixLen, 31);
+        // The key is masked to its prefix length.
+        const std::uint32_t mask =
+            ev.prefixLen >= 32
+                ? 0xffffffffu
+                : ~((1u << (32 - ev.prefixLen)) - 1u);
+        EXPECT_EQ(ev.key & mask, ev.key);
+    }
+}
+
+TEST(CtrlSource, MixNamesRoundTrip)
+{
+    EXPECT_EQ(ctrl::mixFromString("fib"), CtrlMix::Fib);
+    EXPECT_EQ(ctrl::mixFromString("nat"), CtrlMix::Nat);
+    EXPECT_EQ(ctrl::mixFromString("session"), CtrlMix::Session);
+    EXPECT_EQ(ctrl::mixFromString("all"), CtrlMix::All);
+    EXPECT_EQ(ctrl::to_string(CtrlMix::Fib), "fib");
+    EXPECT_EQ(ctrl::to_string(CtrlMix::All), "all");
+    EXPECT_DEATH(ctrl::mixFromString("bogus"), "valid choices");
+}
+
+// ---- the RCU domain ------------------------------------------------
+
+TEST(RcuDomain, GracePeriodSpansTwoQuiescentPoints)
+{
+    RcuDomain rcu;
+    rcu.retire(0x1000, 16);
+    EXPECT_EQ(rcu.retired(), 1u);
+    EXPECT_EQ(rcu.inGrace(), 1u);
+    EXPECT_FALSE(rcu.isReclaimed(0x1000));
+    // One quiescent point is not enough: a reader that started before
+    // the retire may still hold the address.
+    rcu.quiesce();
+    EXPECT_FALSE(rcu.isReclaimed(0x1000));
+    EXPECT_EQ(rcu.takeFree(16), 0u);
+    // The second point completes the grace period.
+    rcu.quiesce();
+    EXPECT_TRUE(rcu.isReclaimed(0x1000));
+    EXPECT_EQ(rcu.reclaimed(), 1u);
+    EXPECT_EQ(rcu.inGrace(), 0u);
+}
+
+TEST(RcuDomain, TakeFreeMatchesSizeClassLifo)
+{
+    RcuDomain rcu;
+    rcu.retire(0x1000, 16);
+    rcu.retire(0x2000, 16);
+    rcu.retire(0x3000, 32);
+    rcu.quiesce();
+    rcu.quiesce();
+    // No block of that size: the caller must bump-allocate.
+    EXPECT_EQ(rcu.takeFree(64), 0u);
+    // LIFO within a size class; a taken block stops being reclaimed.
+    EXPECT_EQ(rcu.takeFree(16), 0x2000u);
+    EXPECT_FALSE(rcu.isReclaimed(0x2000));
+    EXPECT_EQ(rcu.takeFree(16), 0x1000u);
+    EXPECT_EQ(rcu.takeFree(16), 0u);
+    EXPECT_EQ(rcu.takeFree(32), 0x3000u);
+    EXPECT_EQ(rcu.reused(), 3u);
+}
+
+TEST(RcuDomain, EpochCounterAdvances)
+{
+    RcuDomain rcu;
+    EXPECT_EQ(rcu.epoch(), 0u);
+    rcu.quiesce();
+    rcu.quiesce();
+    rcu.quiesce();
+    EXPECT_EQ(rcu.epoch(), 3u);
+}
+
+// ---- harness interleave --------------------------------------------
+
+TEST(CtrlHarness, GoldenRunAppliesEvents)
+{
+    core::ExperimentConfig cfg;
+    cfg.numPackets = 400;
+    cfg.ctrl.rate = 100;
+    const auto golden =
+        core::runGolden(apps::appFactory("lpm"), cfg);
+    EXPECT_FALSE(golden.metrics.fatal);
+    EXPECT_GT(golden.metrics.ctrlEventsApplied, 0u);
+    EXPECT_EQ(golden.metrics.packetsProcessed, 400u);
+}
+
+TEST(CtrlHarness, RateZeroMatchesDefaultBitForBit)
+{
+    core::ExperimentConfig base;
+    base.numPackets = 200;
+    base.trials = 2;
+    core::ExperimentConfig zero = base;
+    zero.ctrl.rate = 0; // explicit no-op
+    const auto a = core::runExperiment(apps::appFactory("nat"), base);
+    const auto b = core::runExperiment(apps::appFactory("nat"), zero);
+    EXPECT_EQ(a.golden.cyclesPerPacket, b.golden.cyclesPerPacket);
+    EXPECT_EQ(a.golden.instructions, b.golden.instructions);
+    EXPECT_EQ(a.golden.totalEnergyPj, b.golden.totalEnergyPj);
+    EXPECT_EQ(a.fallibility, b.fallibility);
+    EXPECT_EQ(a.golden.ctrlEventsApplied, 0u);
+}
+
+TEST(CtrlHarness, NatChurnAppliesWithoutDivergence)
+{
+    // NAT add/remove churn in a *golden* run must not create
+    // golden-vs-faulty divergence by itself: the same events replay in
+    // every run of the experiment.
+    core::ExperimentConfig cfg;
+    cfg.numPackets = 400;
+    cfg.trials = 2;
+    cfg.faultScale = 0.0; // fault-free faulty trials
+    cfg.ctrl.rate = 100;
+    cfg.ctrl.mix = CtrlMix::Nat;
+    const auto res = core::runExperiment(apps::appFactory("nat"), cfg);
+    EXPECT_GT(res.golden.ctrlEventsApplied, 0u);
+    EXPECT_EQ(res.anyErrorProb, 0.0);
+    EXPECT_EQ(res.fatalFraction, 0.0);
+}
+
+TEST(CtrlHarness, SessionFlushChurnAppliesWithoutDivergence)
+{
+    core::ExperimentConfig cfg;
+    cfg.numPackets = 400;
+    cfg.trials = 2;
+    cfg.faultScale = 0.0;
+    cfg.ctrl.rate = 50;
+    cfg.ctrl.mix = CtrlMix::Session;
+    const auto res =
+        core::runExperiment(apps::appFactory("session"), cfg);
+    EXPECT_GT(res.golden.ctrlEventsApplied, 0u);
+    EXPECT_EQ(res.anyErrorProb, 0.0);
+    EXPECT_EQ(res.fatalFraction, 0.0);
+}
+
+TEST(CtrlHarness, EventsIgnoredByForeignApps)
+{
+    // crc has no tables: every event is a no-op and the run completes
+    // with zero applied events.
+    core::ExperimentConfig cfg;
+    cfg.numPackets = 200;
+    cfg.ctrl.rate = 100;
+    const auto golden =
+        core::runGolden(apps::appFactory("crc"), cfg);
+    EXPECT_EQ(golden.metrics.ctrlEventsApplied, 0u);
+    EXPECT_EQ(golden.metrics.packetsProcessed, 200u);
+}

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests of the lpm workload: the tree-bitmap FIB in simulated memory
+ * (insert/withdraw vs the host mirror, longest-prefix semantics,
+ * RCU-disciplined updates with node reuse, audit stability) and the
+ * workload under the golden-vs-faulty harness, including update churn
+ * racing the data plane.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/app.hh"
+#include "apps/lpm.hh"
+#include "core/experiment.hh"
+#include "core/processor.hh"
+
+using namespace clumsy;
+using apps::LpmFib;
+using core::ClumsyProcessor;
+
+namespace
+{
+
+/** Destinations exercising several prefix lengths and misses. */
+std::vector<std::uint32_t>
+probeSet()
+{
+    std::vector<std::uint32_t> dsts;
+    for (std::uint32_t i = 0; i < 64; ++i)
+        dsts.push_back(0x0a000000u + i * 0x00010101u);
+    for (std::uint32_t i = 0; i < 64; ++i)
+        dsts.push_back(0xc0a80000u + i * 257u);
+    dsts.push_back(0);
+    dsts.push_back(0xffffffffu);
+    return dsts;
+}
+
+/** Timed lookup must agree with the host mirror on a fault-free run. */
+void
+expectAgreesWithMirror(ClumsyProcessor &proc, LpmFib &fib)
+{
+    for (const std::uint32_t dst : probeSet()) {
+        ASSERT_FALSE(proc.fatalOccurred());
+        EXPECT_EQ(fib.lookup(proc, dst), fib.goldenLookup(dst))
+            << "dst=" << dst;
+    }
+}
+
+} // namespace
+
+TEST(LpmFib, EmptyFibMatchesNothing)
+{
+    ClumsyProcessor proc;
+    LpmFib fib(proc);
+    EXPECT_EQ(fib.lookup(proc, 0x0a000001u), LpmFib::kNoMatch);
+    EXPECT_EQ(fib.goldenLookup(0x0a000001u), LpmFib::kNoMatch);
+    EXPECT_EQ(fib.prefixCount(), 0u);
+}
+
+TEST(LpmFib, InsertAndLookupAgreeWithMirror)
+{
+    ClumsyProcessor proc;
+    LpmFib fib(proc);
+    fib.insert(proc, 0x0a000000u, 8, 100);
+    fib.insert(proc, 0x0a010000u, 16, 200);
+    fib.insert(proc, 0x0a010100u, 24, 300);
+    fib.insert(proc, 0xc0a80000u, 16, 400);
+    fib.insert(proc, 0x80000000u, 1, 500);
+    fib.insert(proc, 0x0a010180u, 25, 600);
+    ASSERT_FALSE(proc.fatalOccurred());
+    EXPECT_EQ(fib.prefixCount(), 6u);
+    expectAgreesWithMirror(proc, fib);
+}
+
+TEST(LpmFib, LongestPrefixWins)
+{
+    ClumsyProcessor proc;
+    LpmFib fib(proc);
+    fib.insert(proc, 0x0a000000u, 8, 8);
+    fib.insert(proc, 0x0a010000u, 16, 16);
+    fib.insert(proc, 0x0a010100u, 24, 24);
+    // 10.1.1.x hits the /24; 10.1.2.x the /16; 10.2.x.x the /8.
+    EXPECT_EQ(fib.lookup(proc, 0x0a010105u), 24u);
+    EXPECT_EQ(fib.lookup(proc, 0x0a010205u), 16u);
+    EXPECT_EQ(fib.lookup(proc, 0x0a020305u), 8u);
+    EXPECT_EQ(fib.lookup(proc, 0x0b000001u), LpmFib::kNoMatch);
+}
+
+TEST(LpmFib, InsertUpdatesExistingPrefix)
+{
+    ClumsyProcessor proc;
+    LpmFib fib(proc);
+    fib.insert(proc, 0x0a000000u, 8, 1);
+    fib.insert(proc, 0x0a000000u, 8, 2);
+    EXPECT_EQ(fib.prefixCount(), 1u);
+    EXPECT_EQ(fib.lookup(proc, 0x0a123456u), 2u);
+    EXPECT_EQ(fib.goldenLookup(0x0a123456u), 2u);
+}
+
+TEST(LpmFib, WithdrawRemovesAndAgreesWithMirror)
+{
+    ClumsyProcessor proc;
+    LpmFib fib(proc);
+    fib.insert(proc, 0x0a000000u, 8, 100);
+    fib.insert(proc, 0x0a010000u, 16, 200);
+    fib.insert(proc, 0x0a010100u, 24, 300);
+    fib.withdraw(proc, 0x0a010100u, 24);
+    ASSERT_FALSE(proc.fatalOccurred());
+    EXPECT_EQ(fib.prefixCount(), 2u);
+    // The covering /16 takes over for what the /24 matched.
+    EXPECT_EQ(fib.lookup(proc, 0x0a010105u), 200u);
+    expectAgreesWithMirror(proc, fib);
+    // Withdrawing everything returns the FIB to empty.
+    fib.withdraw(proc, 0x0a010000u, 16);
+    fib.withdraw(proc, 0x0a000000u, 8);
+    EXPECT_EQ(fib.prefixCount(), 0u);
+    EXPECT_EQ(fib.lookup(proc, 0x0a010105u), LpmFib::kNoMatch);
+}
+
+TEST(LpmFib, WithdrawOfUnknownPrefixIsNoOp)
+{
+    ClumsyProcessor proc;
+    LpmFib fib(proc);
+    fib.insert(proc, 0x0a000000u, 8, 100);
+    fib.withdraw(proc, 0xc0000000u, 8);
+    fib.withdraw(proc, 0x0a010000u, 16);
+    EXPECT_EQ(fib.prefixCount(), 1u);
+    EXPECT_EQ(fib.lookup(proc, 0x0a000001u), 100u);
+}
+
+TEST(LpmFib, UpdateChurnReusesNodesWithoutGraceViolations)
+{
+    ClumsyProcessor proc;
+    LpmFib fib(proc);
+    // Sustained insert/withdraw churn with lookups between updates and
+    // a quiescent point per "packet": reclaimed nodes must be reused,
+    // and no lookup may ever touch a block sitting on the free list.
+    for (std::uint32_t i = 0; i < 200; ++i) {
+        const std::uint32_t prefix = 0x0a000000u + (i % 16) * 0x10000u;
+        if (i % 3 == 2)
+            fib.withdraw(proc, prefix, 16);
+        else
+            fib.insert(proc, prefix, 16, 1000 + i);
+        ASSERT_FALSE(proc.fatalOccurred());
+        fib.quiesce();
+        for (std::uint32_t d = 0; d < 4; ++d)
+            EXPECT_EQ(fib.lookup(proc, prefix + d),
+                      fib.goldenLookup(prefix + d));
+    }
+    EXPECT_EQ(fib.visitsReclaimed(), 0u);
+    EXPECT_GT(fib.rcu().retired(), 0u);
+    EXPECT_GT(fib.rcu().reclaimed(), 0u);
+    EXPECT_GT(fib.rcu().reused(), 0u);
+    expectAgreesWithMirror(proc, fib);
+}
+
+TEST(LpmFib, AuditChecksumTracksStructure)
+{
+    ClumsyProcessor proc;
+    LpmFib fib(proc);
+    const std::uint64_t empty = fib.auditChecksum(proc);
+    fib.insert(proc, 0x0a000000u, 8, 100);
+    const std::uint64_t one = fib.auditChecksum(proc);
+    EXPECT_NE(empty, one);
+    // Path-copying rewrites the spine: even an insert under another
+    // top-level branch replaces the root node, so the audit of every
+    // path changes — while the lookup results stay put.
+    const std::uint64_t pathBefore = fib.auditPath(proc, 0x0a000001u);
+    fib.insert(proc, 0xc0a80000u, 16, 400);
+    EXPECT_NE(fib.auditPath(proc, 0x0a000001u), pathBefore);
+    EXPECT_EQ(fib.lookup(proc, 0x0a000001u), 100u);
+    // The audit itself is a pure read: recomputing it is stable.
+    const std::uint64_t now = fib.auditPath(proc, 0x0a000001u);
+    EXPECT_EQ(fib.auditPath(proc, 0x0a000001u), now);
+}
+
+TEST(LpmFib, IdenticalBuildsProduceIdenticalStructures)
+{
+    ClumsyProcessor procA, procB;
+    LpmFib a(procA), b(procB);
+    for (std::uint32_t i = 0; i < 32; ++i) {
+        a.insert(procA, 0x0a000000u + i * 0x10000u, 16, i);
+        b.insert(procB, 0x0a000000u + i * 0x10000u, 16, i);
+    }
+    EXPECT_EQ(a.auditChecksum(procA), b.auditChecksum(procB));
+    EXPECT_EQ(a.nodeCount(), b.nodeCount());
+}
+
+// ---- the workload under the harness --------------------------------
+
+TEST(LpmApp, GoldenRunCompletes)
+{
+    core::ExperimentConfig cfg;
+    cfg.numPackets = 300;
+    const auto golden =
+        core::runGolden(apps::appFactory("lpm"), cfg);
+    EXPECT_FALSE(golden.metrics.fatal);
+    EXPECT_EQ(golden.metrics.packetsProcessed, 300u);
+    EXPECT_GT(golden.metrics.instructions, 0u);
+}
+
+TEST(LpmApp, FaultFreeTrialsNeverDiverge)
+{
+    core::ExperimentConfig cfg;
+    cfg.numPackets = 300;
+    cfg.trials = 2;
+    cfg.faultScale = 0.0;
+    const auto res = core::runExperiment(apps::appFactory("lpm"), cfg);
+    EXPECT_EQ(res.anyErrorProb, 0.0);
+    EXPECT_EQ(res.fatalFraction, 0.0);
+    EXPECT_EQ(res.fallibility, 1.0);
+}
+
+TEST(LpmApp, UpdateChurnStaysDeterministicAcrossRuns)
+{
+    // Peak churn racing the data plane: with faults disabled, golden
+    // and trials replay identical updates at identical points, so no
+    // marked value may diverge — the subsystem's core determinism
+    // claim at the workload level.
+    core::ExperimentConfig cfg;
+    cfg.numPackets = 500;
+    cfg.trials = 2;
+    cfg.faultScale = 0.0;
+    cfg.ctrl.rate = 200;
+    cfg.ctrl.mix = ctrl::CtrlMix::Fib;
+    const auto res = core::runExperiment(apps::appFactory("lpm"), cfg);
+    EXPECT_GT(res.golden.ctrlEventsApplied, 0u);
+    EXPECT_EQ(res.anyErrorProb, 0.0);
+    EXPECT_EQ(res.fatalFraction, 0.0);
+}
+
+TEST(LpmApp, FaultyUpdateChurnRunsToCompletion)
+{
+    // With real faults the update path is a fault surface: the run
+    // must stay well-formed (no assertion failures, sane aggregates)
+    // whatever the injector hits.
+    core::ExperimentConfig cfg;
+    cfg.numPackets = 400;
+    cfg.trials = 3;
+    cfg.ctrl.rate = 100;
+    const auto res = core::runExperiment(apps::appFactory("lpm"), cfg);
+    EXPECT_FALSE(res.golden.fatal);
+    EXPECT_GT(res.golden.ctrlEventsApplied, 0u);
+    EXPECT_GE(res.fallibility, 0.0);
+    EXPECT_LE(res.anyErrorProb, 1.0);
+}

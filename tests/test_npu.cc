@@ -715,3 +715,70 @@ TEST(ChipParallel, OneEngineOneTrialStaysSingleCoreIdentical)
     EXPECT_EQ(sweep::experimentResultJson(chip.core),
               sweep::experimentResultJson(single));
 }
+
+// --- control-plane churn on the chip ---------------------------------
+
+/**
+ * Peak update churn must not break the chip-jobs determinism contract:
+ * every engine drains its private copy of the control stream against
+ * its own packets' trace sequence numbers, so applied-update state
+ * depends only on the dispatcher's (deterministic) placement — never
+ * on worker count or scheduling. Byte-compare all three JSON blocks.
+ */
+TEST(ChipParallel, UpdateChurnChipJobsByteIdentical)
+{
+    for (const std::string &app : {std::string("lpm"),
+                                   std::string("nat"),
+                                   std::string("session")}) {
+        core::ExperimentConfig cfg = smallConfig();
+        cfg.numPackets = 200;
+        cfg.ctrl.rate = 200; // peak churn: ~one event per 5 packets
+        NpuConfig serial;
+        serial.peCount = 4;
+        serial.dispatch = DispatchPolicy::FlowHash;
+        serial.l2 = L2Mode::Shared;
+        serial.mshrs = 2;
+        NpuConfig parallel = serial;
+        parallel.chipJobs = 4;
+
+        const ChipExperimentResult a =
+            runChipExperiment(apps::appFactory(app), cfg, serial);
+        const ChipExperimentResult b =
+            runChipExperiment(apps::appFactory(app), cfg, parallel);
+
+        EXPECT_GT(a.core.golden.ctrlEventsApplied, 0u) << "app " << app;
+        EXPECT_EQ(sweep::experimentResultJson(a.core),
+                  sweep::experimentResultJson(b.core))
+            << "app " << app;
+        EXPECT_EQ(sweep::chipMetricsJson(a.goldenChip),
+                  sweep::chipMetricsJson(b.goldenChip))
+            << "app " << app;
+        EXPECT_EQ(sweep::chipMetricsJson(a.faultyChip),
+                  sweep::chipMetricsJson(b.faultyChip))
+            << "app " << app;
+    }
+}
+
+/**
+ * On a one-engine chip every packet keeps its trace order, so the
+ * engine must drain the control stream at exactly the points the
+ * single-core harness does — churn must not disturb the 1-PE
+ * bit-equivalence guarantee.
+ */
+TEST(ChipParallel, OneEngineUnderChurnStaysSingleCoreIdentical)
+{
+    core::ExperimentConfig cfg = smallConfig();
+    cfg.ctrl.rate = 100;
+    cfg.ctrl.mix = ctrl::CtrlMix::Fib;
+    NpuConfig npuCfg; // 1 PE, rr, uniform
+    npuCfg.chipJobs = 4;
+
+    const ChipExperimentResult chip =
+        runChipExperiment(apps::appFactory("lpm"), cfg, npuCfg);
+    const core::ExperimentResult single =
+        core::runExperiment(apps::appFactory("lpm"), cfg);
+
+    EXPECT_GT(chip.core.golden.ctrlEventsApplied, 0u);
+    EXPECT_EQ(sweep::experimentResultJson(chip.core),
+              sweep::experimentResultJson(single));
+}

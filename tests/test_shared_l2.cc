@@ -259,6 +259,45 @@ TEST(SharedL2Cache, SeedDivergenceColorsMismatchedLines)
     EXPECT_TRUE(shared.sharedFrame(0));
 }
 
+/**
+ * A control-plane publish is an in-place store to a line every engine
+ * shares (the FIB root pointer): the write must diverge the line in
+ * the bitmap, and a non-updating engine must keep reading its own
+ * pre-update pointer — updates on one engine never leak into another
+ * engine's control plane through the shared array.
+ */
+TEST(SharedL2Cache, CtrlPublishDivergesLineForNonUpdatingEngines)
+{
+    TinySharedL2 t(3);
+    const SimAddr rootPtr = 1024; // the "FIB root pointer" word
+    const std::uint32_t oldRoot = t.stores[0].read32(rootPtr);
+
+    // Every engine has the control-plane line resident and shared.
+    t.refill(0, 1024);
+    EXPECT_TRUE(t.shared.lookup(1, rootPtr));
+    EXPECT_TRUE(t.shared.lookup(2, rootPtr));
+    ASSERT_TRUE(t.shared.sharedFrame(rootPtr));
+
+    // Engine 0 publishes a new root: one 4-byte in-place store.
+    const std::uint32_t newRoot = 0x1b70cafeu;
+    std::uint8_t bytes[4];
+    std::memcpy(bytes, &newRoot, 4);
+    t.shared.writeRange(0, rootPtr, bytes, 4, true);
+
+    EXPECT_FALSE(t.shared.sharedFrame(rootPtr));
+    EXPECT_EQ(t.shared.divergedLines(), 1u);
+    EXPECT_EQ(t.shared.readWordRaw(0, rootPtr), newRoot);
+
+    // The non-updating engines lost the frame, refill their own
+    // copies, and still see the old root — value preservation for the
+    // control plane, not just packet data.
+    EXPECT_FALSE(t.shared.lookup(1, rootPtr));
+    t.refill(1, 1024);
+    EXPECT_EQ(t.shared.readWordRaw(1, rootPtr), oldRoot);
+    // Divergence is monotone: the line never becomes shared again.
+    EXPECT_FALSE(t.shared.sharedFrame(rootPtr));
+}
+
 // --- MSHR merging at the port -----------------------------------------
 
 /**
@@ -340,6 +379,41 @@ TEST(SharedL2Chip, SharedAndPrivateComputeIdenticalValues)
     // Sharing actually engaged: engines hit on each other's refills.
     EXPECT_GT(b.chip.crossEngineHits, 0.0);
     EXPECT_EQ(a.chip.crossEngineHits, 0.0);
+}
+
+/**
+ * The same value-preservation contract with the control plane churning
+ * underneath: every engine applies its own copy of the update stream,
+ * and the updated lines diverge rather than bleed across engines, so
+ * shared-mode marked values still match the private run exactly.
+ */
+TEST(SharedL2Chip, SharedAndPrivateIdenticalUnderCtrlChurn)
+{
+    core::ExperimentConfig cfg = smallConfig();
+    cfg.ctrl.rate = 100;
+    NpuConfig priv;
+    priv.peCount = 4;
+    priv.dispatch = DispatchPolicy::FlowHash;
+    NpuConfig shared = priv;
+    shared.l2 = L2Mode::Shared;
+
+    const ChipRun a = runChipGolden(apps::appFactory("lpm"), cfg, priv);
+    const ChipRun b =
+        runChipGolden(apps::appFactory("lpm"), cfg, shared);
+
+    EXPECT_GT(a.merged.ctrlEventsApplied, 0u);
+    EXPECT_EQ(a.merged.ctrlEventsApplied, b.merged.ctrlEventsApplied);
+    ASSERT_EQ(a.completions.size(), b.completions.size());
+    for (const auto &[seq, where] : a.completions) {
+        const auto it = b.completions.find(seq);
+        ASSERT_NE(it, b.completions.end()) << "seq " << seq;
+        EXPECT_EQ(it->second, where) << "seq " << seq;
+        const auto diff = a.recorders[where.first].comparePacket(
+            where.second, b.recorders[it->second.first],
+            it->second.second);
+        EXPECT_TRUE(diff.empty())
+            << "seq " << seq << " first differing key: " << diff[0];
+    }
 }
 
 /** A one-engine chip has nobody to share with: l2=shared must be the

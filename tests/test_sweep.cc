@@ -12,6 +12,7 @@
 #include "apps/app.hh"
 #include "common/pool.hh"
 #include "core/experiment.hh"
+#include "ctrl/ctrl.hh"
 #include "sweep/json.hh"
 #include "sweep/runner.hh"
 #include "sweep/sink.hh"
@@ -288,6 +289,41 @@ TEST(SweepSpec, GapAndChipJobsAxesParseExpandAndKey)
     EXPECT_EQ(cfg.chipJobs, 4u);
 }
 
+TEST(SweepSpec, CtrlAxesParseExpandAndKey)
+{
+    const SweepSpec spec = SweepSpec::parse(
+        "app=lpm;ctrl=0,50;updates=fib;packets=100;trials=2");
+    EXPECT_EQ(spec.ctrlRates, (std::vector<std::uint32_t>{0, 50}));
+    EXPECT_EQ(spec.updateMixes,
+              (std::vector<ctrl::CtrlMix>{ctrl::CtrlMix::Fib}));
+    EXPECT_EQ(spec.cellCount(), 2u);
+
+    const SweepSpec again = SweepSpec::parse(spec.toGridString());
+    EXPECT_EQ(again.toGridString(), spec.toGridString());
+
+    const auto cells = expand(spec);
+    ASSERT_EQ(cells.size(), 2u);
+    // Rate 0 (the default, no events) elides both ctrl keys so
+    // pre-subsystem result files still resume; a live rate spells out
+    // the rate and any non-default mix.
+    EXPECT_EQ(cells[0].key().find(";ctrl="), std::string::npos);
+    EXPECT_EQ(cells[0].key().find(";updates="), std::string::npos);
+    EXPECT_NE(cells[1].key().find(";ctrl=50"), std::string::npos);
+    EXPECT_NE(cells[1].key().find(";updates=fib"), std::string::npos);
+
+    // updates=all is the default and elides even at a live rate.
+    const auto allCells = expand(
+        SweepSpec::parse("app=lpm;ctrl=50;packets=100;trials=2"));
+    ASSERT_EQ(allCells.size(), 1u);
+    EXPECT_NE(allCells[0].key().find(";ctrl=50"), std::string::npos);
+    EXPECT_EQ(allCells[0].key().find(";updates="), std::string::npos);
+
+    // Both knobs reach the experiment configuration.
+    const core::ExperimentConfig cfg = makeConfig(spec, cells[1]);
+    EXPECT_EQ(cfg.ctrl.rate, 50u);
+    EXPECT_EQ(cfg.ctrl.mix, ctrl::CtrlMix::Fib);
+}
+
 // --- work-stealing pool ----------------------------------------------
 
 TEST(WorkStealingPool, RunsEveryJobExactlyOnce)
@@ -527,6 +563,62 @@ TEST(SweepResume, GapAndChipJobsCellsResumeByteIdentical)
                 << a.cell.key() << " vs " << b.cell.key();
         }
     }
+}
+
+TEST(SweepResume, CtrlChurnCellsResumeByteIdentical)
+{
+    // Keys with ctrl and updates parts round-trip through the result
+    // file — including the stored cell coordinates the resume check
+    // compares against — and the merged document equals a fresh run
+    // byte for byte.
+    SweepSpec spec;
+    spec.apps = {"lpm"};
+    spec.points = {{0.5, false}};
+    spec.schemes = {mem::RecoveryScheme::TwoStrike};
+    spec.packets = 120;
+    spec.trials = 2;
+    spec.ctrlRates = {0, 100};
+    spec.updateMixes = {ctrl::CtrlMix::Fib};
+
+    SweepSpec first = spec;
+    first.ctrlRates = {100};
+    const std::string path = tempPath("sweep_ctrl_resume.json");
+    writeFile(path, renderJson(runSweep(first, 2), false));
+
+    const auto completed = loadCompletedCells(path);
+    const SweepOutcome resumed = runSweep(spec, 2, &completed);
+    EXPECT_EQ(resumed.resumedCount, 1u);
+    const SweepOutcome fresh = runSweep(spec, 2);
+    EXPECT_EQ(renderJson(resumed, false), renderJson(fresh, false));
+
+    // The CSV view carries the new axis columns.
+    const std::string csv = renderCsv(fresh);
+    EXPECT_NE(csv.find(",ctrl,updates,"), std::string::npos);
+    EXPECT_NE(csv.find(",100,fib,"), std::string::npos);
+}
+
+TEST(SweepResume, FlowAndChurnCellsResumeByteIdentical)
+{
+    // Regression: flows/churn cells used to serialize without their
+    // axis coordinates, so --resume rejected every stored non-default
+    // cell on the key check. The sink now round-trips both.
+    SweepSpec spec = smallSpec();
+    spec.apps = {"nat"};
+    spec.points = {{0.5, false}};
+    spec.trials = 2;
+    spec.flows = {0, 32};
+    spec.churns = {0, 64};
+
+    SweepSpec first = spec;
+    first.flows = {32};
+    const std::string path = tempPath("sweep_flows_resume.json");
+    writeFile(path, renderJson(runSweep(first, 2), false));
+
+    const auto completed = loadCompletedCells(path);
+    const SweepOutcome resumed = runSweep(spec, 2, &completed);
+    EXPECT_EQ(resumed.resumedCount, 2u);
+    const SweepOutcome fresh = runSweep(spec, 2);
+    EXPECT_EQ(renderJson(resumed, false), renderJson(fresh, false));
 }
 
 // --- JSON emitter ----------------------------------------------------

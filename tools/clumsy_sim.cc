@@ -26,6 +26,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "core/experiment.hh"
+#include "ctrl/ctrl.hh"
 #include "net/trace_gen.hh"
 #include "net/trace_io.hh"
 #include "sweep/json.hh"
@@ -114,6 +115,11 @@ printJson(const std::string &app, const core::ExperimentConfig &cfg,
     out += "  \"plane\": \"" + sweep::planeName(cfg.plane) + "\",\n";
     out += "  \"fault_scale\": " + sweep::jsonNumber(cfg.faultScale) +
            ",\n";
+    if (cfg.ctrl.rate != 0) {
+        out += "  \"ctrl\": " + std::to_string(cfg.ctrl.rate) + ",\n";
+        out += "  \"updates\": \"" + ctrl::to_string(cfg.ctrl.mix) +
+               "\",\n";
+    }
     out += "  \"packets\": " + std::to_string(cfg.numPackets) + ",\n";
     out += "  \"trials\": " + std::to_string(cfg.trials) + ",\n";
     out += "  \"seed\": " + std::to_string(cfg.traceSeed) + ",\n";
@@ -144,7 +150,7 @@ main(int argc, char **argv)
     parser.section("workload");
     parser.optString("--app", "NAME",
                      "crc tl route drr nat md5 url (paper) + adpcm "
-                     "session",
+                     "session lpm",
                      &app);
     parser.section("traffic");
     parser.option("--flows", "N",
@@ -159,6 +165,19 @@ main(int argc, char **argv)
                   "mean flow lifetime in packets; forces the churn "
                   "traffic model on (default: the app's own setting)",
                   &cfg.churnLifetime);
+    parser.option("--ctrl-rate", "N",
+                  "control-plane updates per 1000 packets "
+                  "(default 0 = no control plane)",
+                  [&cfg](const std::string &v) {
+                      cfg.ctrl.rate = static_cast<std::uint32_t>(
+                          cli::parseU64("ctrl-rate", v));
+                  });
+    parser.option("--ctrl-mix", "M",
+                  "control-plane event mix: fib | nat | session | all "
+                  "(default all)",
+                  [&cfg](const std::string &v) {
+                      cfg.ctrl.mix = ctrl::mixFromString(v);
+                  });
     parser.option("--flow-zipf", "X",
                   "flow-popularity Zipf exponent (default: the app's)",
                   [&cfg](const std::string &v) {
