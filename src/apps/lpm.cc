@@ -261,9 +261,9 @@ LpmFib::insert(core::ClumsyProcessor &proc, std::uint32_t prefix,
     exec(proc, 1);
 
     // 4. Host mirror (ground truth for audits and tests).
-    const bool fresh = mirror_[len].emplace(prefix, nexthop).second;
+    const bool fresh = mirror_[len].emplace(prefix, nexthop);
     if (!fresh)
-        mirror_[len][prefix] = nexthop;
+        mirror_[len].insertOrAssign(prefix, nexthop);
     else
         ++prefixes_;
 }
@@ -287,7 +287,7 @@ LpmFib::withdraw(core::ClumsyProcessor &proc, std::uint32_t prefix,
     const unsigned r = len % kStride;
 
     auto eraseMirror = [&] {
-        if (mirror_[len].erase(prefix) != 0)
+        if (mirror_[len].erase(prefix))
             --prefixes_;
     };
 
@@ -428,10 +428,10 @@ LpmFib::goldenLookup(std::uint32_t dst) const
         const auto &bucket = mirror_[static_cast<std::size_t>(len)];
         if (bucket.empty())
             continue;
-        const auto it =
+        const std::uint32_t *hop =
             bucket.find(dst & maskFor(static_cast<std::uint8_t>(len)));
-        if (it != bucket.end())
-            return it->second;
+        if (hop)
+            return *hop;
     }
     return kNoMatch;
 }

@@ -35,9 +35,9 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
 #include "apps/app.hh"
+#include "common/f14_table.hh"
 #include "ctrl/ctrl.hh"
 #include "ctrl/rcu.hh"
 
@@ -184,8 +184,7 @@ class LpmFib
     std::size_t prefixes_ = 0;
 
     /** Host mirror: per-length prefix -> nexthop maps. */
-    std::array<std::unordered_map<std::uint32_t, std::uint32_t>, 33>
-        mirror_;
+    std::array<F14Table<std::uint32_t, std::uint32_t>, 33> mirror_;
 };
 
 /** The lpm workload. */

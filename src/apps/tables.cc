@@ -73,8 +73,8 @@ RouteTable::RouteTable(core::ClumsyProcessor &proc,
 std::uint32_t
 RouteTable::goldenIndex(std::uint32_t dst) const
 {
-    auto it = index_.find(dst);
-    return it == index_.end() ? RadixTree::kNoMatch : it->second;
+    const std::uint32_t *idx = index_.find(dst);
+    return idx ? *idx : RadixTree::kNoMatch;
 }
 
 std::uint64_t
@@ -174,7 +174,7 @@ NatTable::noteArrival(std::uint32_t privIp)
 {
     // nextIdx_ tracks the simulated counter cell: monotone, never
     // recycled, so indices stay aligned even after removeBinding().
-    if (!index_.count(privIp) && nextIdx_ < capacity_)
+    if (!index_.contains(privIp) && nextIdx_ < capacity_)
         index_.emplace(privIp, nextIdx_++);
 }
 
@@ -193,8 +193,8 @@ NatTable::removeBinding(core::ClumsyProcessor &proc, std::uint32_t privIp)
 std::uint32_t
 NatTable::goldenIndex(std::uint32_t privIp) const
 {
-    auto it = index_.find(privIp);
-    return it == index_.end() ? RadixTree::kNoMatch : it->second;
+    const std::uint32_t *idx = index_.find(privIp);
+    return idx ? *idx : RadixTree::kNoMatch;
 }
 
 std::uint64_t

@@ -12,10 +12,10 @@
 #define CLUMSY_APPS_TABLES_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "apps/radix_tree.hh"
+#include "common/f14_table.hh"
 #include "core/processor.hh"
 
 namespace clumsy::apps
@@ -97,7 +97,7 @@ class RouteTable
     RadixTree radix_;
     SimAddr base_ = 0;
     std::uint32_t count_ = 0;
-    std::unordered_map<std::uint32_t, std::uint32_t> index_;
+    F14Table<std::uint32_t, std::uint32_t> index_;
 };
 
 /**
@@ -181,7 +181,7 @@ class NatTable
     SimAddr base_ = 0;
     SimAddr countAddr_ = 0;
     std::uint32_t capacity_ = 0;
-    std::unordered_map<std::uint32_t, std::uint32_t> index_;
+    F14Table<std::uint32_t, std::uint32_t> index_;
 
     /**
      * Next golden index to assign. Monotone like the simulated

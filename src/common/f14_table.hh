@@ -1,0 +1,334 @@
+/**
+ * @file
+ * F14-style flat hash table for the host-side table mirrors.
+ *
+ * The application tables keep host-side ground-truth indices (route
+ * destination -> entry, NAT private source -> binding, LPM prefix ->
+ * next hop) that are probed once or more per simulated packet, so
+ * their cost is pure simulator overhead — they model nothing. This
+ * table replaces std::unordered_map on those paths with the chunked
+ * SIMD layout of Meta's F14: slots are grouped into 16-wide chunks,
+ * each slot publishing a one-byte tag (0 = empty, 1 = tombstone,
+ * 0x80 | h7 = full with the hash's top seven bits), and a probe
+ * compares all 16 tags of a chunk in one SSE2 instruction before
+ * touching any key. One cache line of tags filters almost every
+ * non-matching chunk, keys stay in a flat array (no per-node
+ * allocation), and the table never invalidates values across probes
+ * of other keys.
+ *
+ * Probing is triangular over chunks (ci += 1, 2, 3, ... mod a power
+ * of two), which visits every chunk exactly once per cycle. A probe
+ * may stop at the first chunk holding a genuinely EMPTY slot — an
+ * insert would have used it — while tombstones keep the chain alive.
+ * Erase demotes to a plain empty when its chunk already has one
+ * (chains through the chunk are unaffected), else leaves a
+ * tombstone; rehash drops all tombstones.
+ *
+ * Only trivially-copyable integral keys are supported: the mirrors
+ * key on IPv4 addresses and prefixes, and the mix function is
+ * splitmix64, whose full-avalanche output feeds both the chunk index
+ * (low bits) and the tag (top seven bits) from independent bits.
+ */
+
+#ifndef CLUMSY_COMMON_F14_TABLE_HH
+#define CLUMSY_COMMON_F14_TABLE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#if defined(__SSE2__) || defined(_M_X64)
+#define CLUMSY_F14_SSE2 1
+#include <emmintrin.h>
+#endif
+
+#include "common/logging.hh"
+
+namespace clumsy
+{
+
+/** splitmix64: cheap full-avalanche mix of a 64-bit value. */
+inline std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Chunked SIMD-probed open-addressing map (see file comment). */
+template <typename Key, typename Value>
+class F14Table
+{
+    static_assert(std::is_integral_v<Key>,
+                  "F14Table keys must be integral");
+    static_assert(std::is_trivially_copyable_v<Value>,
+                  "F14Table values must be trivially copyable");
+
+  public:
+    static constexpr unsigned kSlotsPerChunk = 16;
+
+    F14Table() { reinit(kMinChunks); }
+
+    /** Number of live entries. */
+    std::size_t size() const { return size_; }
+
+    /** @return true when no entries are live. */
+    bool empty() const { return size_ == 0; }
+
+    /**
+     * Insert (key, value) when the key is absent. @return true on
+     * insertion; false when the key was already present (its value is
+     * kept, matching std::unordered_map::emplace).
+     */
+    bool emplace(Key key, Value value)
+    {
+        maybeGrow();
+        return insertImpl(key, value, /*assign=*/false);
+    }
+
+    /** Insert or overwrite (operator[]-assignment equivalent). */
+    void insertOrAssign(Key key, Value value)
+    {
+        maybeGrow();
+        insertImpl(key, value, /*assign=*/true);
+    }
+
+    /** @return pointer to the key's value, or nullptr when absent. */
+    const Value *find(Key key) const
+    {
+        const std::uint64_t h = splitmix64(
+            static_cast<std::uint64_t>(static_cast<std::make_unsigned_t<Key>>(key)));
+        const std::uint8_t tag = fullTag(h);
+        std::size_t ci = h & mask_;
+        std::size_t step = 1;
+        while (true) {
+            const Chunk &c = chunks_[ci];
+            unsigned matches = matchMask(c, tag);
+            while (matches != 0) {
+                const unsigned slot = ctz(matches);
+                if (c.keys[slot] == key)
+                    return &c.vals[slot];
+                matches &= matches - 1;
+            }
+            if (emptyMask(c) != 0)
+                return nullptr; // an insert would have landed here
+            CLUMSY_ASSERT(step <= chunks_.size(),
+                          "f14 probe cycled the whole table");
+            ci = (ci + step++) & mask_;
+        }
+    }
+
+    /** Mutable find(). */
+    Value *find(Key key)
+    {
+        return const_cast<Value *>(
+            static_cast<const F14Table *>(this)->find(key));
+    }
+
+    /** @return true when the key is present. */
+    bool contains(Key key) const { return find(key) != nullptr; }
+
+    /** Remove the key. @return true when an entry was erased. */
+    bool erase(Key key)
+    {
+        const std::uint64_t h = splitmix64(
+            static_cast<std::uint64_t>(static_cast<std::make_unsigned_t<Key>>(key)));
+        const std::uint8_t tag = fullTag(h);
+        std::size_t ci = h & mask_;
+        std::size_t step = 1;
+        while (true) {
+            Chunk &c = chunks_[ci];
+            unsigned matches = matchMask(c, tag);
+            while (matches != 0) {
+                const unsigned slot = ctz(matches);
+                if (c.keys[slot] == key) {
+                    // A chunk already holding an empty slot ends every
+                    // probe chain through it, so the freed slot may
+                    // become plain empty; otherwise it must tombstone
+                    // to keep longer chains alive.
+                    if (emptyMask(c) != 0) {
+                        c.tags[slot] = kEmpty;
+                    } else {
+                        c.tags[slot] = kTombstone;
+                        ++tombstones_;
+                    }
+                    --size_;
+                    return true;
+                }
+                matches &= matches - 1;
+            }
+            if (emptyMask(c) != 0)
+                return false;
+            CLUMSY_ASSERT(step <= chunks_.size(),
+                          "f14 probe cycled the whole table");
+            ci = (ci + step++) & mask_;
+        }
+    }
+
+    /** Drop every entry (capacity kept). */
+    void clear()
+    {
+        for (Chunk &c : chunks_)
+            for (unsigned s = 0; s < kSlotsPerChunk; ++s)
+                c.tags[s] = kEmpty;
+        size_ = 0;
+        tombstones_ = 0;
+    }
+
+    /** Slots across all chunks (diagnostics/tests). */
+    std::size_t capacity() const
+    {
+        return chunks_.size() * kSlotsPerChunk;
+    }
+
+  private:
+    static constexpr std::uint8_t kEmpty = 0;
+    static constexpr std::uint8_t kTombstone = 1;
+    static constexpr std::size_t kMinChunks = 1;
+
+    struct Chunk
+    {
+        alignas(16) std::uint8_t tags[kSlotsPerChunk];
+        Key keys[kSlotsPerChunk];
+        Value vals[kSlotsPerChunk];
+    };
+
+    std::vector<Chunk> chunks_;
+    std::size_t mask_ = 0; ///< chunks_.size() - 1 (power of two)
+    std::size_t size_ = 0;
+    std::size_t tombstones_ = 0;
+
+    /** Tag of a full slot: high bit set plus the hash's top 7 bits. */
+    static std::uint8_t fullTag(std::uint64_t h)
+    {
+        return static_cast<std::uint8_t>(0x80u | (h >> 57));
+    }
+
+    static unsigned ctz(unsigned mask)
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        return static_cast<unsigned>(__builtin_ctz(mask));
+#else
+        unsigned n = 0;
+        while ((mask & 1u) == 0) {
+            mask >>= 1;
+            ++n;
+        }
+        return n;
+#endif
+    }
+
+    /** Bitmask of slots whose tag equals @p tag. */
+    static unsigned matchMask(const Chunk &c, std::uint8_t tag)
+    {
+#ifdef CLUMSY_F14_SSE2
+        const __m128i tags = _mm_load_si128(
+            reinterpret_cast<const __m128i *>(c.tags));
+        const __m128i needle =
+            _mm_set1_epi8(static_cast<char>(tag));
+        return static_cast<unsigned>(
+            _mm_movemask_epi8(_mm_cmpeq_epi8(tags, needle)));
+#else
+        unsigned mask = 0;
+        for (unsigned s = 0; s < kSlotsPerChunk; ++s)
+            if (c.tags[s] == tag)
+                mask |= 1u << s;
+        return mask;
+#endif
+    }
+
+    /** Bitmask of genuinely empty (never tombstoned) slots. */
+    static unsigned emptyMask(const Chunk &c)
+    {
+        return matchMask(c, kEmpty);
+    }
+
+    /** Bitmask of insertable (empty or tombstone) slots. */
+    static unsigned freeMask(const Chunk &c)
+    {
+        return matchMask(c, kEmpty) | matchMask(c, kTombstone);
+    }
+
+    void reinit(std::size_t nChunks)
+    {
+        chunks_.assign(nChunks, Chunk{});
+        mask_ = nChunks - 1;
+        size_ = 0;
+        tombstones_ = 0;
+        for (Chunk &c : chunks_)
+            for (unsigned s = 0; s < kSlotsPerChunk; ++s)
+                c.tags[s] = kEmpty;
+    }
+
+    /** Keep (live + tombstone) occupancy under 7/8 of capacity. */
+    void maybeGrow()
+    {
+        if ((size_ + tombstones_ + 1) * 8 <= capacity() * 7)
+            return;
+        // Grow when genuinely over half full; otherwise the same
+        // footprint reinserted without tombstones is roomy enough.
+        const std::size_t nChunks = size_ * 2 >= capacity()
+                                        ? chunks_.size() * 2
+                                        : chunks_.size();
+        std::vector<Chunk> old = std::move(chunks_);
+        reinit(nChunks);
+        for (const Chunk &c : old) {
+            for (unsigned s = 0; s < kSlotsPerChunk; ++s) {
+                if (c.tags[s] & 0x80u)
+                    insertImpl(c.keys[s], c.vals[s], false);
+            }
+        }
+    }
+
+    bool insertImpl(Key key, Value value, bool assign)
+    {
+        const std::uint64_t h = splitmix64(
+            static_cast<std::uint64_t>(static_cast<std::make_unsigned_t<Key>>(key)));
+        const std::uint8_t tag = fullTag(h);
+        std::size_t ci = h & mask_;
+        std::size_t step = 1;
+        Chunk *freeChunk = nullptr;
+        unsigned freeSlot = 0;
+        while (true) {
+            Chunk &c = chunks_[ci];
+            unsigned matches = matchMask(c, tag);
+            while (matches != 0) {
+                const unsigned slot = ctz(matches);
+                if (c.keys[slot] == key) {
+                    if (assign)
+                        c.vals[slot] = value;
+                    return false;
+                }
+                matches &= matches - 1;
+            }
+            if (freeChunk == nullptr) {
+                const unsigned free = freeMask(c);
+                if (free != 0) {
+                    freeChunk = &c;
+                    freeSlot = ctz(free);
+                }
+            }
+            if (emptyMask(c) != 0)
+                break; // key is definitely absent
+            CLUMSY_ASSERT(step <= chunks_.size(),
+                          "f14 probe cycled the whole table");
+            ci = (ci + step++) & mask_;
+        }
+        CLUMSY_ASSERT(freeChunk != nullptr,
+                      "f14 insert found no free slot");
+        if (freeChunk->tags[freeSlot] == kTombstone)
+            --tombstones_;
+        freeChunk->tags[freeSlot] = tag;
+        freeChunk->keys[freeSlot] = key;
+        freeChunk->vals[freeSlot] = value;
+        ++size_;
+        return true;
+    }
+};
+
+} // namespace clumsy
+
+#endif // CLUMSY_COMMON_F14_TABLE_HH

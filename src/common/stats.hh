@@ -122,6 +122,18 @@ class StatGroup
     /** Add delta (default 1) to the named counter, creating it at 0. */
     void inc(const std::string &key, std::uint64_t delta = 1);
 
+    /**
+     * Interned handle to the named counter, creating it at 0. std::map
+     * nodes never move, so the pointer stays valid for the group's
+     * lifetime (reset() zeroes values in place). Hot paths resolve
+     * their counters once at construction and bump through the handle,
+     * replacing a string-keyed map lookup per event with one add.
+     */
+    std::uint64_t *slot(const std::string &key)
+    {
+        return &counters_[key];
+    }
+
     /** Overwrite the named counter. */
     void set(const std::string &key, std::uint64_t value);
 

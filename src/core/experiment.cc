@@ -1,6 +1,7 @@
 #include "core/experiment.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 
 #include "common/logging.hh"
@@ -59,6 +60,17 @@ ValueRecorder::record(const std::string &key, std::uint64_t value)
     CLUMSY_ASSERT(framesBegun_ > 0,
                   "record() before the first beginPacket()");
     digest_ = fnvBytes(digest_, key.data(), key.size());
+    digest_ = fnvBytes(digest_, &value, sizeof value);
+    if (mode_ == Mode::Full)
+        packets_.back().emplace_back(key, value);
+}
+
+void
+ValueRecorder::record(const char *key, std::uint64_t value)
+{
+    CLUMSY_ASSERT(framesBegun_ > 0,
+                  "record() before the first beginPacket()");
+    digest_ = fnvBytes(digest_, key, std::strlen(key));
     digest_ = fnvBytes(digest_, &value, sizeof value);
     if (mode_ == Mode::Full)
         packets_.back().emplace_back(key, value);

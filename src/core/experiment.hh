@@ -73,6 +73,15 @@ class ValueRecorder
     /** Record one marked value under a stable key. */
     void record(const std::string &key, std::uint64_t value);
 
+    /**
+     * String-literal overload: workloads mark values with constant
+     * keys on every packet, and in Digest mode the key bytes fold
+     * straight into the rolling hash, so no std::string is
+     * constructed per marked value. The digest is identical to the
+     * std::string overload's for the same characters.
+     */
+    void record(const char *key, std::uint64_t value);
+
     /** Number of packet frames recorded. */
     std::size_t packetCount() const { return framesBegun_; }
 

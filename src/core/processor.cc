@@ -39,11 +39,8 @@ ClumsyProcessor::ClumsyProcessor(ProcessorConfig config)
 }
 
 void
-ClumsyProcessor::chargeAccess(const mem::Access &acc)
+ClumsyProcessor::chargePortWait(const mem::Access &acc)
 {
-    cycles_ += acc.latency;
-    if (!l2Port_ || acc.l2Accesses == 0)
-        return;
     // The access's own L2 service time is already inside acc.latency,
     // so the port-use window ends at the new local time; the arbiter
     // reports only the extra wait caused by other engines.
@@ -54,72 +51,6 @@ ClumsyProcessor::chargeAccess(const mem::Access &acc)
         cycles_ += wait;
         l2PortWaitQuanta_ += wait;
         ++l2PortWaits_;
-    }
-}
-
-std::uint32_t
-ClumsyProcessor::finishRead(const mem::Access &acc)
-{
-    chargeAccess(acc);
-    return acc.value;
-}
-
-std::uint32_t
-ClumsyProcessor::read32(SimAddr addr)
-{
-    return finishRead(hierarchy_.read(addr, 4));
-}
-
-std::uint16_t
-ClumsyProcessor::read16(SimAddr addr)
-{
-    return static_cast<std::uint16_t>(finishRead(hierarchy_.read(addr, 2)));
-}
-
-std::uint8_t
-ClumsyProcessor::read8(SimAddr addr)
-{
-    return static_cast<std::uint8_t>(finishRead(hierarchy_.read(addr, 1)));
-}
-
-void
-ClumsyProcessor::finishWrite(const mem::Access &acc)
-{
-    chargeAccess(acc);
-}
-
-void
-ClumsyProcessor::write32(SimAddr addr, std::uint32_t value)
-{
-    finishWrite(hierarchy_.write(addr, 4, value));
-}
-
-void
-ClumsyProcessor::write16(SimAddr addr, std::uint16_t value)
-{
-    finishWrite(hierarchy_.write(addr, 2, value));
-}
-
-void
-ClumsyProcessor::write8(SimAddr addr, std::uint8_t value)
-{
-    finishWrite(hierarchy_.write(addr, 1, value));
-}
-
-void
-ClumsyProcessor::execute(std::uint32_t n)
-{
-    instructions_ += n;
-    cycles_ += cyclesToQuanta(n); // in-order core, 1 IPC baseline
-    fetchCredit_ += n;
-    const SimSize lineBytes = config_.hierarchy.l1i.lineBytes;
-    while (fetchCredit_ >= config_.instsPerFetch) {
-        fetchCredit_ -= config_.instsPerFetch;
-        chargeAccess(hierarchy_.fetch(iRegionBase_ + codeOffset_ +
-                                      pcOffset_));
-        pcOffset_ += lineBytes;
-        if (pcOffset_ >= codeBytes_)
-            pcOffset_ = 0;
     }
 }
 

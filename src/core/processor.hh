@@ -47,24 +47,47 @@ class ClumsyProcessor
     explicit ClumsyProcessor(ProcessorConfig config = {});
 
     // --- timed, faulty data-memory API ------------------------------
+    // Every application data access funnels through these six calls,
+    // so they are defined inline: the facade adds zero call overhead
+    // on top of the hierarchy's (itself devirtualized) access path.
 
     /** Load a 32-bit word (4-aligned) through the D-cache. */
-    std::uint32_t read32(SimAddr addr);
+    std::uint32_t read32(SimAddr addr)
+    {
+        return finishRead(hierarchy_.read(addr, 4));
+    }
 
     /** Load a 16-bit half (2-aligned). */
-    std::uint16_t read16(SimAddr addr);
+    std::uint16_t read16(SimAddr addr)
+    {
+        return static_cast<std::uint16_t>(
+            finishRead(hierarchy_.read(addr, 2)));
+    }
 
     /** Load a byte. */
-    std::uint8_t read8(SimAddr addr);
+    std::uint8_t read8(SimAddr addr)
+    {
+        return static_cast<std::uint8_t>(
+            finishRead(hierarchy_.read(addr, 1)));
+    }
 
     /** Store a 32-bit word (4-aligned). */
-    void write32(SimAddr addr, std::uint32_t value);
+    void write32(SimAddr addr, std::uint32_t value)
+    {
+        finishWrite(hierarchy_.write(addr, 4, value));
+    }
 
     /** Store a 16-bit half (2-aligned). */
-    void write16(SimAddr addr, std::uint16_t value);
+    void write16(SimAddr addr, std::uint16_t value)
+    {
+        finishWrite(hierarchy_.write(addr, 2, value));
+    }
 
     /** Store a byte. */
-    void write8(SimAddr addr, std::uint8_t value);
+    void write8(SimAddr addr, std::uint8_t value)
+    {
+        finishWrite(hierarchy_.write(addr, 1, value));
+    }
 
     // --- instruction charging ---------------------------------------
 
@@ -72,7 +95,21 @@ class ClumsyProcessor
      * Charge n executed instructions (1 base cycle each) and advance
      * the PC walker through the current code region.
      */
-    void execute(std::uint32_t n);
+    void execute(std::uint32_t n)
+    {
+        instructions_ += n;
+        cycles_ += cyclesToQuanta(n); // in-order core, 1 IPC baseline
+        fetchCredit_ += n;
+        const SimSize lineBytes = config_.hierarchy.l1i.lineBytes;
+        while (fetchCredit_ >= config_.instsPerFetch) {
+            fetchCredit_ -= config_.instsPerFetch;
+            chargeAccess(hierarchy_.fetch(iRegionBase_ + codeOffset_ +
+                                          pcOffset_));
+            pcOffset_ += lineBytes;
+            if (pcOffset_ >= codeBytes_)
+                pcOffset_ = 0;
+        }
+    }
 
     /**
      * Declare the executing code's footprint inside the instruction
@@ -294,16 +331,29 @@ class ClumsyProcessor
     std::uint64_t l2PortWaits_ = 0;
 
     /** Advance time by an access's latency plus any port queuing. */
-    void chargeAccess(const mem::Access &acc);
+    void chargeAccess(const mem::Access &acc)
+    {
+        cycles_ += acc.latency;
+        if (!l2Port_ || acc.l2Accesses == 0)
+            return;
+        chargePortWait(acc);
+    }
+
+    /** Fold the shared-port queuing delay into local time (cold). */
+    void chargePortWait(const mem::Access &acc);
 
     /** Close one controller epoch and apply its decision. */
     void closeEpoch(const EpochObservation &obs);
 
     /** Apply one timed read access result. */
-    std::uint32_t finishRead(const mem::Access &acc);
+    std::uint32_t finishRead(const mem::Access &acc)
+    {
+        chargeAccess(acc);
+        return acc.value;
+    }
 
     /** Apply one timed write access result. */
-    void finishWrite(const mem::Access &acc);
+    void finishWrite(const mem::Access &acc) { chargeAccess(acc); }
 };
 
 } // namespace clumsy::core

@@ -1,13 +1,9 @@
 #include "mem/cache.hh"
 
 #include <algorithm>
-#include <cstring>
 #include <utility>
 
 #include "common/bitops.hh"
-#include "common/logging.hh"
-#include "mem/parity.hh"
-#include "mem/secded.hh"
 
 namespace clumsy::mem
 {
@@ -22,138 +18,66 @@ Cache::Cache(std::string name, CacheGeometry geom, CheckCodec codec)
                   "sets and ways must be powers of two");
     setShift_ = floorLog2(geom_.lineBytes);
     setMask_ = sets - 1;
-    lines_.resize(std::size_t{sets} * geom_.assoc);
-    for (auto &line : lines_) {
-        line.data.resize(geom_.lineBytes);
-        line.check.resize(geom_.lineBytes / 4, 0);
-    }
-}
-
-std::uint8_t
-Cache::computeCheck(std::uint32_t word) const
-{
-    if (codec_ == CheckCodec::Secded)
-        return secded::encode(word);
-    return parityBit(word) ? 1 : 0;
-}
-
-std::uint32_t
-Cache::setIndex(SimAddr addr) const
-{
-    return (addr >> setShift_) & setMask_;
-}
-
-std::uint32_t
-Cache::tagOf(SimAddr addr) const
-{
-    return addr >> setShift_;
-}
-
-Cache::Line &
-Cache::lineAt(std::uint32_t set, unsigned way)
-{
-    return lines_[std::size_t{set} * geom_.assoc + way];
-}
-
-const Cache::Line &
-Cache::lineAt(std::uint32_t set, unsigned way) const
-{
-    return lines_[std::size_t{set} * geom_.assoc + way];
-}
-
-int
-Cache::findWay(SimAddr addr) const
-{
-    const std::uint32_t set = setIndex(addr);
-    const std::uint32_t tag = tagOf(addr);
-    for (unsigned w = 0; w < geom_.assoc; ++w) {
-        const Line &line = lineAt(set, w);
-        if (line.valid && line.tag == tag)
-            return static_cast<int>(w);
-    }
-    return -1;
-}
-
-Cache::Line &
-Cache::mustFind(SimAddr addr)
-{
-    const int way = findWay(addr);
-    CLUMSY_ASSERT(way >= 0, "line not present");
-    return lineAt(setIndex(addr), static_cast<unsigned>(way));
-}
-
-const Cache::Line &
-Cache::mustFind(SimAddr addr) const
-{
-    const int way = findWay(addr);
-    CLUMSY_ASSERT(way >= 0, "line not present");
-    return lineAt(setIndex(addr), static_cast<unsigned>(way));
-}
-
-bool
-Cache::contains(SimAddr addr) const
-{
-    return findWay(addr) >= 0;
-}
-
-bool
-Cache::lookup(SimAddr addr)
-{
-    const int way = findWay(addr);
-    if (way < 0) {
-        stats_.inc("misses");
-        return false;
-    }
-    stats_.inc("hits");
-    lineAt(setIndex(addr), static_cast<unsigned>(way)).lruTick = ++tick_;
-    return true;
+    wordsPerLine_ = static_cast<unsigned>(geom_.lineBytes / 4);
+    const std::size_t lines = std::size_t{sets} * geom_.assoc;
+    valid_.assign(lines, 0);
+    dirty_.assign(lines, 0);
+    tags_.assign(lines, 0);
+    lru_.assign(lines, 0);
+    data_.assign(lines * geom_.lineBytes, 0);
+    check_.assign(lines * wordsPerLine_, 0);
+    hits_ = stats_.slot("hits");
+    misses_ = stats_.slot("misses");
+    fills_ = stats_.slot("fills");
+    evictions_ = stats_.slot("evictions");
+    writebacks_ = stats_.slot("writebacks");
+    invalidations_ = stats_.slot("invalidations");
 }
 
 Cache::Evicted
 Cache::fill(SimAddr addr, const std::uint8_t *data)
 {
-    CLUMSY_ASSERT(findWay(addr) < 0, "fill of an already-present line");
-    const std::uint32_t set = setIndex(addr);
+    CLUMSY_ASSERT(findLine(addr) < 0, "fill of an already-present line");
+    const std::size_t first = std::size_t{setIndex(addr)} * geom_.assoc;
 
     // Pick the victim: an invalid way, else the LRU way.
-    unsigned victim = 0;
+    std::size_t victim = first;
     std::uint64_t oldest = UINT64_MAX;
     for (unsigned w = 0; w < geom_.assoc; ++w) {
-        const Line &line = lineAt(set, w);
-        if (!line.valid) {
-            victim = w;
+        if (!valid_[first + w]) {
+            victim = first + w;
             oldest = 0;
             break;
         }
-        if (line.lruTick < oldest) {
-            oldest = line.lruTick;
-            victim = w;
+        if (lru_[first + w] < oldest) {
+            oldest = lru_[first + w];
+            victim = first + w;
         }
     }
 
-    Line &line = lineAt(set, victim);
     Evicted evicted;
-    if (line.valid) {
-        stats_.inc("evictions");
+    if (valid_[victim]) {
+        ++*evictions_;
         evicted.valid = true;
-        evicted.dirty = line.dirty;
-        evicted.base = (line.tag << setShift_);
-        if (line.dirty) {
-            stats_.inc("writebacks");
-            evicted.data = line.data;
+        evicted.dirty = dirty_[victim] != 0;
+        evicted.base = (tags_[victim] << setShift_);
+        if (dirty_[victim]) {
+            ++*writebacks_;
+            evicted.data.assign(dataOf(victim),
+                                dataOf(victim) + geom_.lineBytes);
         }
     }
 
-    stats_.inc("fills");
-    line.valid = true;
-    line.dirty = false;
-    line.tag = tagOf(addr);
-    line.lruTick = ++tick_;
-    std::memcpy(line.data.data(), data, geom_.lineBytes);
-    for (unsigned w = 0; w < geom_.lineBytes / 4; ++w) {
+    ++*fills_;
+    valid_[victim] = 1;
+    dirty_[victim] = 0;
+    tags_[victim] = tagOf(addr);
+    lru_[victim] = ++tick_;
+    std::memcpy(dataOf(victim), data, geom_.lineBytes);
+    for (unsigned w = 0; w < wordsPerLine_; ++w) {
         std::uint32_t word;
-        std::memcpy(&word, &line.data[w * 4], 4);
-        line.check[w] = computeCheck(word);
+        std::memcpy(&word, data + w * 4, 4);
+        check_[victim * wordsPerLine_ + w] = computeCheck(word);
     }
     return evicted;
 }
@@ -161,11 +85,11 @@ Cache::fill(SimAddr addr, const std::uint8_t *data)
 void
 Cache::invalidate(SimAddr addr)
 {
-    const int way = findWay(addr);
-    if (way < 0)
+    const std::ptrdiff_t line = findLine(addr);
+    if (line < 0)
         return;
-    stats_.inc("invalidations");
-    lineAt(setIndex(addr), static_cast<unsigned>(way)).valid = false;
+    ++*invalidations_;
+    valid_[static_cast<std::size_t>(line)] = 0;
 }
 
 void
@@ -173,86 +97,43 @@ Cache::retag(SimAddr from, SimAddr to)
 {
     CLUMSY_ASSERT(setIndex(from) == setIndex(to),
                   "retag must stay within the set");
-    CLUMSY_ASSERT(findWay(to) < 0, "retag destination already present");
-    mustFind(from).tag = tagOf(to);
-}
-
-std::uint32_t
-Cache::readWordRaw(SimAddr addr) const
-{
-    CLUMSY_ASSERT(addr % 4 == 0, "word access must be 4-aligned");
-    const Line &line = mustFind(addr);
-    std::uint32_t v;
-    std::memcpy(&v, &line.data[addr & (geom_.lineBytes - 1)], 4);
-    return v;
-}
-
-void
-Cache::writeWordRaw(SimAddr addr, std::uint32_t storedValue,
-                    std::uint8_t intendedCheck)
-{
-    CLUMSY_ASSERT(addr % 4 == 0, "word access must be 4-aligned");
-    Line &line = mustFind(addr);
-    const SimAddr off = addr & (geom_.lineBytes - 1);
-    std::memcpy(&line.data[off], &storedValue, 4);
-    line.check[off / 4] = intendedCheck;
-}
-
-std::uint8_t
-Cache::wordCheck(SimAddr addr) const
-{
-    CLUMSY_ASSERT(addr % 4 == 0, "word access must be 4-aligned");
-    const Line &line = mustFind(addr);
-    return line.check[(addr & (geom_.lineBytes - 1)) / 4];
-}
-
-void
-Cache::setDirty(SimAddr addr)
-{
-    mustFind(addr).dirty = true;
-}
-
-bool
-Cache::isDirty(SimAddr addr) const
-{
-    return mustFind(addr).dirty;
+    CLUMSY_ASSERT(findLine(to) < 0, "retag destination already present");
+    tags_[mustFindLine(from)] = tagOf(to);
 }
 
 void
 Cache::readLine(SimAddr addr, std::uint8_t *dst) const
 {
-    const Line &line = mustFind(addr);
-    std::memcpy(dst, line.data.data(), geom_.lineBytes);
+    std::memcpy(dst, dataOf(mustFindLine(addr)), geom_.lineBytes);
 }
 
 void
 Cache::writeRange(SimAddr addr, const std::uint8_t *src, SimSize len,
                   bool markDirty)
 {
-    Line &line = mustFind(addr);
+    const std::size_t line = mustFindLine(addr);
     const SimAddr off = addr & (geom_.lineBytes - 1);
     CLUMSY_ASSERT(off + len <= geom_.lineBytes, "range crosses the line");
-    std::memcpy(&line.data[off], src, len);
+    std::uint8_t *data = dataOf(line);
+    std::memcpy(data + off, src, len);
     // Regenerate check bits for every word the range touches.
-    const unsigned firstWord = off / 4;
-    const unsigned lastWord = (off + len - 1) / 4;
+    const unsigned firstWord = static_cast<unsigned>(off / 4);
+    const unsigned lastWord = static_cast<unsigned>((off + len - 1) / 4);
     for (unsigned w = firstWord; w <= lastWord; ++w) {
         std::uint32_t word;
-        std::memcpy(&word, &line.data[w * 4], 4);
-        line.check[w] = computeCheck(word);
+        std::memcpy(&word, data + w * 4, 4);
+        check_[line * wordsPerLine_ + w] = computeCheck(word);
     }
     if (markDirty)
-        line.dirty = true;
+        dirty_[line] = 1;
 }
 
 void
 Cache::reset()
 {
-    for (auto &line : lines_) {
-        line.valid = false;
-        line.dirty = false;
-        line.lruTick = 0;
-    }
+    std::fill(valid_.begin(), valid_.end(), 0);
+    std::fill(dirty_.begin(), dirty_.end(), 0);
+    std::fill(lru_.begin(), lru_.end(), 0);
     tick_ = 0;
 }
 
@@ -260,8 +141,8 @@ std::size_t
 Cache::validLineCount() const
 {
     std::size_t n = 0;
-    for (const Line &line : lines_)
-        if (line.valid)
+    for (const std::uint8_t v : valid_)
+        if (v)
             ++n;
     return n;
 }
@@ -270,9 +151,9 @@ std::vector<SimAddr>
 Cache::dirtyLineBases() const
 {
     std::vector<SimAddr> bases;
-    for (const Line &line : lines_)
-        if (line.valid && line.dirty)
-            bases.push_back(line.tag << setShift_);
+    for (std::size_t i = 0; i < valid_.size(); ++i)
+        if (valid_[i] && dirty_[i])
+            bases.push_back(tags_[i] << setShift_);
     return bases;
 }
 
@@ -280,9 +161,9 @@ std::vector<SimAddr>
 Cache::residentLineBasesByLru() const
 {
     std::vector<std::pair<std::uint64_t, SimAddr>> byTick;
-    for (const Line &line : lines_)
-        if (line.valid)
-            byTick.emplace_back(line.lruTick, line.tag << setShift_);
+    for (std::size_t i = 0; i < valid_.size(); ++i)
+        if (valid_[i])
+            byTick.emplace_back(lru_[i], tags_[i] << setShift_);
     std::sort(byTick.begin(), byTick.end());
     std::vector<SimAddr> bases;
     bases.reserve(byTick.size());

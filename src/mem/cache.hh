@@ -12,18 +12,29 @@
  *
  * Fault injection, recovery policy and latency/energy accounting live
  * one layer up (mem/hierarchy.hh); this class is purely the array.
+ *
+ * The per-line metadata (tags, valid/dirty bits, LRU stamps) and the
+ * stored bytes/check bits live in flat structure-of-arrays vectors
+ * indexed by set * assoc + way, not in per-line structs: a lookup
+ * touches one densely packed tag lane instead of striding over
+ * heap-allocated line objects, and the whole hit path is inline here
+ * so the hierarchy's access loop compiles without a call per probe.
  */
 
 #ifndef CLUMSY_MEM_CACHE_HH
 #define CLUMSY_MEM_CACHE_HH
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "energy/cacti_lite.hh"
+#include "mem/parity.hh"
+#include "mem/secded.hh"
 
 namespace clumsy::mem
 {
@@ -55,13 +66,23 @@ class Cache
 
     /** @return true when the line containing addr is present (no LRU
      *  update). */
-    bool contains(SimAddr addr) const;
+    bool contains(SimAddr addr) const { return findLine(addr) >= 0; }
 
     /**
      * Look up the line containing addr, updating LRU and hit/miss
      * counters. @return true on hit.
      */
-    bool lookup(SimAddr addr);
+    bool lookup(SimAddr addr)
+    {
+        const std::ptrdiff_t line = findLine(addr);
+        if (line < 0) {
+            ++*misses_;
+            return false;
+        }
+        ++*hits_;
+        lru_[static_cast<std::size_t>(line)] = ++tick_;
+        return true;
+    }
 
     /**
      * Install the line containing addr with the given lineBytes() of
@@ -86,7 +107,17 @@ class Cache
 
     /** Raw stored 32-bit word; the line must be present, addr
      *  4-aligned. */
-    std::uint32_t readWordRaw(SimAddr addr) const;
+    std::uint32_t readWordRaw(SimAddr addr) const
+    {
+        CLUMSY_ASSERT(addr % 4 == 0, "word access must be 4-aligned");
+        const std::size_t line = mustFindLine(addr);
+        std::uint32_t v;
+        std::memcpy(&v,
+                    &data_[line * geom_.lineBytes +
+                           (addr & (geom_.lineBytes - 1))],
+                    4);
+        return v;
+    }
 
     /**
      * Store a word along with explicitly supplied check bits. The
@@ -95,22 +126,44 @@ class Cache
      * generator sitting before the array.
      */
     void writeWordRaw(SimAddr addr, std::uint32_t storedValue,
-                      std::uint8_t intendedCheck);
+                      std::uint8_t intendedCheck)
+    {
+        CLUMSY_ASSERT(addr % 4 == 0, "word access must be 4-aligned");
+        const std::size_t line = mustFindLine(addr);
+        const SimAddr off = addr & (geom_.lineBytes - 1);
+        std::memcpy(&data_[line * geom_.lineBytes + off], &storedValue,
+                    4);
+        check_[line * wordsPerLine_ + off / 4] = intendedCheck;
+    }
 
     /** The stored check bits guarding the word at addr. */
-    std::uint8_t wordCheck(SimAddr addr) const;
+    std::uint8_t wordCheck(SimAddr addr) const
+    {
+        CLUMSY_ASSERT(addr % 4 == 0, "word access must be 4-aligned");
+        const std::size_t line = mustFindLine(addr);
+        return check_[line * wordsPerLine_ +
+                      ((addr & (geom_.lineBytes - 1)) / 4)];
+    }
 
     /** Check bits this cache's codec generates for a word. */
-    std::uint8_t computeCheck(std::uint32_t word) const;
+    std::uint8_t computeCheck(std::uint32_t word) const
+    {
+        if (codec_ == CheckCodec::Secded)
+            return secded::encode(word);
+        return parityBit(word) ? 1 : 0;
+    }
 
     /** The codec in use. */
     CheckCodec codec() const { return codec_; }
 
     /** Mark the line containing addr dirty; line must be present. */
-    void setDirty(SimAddr addr);
+    void setDirty(SimAddr addr) { dirty_[mustFindLine(addr)] = 1; }
 
     /** @return true when the (present) line is dirty. */
-    bool isDirty(SimAddr addr) const;
+    bool isDirty(SimAddr addr) const
+    {
+        return dirty_[mustFindLine(addr)] != 0;
+    }
 
     /** Copy the whole (present) line out. */
     void readLine(SimAddr addr, std::uint8_t *dst) const;
@@ -166,33 +219,72 @@ class Cache
     double missRate() const;
 
   private:
-    struct Line
-    {
-        bool valid = false;
-        bool dirty = false;
-        std::uint32_t tag = 0;
-        std::uint64_t lruTick = 0;
-        std::vector<std::uint8_t> check; ///< check bits, one per word
-        std::vector<std::uint8_t> data;
-    };
-
     CacheGeometry geom_;
     CheckCodec codec_;
     StatGroup stats_;
-    std::vector<Line> lines_; ///< sets * ways, way-major within a set
-    std::uint64_t tick_ = 0;
-    unsigned setShift_;  ///< log2(lineBytes)
-    std::uint32_t setMask_;
 
-    std::uint32_t setIndex(SimAddr addr) const;
-    std::uint32_t tagOf(SimAddr addr) const;
-    /** @return way index of the hit, or -1. */
-    int findWay(SimAddr addr) const;
-    Line &lineAt(std::uint32_t set, unsigned way);
-    const Line &lineAt(std::uint32_t set, unsigned way) const;
-    /** The present line containing addr; panics when absent. */
-    Line &mustFind(SimAddr addr);
-    const Line &mustFind(SimAddr addr) const;
+    // Flat SoA metadata, indexed set * assoc + way:
+    std::vector<std::uint8_t> valid_;
+    std::vector<std::uint8_t> dirty_;
+    std::vector<std::uint32_t> tags_;
+    std::vector<std::uint64_t> lru_;
+    std::vector<std::uint8_t> data_;  ///< lines * lineBytes blob
+    std::vector<std::uint8_t> check_; ///< lines * wordsPerLine blob
+
+    std::uint64_t tick_ = 0;
+    unsigned setShift_; ///< log2(lineBytes)
+    std::uint32_t setMask_;
+    unsigned wordsPerLine_;
+
+    // Interned hot counters (point into stats_'s stable map nodes).
+    std::uint64_t *hits_;
+    std::uint64_t *misses_;
+    std::uint64_t *fills_;
+    std::uint64_t *evictions_;
+    std::uint64_t *writebacks_;
+    std::uint64_t *invalidations_;
+
+    std::uint32_t setIndex(SimAddr addr) const
+    {
+        return static_cast<std::uint32_t>(addr >> setShift_) & setMask_;
+    }
+
+    std::uint32_t tagOf(SimAddr addr) const
+    {
+        return static_cast<std::uint32_t>(addr >> setShift_);
+    }
+
+    /** @return flat line index of the hit, or -1. */
+    std::ptrdiff_t findLine(SimAddr addr) const
+    {
+        const std::size_t first =
+            std::size_t{setIndex(addr)} * geom_.assoc;
+        const std::uint32_t tag = tagOf(addr);
+        for (unsigned w = 0; w < geom_.assoc; ++w) {
+            if (valid_[first + w] && tags_[first + w] == tag)
+                return static_cast<std::ptrdiff_t>(first + w);
+        }
+        return -1;
+    }
+
+    /** Flat index of the present line containing addr; panics when
+     *  absent. */
+    std::size_t mustFindLine(SimAddr addr) const
+    {
+        const std::ptrdiff_t line = findLine(addr);
+        CLUMSY_ASSERT(line >= 0, "line not present");
+        return static_cast<std::size_t>(line);
+    }
+
+    std::uint8_t *dataOf(std::size_t line)
+    {
+        return &data_[line * geom_.lineBytes];
+    }
+
+    const std::uint8_t *dataOf(std::size_t line) const
+    {
+        return &data_[line * geom_.lineBytes];
+    }
 };
 
 } // namespace clumsy::mem

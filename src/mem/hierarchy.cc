@@ -32,6 +32,15 @@ MemHierarchy::MemHierarchy(const HierarchyConfig &config,
                   "L2 lines must contain whole L1 lines");
     privateL2_.bind(&l2_, store_, energy_, &stats_);
     l2b_ = &privateL2_;
+    l2LineScratch_.resize(config_.l2.lineBytes);
+    l1LineScratch_.resize(config_.l1d.lineBytes);
+    reads_ = stats_.slot("reads");
+    writes_ = stats_.slot("writes");
+    senses_ = stats_.slot("l1d_senses");
+    readFaults_ = stats_.slot("read_faults");
+    writeFaults_ = stats_.slot("write_faults");
+    parityTripStat_ = stats_.slot("parity_trips");
+    l1dWritebacks_ = stats_.slot("l1d_writebacks_to_l2");
     setCycleTime(1.0);
 }
 
@@ -55,34 +64,36 @@ MemHierarchy::setCycleTime(double cr)
     injector_->setCycleTime(cr);
 }
 
+template <typename B>
 void
-MemHierarchy::ensureL2(SimAddr addr, Access &acc)
+MemHierarchy::ensureL2(B &l2b, SimAddr addr, Access &acc)
 {
     const SimAddr base = l2LineBase(addr);
-    if (l2b_->lookup(addr)) {
+    if (l2b.lookup(addr)) {
         acc.latency += cyclesToQuanta(config_.l2HitCycles);
         ++acc.l2Accesses;
-        acc.noteL2Line(base, false, l2b_->sharedFrame(addr));
+        acc.noteL2Line(base, false, l2b.sharedFrame(addr));
         if (energy_)
             energy_->addL2Access();
         return;
     }
-    std::vector<std::uint8_t> buf(config_.l2.lineBytes);
-    store_->readBlock(base, buf.data(), config_.l2.lineBytes);
-    l2b_->fill(base, buf.data());
+    store_->readBlock(base, l2LineScratch_.data(), config_.l2.lineBytes);
+    l2b.fill(base, l2LineScratch_.data());
     acc.latency +=
         cyclesToQuanta(config_.l2HitCycles + config_.memCycles);
     ++acc.l2Accesses;
     ++acc.l2Misses;
-    acc.noteL2Line(base, true, l2b_->sharedFrame(addr));
+    acc.noteL2Line(base, true, l2b.sharedFrame(addr));
     if (energy_) {
         energy_->addL2Access();
         energy_->addMemAccess();
     }
 }
 
+template <typename B>
 void
-MemHierarchy::writebackToL2(const Cache::Evicted &evicted, Access &acc)
+MemHierarchy::writebackToL2(B &l2b, const Cache::Evicted &evicted,
+                            Access &acc)
 {
     if (!evicted.valid || !evicted.dirty)
         return;
@@ -91,10 +102,10 @@ MemHierarchy::writebackToL2(const Cache::Evicted &evicted, Access &acc)
     // Access is discarded, so buffered transfers also generate no
     // port-arbiter line events.
     Access wb;
-    ensureL2(evicted.base, wb);
-    l2b_->writeRange(evicted.base, evicted.data.data(),
-                     static_cast<SimSize>(evicted.data.size()), true);
-    stats_.inc("l1d_writebacks_to_l2");
+    ensureL2(l2b, evicted.base, wb);
+    l2b.writeRange(evicted.base, evicted.data.data(),
+                   static_cast<SimSize>(evicted.data.size()), true);
+    ++*l1dWritebacks_;
     (void)acc;
 }
 
@@ -116,24 +127,24 @@ MemHierarchy::corruptFilledLine(SimAddr lineBase)
     }
 }
 
+template <typename B>
 void
-MemHierarchy::ensureL1D(SimAddr addr, Access &acc)
+MemHierarchy::ensureL1D(B &l2b, SimAddr addr, Access &acc)
 {
     if (l1d_.lookup(addr))
         return;
-    ensureL2(addr, acc);
+    ensureL2(l2b, addr, acc);
     const SimAddr base = l1d_.lineBase(addr);
-    std::vector<std::uint8_t> buf(config_.l1d.lineBytes);
     // The containing L2 line is now resident; copy our slice of it.
     for (SimAddr off = 0; off < config_.l1d.lineBytes; off += 4) {
-        const std::uint32_t w = l2b_->readWordRaw(base + off);
-        std::memcpy(&buf[off], &w, 4);
+        const std::uint32_t w = l2b.readWordRaw(base + off);
+        std::memcpy(&l1LineScratch_[off], &w, 4);
     }
-    const Cache::Evicted victim = l1d_.fill(base, buf.data());
+    const Cache::Evicted victim = l1d_.fill(base, l1LineScratch_.data());
     if (energy_)
         energy_->addL1dWrite(cr_, protection());
     corruptFilledLine(base);
-    writebackToL2(victim, acc);
+    writebackToL2(l2b, victim, acc);
 }
 
 std::uint32_t
@@ -142,13 +153,13 @@ MemHierarchy::senseWord(SimAddr wordAddr, Access &acc)
     acc.latency += l1dHitQuanta();
     if (energy_)
         energy_->addL1dRead(cr_, protection());
-    stats_.inc("l1d_senses");
+    ++*senses_;
     const std::uint32_t raw = l1d_.readWordRaw(wordAddr);
     fault::FaultEvent ev;
     const std::uint32_t sensed = injector_->corrupt(raw, 32, &ev);
     if (ev.flippedBits) {
         ++acc.faultsInjected;
-        stats_.inc("read_faults");
+        ++*readFaults_;
     }
     return sensed;
 }
@@ -184,8 +195,9 @@ MemHierarchy::checkSensedWord(std::uint32_t sensed, SimAddr wordAddr,
     return false;
 }
 
+template <typename B>
 Access
-MemHierarchy::read(SimAddr addr, unsigned bytes)
+MemHierarchy::readImpl(B &l2b, SimAddr addr, unsigned bytes)
 {
     CLUMSY_ASSERT(bytes == 1 || bytes == 2 || bytes == 4,
                   "access width must be 1, 2 or 4 bytes");
@@ -205,10 +217,10 @@ MemHierarchy::read(SimAddr addr, unsigned bytes)
         stats_.inc("wild_reads");
         return acc;
     }
-    stats_.inc("reads");
+    ++*reads_;
 
     const SimAddr wordAddr = addr & ~SimAddr{3};
-    ensureL1D(wordAddr, acc);
+    ensureL1D(l2b, wordAddr, acc);
 
     const unsigned attempts = readAttempts(config_.scheme);
     std::uint32_t sensed = 0;
@@ -220,7 +232,7 @@ MemHierarchy::read(SimAddr addr, unsigned bytes)
             break;
         }
         ++acc.parityTrips;
-        stats_.inc("parity_trips");
+        ++*parityTripStat_;
         if (attempt < attempts)
             stats_.inc("strike_retries");
     }
@@ -238,24 +250,23 @@ MemHierarchy::read(SimAddr addr, unsigned bytes)
         stats_.inc("strike_invalidations");
         if (l1d_.isDirty(wordAddr)) {
             stats_.inc("strike_writebacks");
-            std::vector<std::uint8_t> line(config_.l1d.lineBytes);
-            l1d_.readLine(wordAddr, line.data());
-            ensureL2(wordAddr, acc);
-            l2b_->writeRange(l1d_.lineBase(wordAddr), line.data(),
-                             config_.l1d.lineBytes, true);
+            l1d_.readLine(wordAddr, l1LineScratch_.data());
+            ensureL2(l2b, wordAddr, acc);
+            l2b.writeRange(l1d_.lineBase(wordAddr), l1LineScratch_.data(),
+                           config_.l1d.lineBytes, true);
         }
         if (config_.subBlockRecovery) {
             // Refetch only the faulted word (paper footnote 2): the
             // rest of the line — including its other dirty words —
             // stays put.
             stats_.inc("subblock_refetches");
-            ensureL2(wordAddr, acc);
-            const std::uint32_t fresh = l2b_->readWordRaw(wordAddr);
+            ensureL2(l2b, wordAddr, acc);
+            const std::uint32_t fresh = l2b.readWordRaw(wordAddr);
             l1d_.writeWordRaw(wordAddr, fresh,
                               l1d_.computeCheck(fresh));
         } else {
             l1d_.invalidate(wordAddr);
-            ensureL1D(wordAddr, acc);
+            ensureL1D(l2b, wordAddr, acc);
         }
         sensed = senseWord(wordAddr, acc);
         if (!checkSensedWord(sensed, wordAddr, sensed)) {
@@ -265,10 +276,10 @@ MemHierarchy::read(SimAddr addr, unsigned bytes)
             acc.latency += cyclesToQuanta(config_.l2HitCycles);
             ++acc.l2Accesses;
             acc.noteL2Line(l2LineBase(wordAddr), false,
-                           l2b_->sharedFrame(wordAddr));
+                           l2b.sharedFrame(wordAddr));
             if (energy_)
                 energy_->addL2Access();
-            sensed = l2b_->readWordRaw(wordAddr);
+            sensed = l2b.readWordRaw(wordAddr);
         }
     }
 
@@ -278,8 +289,10 @@ MemHierarchy::read(SimAddr addr, unsigned bytes)
     return acc;
 }
 
+template <typename B>
 Access
-MemHierarchy::write(SimAddr addr, unsigned bytes, std::uint32_t value)
+MemHierarchy::writeImpl(B &l2b, SimAddr addr, unsigned bytes,
+                        std::uint32_t value)
 {
     CLUMSY_ASSERT(bytes == 1 || bytes == 2 || bytes == 4,
                   "access width must be 1, 2 or 4 bytes");
@@ -297,10 +310,10 @@ MemHierarchy::write(SimAddr addr, unsigned bytes, std::uint32_t value)
         stats_.inc("wild_writes");
         return acc;
     }
-    stats_.inc("writes");
+    ++*writes_;
 
     const SimAddr wordAddr = addr & ~SimAddr{3};
-    ensureL1D(wordAddr, acc);
+    ensureL1D(l2b, wordAddr, acc);
 
     // Sub-word stores are a masked read-modify-write of the stored
     // word; the merge path is internal and not subject to sensing
@@ -320,7 +333,7 @@ MemHierarchy::write(SimAddr addr, unsigned bytes, std::uint32_t value)
     const std::uint32_t stored = injector_->corrupt(intended, 32, &ev);
     if (ev.flippedBits) {
         ++acc.faultsInjected;
-        stats_.inc("write_faults");
+        ++*writeFaults_;
     }
     // The check-bit generator sits before the array: the stored check
     // bits reflect the intended value even when the array write
@@ -335,8 +348,9 @@ MemHierarchy::write(SimAddr addr, unsigned bytes, std::uint32_t value)
     return acc;
 }
 
+template <typename B>
 Access
-MemHierarchy::fetch(SimAddr pc)
+MemHierarchy::fetchImpl(B &l2b, SimAddr pc)
 {
     const SimAddr lineAddr = pc & ~SimAddr{3};
     Access acc;
@@ -344,16 +358,40 @@ MemHierarchy::fetch(SimAddr pc)
         energy_->addL1iRead();
     if (l1i_.lookup(lineAddr))
         return acc; // pipelined fetch: no visible stall
-    ensureL2(lineAddr, acc);
+    ensureL2(l2b, lineAddr, acc);
     const SimAddr base = l1i_.lineBase(lineAddr);
     std::vector<std::uint8_t> buf(config_.l1i.lineBytes);
     for (SimAddr off = 0; off < config_.l1i.lineBytes; off += 4) {
-        const std::uint32_t w = l2b_->readWordRaw(base + off);
+        const std::uint32_t w = l2b.readWordRaw(base + off);
         std::memcpy(&buf[off], &w, 4);
     }
     // Instruction lines are clean; evictions never write back.
     (void)l1i_.fill(base, buf.data());
     return acc;
+}
+
+Access
+MemHierarchy::read(SimAddr addr, unsigned bytes)
+{
+    if (fastPrivate())
+        return readImpl(privateL2_, addr, bytes);
+    return readImpl(*l2b_, addr, bytes);
+}
+
+Access
+MemHierarchy::write(SimAddr addr, unsigned bytes, std::uint32_t value)
+{
+    if (fastPrivate())
+        return writeImpl(privateL2_, addr, bytes, value);
+    return writeImpl(*l2b_, addr, bytes, value);
+}
+
+Access
+MemHierarchy::fetch(SimAddr pc)
+{
+    if (fastPrivate())
+        return fetchImpl(privateL2_, pc);
+    return fetchImpl(*l2b_, pc);
 }
 
 void

@@ -6,18 +6,6 @@
 namespace clumsy::mem
 {
 
-bool
-parityBit(std::uint32_t word)
-{
-    return oddParity(word);
-}
-
-bool
-parityMatches(std::uint32_t sensed, bool storedBit)
-{
-    return parityBit(sensed) == storedBit;
-}
-
 std::uint64_t
 packLineParity(const std::uint32_t *words, unsigned nWords)
 {

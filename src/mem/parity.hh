@@ -14,14 +14,24 @@
 
 #include <cstdint>
 
+#include "common/bitops.hh"
+
 namespace clumsy::mem
 {
 
 /** @return the even-parity bit for a 32-bit word. */
-bool parityBit(std::uint32_t word);
+inline bool
+parityBit(std::uint32_t word)
+{
+    return oddParity(word);
+}
 
 /** @return true when the sensed word matches its stored parity bit. */
-bool parityMatches(std::uint32_t sensed, bool storedBit);
+inline bool
+parityMatches(std::uint32_t sensed, bool storedBit)
+{
+    return parityBit(sensed) == storedBit;
+}
 
 /**
  * Pack the parity bits of an array of words into a bitmap.

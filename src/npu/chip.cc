@@ -273,10 +273,23 @@ runChipOnce(const core::AppFactory &factory,
         }
     };
 
+    // Dispatcher inputs, maintained incrementally: depths[pe] mirrors
+    // engines[pe].queue.size() and alive[pe] mirrors engines[pe].alive
+    // at every choose() call, updated at the few points that mutate
+    // them (placement, dequeue, engine death). The legacy dispatch arm
+    // (dispatchBurst == 1) rebuilds both from the queues per arrival
+    // instead — the O(P)-per-arrival loop the batched arm replaces —
+    // and the batching equivalence tests pin the two arms together.
+    std::vector<unsigned> depths(npu.peCount, 0);
+    std::vector<char> alive(npu.peCount);
+    for (unsigned pe = 0; pe < npu.peCount; ++pe)
+        alive[pe] = engines[pe].alive ? 1 : 0;
+
     auto processOne = [&](unsigned pe) {
         Engine &e = engines[pe];
         const net::Packet pkt = e.queue.front();
         e.queue.pop_front();
+        --depths[pe];
         samplePressure(e);
         if (ctrlSrcs[pe]) {
             while (const ctrl::CtrlEvent *ev = ctrlSrcs[pe]->peek()) {
@@ -299,6 +312,8 @@ runChipOnce(const core::AppFactory &factory,
                 }
                 dropsDeadPe += 1 + e.queue.size();
                 e.queue.clear();
+                depths[pe] = 0;
+                alive[pe] = 0;
                 events.erase(pe);
                 return;
             }
@@ -318,6 +333,8 @@ runChipOnce(const core::AppFactory &factory,
             }
             dropsDeadPe += e.queue.size();
             e.queue.clear();
+            depths[pe] = 0;
+            alive[pe] = 0;
             events.erase(pe);
             return;
         }
@@ -356,8 +373,19 @@ runChipOnce(const core::AppFactory &factory,
         }
     };
 
-    std::vector<unsigned> depths(npu.peCount);
-    std::vector<char> alive(npu.peCount);
+    // One successful placement, shared by both dispatch arms.
+    auto place = [&](unsigned pe) {
+        Engine &e = engines[pe];
+        e.queue.push_back(pending);
+        ++depths[pe];
+        if (!events.contains(pe))
+            events.push(pe, e.dataTime());
+        havePending = false;
+        samplePressure(e);
+        e.maxDepth = std::max<std::uint64_t>(e.maxDepth,
+                                             e.queue.size());
+        occ[pe].sample(static_cast<double>(e.queue.size()));
+    };
 
     while (true) {
         // The engine that runs next: smallest (data time, id) among
@@ -389,41 +417,85 @@ runChipOnce(const core::AppFactory &factory,
             continue;
         }
 
-        for (unsigned pe = 0; pe < npu.peCount; ++pe) {
-            depths[pe] =
-                static_cast<unsigned>(engines[pe].queue.size());
-            alive[pe] = engines[pe].alive ? 1 : 0;
-        }
-        const int pe = disp.choose(pending, depths, alive);
-        if (pe < 0) {
-            ++dropsDeadPe;
-            havePending = false;
-            continue;
-        }
-        Engine &e = engines[static_cast<unsigned>(pe)];
-        if (e.queue.size() >= npu.queueCapacity) {
-            if (npu.dropWhenFull) {
-                ++dropsQueueFull;
+        if (npu.dispatchBurst == 1) {
+            // Legacy reference arm: one dispatch per pass, dispatcher
+            // inputs rebuilt from the queues.
+            for (unsigned pe = 0; pe < npu.peCount; ++pe) {
+                depths[pe] =
+                    static_cast<unsigned>(engines[pe].queue.size());
+                alive[pe] = engines[pe].alive ? 1 : 0;
+            }
+            const int pe = disp.choose(pending, depths, alive);
+            if (pe < 0) {
+                ++dropsDeadPe;
                 havePending = false;
                 continue;
             }
-            // Backpressure: hold the arrival and drain the earliest
-            // engine; the packet re-arbitrates afterwards.
-            ++backpressureStalls;
-            CLUMSY_ASSERT(stepPe >= 0,
-                          "backpressure with no engine to drain");
-            processOne(static_cast<unsigned>(stepPe));
+            Engine &e = engines[static_cast<unsigned>(pe)];
+            if (e.queue.size() >= npu.queueCapacity) {
+                if (npu.dropWhenFull) {
+                    ++dropsQueueFull;
+                    havePending = false;
+                    continue;
+                }
+                // Backpressure: hold the arrival and drain the
+                // earliest engine; the packet re-arbitrates afterwards.
+                ++backpressureStalls;
+                CLUMSY_ASSERT(stepPe >= 0,
+                              "backpressure with no engine to drain");
+                processOne(static_cast<unsigned>(stepPe));
+                continue;
+            }
+            place(static_cast<unsigned>(pe));
             continue;
         }
-        e.queue.push_back(pending);
-        if (!events.contains(static_cast<unsigned>(pe)))
-            events.push(static_cast<unsigned>(pe), e.dataTime());
-        havePending = false;
-        samplePressure(e);
-        e.maxDepth = std::max<std::uint64_t>(e.maxDepth,
-                                             e.queue.size());
-        occ[static_cast<unsigned>(pe)].sample(
-            static_cast<double>(e.queue.size()));
+
+        // Batched arm: the whole run of arrivals preceding the
+        // earliest engine's horizon is placed back-to-back, one
+        // choose() per arrival and O(1) bookkeeping per placement.
+        // The horizon is re-read after every mutation — a first
+        // packet placed on an idle engine can lower it, and draining
+        // under backpressure raises it — so the burst ends exactly
+        // where the legacy loop would have stepped an engine.
+        unsigned placed = 0;
+        while (true) {
+            const int pe = disp.choose(pending, depths, alive);
+            if (pe < 0) {
+                ++dropsDeadPe;
+                havePending = false;
+            } else if (engines[static_cast<unsigned>(pe)].queue.size() >=
+                       npu.queueCapacity) {
+                if (npu.dropWhenFull) {
+                    ++dropsQueueFull;
+                    havePending = false;
+                } else {
+                    // Backpressure: drain the earliest engine, then
+                    // re-arbitrate this same arrival while it still
+                    // precedes the (now advanced) horizon.
+                    ++backpressureStalls;
+                    CLUMSY_ASSERT(!events.empty(),
+                                  "backpressure with no engine to drain");
+                    processOne(events.top());
+                    if (!events.empty() &&
+                        pendingArrival > events.topKey())
+                        break;
+                    continue;
+                }
+            } else {
+                place(static_cast<unsigned>(pe));
+            }
+            if (generated >= config.numPackets)
+                break;
+            pending = src->next();
+            pendingArrival = cyclesToQuanta(src->lastArrivalCycles());
+            havePending = true;
+            ++generated;
+            ++placed;
+            if (npu.dispatchBurst != 0 && placed >= npu.dispatchBurst)
+                break;
+            if (!events.empty() && pendingArrival > events.topKey())
+                break;
+        }
     }
 
     // ---- merge engine metrics into single-core form ----------------

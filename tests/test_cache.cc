@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
+#include <random>
 #include <vector>
 
 #include "mem/cache.hh"
@@ -188,4 +190,185 @@ TEST(CacheDeath, FillRejectsDuplicate)
     const auto l = patternLine(32, 11);
     cache.fill(0x40, l.data());
     EXPECT_DEATH(cache.fill(0x48, l.data()), "already-present");
+}
+
+// ---------------------------------------------------------------------
+// Equivalence of the flat SoA array against a naive per-line model.
+//
+// The metadata layout (flat valid/dirty/tag/LRU lanes indexed
+// set*assoc+way) is a pure representation change; this drives both
+// the real cache and a deliberately dumb struct-of-lines reference
+// through a long random op sequence and demands identical hits,
+// victims, evictions, contents and counters at every step.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Straight-line reference: one heap struct per line, linear scans. */
+class RefCache
+{
+  public:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t tag = 0;
+        std::uint64_t tick = 0;
+        std::vector<std::uint8_t> data;
+    };
+
+    struct Evicted
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t base = 0;
+    };
+
+    RefCache(unsigned sets, unsigned assoc, unsigned lineBytes)
+        : sets_(sets), assoc_(assoc), lineBytes_(lineBytes),
+          lines_(std::size_t{sets} * assoc)
+    {
+        for (auto &l : lines_)
+            l.data.assign(lineBytes, 0);
+    }
+
+    Line *findLine(std::uint64_t addr)
+    {
+        const std::uint64_t tag = addr / lineBytes_;
+        const std::size_t set = tag % sets_;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            Line &l = lines_[set * assoc_ + w];
+            if (l.valid && l.tag == tag)
+                return &l;
+        }
+        return nullptr;
+    }
+
+    bool lookup(std::uint64_t addr)
+    {
+        Line *l = findLine(addr);
+        if (l == nullptr)
+            return false;
+        l->tick = ++tick_;
+        return true;
+    }
+
+    Evicted fill(std::uint64_t addr, const std::uint8_t *data)
+    {
+        const std::uint64_t tag = addr / lineBytes_;
+        const std::size_t set = tag % sets_;
+        Line *victim = nullptr;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            Line &l = lines_[set * assoc_ + w];
+            if (!l.valid) {
+                victim = &l;
+                break;
+            }
+            if (victim == nullptr || l.tick < victim->tick)
+                victim = &l;
+        }
+        Evicted ev;
+        if (victim->valid) {
+            ev.valid = true;
+            ev.dirty = victim->dirty;
+            ev.base = victim->tag * lineBytes_;
+        }
+        victim->valid = true;
+        victim->dirty = false;
+        victim->tag = tag;
+        victim->tick = ++tick_;
+        victim->data.assign(data, data + lineBytes_);
+        return ev;
+    }
+
+    void writeRange(std::uint64_t addr, const std::uint8_t *src,
+                    unsigned len, bool markDirty)
+    {
+        Line *l = findLine(addr);
+        ASSERT_NE(l, nullptr);
+        const std::uint64_t off = addr % lineBytes_;
+        std::memcpy(l->data.data() + off, src, len);
+        if (markDirty)
+            l->dirty = true;
+    }
+
+  private:
+    unsigned sets_, assoc_, lineBytes_;
+    std::vector<Line> lines_;
+    std::uint64_t tick_ = 0;
+};
+
+} // namespace
+
+TEST(Cache, SoaMatchesNaiveModelUnderRandomOps)
+{
+    // 4 sets x 2 ways of 32 B: tiny, so random addresses conflict and
+    // evict constantly.
+    Cache cache("t", CacheGeometry{256, 2, 32, 22});
+    RefCache ref(4, 2, 32);
+
+    std::mt19937_64 rng(0x50a50a);
+    std::uint64_t fills = 0, evictions = 0, writebacks = 0;
+    std::uint64_t hits = 0, misses = 0;
+    for (unsigned op = 0; op < 20000; ++op) {
+        // 16 distinct lines over 4 sets.
+        const std::uint64_t base = (rng() % 16) * 32;
+        switch (rng() % 3) {
+        case 0: { // lookup, fill on miss
+            const bool hit = cache.lookup(base + rng() % 32);
+            const bool refHit = ref.lookup(base);
+            ASSERT_EQ(hit, refHit) << "op " << op;
+            (hit ? hits : misses) += 1;
+            if (!hit) {
+                std::uint8_t data[32];
+                for (unsigned i = 0; i < 32; ++i)
+                    data[i] = static_cast<std::uint8_t>(rng());
+                const Cache::Evicted ev = cache.fill(base, data);
+                const RefCache::Evicted rev = ref.fill(base, data);
+                ++fills;
+                ASSERT_EQ(ev.valid, rev.valid) << "op " << op;
+                if (ev.valid) {
+                    ++evictions;
+                    ASSERT_EQ(ev.dirty, rev.dirty) << "op " << op;
+                    ASSERT_EQ(ev.base, rev.base) << "op " << op;
+                    if (ev.dirty)
+                        ++writebacks;
+                }
+            }
+            break;
+        }
+        case 1: { // write inside the line when present
+            if (!cache.contains(base))
+                break;
+            std::uint8_t patch[8];
+            for (std::uint8_t &b : patch)
+                b = static_cast<std::uint8_t>(rng());
+            const unsigned off = rng() % 25; // off+8 <= 32
+            const bool markDirty = rng() % 2 == 0;
+            cache.writeRange(base + off, patch, 8, markDirty);
+            ref.writeRange(base + off, patch, 8, markDirty);
+            break;
+        }
+        default: { // compare the full stored line + dirty bit
+            RefCache::Line *l = ref.findLine(base);
+            ASSERT_EQ(cache.contains(base), l != nullptr)
+                << "op " << op;
+            if (l == nullptr)
+                break;
+            std::uint8_t got[32];
+            cache.readLine(base, got);
+            ASSERT_EQ(std::memcmp(got, l->data.data(), 32), 0)
+                << "op " << op;
+            ASSERT_EQ(cache.isDirty(base), l->dirty) << "op " << op;
+            break;
+        }
+        }
+    }
+    EXPECT_GT(evictions, 100u); // the sequence actually stressed LRU
+    EXPECT_EQ(cache.stats().get("hits"), hits);
+    EXPECT_EQ(cache.stats().get("misses"), misses);
+    EXPECT_EQ(cache.stats().get("fills"), fills);
+    EXPECT_EQ(cache.stats().get("evictions"), evictions);
+    EXPECT_EQ(cache.stats().get("writebacks"), writebacks);
 }
