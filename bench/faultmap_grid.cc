@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Repeated-address faults: the Cr/recovery grid rerun under two fault
+ * geographies — i.i.d. cell failures (the paper's implicit model) and
+ * a spatially correlated weak-cell map (src/fault/fault_map.hh), with
+ * and without way-disable recovery.
+ *
+ * Under i.i.d. faults every line is equally likely to fail, so parity
+ * invalidation plus L2 refill spreads the cost thinly. A mapped chip
+ * concentrates failures on the same few frames: the same packets keep
+ * striking the same sets, which is precisely the case way-disable
+ * retirement (--way-retire) converts from a recurring parity storm
+ * into a one-time capacity loss.
+ */
+
+#include "apps/app.hh"
+#include "bench/bench_common.hh"
+#include "core/experiment.hh"
+
+using namespace clumsy;
+
+namespace
+{
+
+struct Arm
+{
+    const char *mode;   ///< "iid" or "mapped"
+    const char *scheme; ///< human name for the recovery column
+    mem::RecoveryScheme recovery;
+    unsigned retire; ///< way-disable threshold, 0 = never
+};
+
+constexpr Arm kArms[] = {
+    {"iid", "none", mem::RecoveryScheme::NoDetection, 0},
+    {"iid", "two-strike", mem::RecoveryScheme::TwoStrike, 0},
+    {"iid", "two-strike+retire", mem::RecoveryScheme::TwoStrike, 1},
+    {"mapped", "none", mem::RecoveryScheme::NoDetection, 0},
+    {"mapped", "two-strike", mem::RecoveryScheme::TwoStrike, 0},
+    {"mapped", "two-strike+retire", mem::RecoveryScheme::TwoStrike, 1},
+};
+
+void
+runApp(const bench::Options &opt, const std::string &app)
+{
+    TextTable table("Repeated-address faults: " + app +
+                    " under i.i.d. vs mapped weak cells");
+    table.header({"Cr", "faults", "recovery", "injected", "trips",
+                  "err_prob", "fallibility", "cyc/pkt"});
+    for (const double cr : {1.0, 0.5, 0.25}) {
+        for (const Arm &arm : kArms) {
+            core::ExperimentConfig cfg;
+            cfg.numPackets = opt.packets;
+            cfg.trials = opt.trials;
+            cfg.cr = cr;
+            // Accelerated injection: scale the per-access fault odds
+            // so every arm sees a real fault population at mid Cr
+            // within bench-sized packet counts. The scale multiplies
+            // both geographies identically, so iid-vs-mapped deltas
+            // survive it.
+            cfg.faultScale = 25.0;
+            // Data-plane faults only: a mapped weak cell parked on a
+            // table-install address would corrupt app setup itself
+            // (an undetected-fault hazard, but not the one this grid
+            // measures — repeated packet addresses are data-plane).
+            cfg.plane = core::FaultPlane::DataOnly;
+            cfg.scheme = arm.recovery;
+            if (std::string(arm.mode) == "mapped")
+                cfg.processor.faultMap =
+                    fault::faultMapSpecFromString("spatial");
+            cfg.processor.hierarchy.wayDisable.retireThreshold =
+                arm.retire;
+            const auto res =
+                core::runExperiment(apps::appFactory(app), cfg);
+            table.row({
+                TextTable::num(cr, 2),
+                arm.mode,
+                arm.scheme,
+                std::to_string(res.faulty.faultsInjected),
+                std::to_string(res.faulty.parityTrips),
+                TextTable::num(res.anyErrorProb, 6),
+                TextTable::num(res.fallibility, 4),
+                TextTable::num(res.cyclesPerPacket, 2),
+            });
+        }
+    }
+    opt.print(table);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opt(argc, argv, 1500, 6);
+    std::vector<std::string> apps = opt.positionals;
+    if (apps.empty() || (apps.size() == 1 && apps[0] == "all"))
+        apps = {"route", "nat"};
+    for (const std::string &app : apps)
+        runApp(opt, app);
+    std::puts("shape: at equal Cr a mapped chip injects its faults "
+              "into few fixed lines, so detection alone keeps paying "
+              "the invalidation tax on every revisit; way-disable "
+              "retirement trades that recurring cost for a one-time "
+              "capacity hit and pulls cyc/pkt back toward the i.i.d. "
+              "arm. At Cr=1.0 both geographies are quiet.");
+    return 0;
+}

@@ -16,6 +16,7 @@
 #include "common/types.hh"
 #include "core/freq_controller.hh"
 #include "energy/chip_energy.hh"
+#include "fault/fault_map.hh"
 #include "fault/fault_model.hh"
 #include "mem/hierarchy.hh"
 
@@ -29,6 +30,14 @@ struct ProcessorConfig
     energy::EnergyParams energy;
     fault::FaultModelParams faultModel;
     FreqControllerConfig freqCtl;
+
+    /**
+     * Weak-cell fault map of the L1 D-cache (off by default: faults
+     * stay uniform per eq. (4)). The map's seed is manufacturing
+     * variation, so experiment trials vary faultSeed (when the cells
+     * are exercised) but keep the map fixed.
+     */
+    fault::FaultMapSpec faultMap;
 
     /** Simulated DRAM size; must be a multiple of the L2 line size. */
     SimSize memBytes = 8u << 20;

@@ -30,6 +30,32 @@ ClumsyProcessor::ClumsyProcessor(ProcessorConfig config)
       codeBytes_(config_.iRegionBytes)
 {
     injector_.setEnabled(config_.injectionEnabled);
+    if (config_.faultMap.enabled()) {
+        const fault::FaultMapGeometry geom{
+            config_.hierarchy.l1d.sets(), config_.hierarchy.l1d.assoc,
+            config_.hierarchy.l1d.lineBytes};
+        if (config_.faultMap.mode == fault::FaultMapMode::File) {
+            auto map = std::make_unique<fault::FaultMap>();
+            const std::string err =
+                fault::FaultMap::loadFile(config_.faultMap.path, *map);
+            if (!err.empty())
+                fatal("%s", err.c_str());
+            if (!(map->geometry() == geom))
+                fatal("fault map %s is for a %ux%u/%uB array, not the "
+                      "L1D's %ux%u/%uB",
+                      config_.faultMap.path.c_str(),
+                      map->geometry().sets, map->geometry().ways,
+                      map->geometry().lineBytes, geom.sets, geom.ways,
+                      geom.lineBytes);
+            faultMap_ = std::move(map);
+        } else {
+            faultMap_ = std::make_unique<fault::FaultMap>(
+                fault::FaultMap::generate(
+                    geom, config_.faultMap.params,
+                    config_.faultMap.effectiveSeed()));
+        }
+        injector_.attachMap(faultMap_.get());
+    }
     if (config_.dynamicFrequency) {
         freqCtl_ = std::make_unique<FreqController>(config_.freqCtl);
         hierarchy_.setCycleTime(freqCtl_->currentCr());

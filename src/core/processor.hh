@@ -288,6 +288,9 @@ class ClumsyProcessor
     /** The fault injector (stats inspection). */
     const fault::FaultInjector &injector() const { return injector_; }
 
+    /** The weak-cell map driving injection (nullptr = uniform mode). */
+    const fault::FaultMap *faultMap() const { return faultMap_.get(); }
+
     /** The frequency controller, or nullptr when static. */
     const FreqController *freqController() const
     {
@@ -305,6 +308,7 @@ class ClumsyProcessor
     mem::BackingStore store_;
     mem::SimAllocator allocator_;
     fault::FaultInjector injector_;
+    std::unique_ptr<fault::FaultMap> faultMap_;
     energy::EnergyModel model_;
     energy::EnergyAccount account_;
     mem::MemHierarchy hierarchy_;

@@ -15,9 +15,11 @@
 #define CLUMSY_FAULT_INJECTOR_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "common/random.hh"
 #include "common/stats.hh"
+#include "fault/fault_map.hh"
 #include "fault/fault_model.hh"
 
 namespace clumsy::fault
@@ -67,6 +69,34 @@ class FaultInjector
     std::uint32_t corrupt(std::uint32_t value, unsigned bits,
                           FaultEvent *ev = nullptr);
 
+    /**
+     * Attach a weak-cell map (not owned; nullptr detaches): injection
+     * switches from the uniform eq. (4) draw to the map mode, where
+     * only mapped cells can fail. The map decides *which* bits are
+     * weak; the cycle time still decides *when* they are exercised —
+     * each active cell of the accessed word fails independently with
+     * its Cr-scaled effective probability (corruptMapped()).
+     */
+    void attachMap(const FaultMap *map);
+
+    /** @return true when a weak-cell map drives injection. */
+    bool mapAttached() const { return map_ != nullptr; }
+
+    /** The attached map (nullptr in uniform mode). */
+    const FaultMap *map() const { return map_; }
+
+    /**
+     * Map-mode variant of corrupt() for the word slot `slot` (as
+     * defined by FaultMapGeometry: (set * ways + way) * wordsPerLine
+     * + wordIndex). Draws one uniform per *active* mapped cell of the
+     * slot — a slot with no active cells consumes no randomness, so
+     * the draw sequence is a pure function of the weak cells
+     * exercised, never of map-free traffic.
+     */
+    std::uint32_t corruptMapped(std::uint32_t value, unsigned bits,
+                                std::uint32_t slot,
+                                FaultEvent *ev = nullptr);
+
     /** Total accesses that suffered at least one flipped bit. */
     std::uint64_t faultCount() const { return faults_; }
 
@@ -96,6 +126,18 @@ class FaultInjector
     double p1PerBit_ = 0.0;
     double p2Word_ = 0.0;
     double p3Word_ = 0.0;
+
+    // Map mode: CSR plane over word slots, rebuilt on attach and on
+    // every cycle-time change. slotBegin_[s]..slotBegin_[s+1] indexes
+    // the slot's cells; cellPEff_ holds each cell's effective
+    // per-access probability at the current cycle time (0 = inert).
+    const FaultMap *map_ = nullptr;
+    std::vector<std::uint32_t> slotBegin_;
+    std::vector<std::uint8_t> cellBit_; ///< bit position within word
+    std::vector<double> cellPEff_;
+
+    /** Recompute cellPEff_ for the current cycle time. */
+    void retuneMapPlane();
 };
 
 } // namespace clumsy::fault

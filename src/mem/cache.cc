@@ -22,6 +22,7 @@ Cache::Cache(std::string name, CacheGeometry geom, CheckCodec codec)
     const std::size_t lines = std::size_t{sets} * geom_.assoc;
     valid_.assign(lines, 0);
     dirty_.assign(lines, 0);
+    disabled_.assign(lines, 0);
     tags_.assign(lines, 0);
     lru_.assign(lines, 0);
     data_.assign(lines * geom_.lineBytes, 0);
@@ -40,10 +41,14 @@ Cache::fill(SimAddr addr, const std::uint8_t *data)
     CLUMSY_ASSERT(findLine(addr) < 0, "fill of an already-present line");
     const std::size_t first = std::size_t{setIndex(addr)} * geom_.assoc;
 
-    // Pick the victim: an invalid way, else the LRU way.
-    std::size_t victim = first;
+    // Pick the victim: an invalid way, else the LRU way. Retired
+    // frames are never candidates; the hierarchy guarantees a fill
+    // only reaches a set with at least one enabled frame.
+    std::size_t victim = SIZE_MAX;
     std::uint64_t oldest = UINT64_MAX;
     for (unsigned w = 0; w < geom_.assoc; ++w) {
+        if (disabledFrames_ != 0 && disabled_[first + w])
+            continue;
         if (!valid_[first + w]) {
             victim = first + w;
             oldest = 0;
@@ -54,6 +59,8 @@ Cache::fill(SimAddr addr, const std::uint8_t *data)
             victim = first + w;
         }
     }
+    CLUMSY_ASSERT(victim != SIZE_MAX,
+                  "fill into a set with every frame retired");
 
     Evicted evicted;
     if (valid_[victim]) {
@@ -90,6 +97,19 @@ Cache::invalidate(SimAddr addr)
         return;
     ++*invalidations_;
     valid_[static_cast<std::size_t>(line)] = 0;
+}
+
+void
+Cache::disableFrame(std::uint32_t set, unsigned way)
+{
+    const std::size_t idx = std::size_t{set} * geom_.assoc + way;
+    CLUMSY_ASSERT(set <= setMask_ && way < geom_.assoc,
+                  "frame outside the array");
+    CLUMSY_ASSERT(!valid_[idx], "retiring a frame that holds a line");
+    if (disabled_[idx])
+        return;
+    disabled_[idx] = 1;
+    ++disabledFrames_;
 }
 
 void
@@ -134,6 +154,8 @@ Cache::reset()
     std::fill(valid_.begin(), valid_.end(), 0);
     std::fill(dirty_.begin(), dirty_.end(), 0);
     std::fill(lru_.begin(), lru_.end(), 0);
+    std::fill(disabled_.begin(), disabled_.end(), 0);
+    disabledFrames_ = 0;
     tick_ = 0;
 }
 

@@ -96,6 +96,53 @@ class Cache
     void invalidate(SimAddr addr);
 
     /**
+     * Permanently retire the frame (set, way): it never holds a line
+     * again — fill() skips it when picking victims. The frame must
+     * already be invalid (invalidate first); way-disable recovery in
+     * the hierarchy is the only caller. reset() re-enables all
+     * frames (fresh-silicon semantics, like dropping the contents).
+     */
+    void disableFrame(std::uint32_t set, unsigned way);
+
+    /** @return true when the frame (set, way) has been retired. */
+    bool frameDisabled(std::uint32_t set, unsigned way) const
+    {
+        return disabledFrames_ != 0 &&
+               disabled_[std::size_t{set} * geom_.assoc + way] != 0;
+    }
+
+    /**
+     * @return true when the set containing addr still has at least
+     * one non-retired frame (always true while nothing is retired).
+     */
+    bool hasEnabledWay(SimAddr addr) const
+    {
+        if (disabledFrames_ == 0)
+            return true;
+        const std::size_t first =
+            std::size_t{setIndex(addr)} * geom_.assoc;
+        for (unsigned w = 0; w < geom_.assoc; ++w)
+            if (!disabled_[first + w])
+                return true;
+        return false;
+    }
+
+    /** Total frames retired by disableFrame(). */
+    unsigned disabledFrameCount() const { return disabledFrames_; }
+
+    /** Set index of addr (exposed for the fault-map slot mapping). */
+    std::uint32_t setIndexOf(SimAddr addr) const
+    {
+        return setIndex(addr);
+    }
+
+    /** Way currently holding the (present) line containing addr. */
+    unsigned wayOf(SimAddr addr) const
+    {
+        return static_cast<unsigned>(mustFindLine(addr) % geom_.assoc);
+    }
+
+    /**
      * Re-tag the (present) line containing @p from so it answers to
      * @p to instead. Both addresses must map to the same set and the
      * destination must be absent. Data, dirty bit, check bits and LRU
@@ -230,6 +277,12 @@ class Cache
     std::vector<std::uint64_t> lru_;
     std::vector<std::uint8_t> data_;  ///< lines * lineBytes blob
     std::vector<std::uint8_t> check_; ///< lines * wordsPerLine blob
+
+    // Retired frames (way-disable recovery). disabledFrames_ == 0 on
+    // every path until a frame is retired, so the hot paths pay one
+    // predictable compare.
+    std::vector<std::uint8_t> disabled_;
+    unsigned disabledFrames_ = 0;
 
     std::uint64_t tick_ = 0;
     unsigned setShift_; ///< log2(lineBytes)

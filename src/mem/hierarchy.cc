@@ -1,5 +1,6 @@
 #include "mem/hierarchy.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <vector>
@@ -34,6 +35,9 @@ MemHierarchy::MemHierarchy(const HierarchyConfig &config,
     l2b_ = &privateL2_;
     l2LineScratch_.resize(config_.l2.lineBytes);
     l1LineScratch_.resize(config_.l1d.lineBytes);
+    if (config_.wayDisable.enabled())
+        frameStrikes_.assign(
+            std::size_t{config_.l1d.sets()} * config_.l1d.assoc, 0);
     reads_ = stats_.slot("reads");
     writes_ = stats_.slot("writes");
     senses_ = stats_.slot("l1d_senses");
@@ -118,7 +122,11 @@ MemHierarchy::corruptFilledLine(SimAddr lineBase)
         const SimAddr wordAddr = lineBase + off;
         const std::uint32_t intended = l1d_.readWordRaw(wordAddr);
         fault::FaultEvent ev;
-        const std::uint32_t stored = injector_->corrupt(intended, 32, &ev);
+        const std::uint32_t stored =
+            injector_->mapAttached()
+                ? injector_->corruptMapped(intended, 32,
+                                           mapSlotOf(wordAddr), &ev)
+                : injector_->corrupt(intended, 32, &ev);
         if (ev.flippedBits) {
             l1d_.writeWordRaw(wordAddr, stored,
                               l1d_.computeCheck(intended));
@@ -156,12 +164,34 @@ MemHierarchy::senseWord(SimAddr wordAddr, Access &acc)
     ++*senses_;
     const std::uint32_t raw = l1d_.readWordRaw(wordAddr);
     fault::FaultEvent ev;
-    const std::uint32_t sensed = injector_->corrupt(raw, 32, &ev);
+    const std::uint32_t sensed =
+        injector_->mapAttached()
+            ? injector_->corruptMapped(raw, 32, mapSlotOf(wordAddr),
+                                       &ev)
+            : injector_->corrupt(raw, 32, &ev);
     if (ev.flippedBits) {
         ++acc.faultsInjected;
         ++*readFaults_;
     }
     return sensed;
+}
+
+MemHierarchy::RetireOutcome
+MemHierarchy::noteStrikeAndMaybeRetire(SimAddr wordAddr)
+{
+    const std::uint32_t set = l1d_.setIndexOf(wordAddr);
+    const unsigned way = l1d_.wayOf(wordAddr);
+    const std::size_t idx = std::size_t{set} * config_.l1d.assoc + way;
+    if (++frameStrikes_[idx] < config_.wayDisable.retireThreshold)
+        return RetireOutcome::None;
+    // Chronically weak frame: retire it. The caller has already
+    // written back any dirty data, so dropping the line loses
+    // nothing.
+    stats_.inc("ways_retired");
+    l1d_.invalidate(wordAddr);
+    l1d_.disableFrame(set, way);
+    return l1d_.hasEnabledWay(wordAddr) ? RetireOutcome::SetAlive
+                                        : RetireOutcome::SetDead;
 }
 
 bool
@@ -220,6 +250,18 @@ MemHierarchy::readImpl(B &l2b, SimAddr addr, unsigned bytes)
     ++*reads_;
 
     const SimAddr wordAddr = addr & ~SimAddr{3};
+    if (retireOn() && !l1d_.hasEnabledWay(wordAddr)) {
+        // Every frame of the set is retired: the capacity loss is
+        // charged as a permanent L1 miss served by the L2 (assumed
+        // correct, so no sensing or recovery applies).
+        stats_.inc("retired_reads");
+        ensureL2(l2b, wordAddr, acc);
+        const std::uint32_t word = l2b.readWordRaw(wordAddr);
+        const unsigned shift = (addr & 3u) * 8;
+        acc.value =
+            bytes == 4 ? word : bitField(word, shift, bytes * 8);
+        return acc;
+    }
     ensureL1D(l2b, wordAddr, acc);
 
     const unsigned attempts = readAttempts(config_.scheme);
@@ -255,31 +297,47 @@ MemHierarchy::readImpl(B &l2b, SimAddr addr, unsigned bytes)
             l2b.writeRange(l1d_.lineBase(wordAddr), l1LineScratch_.data(),
                            config_.l1d.lineBytes, true);
         }
-        if (config_.subBlockRecovery) {
-            // Refetch only the faulted word (paper footnote 2): the
-            // rest of the line — including its other dirty words —
-            // stays put.
-            stats_.inc("subblock_refetches");
+        RetireOutcome retired = RetireOutcome::None;
+        if (retireOn())
+            retired = noteStrikeAndMaybeRetire(wordAddr);
+        if (retired == RetireOutcome::SetDead) {
+            // The strike-out retired the set's last frame: serve the
+            // word from the L2 directly, like every future access to
+            // this set will be.
+            stats_.inc("retired_reads");
             ensureL2(l2b, wordAddr, acc);
-            const std::uint32_t fresh = l2b.readWordRaw(wordAddr);
-            l1d_.writeWordRaw(wordAddr, fresh,
-                              l1d_.computeCheck(fresh));
-        } else {
-            l1d_.invalidate(wordAddr);
-            ensureL1D(l2b, wordAddr, acc);
-        }
-        sensed = senseWord(wordAddr, acc);
-        if (!checkSensedWord(sensed, wordAddr, sensed)) {
-            // The refetched copy also sensed faulty: bypass the L1 and
-            // serve the L2's word directly.
-            stats_.inc("l2_bypasses");
-            acc.latency += cyclesToQuanta(config_.l2HitCycles);
-            ++acc.l2Accesses;
-            acc.noteL2Line(l2LineBase(wordAddr), false,
-                           l2b.sharedFrame(wordAddr));
-            if (energy_)
-                energy_->addL2Access();
             sensed = l2b.readWordRaw(wordAddr);
+        } else {
+            if (retired == RetireOutcome::SetAlive) {
+                // The line went down with its retired frame; refill
+                // into one of the set's surviving ways.
+                ensureL1D(l2b, wordAddr, acc);
+            } else if (config_.subBlockRecovery) {
+                // Refetch only the faulted word (paper footnote 2):
+                // the rest of the line — including its other dirty
+                // words — stays put.
+                stats_.inc("subblock_refetches");
+                ensureL2(l2b, wordAddr, acc);
+                const std::uint32_t fresh = l2b.readWordRaw(wordAddr);
+                l1d_.writeWordRaw(wordAddr, fresh,
+                                  l1d_.computeCheck(fresh));
+            } else {
+                l1d_.invalidate(wordAddr);
+                ensureL1D(l2b, wordAddr, acc);
+            }
+            sensed = senseWord(wordAddr, acc);
+            if (!checkSensedWord(sensed, wordAddr, sensed)) {
+                // The refetched copy also sensed faulty: bypass the L1
+                // and serve the L2's word directly.
+                stats_.inc("l2_bypasses");
+                acc.latency += cyclesToQuanta(config_.l2HitCycles);
+                ++acc.l2Accesses;
+                acc.noteL2Line(l2LineBase(wordAddr), false,
+                               l2b.sharedFrame(wordAddr));
+                if (energy_)
+                    energy_->addL2Access();
+                sensed = l2b.readWordRaw(wordAddr);
+            }
         }
     }
 
@@ -313,6 +371,24 @@ MemHierarchy::writeImpl(B &l2b, SimAddr addr, unsigned bytes,
     ++*writes_;
 
     const SimAddr wordAddr = addr & ~SimAddr{3};
+    if (retireOn() && !l1d_.hasEnabledWay(wordAddr)) {
+        // Fully retired set: write through to the L2 via the normal
+        // miss path (sub-word stores merge against the L2's copy).
+        stats_.inc("retired_writes");
+        ensureL2(l2b, wordAddr, acc);
+        std::uint32_t intended = value;
+        if (bytes != 4) {
+            const std::uint32_t raw = l2b.readWordRaw(wordAddr);
+            const unsigned shift = (addr & 3u) * 8;
+            const std::uint32_t mask =
+                ((bytes == 1 ? 0xffu : 0xffffu)) << shift;
+            intended = (raw & ~mask) | ((value << shift) & mask);
+        }
+        std::uint8_t buf[4];
+        std::memcpy(buf, &intended, 4);
+        l2b.writeRange(wordAddr, buf, 4, true);
+        return acc;
+    }
     ensureL1D(l2b, wordAddr, acc);
 
     // Sub-word stores are a masked read-modify-write of the stored
@@ -330,7 +406,11 @@ MemHierarchy::writeImpl(B &l2b, SimAddr addr, unsigned bytes,
     }
 
     fault::FaultEvent ev;
-    const std::uint32_t stored = injector_->corrupt(intended, 32, &ev);
+    const std::uint32_t stored =
+        injector_->mapAttached()
+            ? injector_->corruptMapped(intended, 32,
+                                       mapSlotOf(wordAddr), &ev)
+            : injector_->corrupt(intended, 32, &ev);
     if (ev.flippedBits) {
         ++acc.faultsInjected;
         ++*writeFaults_;
@@ -440,6 +520,8 @@ MemHierarchy::reset()
     l1i_.resetStats();
     l2_.resetStats();
     stats_.reset();
+    std::fill(frameStrikes_.begin(), frameStrikes_.end(),
+              std::uint16_t{0});
 }
 
 } // namespace clumsy::mem

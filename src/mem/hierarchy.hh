@@ -44,6 +44,13 @@ struct HierarchyConfig
     RecoveryScheme scheme = RecoveryScheme::NoDetection;
 
     /**
+     * Way-disable recovery on top of the N-strike scheme: after a
+     * frame strikes out `wayDisable.retireThreshold` times it is
+     * retired for good (see mem/recovery.hh). Off by default.
+     */
+    WayDisablePolicy wayDisable;
+
+    /**
      * Check-bit codec of the L1 D-cache when a detection scheme is
      * active: per-word parity (the paper's design) or Hamming SEC-DED
      * (the alternative the paper dismisses on energy grounds; see
@@ -249,6 +256,13 @@ class MemHierarchy
     std::vector<std::uint8_t> l2LineScratch_;
     std::vector<std::uint8_t> l1LineScratch_;
 
+    /**
+     * Per-frame strike-out counts for way-disable recovery, indexed
+     * like the L1D's SoA metadata (set * assoc + way). Empty unless
+     * the policy is enabled.
+     */
+    std::vector<std::uint16_t> frameStrikes_;
+
     // Interned per-access counters (stable pointers into stats_).
     std::uint64_t *reads_;
     std::uint64_t *writes_;
@@ -259,6 +273,39 @@ class MemHierarchy
     std::uint64_t *l1dWritebacks_;
 
     bool detectionOn() const { return usesParity(config_.scheme); }
+
+    /** @return true when way-disable recovery is active. */
+    bool retireOn() const { return config_.wayDisable.enabled(); }
+
+    /**
+     * Fault-map word slot of the L1D frame currently holding
+     * wordAddr (the line must be present).
+     */
+    std::uint32_t mapSlotOf(SimAddr wordAddr) const
+    {
+        const std::uint32_t set = l1d_.setIndexOf(wordAddr);
+        const unsigned way = l1d_.wayOf(wordAddr);
+        const std::uint32_t wordIdx = static_cast<std::uint32_t>(
+            (wordAddr & (config_.l1d.lineBytes - 1)) / 4);
+        return (set * config_.l1d.assoc + way) *
+                   (config_.l1d.lineBytes / 4) +
+               wordIdx;
+    }
+
+    /** What noteStrikeAndMaybeRetire did to wordAddr's frame. */
+    enum class RetireOutcome
+    {
+        None,     ///< below threshold: normal strike recovery
+        SetAlive, ///< frame retired; the set still has enabled ways
+        SetDead,  ///< frame retired and the whole set is now dead
+    };
+
+    /**
+     * Record one strike-out against the frame holding wordAddr and
+     * retire it at the threshold (the line must still be present; on
+     * retirement it is invalidated and the frame disabled).
+     */
+    RetireOutcome noteStrikeAndMaybeRetire(SimAddr wordAddr);
 
     /** Protection level for energy accounting. */
     energy::Protection protection() const

@@ -36,6 +36,30 @@ inline constexpr RecoveryScheme kAllRecoverySchemes[] = {
     RecoveryScheme::ThreeStrike,
 };
 
+/**
+ * Way-disable recovery (INTERPLAY-style, see PAPERS.md): once a cache
+ * frame has exhausted its strikes `retireThreshold` times, the frame
+ * is chronically weak — with a spatially correlated fault map the same
+ * cells keep failing at the same addresses — so the frame is retired
+ * outright instead of being refetched forever. Retired frames never
+ * hold lines again; accesses mapping to a fully retired set are
+ * served by the L2 through the normal miss path, which is exactly how
+ * the capacity loss is charged. Layered on top of the N-strike
+ * schemes; inert under NoDetection (nothing ever strikes out).
+ */
+struct WayDisablePolicy
+{
+    /** Strike-outs a frame survives before retirement; 0 = off. */
+    unsigned retireThreshold = 0;
+
+    bool enabled() const { return retireThreshold != 0; }
+
+    bool operator==(const WayDisablePolicy &o) const
+    {
+        return retireThreshold == o.retireThreshold;
+    }
+};
+
 /** @return true when the scheme uses parity detection. */
 bool usesParity(RecoveryScheme scheme);
 

@@ -123,6 +123,11 @@ runChipOnce(const core::AppFactory &factory,
         core::ProcessorConfig pc =
             core::makeRunProcessorConfig(peConfig, golden, trial);
         pc.faultSeed += pe * kPeSeedStride;
+        // The map seed is the chip's silicon: trials keep it fixed,
+        // but each PE's array is its own die area, so salt by engine
+        // id (engine 0 unsalted, preserving the 1-PE == single-core
+        // equivalence).
+        pc.faultMap.peSalt = pe;
         switch (npu.dvs) {
           case DvsMode::Static:
             // Ablation baseline: frozen at the launch Cr even when

@@ -143,6 +143,11 @@ cellJson(const CellOutcome &out, bool provenance)
             static_cast<std::uint64_t>(out.cell.ctrlRate));
         w.key("updates").value(ctrl::to_string(out.cell.updates));
     }
+    if (out.cell.faultMap != "off" && !out.cell.faultMap.empty())
+        w.key("faultmap").value(out.cell.faultMap);
+    if (out.cell.retire != 0)
+        w.key("retire").value(
+            static_cast<std::uint64_t>(out.cell.retire));
     w.key("result").raw(experimentResultJson(out.result));
     if (out.hasNpu) {
         w.key("npu").beginObject();
@@ -517,6 +522,11 @@ parseCell(const JVal &o)
             static_cast<std::uint32_t>(numField(o, "ctrl"));
     if (o.find("updates"))
         out.cell.updates = ctrl::mixFromString(strField(o, "updates"));
+    if (o.find("faultmap"))
+        out.cell.faultMap = strField(o, "faultmap");
+    if (o.find("retire"))
+        out.cell.retire =
+            static_cast<unsigned>(numField(o, "retire"));
     if (const JVal *chip = o.find("npu")) {
         out.hasNpu = true;
         out.npuGolden = parseChipMetrics(field(*chip, "golden"));
@@ -614,7 +624,7 @@ renderCsv(const SweepOutcome &outcome)
     std::string out =
         "app,cr,dynamic,scheme,codec,plane,fault_scale,pes,dispatch,"
         "per_pe_cr,dvs,mshrs,l2,gap,chip_jobs,flows,churn,ctrl,"
-        "updates,fallibility,"
+        "updates,faultmap,retire,fallibility,"
         "any_error_prob,fatal_prob,fatal_fraction,cycles_per_packet,"
         "energy_per_packet_pj,l1d_energy_per_packet_pj,edf,"
         "golden_cycles_per_packet,golden_energy_per_packet_pj,"
@@ -641,6 +651,8 @@ renderCsv(const SweepOutcome &outcome)
         out += "," + std::to_string(c.cell.churn);
         out += "," + std::to_string(c.cell.ctrlRate);
         out += "," + ctrl::to_string(c.cell.updates);
+        out += "," + (c.cell.faultMap.empty() ? "off" : c.cell.faultMap);
+        out += "," + std::to_string(c.cell.retire);
         out += "," + formatDouble(r.fallibility);
         out += "," + formatDouble(r.anyErrorProb);
         out += "," + formatDouble(r.fatalProb);

@@ -6,6 +6,7 @@
 #include "apps/app.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
+#include "fault/fault_map.hh"
 
 namespace clumsy::sweep
 {
@@ -251,6 +252,19 @@ SweepSpec::parse(const std::string &grid)
             spec.churns.clear();
             for (const std::string &v : values)
                 spec.churns.push_back(cli::parseU64("churn", v));
+        } else if (key == "faultmap") {
+            // "off" is the uniform-model sentinel (what toGridString
+            // prints for an unswept axis), so grids round-trip.
+            spec.faultMaps.clear();
+            for (const std::string &v : values) {
+                (void)fault::faultMapSpecFromString(v); // validates
+                spec.faultMaps.push_back(v);
+            }
+        } else if (key == "retire") {
+            spec.retires.clear();
+            for (const std::string &v : values)
+                spec.retires.push_back(static_cast<unsigned>(
+                    cli::parseU64("retire", v)));
         } else if (key == "ctrl") {
             // 0 is the no-control-plane sentinel (what toGridString
             // prints for an unswept axis), so grids round-trip.
@@ -273,6 +287,8 @@ SweepSpec::parse(const std::string &grid)
             spec.traceSeed = cli::parseU64("seed", scalar());
         } else if (key == "fault-seed") {
             spec.faultSeed = cli::parseU64("fault-seed", scalar());
+        } else if (key == "map-seed") {
+            spec.mapSeed = cli::parseU64("map-seed", scalar());
         } else {
             fatal("unknown grid key '%s'", key.c_str());
         }
@@ -350,6 +366,13 @@ SweepSpec::toGridString() const
            joinDim<std::uint64_t>(churns, [](const std::uint64_t &n) {
                return std::to_string(n);
            });
+    out += ";faultmap=" +
+           joinDim<std::string>(faultMaps, [](const std::string &s) {
+               return s;
+           });
+    out += ";retire=" + joinDim<unsigned>(retires, [](const unsigned &n) {
+               return std::to_string(n);
+           });
     out += ";ctrl=" +
            joinDim<std::uint32_t>(ctrlRates, [](const std::uint32_t &n) {
                return std::to_string(n);
@@ -362,6 +385,7 @@ SweepSpec::toGridString() const
     out += ";trials=" + std::to_string(trials);
     out += ";seed=" + std::to_string(traceSeed);
     out += ";fault-seed=" + std::to_string(faultSeed);
+    out += ";map-seed=" + std::to_string(mapSeed);
     return out;
 }
 
@@ -373,7 +397,8 @@ SweepSpec::cellCount() const
            peCounts.size() * dispatches.size() * perPeCrs.size() *
            dvsModes.size() * mshrs.size() * l2Modes.size() *
            arrivalGaps.size() * chipJobs.size() * flows.size() *
-           churns.size() * ctrlRates.size() * updateMixes.size();
+           churns.size() * faultMaps.size() * retires.size() *
+           ctrlRates.size() * updateMixes.size();
 }
 
 std::string
@@ -410,6 +435,12 @@ SweepCell::key() const
         k += ";flows=" + std::to_string(flows);
     if (churn != 0)
         k += ";churn=" + std::to_string(churn);
+    // Fault-map dimensions elide at their off/0 defaults so every
+    // pre-faultmap result file keeps resuming against unchanged keys.
+    if (faultMap != "off" && !faultMap.empty())
+        k += ";faultmap=" + faultMap;
+    if (retire != 0)
+        k += ";retire=" + std::to_string(retire);
     // Control-plane dimensions elide entirely at rate 0 (the mix is
     // meaningless without a stream), so every pre-ctrl result file
     // keeps resuming against unchanged keys; the mix also elides at
@@ -436,7 +467,8 @@ expand(const SweepSpec &spec)
                       !spec.l2Modes.empty() &&
                       !spec.arrivalGaps.empty() &&
                       !spec.chipJobs.empty() && !spec.flows.empty() &&
-                      !spec.churns.empty() && !spec.ctrlRates.empty() &&
+                      !spec.churns.empty() && !spec.faultMaps.empty() &&
+                      !spec.retires.empty() && !spec.ctrlRates.empty() &&
                       !spec.updateMixes.empty(),
                   "every grid dimension needs at least one value");
     std::vector<SweepCell> cells;
@@ -460,6 +492,8 @@ expand(const SweepSpec &spec)
     for (const unsigned cjobs : spec.chipJobs)
     for (const std::uint32_t nflows : spec.flows)
     for (const std::uint64_t life : spec.churns)
+    for (const std::string &fmap : spec.faultMaps)
+    for (const unsigned ret : spec.retires)
     for (const std::uint32_t crate : spec.ctrlRates)
     for (const ctrl::CtrlMix cmix : spec.updateMixes) {
         SweepCell cell;
@@ -480,6 +514,8 @@ expand(const SweepSpec &spec)
         cell.chipJobs = cjobs;
         cell.flows = nflows;
         cell.churn = life;
+        cell.faultMap = fmap;
+        cell.retire = ret;
         cell.ctrlRate = crate;
         cell.updates = cmix;
         cells.push_back(std::move(cell));
@@ -505,6 +541,9 @@ makeConfig(const SweepSpec &spec, const SweepCell &cell)
     cfg.processor.hierarchy.codec = cell.codec;
     cfg.traceFlows = cell.flows;
     cfg.churnLifetime = cell.churn;
+    cfg.processor.faultMap = fault::faultMapSpecFromString(cell.faultMap);
+    cfg.processor.faultMap.seed = spec.mapSeed;
+    cfg.processor.hierarchy.wayDisable.retireThreshold = cell.retire;
     cfg.ctrl.rate = cell.ctrlRate;
     cfg.ctrl.mix = cell.updates;
     return cfg;

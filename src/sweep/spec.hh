@@ -107,6 +107,17 @@ struct SweepSpec
     std::vector<std::uint64_t> churns = {0};
 
     /**
+     * Fault-map dimensions (src/fault/fault_map.hh): map selections
+     * ("off" = uniform eq. (4) faults, "spatial" = the seeded
+     * generation model, anything else = a map-file path) and
+     * way-disable retire thresholds (0 = off). Both default to the
+     * historical uniform/no-retire behaviour so every pre-faultmap
+     * result stays byte-identical.
+     */
+    std::vector<std::string> faultMaps = {"off"};
+    std::vector<unsigned> retires = {0};
+
+    /**
      * Control-plane churn dimensions (src/ctrl/): update rates in
      * events per 1000 packets (0 = no control plane, the default that
      * keeps every run bit-identical to a pre-ctrl sweep) and the event
@@ -123,10 +134,18 @@ struct SweepSpec
     std::uint64_t faultSeed = 0x5eed;
 
     /**
+     * Generation seed for faultmap=spatial cells. A scalar, not an
+     * axis: the map is the silicon under test, identical in every
+     * cell, while faultSeed varies which weak cells get exercised.
+     */
+    std::uint64_t mapSeed = 0xfa17;
+
+    /**
      * Parse a grid string (semicolon-separated key=value,value,...
      * pairs). Keys: app, cr, scheme, codec, plane, fault-scale,
      * pes, dispatch, per-pe-cr, dvs, mshrs, l2, gap, chip-jobs,
-     * flows, churn, ctrl, updates, packets, trials, seed, fault-seed.
+     * flows, churn, faultmap, retire, ctrl, updates, packets, trials,
+     * seed, fault-seed, map-seed.
      * "app=all" / "scheme=all" expand to the full sets. fatal()s on
      * unknown keys or values.
      */
@@ -162,6 +181,8 @@ struct SweepCell
     unsigned chipJobs = 1;       ///< chip-run worker threads
     std::uint32_t flows = 0;     ///< flow override (0 = app default)
     std::uint64_t churn = 0;     ///< mean flow lifetime (0 = app's own)
+    std::string faultMap = "off"; ///< "off", "spatial" or a map path
+    unsigned retire = 0;         ///< way-disable threshold (0 = off)
     std::uint32_t ctrlRate = 0;  ///< ctrl events per 1000 pkts (0 = off)
     ctrl::CtrlMix updates = ctrl::CtrlMix::All; ///< event mix at ctrl>0
 

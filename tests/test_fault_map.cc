@@ -1,0 +1,480 @@
+/**
+ * @file
+ * Statistical and format validation of the spatially correlated
+ * fault-map plane (src/fault/fault_map.hh).
+ *
+ * The statistical layer checks the *distributional* claims the map
+ * generator makes — row clustering against a uniform null, per-way
+ * strength variation within the lognormal clamp, determinism under a
+ * fixed seed, and decorrelation from the packet-fault RNG — not just
+ * point values. All draws are seeded, so every assertion is exact and
+ * repeatable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "apps/app.hh"
+#include "core/experiment.hh"
+#include "fault/fault_map.hh"
+#include "fault/injector.hh"
+
+using namespace clumsy;
+using namespace clumsy::fault;
+
+namespace
+{
+
+/** A 4-set single-way toy geometry: 32 word slots. */
+FaultMapGeometry
+toyGeometry()
+{
+    return FaultMapGeometry{4, 1, 32};
+}
+
+/** A map holding exactly the given cells over the toy geometry. */
+FaultMap
+toyMap(std::vector<WeakCell> cells)
+{
+    return FaultMap(toyGeometry(), 0, std::move(cells));
+}
+
+/** Uniform-null generation: no clusters, background only. */
+FaultMapParams
+uniformNullParams(double background)
+{
+    FaultMapParams params;
+    params.clustersPerArray = 0.0;
+    params.cellsPerCluster = 0.0;
+    params.backgroundPerArray = background;
+    params.waySigma = 0.0;
+    return params;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Statistical layer
+// ---------------------------------------------------------------------
+
+TEST(FaultMapStats, ClusteredMapsAreOverdispersed)
+{
+    // Row clustering is the map's defining spatial property: the
+    // index of dispersion (variance/mean of per-row counts) of a
+    // clustered population must sit far above the Poisson value of 1.
+    const FaultMapGeometry geom{256, 4, 32};
+    FaultMapParams params; // defaults: 6 clusters of ~24 cells
+    for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+        const FaultMap map = FaultMap::generate(geom, params, seed);
+        EXPECT_GT(map.dispersionIndex(), 1.8)
+            << "seed " << seed << " produced a near-uniform map";
+    }
+}
+
+TEST(FaultMapStats, UniformNullDispersionNearOne)
+{
+    // With clustering off, the generator degenerates to i.i.d.
+    // background cells and the dispersion index must stay near 1 —
+    // the variance-ratio test that separates the two regimes.
+    const FaultMapGeometry geom{256, 4, 32};
+    const FaultMapParams params = uniformNullParams(600.0);
+    for (const std::uint64_t seed : {11u, 12u, 13u, 14u, 15u}) {
+        const FaultMap map = FaultMap::generate(geom, params, seed);
+        EXPECT_GT(map.dispersionIndex(), 0.6) << "seed " << seed;
+        EXPECT_LT(map.dispersionIndex(), 1.45) << "seed " << seed;
+    }
+}
+
+TEST(FaultMapStats, PerWayVariationWithinLognormalClamp)
+{
+    // Each way's strength factor is exp(g * waySigma) with g clamped
+    // to [-2, 2]. A strong way both attracts more clusters (placement
+    // is factor-weighted) and grows bigger ones (size scales with the
+    // factor), so realized per-way counts spread as the factor
+    // *squared*: the ratio across ways is bounded by exp(8 * waySigma).
+    // Large cluster counts keep Poisson noise small next to that; 2x
+    // slack covers the rest.
+    const FaultMapGeometry geom{256, 4, 32};
+    FaultMapParams params;
+    params.clustersPerArray = 200.0;
+    params.cellsPerCluster = 50.0;
+    params.backgroundPerArray = 100.0;
+    params.waySigma = 0.5;
+    const double bound = std::exp(8.0 * params.waySigma) * 2.0;
+    for (const std::uint64_t seed : {21u, 22u, 23u}) {
+        const FaultMap map = FaultMap::generate(geom, params, seed);
+        const auto perWay = map.perWayCounts();
+        ASSERT_EQ(perWay.size(), 4u);
+        std::uint32_t lo = perWay[0], hi = perWay[0];
+        for (const std::uint32_t c : perWay) {
+            lo = std::min(lo, c);
+            hi = std::max(hi, c);
+        }
+        ASSERT_GT(lo, 0u) << "seed " << seed;
+        EXPECT_LT(static_cast<double>(hi) / lo, bound)
+            << "seed " << seed;
+    }
+}
+
+TEST(FaultMapStats, WaySigmaWidensTheSpread)
+{
+    // Variance-ratio check of the strength-variation knob itself:
+    // aggregated over seeds, the spread of per-way counts must grow
+    // with waySigma.
+    const FaultMapGeometry geom{256, 4, 32};
+    FaultMapParams tight;
+    tight.clustersPerArray = 40.0;
+    tight.cellsPerCluster = 50.0;
+    tight.waySigma = 0.0;
+    FaultMapParams loose = tight;
+    loose.waySigma = 1.0;
+    double tightSpread = 0.0, looseSpread = 0.0;
+    for (std::uint64_t seed = 31; seed < 51; ++seed) {
+        for (const bool wide : {false, true}) {
+            const FaultMap map = FaultMap::generate(
+                geom, wide ? loose : tight, seed);
+            const auto perWay = map.perWayCounts();
+            std::uint32_t lo = perWay[0], hi = perWay[0];
+            for (const std::uint32_t c : perWay) {
+                lo = std::min(lo, c);
+                hi = std::max(hi, c);
+            }
+            const double spread =
+                std::log(static_cast<double>(hi) / std::max(lo, 1u));
+            (wide ? looseSpread : tightSpread) += spread;
+        }
+    }
+    EXPECT_GT(looseSpread, tightSpread * 1.5);
+}
+
+TEST(FaultMapStats, GenerationIsDeterministic)
+{
+    const FaultMapGeometry geom{128, 2, 32};
+    const FaultMapParams params;
+    const FaultMap a = FaultMap::generate(geom, params, 0xfa17);
+    const FaultMap b = FaultMap::generate(geom, params, 0xfa17);
+    EXPECT_EQ(a.toText(), b.toText());
+    const FaultMap c = FaultMap::generate(geom, params, 0xfa18);
+    EXPECT_NE(a.toText(), c.toText());
+}
+
+TEST(FaultMapStats, ActivationSharpensAsVoltageDrops)
+{
+    const FaultMapGeometry geom{256, 4, 32};
+    const FaultMap map = FaultMap::generate(geom, FaultMapParams{}, 7);
+    ASSERT_GT(map.cells().size(), 0u);
+    // Monotone: lowering Cr can only wake cells, never silence them.
+    EXPECT_LE(map.activeCellCount(1.0), map.activeCellCount(0.75));
+    EXPECT_LE(map.activeCellCount(0.75), map.activeCellCount(0.5));
+    EXPECT_LE(map.activeCellCount(0.5), map.activeCellCount(0.25));
+    // And sharp: with vth ~ N(0.55, 0.15) most cells sleep at full
+    // voltage and most are awake at quarter cycle time.
+    EXPECT_LT(map.activeCellCount(1.0), map.cells().size() / 4);
+    EXPECT_GT(map.activeCellCount(0.25),
+              map.cells().size() * 3 / 4);
+}
+
+TEST(FaultMapStats, MappedInjectionIsDeterministicBySeed)
+{
+    const FaultMap map =
+        FaultMap::generate(FaultMapGeometry{4, 1, 32},
+                           FaultMapParams{}, 3);
+    FaultInjector a{FaultModel(FaultModelParams{}), 42};
+    FaultInjector b{FaultModel(FaultModelParams{}), 42};
+    a.attachMap(&map);
+    b.attachMap(&map);
+    a.setCycleTime(0.25);
+    b.setCycleTime(0.25);
+    for (std::uint32_t i = 0; i < 20000; ++i)
+        EXPECT_EQ(a.corruptMapped(i, 32, i % 32),
+                  b.corruptMapped(i, 32, i % 32));
+    EXPECT_EQ(a.faultCount(), b.faultCount());
+}
+
+TEST(FaultMapStats, InertSlotsConsumeNoRandomness)
+{
+    // Decorrelation from the packet-fault RNG: accesses that touch no
+    // active weak cell must not advance the injector's RNG, so the
+    // uniform fault stream after a burst of clean mapped accesses is
+    // byte-identical to one that never saw them.
+    const FaultMap empty = toyMap({});
+    FaultModelParams boost;
+    boost.scale = 1e5;
+    FaultInjector walked{FaultModel(boost), 9};
+    FaultInjector fresh{FaultModel(boost), 9};
+    walked.attachMap(&empty);
+    walked.setCycleTime(0.25);
+    fresh.setCycleTime(0.25);
+    for (std::uint32_t i = 0; i < 5000; ++i)
+        EXPECT_EQ(walked.corruptMapped(i, 32, i % 32), i)
+            << "empty map corrupted a value";
+    for (std::uint32_t i = 0; i < 5000; ++i)
+        EXPECT_EQ(walked.corrupt(i, 32), fresh.corrupt(i, 32))
+            << "mapped accesses perturbed the uniform stream";
+}
+
+TEST(FaultMapStats, MappedRateGrowsWithOverclock)
+{
+    // One always-weak cell with vth = 0.5, pFail = 0.1: inert at full
+    // voltage, failing at ~pFail at its threshold, and boosted by the
+    // eq. (4) factor ratio below it.
+    const WeakCell cell{0, 0, 3, 0.5, 0.1};
+    const FaultMap map = toyMap({cell});
+    const auto faultsAt = [&map](double cr) {
+        FaultInjector inj{FaultModel(FaultModelParams{}), 11};
+        inj.attachMap(&map);
+        inj.setCycleTime(cr);
+        for (int i = 0; i < 20000; ++i)
+            inj.corruptMapped(0, 32, 0);
+        return inj.faultCount();
+    };
+    EXPECT_EQ(faultsAt(1.0), 0u);
+    const std::uint64_t atVth = faultsAt(0.5);
+    const std::uint64_t below = faultsAt(0.25);
+    // ~0.1 * 20000 at threshold; ~6x that at quarter cycle time.
+    EXPECT_NEAR(static_cast<double>(atVth), 2000.0, 400.0);
+    EXPECT_GT(below, atVth * 4);
+    // Mapped faults land in the dedicated stats bucket.
+    FaultInjector inj{FaultModel(FaultModelParams{}), 11};
+    inj.attachMap(&map);
+    inj.setCycleTime(0.25);
+    for (int i = 0; i < 1000; ++i)
+        inj.corruptMapped(0, 32, 0);
+    EXPECT_EQ(inj.stats().get("mapped"), inj.faultCount());
+}
+
+TEST(FaultMapStats, MappedFlipsStayInsideTheWeakCell)
+{
+    // A single weak cell at bit 7 of word 0 can only ever flip that
+    // bit, however long the run.
+    const WeakCell cell{2, 0, 7, 1.0, 1.0};
+    const FaultMap map = toyMap({cell});
+    FaultInjector inj{FaultModel(FaultModelParams{}), 13};
+    inj.attachMap(&map);
+    inj.setCycleTime(0.25);
+    const std::uint32_t slot = 2 * 8; // set 2, word 0
+    for (int i = 0; i < 100; ++i) {
+        FaultEvent ev;
+        const std::uint32_t out = inj.corruptMapped(0, 32, slot, &ev);
+        EXPECT_EQ(out, 1u << 7);
+        EXPECT_EQ(ev.mask, 1u << 7);
+    }
+    // Other slots of the same set stay clean.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(inj.corruptMapped(0, 32, slot + 1), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Spec parsing and per-PE salting
+// ---------------------------------------------------------------------
+
+TEST(FaultMapSpecTest, ParsesAxisValues)
+{
+    EXPECT_EQ(faultMapSpecFromString("off").mode, FaultMapMode::Off);
+    EXPECT_EQ(faultMapSpecFromString("spatial").mode,
+              FaultMapMode::Generated);
+    const FaultMapSpec file = faultMapSpecFromString("maps/a.map");
+    EXPECT_EQ(file.mode, FaultMapMode::File);
+    EXPECT_EQ(file.path, "maps/a.map");
+    EXPECT_FALSE(faultMapSpecFromString("off").enabled());
+    EXPECT_TRUE(faultMapSpecFromString("spatial").enabled());
+}
+
+TEST(FaultMapSpecTest, PerPeSaltChangesTheSeed)
+{
+    FaultMapSpec spec;
+    spec.mode = FaultMapMode::Generated;
+    const std::uint64_t base = spec.effectiveSeed();
+    spec.peSalt = 1;
+    EXPECT_NE(spec.effectiveSeed(), base);
+    // Engine 0 is unsalted so a 1-PE chip generates the same silicon
+    // as the single-core harness.
+    spec.peSalt = 0;
+    EXPECT_EQ(spec.effectiveSeed(), base);
+    EXPECT_EQ(spec.effectiveSeed(), spec.seed);
+}
+
+// ---------------------------------------------------------------------
+// Text format: round trip and rejection
+// ---------------------------------------------------------------------
+
+TEST(FaultMapFormat, ExportImportExportIsByteIdentical)
+{
+    const FaultMap map = FaultMap::generate(
+        FaultMapGeometry{128, 4, 32}, FaultMapParams{}, 17);
+    const std::string text = map.toText();
+    FaultMap back;
+    ASSERT_EQ(FaultMap::parseText(text, back), "");
+    EXPECT_EQ(back.toText(), text);
+    EXPECT_EQ(back.seed(), map.seed());
+    ASSERT_EQ(back.cells().size(), map.cells().size());
+    for (std::size_t i = 0; i < map.cells().size(); ++i) {
+        EXPECT_EQ(back.cells()[i].set, map.cells()[i].set);
+        EXPECT_EQ(back.cells()[i].bit, map.cells()[i].bit);
+        EXPECT_EQ(back.cells()[i].vth, map.cells()[i].vth);
+        EXPECT_EQ(back.cells()[i].pFail, map.cells()[i].pFail);
+    }
+}
+
+TEST(FaultMapFormat, EmptyMapRoundTrips)
+{
+    const FaultMap map = toyMap({});
+    FaultMap back;
+    ASSERT_EQ(FaultMap::parseText(map.toText(), back), "");
+    EXPECT_EQ(back.toText(), map.toText());
+    EXPECT_TRUE(back.cells().empty());
+}
+
+TEST(FaultMapFormat, RejectsMalformedInput)
+{
+    const std::string good = toyMap({WeakCell{1, 0, 5, 0.5, 0.01}})
+                                 .toText();
+    FaultMap out;
+    ASSERT_EQ(FaultMap::parseText(good, out), "");
+
+    const auto rejects = [&out](const std::string &text) {
+        return !FaultMap::parseText(text, out).empty();
+    };
+    // Header and version.
+    EXPECT_TRUE(rejects(""));
+    EXPECT_TRUE(rejects("bogus v1\n"));
+    EXPECT_TRUE(rejects("clumsy-faultmap v2\n"));
+    // Structural lines missing or malformed.
+    EXPECT_TRUE(rejects("clumsy-faultmap v1\n"));
+    EXPECT_TRUE(rejects("clumsy-faultmap v1\n"
+                        "geometry sets=banana ways=1 line-bytes=32\n"
+                        "seed 0\ncells 0\nend\n"));
+    EXPECT_TRUE(rejects("clumsy-faultmap v1\n"
+                        "geometry sets=4 ways=1 line-bytes=32\n"
+                        "seed 0\ncells 0\n")); // no end
+    // Cell-count mismatch, both directions.
+    EXPECT_TRUE(rejects("clumsy-faultmap v1\n"
+                        "geometry sets=4 ways=1 line-bytes=32\n"
+                        "seed 0\ncells 1\nend\n"));
+    EXPECT_TRUE(rejects("clumsy-faultmap v1\n"
+                        "geometry sets=4 ways=1 line-bytes=32\n"
+                        "seed 0\ncells 0\n"
+                        "cell 0 0 0 0.5 0.01\nend\n"));
+    // Out-of-range coordinates and strengths.
+    EXPECT_TRUE(rejects("clumsy-faultmap v1\n"
+                        "geometry sets=4 ways=1 line-bytes=32\n"
+                        "seed 0\ncells 1\n"
+                        "cell 4 0 0 0.5 0.01\nend\n")); // set >= sets
+    EXPECT_TRUE(rejects("clumsy-faultmap v1\n"
+                        "geometry sets=4 ways=1 line-bytes=32\n"
+                        "seed 0\ncells 1\n"
+                        "cell 0 1 0 0.5 0.01\nend\n")); // way >= ways
+    EXPECT_TRUE(rejects("clumsy-faultmap v1\n"
+                        "geometry sets=4 ways=1 line-bytes=32\n"
+                        "seed 0\ncells 1\n"
+                        "cell 0 0 256 0.5 0.01\nend\n")); // bit too big
+    EXPECT_TRUE(rejects("clumsy-faultmap v1\n"
+                        "geometry sets=4 ways=1 line-bytes=32\n"
+                        "seed 0\ncells 1\n"
+                        "cell 0 0 0 1.5 0.01\nend\n")); // vth > 1
+    EXPECT_TRUE(rejects("clumsy-faultmap v1\n"
+                        "geometry sets=4 ways=1 line-bytes=32\n"
+                        "seed 0\ncells 1\n"
+                        "cell 0 0 0 0.5 0\nend\n")); // pFail = 0
+    // Ordering violations.
+    EXPECT_TRUE(rejects("clumsy-faultmap v1\n"
+                        "geometry sets=4 ways=1 line-bytes=32\n"
+                        "seed 0\ncells 2\n"
+                        "cell 1 0 0 0.5 0.01\n"
+                        "cell 0 0 0 0.5 0.01\nend\n")); // unsorted
+    EXPECT_TRUE(rejects("clumsy-faultmap v1\n"
+                        "geometry sets=4 ways=1 line-bytes=32\n"
+                        "seed 0\ncells 2\n"
+                        "cell 0 0 0 0.5 0.01\n"
+                        "cell 0 0 0 0.5 0.02\nend\n")); // duplicate
+    // Trailing junk.
+    EXPECT_TRUE(rejects(good + "extra\n"));
+    EXPECT_TRUE(rejects("clumsy-faultmap v1\n"
+                        "geometry sets=4 ways=1 line-bytes=32\n"
+                        "seed 0\ncells 1\n"
+                        "cell 1 0 5 0.5 0.01 junk\nend\n"));
+    // Failures must leave the output untouched.
+    FaultMap untouched;
+    ASSERT_EQ(FaultMap::parseText(good, untouched), "");
+    const std::string before = untouched.toText();
+    EXPECT_FALSE(FaultMap::parseText("bogus\n", untouched).empty());
+    EXPECT_EQ(untouched.toText(), before);
+}
+
+// ---------------------------------------------------------------------
+// System-level regression: the map plane never touches golden runs or
+// off-mode configurations.
+// ---------------------------------------------------------------------
+
+TEST(FaultMapRegression, GoldenRunsAreMapInvariantOnEveryWorkload)
+{
+    // Golden runs disable injection, so the attached map — whatever
+    // its mode or seed — must not move a single modeled number or
+    // recorded value on any of the 10 workloads. This is the
+    // system-level decorrelation guarantee: map generation draws from
+    // its own RNG, never the trace or packet streams.
+    std::vector<std::string> names = apps::allAppNames();
+    for (const std::string &n : apps::extensionAppNames())
+        names.push_back(n);
+    ASSERT_EQ(names.size(), 10u);
+    for (const std::string &app : names) {
+        SCOPED_TRACE(app);
+        core::ExperimentConfig off;
+        off.numPackets = 120;
+        core::ExperimentConfig mapped = off;
+        mapped.processor.faultMap = faultMapSpecFromString("spatial");
+        core::ExperimentConfig reseeded = mapped;
+        reseeded.processor.faultMap.seed = 0xdead;
+
+        const core::GoldenRecord a =
+            core::runGolden(apps::appFactory(app), off);
+        const core::GoldenRecord b =
+            core::runGolden(apps::appFactory(app), mapped);
+        const core::GoldenRecord c =
+            core::runGolden(apps::appFactory(app), reseeded);
+        EXPECT_EQ(a.recorder.digest(), b.recorder.digest());
+        EXPECT_EQ(a.recorder.digest(), c.recorder.digest());
+        EXPECT_EQ(a.metrics.cyclesPerPacket, b.metrics.cyclesPerPacket);
+        EXPECT_EQ(a.metrics.totalEnergyPj, b.metrics.totalEnergyPj);
+        EXPECT_EQ(a.metrics.dcacheAccesses, c.metrics.dcacheAccesses);
+    }
+}
+
+TEST(FaultMapRegression, OffModeIgnoresMapSeedAndZeroRetire)
+{
+    // The inert settings — mode off, any map seed, retire 0 — must be
+    // byte-equivalent to a default config in the faulty arm too.
+    core::ExperimentConfig base;
+    base.numPackets = 150;
+    base.cr = 0.45;
+    base.faultScale = 50.0;
+    base.scheme = mem::RecoveryScheme::TwoStrike;
+    core::ExperimentConfig spelled = base;
+    spelled.processor.faultMap = faultMapSpecFromString("off");
+    spelled.processor.faultMap.seed = 0x1234;
+    spelled.processor.hierarchy.wayDisable.retireThreshold = 0;
+
+    const core::AppFactory factory = apps::appFactory("route");
+    const core::GoldenRecord golden = core::runGolden(factory, base);
+    const core::RunMetrics a =
+        core::runFaultyTrial(factory, base, 0, golden);
+    const core::RunMetrics b =
+        core::runFaultyTrial(factory, spelled, 0, golden);
+    EXPECT_GT(a.faultsInjected, 0u);
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected);
+    EXPECT_EQ(a.cyclesPerPacket, b.cyclesPerPacket);
+    EXPECT_EQ(a.totalEnergyPj, b.totalEnergyPj);
+    EXPECT_EQ(a.packetsWithError, b.packetsWithError);
+    EXPECT_EQ(a.errorsByType, b.errorsByType);
+}
+
+TEST(FaultMapFormat, LoadFileReportsMissingFile)
+{
+    FaultMap out;
+    const std::string err =
+        FaultMap::loadFile("/nonexistent/clumsy.map", out);
+    EXPECT_FALSE(err.empty());
+}

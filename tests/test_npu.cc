@@ -782,3 +782,48 @@ TEST(ChipParallel, OneEngineUnderChurnStaysSingleCoreIdentical)
     EXPECT_EQ(sweep::experimentResultJson(chip.core),
               sweep::experimentResultJson(single));
 }
+
+/**
+ * Fault maps on a multi-engine chip must not break the chip-jobs
+ * determinism contract: each engine builds its own per-PE-salted map
+ * at construction and way-disable state lives entirely inside the
+ * engine, so worker count can't reorder anything observable. Flow
+ * churn on top exercises the full traffic model against the mapped
+ * injection path. Byte-compare all three JSON blocks, serial vs 4
+ * workers.
+ */
+TEST(ChipParallel, FaultMapUnderChurnChipJobsByteIdentical)
+{
+    for (const std::string &app : {std::string("nat"),
+                                   std::string("session")}) {
+        core::ExperimentConfig cfg = smallConfig();
+        cfg.numPackets = 200;
+        cfg.churnLifetime = 64; // force the churn traffic model on
+        cfg.processor.faultMap =
+            fault::faultMapSpecFromString("spatial");
+        cfg.processor.hierarchy.wayDisable.retireThreshold = 2;
+        NpuConfig serial;
+        serial.peCount = 4;
+        serial.dispatch = DispatchPolicy::FlowHash;
+        serial.l2 = L2Mode::Shared;
+        serial.mshrs = 2;
+        NpuConfig parallel = serial;
+        parallel.chipJobs = 4;
+
+        const ChipExperimentResult a =
+            runChipExperiment(apps::appFactory(app), cfg, serial);
+        const ChipExperimentResult b =
+            runChipExperiment(apps::appFactory(app), cfg, parallel);
+
+        EXPECT_GT(a.core.faulty.faultsInjected, 0u) << "app " << app;
+        EXPECT_EQ(sweep::experimentResultJson(a.core),
+                  sweep::experimentResultJson(b.core))
+            << "app " << app;
+        EXPECT_EQ(sweep::chipMetricsJson(a.goldenChip),
+                  sweep::chipMetricsJson(b.goldenChip))
+            << "app " << app;
+        EXPECT_EQ(sweep::chipMetricsJson(a.faultyChip),
+                  sweep::chipMetricsJson(b.faultyChip))
+            << "app " << app;
+    }
+}

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Way-disable recovery: a frame whose strike-outs cross the retire
+ * threshold is permanently disabled, and the lost capacity is charged
+ * through the normal miss path (src/mem/hierarchy.cc,
+ * mem::WayDisablePolicy).
+ *
+ * The rigs pin a single always-failing weak cell (vth = 1, pFail = 1)
+ * into the fault map and turn fill injection off, so every sense of
+ * that word trips parity deterministically — each read is exactly one
+ * strike-out and the retirement cadence is exact, not statistical.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/app.hh"
+#include "core/experiment.hh"
+#include "energy/chip_energy.hh"
+#include "fault/fault_map.hh"
+#include "fault/injector.hh"
+#include "mem/hierarchy.hh"
+#include "npu/chip.hh"
+
+using namespace clumsy;
+using namespace clumsy::mem;
+
+namespace
+{
+
+struct Rig
+{
+    HierarchyConfig config;
+    fault::FaultMap map;
+    BackingStore store{1u << 20};
+    fault::FaultInjector injector;
+    energy::EnergyModel model;
+    energy::EnergyAccount account;
+    MemHierarchy hier;
+
+    explicit Rig(HierarchyConfig cfg, fault::FaultMap m)
+        : config(cfg),
+          map(std::move(m)),
+          injector(fault::FaultModel(fault::FaultModelParams{}), 1),
+          model(energy::EnergyParams{}, cfg.l1d, cfg.l1i, cfg.l2),
+          account(&model),
+          hier(config, &store, &injector, &account)
+    {
+        injector.attachMap(&map);
+    }
+};
+
+/** Config: two-strike parity, retire threshold, no fill injection. */
+HierarchyConfig
+retireConfig(unsigned threshold, unsigned assoc = 1)
+{
+    HierarchyConfig cfg;
+    cfg.scheme = RecoveryScheme::TwoStrike;
+    cfg.wayDisable.retireThreshold = threshold;
+    cfg.l1d.assoc = assoc;
+    // Fill injection off: an always-failing cell corrupted at fill
+    // would be flipped back by the sense-time corruption (two XORs of
+    // the same mask cancel), making strikes non-deterministic.
+    cfg.injectOnFill = false;
+    return cfg;
+}
+
+/** A map with one always-failing bit at (set, way, bit). */
+fault::FaultMap
+oneCellMap(const HierarchyConfig &cfg, std::uint32_t set,
+           std::uint32_t way, std::uint32_t bit)
+{
+    const fault::FaultMapGeometry geom{cfg.l1d.sets(), cfg.l1d.assoc,
+                                       cfg.l1d.lineBytes};
+    return fault::FaultMap(geom, 0,
+                           {fault::WeakCell{set, way, bit, 1.0, 1.0}});
+}
+
+} // namespace
+
+TEST(WayDisable, RetiresAfterThresholdStrikeOuts)
+{
+    const HierarchyConfig cfg = retireConfig(2);
+    Rig rig{cfg, oneCellMap(cfg, 2, 0, 5)};
+    const SimAddr weak = 2 * 32; // word 0 of set 2
+
+    // First read: both strikes trip, the line is invalidated and the
+    // L2 bypass serves the correct word — but the frame survives.
+    EXPECT_EQ(rig.hier.read(weak, 4).value, 0u);
+    EXPECT_EQ(rig.hier.stats().get("strike_invalidations"), 1u);
+    EXPECT_EQ(rig.hier.stats().get("ways_retired"), 0u);
+    EXPECT_EQ(rig.hier.l1d().disabledFrameCount(), 0u);
+
+    // Second strike-out crosses the threshold: the frame retires, and
+    // in a direct-mapped cache that kills the whole set.
+    EXPECT_EQ(rig.hier.read(weak, 4).value, 0u);
+    EXPECT_EQ(rig.hier.stats().get("ways_retired"), 1u);
+    EXPECT_EQ(rig.hier.l1d().disabledFrameCount(), 1u);
+    EXPECT_EQ(rig.hier.stats().get("retired_reads"), 1u);
+
+    // From now on the set is a permanent miss served by the L2: no
+    // sensing, no further strikes, correct data.
+    const Access dead = rig.hier.read(weak, 4);
+    EXPECT_EQ(dead.value, 0u);
+    EXPECT_EQ(rig.hier.stats().get("retired_reads"), 2u);
+    EXPECT_EQ(rig.hier.stats().get("strike_invalidations"), 2u);
+    EXPECT_EQ(rig.hier.stats().get("ways_retired"), 1u);
+
+    // Capacity-loss accounting: the dead-set read is no L1 hit — it
+    // pays at least an L2 access on every repetition, and the cost is
+    // stable (no hidden caching of the retired set).
+    const Access again = rig.hier.read(weak, 4);
+    EXPECT_EQ(again.latency, dead.latency);
+    rig.hier.read(0x8000, 4); // prime an unrelated healthy line
+    const Access hit = rig.hier.read(0x8000, 4);
+    EXPECT_GT(dead.latency, hit.latency);
+}
+
+TEST(WayDisable, HigherThresholdRetiresLater)
+{
+    const HierarchyConfig cfg = retireConfig(3);
+    Rig rig{cfg, oneCellMap(cfg, 1, 0, 9)};
+    const SimAddr weak = 1 * 32;
+    rig.hier.read(weak, 4);
+    rig.hier.read(weak, 4);
+    EXPECT_EQ(rig.hier.stats().get("ways_retired"), 0u);
+    rig.hier.read(weak, 4);
+    EXPECT_EQ(rig.hier.stats().get("ways_retired"), 1u);
+}
+
+TEST(WayDisable, DeadSetWritesMergeThroughTheL2)
+{
+    const HierarchyConfig cfg = retireConfig(1);
+    Rig rig{cfg, oneCellMap(cfg, 3, 0, 0)};
+    const SimAddr weak = 3 * 32;
+    rig.hier.read(weak, 4); // one strike-out retires immediately
+    ASSERT_EQ(rig.hier.stats().get("ways_retired"), 1u);
+
+    rig.hier.write(weak, 4, 0xabcd1234);
+    EXPECT_EQ(rig.hier.stats().get("retired_writes"), 1u);
+    EXPECT_EQ(rig.hier.read(weak, 4).value, 0xabcd1234u);
+
+    // Sub-word stores merge against the L2's copy of the word.
+    rig.hier.write(weak + 1, 1, 0xee);
+    EXPECT_EQ(rig.hier.read(weak, 4).value, 0xabcdee34u);
+    EXPECT_EQ(rig.hier.peekWord(weak), 0xabcdee34u);
+}
+
+TEST(WayDisable, SurvivingWayAbsorbsTheSet)
+{
+    // 2-way set: retiring the weak frame leaves the set alive, the
+    // line refills into the surviving way and later reads are clean
+    // L1 hits again — capacity halves, correctness never wavers.
+    const HierarchyConfig cfg = retireConfig(1, 2);
+    // The first fill of an empty set lands in way 0 (lowest free
+    // frame), where the weak cell sits.
+    Rig rig{cfg, oneCellMap(cfg, 4, 0, 12)};
+    const SimAddr weak = 4 * 32;
+    EXPECT_EQ(rig.hier.read(weak, 4).value, 0u);
+    EXPECT_EQ(rig.hier.stats().get("ways_retired"), 1u);
+    EXPECT_EQ(rig.hier.l1d().disabledFrameCount(), 1u);
+    EXPECT_EQ(rig.hier.stats().get("retired_reads"), 0u);
+
+    const auto strikes = rig.hier.stats().get("strike_invalidations");
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rig.hier.read(weak, 4).value, 0u);
+    // The surviving way has no weak cells: not one further strike.
+    EXPECT_EQ(rig.hier.stats().get("strike_invalidations"), strikes);
+    EXPECT_EQ(rig.hier.stats().get("ways_retired"), 1u);
+}
+
+TEST(WayDisable, InertWithoutDetection)
+{
+    // No parity, no strikes: the weak cell silently corrupts every
+    // read and the retire machinery never engages.
+    HierarchyConfig cfg = retireConfig(1);
+    cfg.scheme = RecoveryScheme::NoDetection;
+    Rig rig{cfg, oneCellMap(cfg, 2, 0, 5)};
+    const SimAddr weak = 2 * 32;
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(rig.hier.read(weak, 4).value, 1u << 5);
+    EXPECT_EQ(rig.hier.stats().get("strike_invalidations"), 0u);
+    EXPECT_EQ(rig.hier.stats().get("ways_retired"), 0u);
+    EXPECT_EQ(rig.hier.l1d().disabledFrameCount(), 0u);
+}
+
+TEST(WayDisable, ZeroThresholdNeverRetires)
+{
+    const HierarchyConfig cfg = retireConfig(0);
+    Rig rig{cfg, oneCellMap(cfg, 2, 0, 5)};
+    const SimAddr weak = 2 * 32;
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(rig.hier.read(weak, 4).value, 0u);
+    EXPECT_GT(rig.hier.stats().get("strike_invalidations"), 0u);
+    EXPECT_EQ(rig.hier.stats().get("ways_retired"), 0u);
+    EXPECT_EQ(rig.hier.stats().get("retired_reads"), 0u);
+}
+
+TEST(WayDisable, SingleEngineChipMatchesSingleCore)
+{
+    // pes=1 anchor: the chip harness with a fault map and way-disable
+    // produces the same physics as the single-core harness (engine 0
+    // is unsalted, so both generate identical silicon).
+    core::ExperimentConfig cfg;
+    cfg.numPackets = 120;
+    cfg.trials = 2;
+    cfg.cr = 0.5;
+    cfg.scheme = RecoveryScheme::TwoStrike;
+    cfg.processor.faultMap = fault::faultMapSpecFromString("spatial");
+    cfg.processor.hierarchy.wayDisable.retireThreshold = 3;
+    const core::AppFactory factory = apps::appFactory("crc");
+
+    const core::ExperimentResult single =
+        core::runExperiment(factory, cfg);
+    const npu::ChipExperimentResult chip =
+        npu::runChipExperiment(factory, cfg, npu::NpuConfig{});
+
+    EXPECT_EQ(single.faulty.faultsInjected,
+              chip.core.faulty.faultsInjected);
+    EXPECT_EQ(single.faulty.parityTrips, chip.core.faulty.parityTrips);
+    EXPECT_EQ(single.cyclesPerPacket, chip.core.cyclesPerPacket);
+    EXPECT_EQ(single.energyPerPacketPj, chip.core.energyPerPacketPj);
+    EXPECT_EQ(single.fallibility, chip.core.fallibility);
+}

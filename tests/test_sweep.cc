@@ -646,3 +646,83 @@ TEST(Json, WriterPlacesCommasAndNesting)
     EXPECT_EQ(w.str(),
               "{\"a\": 1, \"b\": [\"x\", true], \"c\": {}}");
 }
+
+// --- fault-map and way-disable axes ----------------------------------
+
+TEST(SweepSpec, FaultMapAxesParseExpandAndKey)
+{
+    const SweepSpec spec = SweepSpec::parse(
+        "app=crc;faultmap=off,spatial;retire=0,2;map-seed=99;"
+        "packets=100;trials=2");
+    EXPECT_EQ(spec.faultMaps,
+              (std::vector<std::string>{"off", "spatial"}));
+    EXPECT_EQ(spec.retires, (std::vector<unsigned>{0, 2}));
+    EXPECT_EQ(spec.mapSeed, 99u);
+    EXPECT_EQ(spec.cellCount(), 4u);
+
+    const SweepSpec again = SweepSpec::parse(spec.toGridString());
+    EXPECT_EQ(again.toGridString(), spec.toGridString());
+
+    const auto cells = expand(spec);
+    ASSERT_EQ(cells.size(), 4u);
+    // The historical defaults elide so pre-faultmap result files
+    // still resume; non-defaults spell out.
+    EXPECT_EQ(cells[0].key().find(";faultmap="), std::string::npos);
+    EXPECT_EQ(cells[0].key().find(";retire="), std::string::npos);
+    EXPECT_NE(cells[1].key().find(";retire=2"), std::string::npos);
+    EXPECT_NE(cells[2].key().find(";faultmap=spatial"),
+              std::string::npos);
+    EXPECT_NE(cells[3].key().find(";faultmap=spatial;retire=2"),
+              std::string::npos);
+
+    // Both knobs and the scalar seed reach the configuration.
+    const core::ExperimentConfig cfg = makeConfig(spec, cells[3]);
+    EXPECT_EQ(cfg.processor.faultMap.mode,
+              fault::FaultMapMode::Generated);
+    EXPECT_EQ(cfg.processor.faultMap.seed, 99u);
+    EXPECT_EQ(cfg.processor.hierarchy.wayDisable.retireThreshold, 2u);
+    const core::ExperimentConfig off = makeConfig(spec, cells[0]);
+    EXPECT_EQ(off.processor.faultMap.mode, fault::FaultMapMode::Off);
+    EXPECT_EQ(off.processor.hierarchy.wayDisable.retireThreshold, 0u);
+
+    // A path-valued map selection rides through as File mode.
+    const SweepSpec fileSpec = SweepSpec::parse(
+        "app=crc;faultmap=maps/chip0.map;packets=100;trials=2");
+    const auto fileCells = expand(fileSpec);
+    const core::ExperimentConfig fileCfg =
+        makeConfig(fileSpec, fileCells[0]);
+    EXPECT_EQ(fileCfg.processor.faultMap.mode, fault::FaultMapMode::File);
+    EXPECT_EQ(fileCfg.processor.faultMap.path, "maps/chip0.map");
+}
+
+TEST(SweepResume, FaultMapCellsResumeByteIdentical)
+{
+    // Keys with faultmap and retire parts round-trip through the
+    // result file and resume cleanly; the merged document equals a
+    // fresh run byte for byte.
+    SweepSpec spec;
+    spec.apps = {"crc"};
+    spec.points = {{0.5, false}};
+    spec.schemes = {mem::RecoveryScheme::TwoStrike};
+    spec.packets = 120;
+    spec.trials = 2;
+    spec.faultMaps = {"off", "spatial"};
+    spec.retires = {2};
+
+    SweepSpec first = spec;
+    first.faultMaps = {"spatial"};
+    const std::string path = tempPath("sweep_faultmap_resume.json");
+    writeFile(path, renderJson(runSweep(first, 2), false));
+
+    const auto completed = loadCompletedCells(path);
+    const SweepOutcome resumed = runSweep(spec, 2, &completed);
+    EXPECT_EQ(resumed.resumedCount, 1u);
+    const SweepOutcome fresh = runSweep(spec, 2);
+    EXPECT_EQ(renderJson(resumed, false), renderJson(fresh, false));
+
+    // The CSV view carries the new axis columns.
+    const std::string csv = renderCsv(fresh);
+    EXPECT_NE(csv.find(",faultmap,retire,"), std::string::npos);
+    EXPECT_NE(csv.find(",spatial,2,"), std::string::npos);
+    EXPECT_NE(csv.find(",off,2,"), std::string::npos);
+}

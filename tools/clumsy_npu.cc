@@ -63,6 +63,22 @@ printJson(const std::string &app, const core::ExperimentConfig &cfg,
     out += "  \"plane\": \"" + sweep::planeName(cfg.plane) + "\",\n";
     out += "  \"fault_scale\": " + sweep::jsonNumber(cfg.faultScale) +
            ",\n";
+    // Echoed only when on: off-mode JSON stays byte-identical to
+    // pre-faultmap output (same contract as the ctrl block below).
+    if (cfg.processor.faultMap.enabled()) {
+        const auto &fm = cfg.processor.faultMap;
+        out += "  \"fault_map\": \"" +
+               sweep::jsonEscape(fm.mode == fault::FaultMapMode::File
+                                     ? fm.path
+                                     : fault::to_string(fm.mode)) +
+               "\",\n";
+        out += "  \"map_seed\": " + std::to_string(fm.seed) + ",\n";
+    }
+    if (cfg.processor.hierarchy.wayDisable.enabled())
+        out += "  \"way_retire\": " +
+               std::to_string(
+                   cfg.processor.hierarchy.wayDisable.retireThreshold) +
+               ",\n";
     out += "  \"pes\": " + std::to_string(npuCfg.peCount) + ",\n";
     out += "  \"dispatch\": \"" + npu::to_string(npuCfg.dispatch) +
            "\",\n";
@@ -117,6 +133,9 @@ main(int argc, char **argv)
     npu::NpuConfig npuCfg;
     apps::SessionParams sess;
     std::uint64_t arrivalGap = 0;
+    std::string faultMapText = "off";
+    std::uint64_t mapSeed = fault::FaultMapSpec{}.seed;
+    unsigned wayRetire = 0;
     bool drop = false, csv = false, json = false;
 
     cli::ArgParser parser(
@@ -244,6 +263,17 @@ main(int argc, char **argv)
     parser.flag("--subblock", "sub-block strike recovery", [&cfg]() {
         cfg.processor.hierarchy.subBlockRecovery = true;
     });
+    parser.optString("--fault-map", "MAP",
+                     "weak-cell map: off | spatial | FILE "
+                     "(default off = uniform eq. (4) faults; the chip "
+                     "salts the generation seed per engine)",
+                     &faultMapText);
+    parser.optU64("--fault-map-seed", "N",
+                  "map generation seed (spatial mode)", &mapSeed);
+    parser.optUnsigned("--way-retire", "N",
+                       "retire an L1D way after N strike-outs "
+                       "(default 0 = never)",
+                       &wayRetire);
     parser.section("experiment");
     parser.optU64("--packets", "N", "packets per run (default 2000)",
                   &cfg.numPackets);
@@ -269,6 +299,10 @@ main(int argc, char **argv)
 
     if (app.empty())
         fatal("--app is required (try --help)");
+
+    cfg.processor.faultMap = fault::faultMapSpecFromString(faultMapText);
+    cfg.processor.faultMap.seed = mapSeed;
+    cfg.processor.hierarchy.wayDisable.retireThreshold = wayRetire;
 
     npuCfg.dispatch = npu::dispatchFromString(dispatch);
     npuCfg.dvs = npu::dvsFromString(dvs);

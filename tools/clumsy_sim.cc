@@ -115,6 +115,22 @@ printJson(const std::string &app, const core::ExperimentConfig &cfg,
     out += "  \"plane\": \"" + sweep::planeName(cfg.plane) + "\",\n";
     out += "  \"fault_scale\": " + sweep::jsonNumber(cfg.faultScale) +
            ",\n";
+    // Echoed only when on, so off-mode JSON stays byte-identical to
+    // pre-faultmap output (same contract as the ctrl block below).
+    if (cfg.processor.faultMap.enabled()) {
+        const auto &fm = cfg.processor.faultMap;
+        out += "  \"fault_map\": \"" +
+               sweep::jsonEscape(fm.mode == fault::FaultMapMode::File
+                                     ? fm.path
+                                     : fault::to_string(fm.mode)) +
+               "\",\n";
+        out += "  \"map_seed\": " + std::to_string(fm.seed) + ",\n";
+    }
+    if (cfg.processor.hierarchy.wayDisable.enabled())
+        out += "  \"way_retire\": " +
+               std::to_string(
+                   cfg.processor.hierarchy.wayDisable.retireThreshold) +
+               ",\n";
     if (cfg.ctrl.rate != 0) {
         out += "  \"ctrl\": " + std::to_string(cfg.ctrl.rate) + ",\n";
         out += "  \"updates\": \"" + ctrl::to_string(cfg.ctrl.mix) +
@@ -136,11 +152,13 @@ main(int argc, char **argv)
 {
     setQuiet(true);
 
-    std::string app, dumpTrace, replayTrace;
+    std::string app, dumpTrace, replayTrace, faultMapText = "off";
     core::ExperimentConfig cfg;
     cfg.numPackets = 2000;
     cfg.trials = 4;
     apps::SessionParams sess;
+    std::uint64_t mapSeed = fault::FaultMapSpec{}.seed;
+    unsigned wayRetire = 0;
     bool stats = false, csv = false, json = false;
 
     cli::ArgParser parser(
@@ -226,6 +244,16 @@ main(int argc, char **argv)
     parser.flag("--subblock", "sub-block strike recovery", [&cfg]() {
         cfg.processor.hierarchy.subBlockRecovery = true;
     });
+    parser.optString("--fault-map", "MAP",
+                     "weak-cell map: off | spatial | FILE "
+                     "(default off = uniform eq. (4) faults)",
+                     &faultMapText);
+    parser.optU64("--fault-map-seed", "N",
+                  "map generation seed (spatial mode)", &mapSeed);
+    parser.optUnsigned("--way-retire", "N",
+                       "retire an L1D way after N strike-outs "
+                       "(default 0 = never)",
+                       &wayRetire);
     parser.section("experiment");
     parser.optU64("--packets", "N", "packets per run (default 2000)",
                   &cfg.numPackets);
@@ -259,6 +287,12 @@ main(int argc, char **argv)
 
     if (app.empty())
         fatal("--app is required (try --help)");
+
+    // Applied after parsing so --fault-map and --fault-map-seed
+    // compose in either order.
+    cfg.processor.faultMap = fault::faultMapSpecFromString(faultMapText);
+    cfg.processor.faultMap.seed = mapSeed;
+    cfg.processor.hierarchy.wayDisable.retireThreshold = wayRetire;
 
     // The session app is the one workload with CLI-tunable knobs; all
     // others come from the stock factory.
