@@ -131,7 +131,7 @@ main(int argc, char **argv)
     w.key("app").value(app);
     w.key("packets").value(static_cast<std::uint64_t>(opt.packets));
     w.key("trials").value(static_cast<std::uint64_t>(opt.trials));
-    w.key("host_cpus").value(static_cast<std::uint64_t>(
+    w.key("host_threads").value(static_cast<std::uint64_t>(
         WorkStealingPool::hardwareWorkers()));
     w.key("config").beginObject();
     w.key("mshrs").value(std::uint64_t{4});

@@ -191,7 +191,7 @@ main(int argc, char **argv)
     w.key("pes").value(std::uint64_t{4});
     w.key("dispatch").value("flow");
     w.key("arrival_gap_cycles").value(std::uint64_t{100});
-    w.key("host_cpus").value(static_cast<std::uint64_t>(
+    w.key("host_threads").value(static_cast<std::uint64_t>(
         WorkStealingPool::hardwareWorkers()));
     w.key("counts").beginArray();
     for (const CountResult &r : results) {

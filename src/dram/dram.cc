@@ -1,0 +1,64 @@
+#include "dram/dram.hh"
+
+#include "common/logging.hh"
+
+namespace clumsy::dram
+{
+
+void
+DramConfig::validate() const
+{
+    if (banks == 0)
+        return; // model off; nothing else is consulted
+    if (rowBytes == 0 || (rowBytes & (rowBytes - 1)) != 0)
+        fatal("dram row bytes must be a power of two, got %u", rowBytes);
+    if (rowHitCycles < 1)
+        fatal("dram row-hit latency must be >= 1 cycle");
+    if (rowMissCycles < rowHitCycles)
+        fatal("dram row-miss latency must be >= the row-hit latency");
+    if (rowConflictCycles < rowMissCycles)
+        fatal("dram row-conflict latency must be >= the row-miss "
+              "latency");
+}
+
+DramModel::DramModel(const DramConfig &config) : config_(config)
+{
+    config_.validate();
+    CLUMSY_ASSERT(config_.banks >= 1,
+                  "DramModel constructed with the model disabled");
+    busyUntil_.assign(config_.banks, 0);
+    openRow_.assign(config_.banks, -1);
+    stats_.bankAccesses.assign(config_.banks, 0);
+}
+
+Quanta
+DramModel::access(std::uint64_t addr, Quanta reqTime)
+{
+    const unsigned bank = bankOf(addr);
+    const std::int64_t row = static_cast<std::int64_t>(rowOf(addr));
+
+    // Bank-conflict serialization: the access waits for the bank.
+    const Quanta start =
+        reqTime > busyUntil_[bank] ? reqTime : busyUntil_[bank];
+
+    std::int64_t latencyCycles;
+    if (openRow_[bank] == row) {
+        latencyCycles = config_.rowHitCycles;
+        ++stats_.rowHits;
+    } else if (openRow_[bank] < 0) {
+        latencyCycles = config_.rowMissCycles;
+        ++stats_.rowMisses;
+    } else {
+        latencyCycles = config_.rowConflictCycles;
+        ++stats_.rowConflicts;
+    }
+    ++stats_.accesses;
+    ++stats_.bankAccesses[bank];
+
+    const Quanta done = start + cyclesToQuanta(latencyCycles);
+    busyUntil_[bank] = done;
+    openRow_[bank] = row;
+    return done;
+}
+
+} // namespace clumsy::dram

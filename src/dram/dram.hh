@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Analytical bank-aware DRAM timing model (cacti-lite style).
+ *
+ * The hierarchy historically charged every L2 miss one flat
+ * HierarchyConfig::memCycles penalty. That is fine for a single chip —
+ * misses are serialized by the shared L2 port anyway — but a line card
+ * runs N chips against one DRAM, and what chips contend on is *banks*:
+ * two misses to different rows of the same bank serialize and pay a
+ * precharge+activate, while misses that land in an open row pay only
+ * the column access. Ramulator-class cycle accuracy is out of scope
+ * (PAPERS.md keeps it as the accuracy yardstick); what matters for the
+ * card-level questions — how much does adding chips degrade each
+ * chip, and how does bank count move the knee — is captured by three
+ * analytical latencies and per-bank open-row state:
+ *
+ *  - row hit:      the addressed row is open in its bank buffer.
+ *  - row miss:     the bank's row buffer is closed (first touch).
+ *  - row conflict: another row is open; precharge + activate first.
+ *
+ * Each bank keeps a busy-until timestamp; an access to a busy bank
+ * starts when the bank frees (bank-conflict serialization), and its
+ * completion re-busies the bank for the latency class it hit. The
+ * model is a pure function of the (address, request-time) sequence it
+ * is fed, which is what lets the line card replay the same sequence at
+ * any host-thread count and get byte-identical timing.
+ *
+ * The flat penalty stays as the *floor*: the card pins the hierarchy's
+ * memCycles to rowHitCycles, and DramModel::extraQuanta() returns the
+ * latency beyond that floor (>= 0 always), which the shared L2 port
+ * folds into the requester's stall the same way it folds port queuing.
+ */
+
+#ifndef CLUMSY_DRAM_DRAM_HH
+#define CLUMSY_DRAM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace clumsy::dram
+{
+
+/** Geometry and latency classes of one DRAM device. */
+struct DramConfig
+{
+    /**
+     * Independent banks. 0 disables the model entirely — the
+     * hierarchy's flat memCycles penalty stands alone, byte-identical
+     * to the pre-DRAM simulator.
+     */
+    unsigned banks = 8;
+
+    /** Bytes per row (the row-buffer size). */
+    std::uint32_t rowBytes = 2048;
+
+    /**
+     * Column access into an open row, base cycles. Defaults to the
+     * historical flat memCycles (mem::HierarchyConfig), so a DRAM
+     * where every access row-hits adds zero latency over the flat
+     * model.
+     */
+    std::int64_t rowHitCycles = 60;
+
+    /** Activate + column access on a closed bank, base cycles. */
+    std::int64_t rowMissCycles = 90;
+
+    /** Precharge + activate + column access, base cycles. */
+    std::int64_t rowConflictCycles = 135;
+
+    /** fatal()s with a parameter-naming message when out of range. */
+    void validate() const;
+};
+
+/** Access counters; hits + misses + conflicts == accesses always. */
+struct DramStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    std::uint64_t rowConflicts = 0;
+
+    /** Accesses per bank (bank-pressure observability). */
+    std::vector<std::uint64_t> bankAccesses;
+};
+
+/**
+ * The device model: per-bank busy-until timestamps and open-row
+ * tracking. Purely serial — callers (the line card's DRAM fabric)
+ * serialize access() calls into the deterministic commit order.
+ */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &config);
+
+    /** Bank index an address maps to. */
+    unsigned bankOf(std::uint64_t addr) const
+    {
+        return static_cast<unsigned>((addr / config_.rowBytes) %
+                                     config_.banks);
+    }
+
+    /** Row index within its bank an address maps to. */
+    std::uint64_t rowOf(std::uint64_t addr) const
+    {
+        return addr / (static_cast<std::uint64_t>(config_.rowBytes) *
+                       config_.banks);
+    }
+
+    /**
+     * Perform one access and return its completion time (quanta).
+     * Starts when the bank frees (never before @p reqTime), pays the
+     * hit/miss/conflict latency, leaves the row open and the bank
+     * busy until completion.
+     */
+    Quanta access(std::uint64_t addr, Quanta reqTime);
+
+    /**
+     * One access's latency *beyond* the flat rowHitCycles floor the
+     * hierarchy already charged: (completion - reqTime) -
+     * cyclesToQuanta(rowHitCycles). Always >= 0.
+     */
+    Quanta extraQuanta(std::uint64_t addr, Quanta reqTime)
+    {
+        return access(addr, reqTime) - reqTime -
+               cyclesToQuanta(config_.rowHitCycles);
+    }
+
+    const DramConfig &config() const { return config_; }
+
+    const DramStats &stats() const { return stats_; }
+
+  private:
+    DramConfig config_;
+    std::vector<Quanta> busyUntil_;       ///< per-bank
+    std::vector<std::int64_t> openRow_;   ///< per-bank, -1 = closed
+    DramStats stats_;
+};
+
+/**
+ * What a chip's shared L2 port calls per DRAM line transfer. The
+ * direct implementation below wraps one DramModel for single-chip use
+ * and tests; the line card's fabric implementation additionally
+ * serializes chips into (time, chip) commit order.
+ */
+class DramGateway
+{
+  public:
+    virtual ~DramGateway() = default;
+
+    /**
+     * One line transfer from DRAM: @p addr is the physical address
+     * (the card salts in the chip offset), @p reqTime the chip time
+     * the port would complete the transfer under the flat model.
+     * Returns the extra stall quanta beyond the flat penalty (>= 0).
+     */
+    virtual Quanta request(std::uint64_t addr, Quanta reqTime) = 0;
+};
+
+/** A gateway over one private DramModel (single chip, no protocol). */
+class DirectDramGateway final : public DramGateway
+{
+  public:
+    explicit DirectDramGateway(const DramConfig &config)
+        : model_(config)
+    {
+    }
+
+    Quanta request(std::uint64_t addr, Quanta reqTime) override
+    {
+        return model_.extraQuanta(addr, reqTime);
+    }
+
+    const DramModel &model() const { return model_; }
+
+  private:
+    DramModel model_;
+};
+
+} // namespace clumsy::dram
+
+#endif // CLUMSY_DRAM_DRAM_HH

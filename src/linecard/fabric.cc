@@ -1,0 +1,104 @@
+#include "linecard/fabric.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace clumsy::linecard
+{
+
+DramFabric::DramFabric(const dram::DramConfig &config, unsigned chips,
+                       unsigned tokens, Quanta flatQuanta)
+    : model_(config),
+      flat_(flatQuanta),
+      tokens_(std::max(1u, tokens)),
+      bound_(chips, 0),
+      lastCommit_(chips, 0),
+      done_(chips, 0)
+{
+    CLUMSY_ASSERT(chips >= 1, "fabric needs at least one chip");
+}
+
+void
+DramFabric::start(unsigned chip)
+{
+    std::unique_lock<std::mutex> lk(m_);
+    CLUMSY_ASSERT(chip < bound_.size(), "chip index out of range");
+    while (running_ >= tokens_)
+        cv_.wait(lk);
+    ++running_;
+}
+
+void
+DramFabric::publish(unsigned chip, Quanta bound)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    if (bound <= bound_[chip])
+        return;
+    bound_[chip] = bound;
+    cv_.notify_all();
+}
+
+bool
+DramFabric::safeLocked(unsigned chip, Quanta p) const
+{
+    for (unsigned j = 0; j < bound_.size(); ++j) {
+        if (j == chip || done_[j])
+            continue;
+        if (bound_[j] < p || (bound_[j] == p && j < chip))
+            return false;
+    }
+    return true;
+}
+
+Quanta
+DramFabric::request(unsigned chip, std::uint64_t addr, Quanta reqTime)
+{
+    std::unique_lock<std::mutex> lk(m_);
+
+    // The commit point. Clamping to the chip's own previous commit
+    // keeps the per-chip sequence monotone (port slot times are not:
+    // with MSHRs > 1 a later access can land on an earlier slot), so
+    // the global (p, chip) order below is a genuine total order.
+    const Quanta p = std::max(reqTime, lastCommit_[chip]);
+    CLUMSY_ASSERT(p >= bound_[chip],
+                  "DRAM request earlier than the chip's published bound");
+    bound_[chip] = p;
+    lastCommit_[chip] = p;
+    cv_.notify_all();
+
+    // Wait for the commit turn, lending out our execution token while
+    // blocked so the chips we wait on can run. Safety is monotone
+    // (bounds only rise, done only sets), so re-acquiring the token
+    // afterwards cannot invalidate it.
+    bool released = false;
+    while (!safeLocked(chip, p)) {
+        if (!released) {
+            released = true;
+            --running_;
+            cv_.notify_all();
+        }
+        cv_.wait(lk);
+    }
+    if (released) {
+        while (running_ >= tokens_)
+            cv_.wait(lk);
+        ++running_;
+    }
+
+    const Quanta done = model_.access(addr, p);
+    const Quanta extra = done - reqTime - flat_;
+    CLUMSY_ASSERT(extra >= 0, "DRAM completed before the flat penalty");
+    return extra;
+}
+
+void
+DramFabric::finish(unsigned chip)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    done_[chip] = 1;
+    --running_;
+    cv_.notify_all();
+}
+
+} // namespace clumsy::linecard

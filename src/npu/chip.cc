@@ -77,7 +77,7 @@ ChipRun
 runChipOnce(const core::AppFactory &factory,
             const core::ExperimentConfig &config, const NpuConfig &npu,
             bool golden, unsigned trial, const ChipRun *goldenRef,
-            bool stream = false)
+            bool stream = false, const ChipEnv &env = {})
 {
     npu.validate(config.processor.hierarchy);
     CLUMSY_ASSERT(!stream || goldenRef == nullptr,
@@ -90,6 +90,10 @@ runChipOnce(const core::AppFactory &factory,
 
     SharedL2Port port(cyclesToQuanta(npu.portHitCycles),
                       cyclesToQuanta(npu.portMissCycles), npu.mshrs);
+    if (env.dram != nullptr)
+        port.attachDram(
+            env.dram, env.dramSalt,
+            cyclesToQuanta(config.processor.hierarchy.memCycles));
 
     ChipRun run;
     run.recorders.assign(
@@ -122,12 +126,16 @@ runChipOnce(const core::AppFactory &factory,
             peConfig.cr = npu.perPeCr[pe];
         core::ProcessorConfig pc =
             core::makeRunProcessorConfig(peConfig, golden, trial);
-        pc.faultSeed += pe * kPeSeedStride;
+        // On a line card each engine salts by its *global* id
+        // (engineSaltBase = chip * peCount), so chips age with
+        // decorrelated fault streams; standalone the base is zero and
+        // the historical seeds are untouched.
+        pc.faultSeed += (env.engineSaltBase + pe) * kPeSeedStride;
         // The map seed is the chip's silicon: trials keep it fixed,
         // but each PE's array is its own die area, so salt by engine
         // id (engine 0 unsalted, preserving the 1-PE == single-core
         // equivalence).
-        pc.faultMap.peSalt = pe;
+        pc.faultMap.peSalt = env.engineSaltBase + pe;
         switch (npu.dvs) {
           case DvsMode::Static:
             // Ablation baseline: frozen at the launch Cr even when
@@ -204,7 +212,11 @@ runChipOnce(const core::AppFactory &factory,
     // ramped/bursty gaps), quantized here onto the chip timeline.
     const net::TraceConfig chipTrace =
         core::resolveTraceConfig(config, *engines[0].app);
-    const auto src = traffic::makeSource(chipTrace, npu.arrivalGapCycles);
+    std::unique_ptr<traffic::PacketSource> ownedSrc;
+    if (env.source == nullptr)
+        ownedSrc = traffic::makeSource(chipTrace, npu.arrivalGapCycles);
+    traffic::PacketSource *const src =
+        env.source != nullptr ? env.source : ownedSrc.get();
 
     // Control-plane churn (ctrl= nonzero): every engine owns a full
     // copy of the update stream — its tables are private, so it must
@@ -227,6 +239,18 @@ runChipOnce(const core::AppFactory &factory,
     bool havePending = false;
     net::Packet pending;
     Quanta pendingArrival = 0;
+
+    // Bounded ingress FIFO (NpuConfig::ingressCapacity > 0): due
+    // arrivals land here before dispatch, and a due arrival that
+    // finds the FIFO full is dropped at the chip edge. The lookahead
+    // slot holds the one packet pulled from the source whose
+    // arrival has not come due yet. Capacity 0 skips all of this.
+    const unsigned ingressCap = npu.ingressCapacity;
+    std::deque<std::pair<net::Packet, Quanta>> ingress;
+    bool haveLook = false;
+    net::Packet look;
+    Quanta lookArrival = 0;
+    std::uint64_t ingressDrops = 0;
 
     core::RunMetrics &merged = run.merged;
     std::uint64_t completed = 0;
@@ -378,6 +402,14 @@ runChipOnce(const core::AppFactory &factory,
         }
     };
 
+    // The pending arrival leaves the dispatch stage (placed or
+    // dropped); with a bounded ingress it also leaves the FIFO head.
+    auto consumePending = [&]() {
+        havePending = false;
+        if (ingressCap > 0)
+            ingress.pop_front();
+    };
+
     // One successful placement, shared by both dispatch arms.
     auto place = [&](unsigned pe) {
         Engine &e = engines[pe];
@@ -385,7 +417,7 @@ runChipOnce(const core::AppFactory &factory,
         ++depths[pe];
         if (!events.contains(pe))
             events.push(pe, e.dataTime());
-        havePending = false;
+        consumePending();
         samplePressure(e);
         e.maxDepth = std::max<std::uint64_t>(e.maxDepth,
                                              e.queue.size());
@@ -401,11 +433,66 @@ runChipOnce(const core::AppFactory &factory,
             events.empty() ? -1 : static_cast<int>(events.top());
         const Quanta stepDt = events.empty() ? 0 : events.topKey();
 
-        // Pull the next arrival eagerly: its timestamp comes from the
-        // source (the churn model only knows a packet's arrival once
-        // it has drawn the packet), and it stays pending until some
-        // engine accepts it.
-        if (!havePending && generated < config.numPackets) {
+        // Line-card horizon feed: no engine's clock ever runs
+        // backwards, so the smallest alive engine data time lower-
+        // bounds the chip time of every future DRAM request (any
+        // request is issued mid-packet at or after its engine's
+        // current time). The bound is monotone; the card's fabric
+        // dedups repeats cheaply.
+        if (env.progress) {
+            Quanta minDt = 0;
+            bool any = false;
+            for (const Engine &e : engines) {
+                if (!e.alive)
+                    continue;
+                const Quanta dt = e.dataTime();
+                if (!any || dt < minDt) {
+                    minDt = dt;
+                    any = true;
+                }
+            }
+            if (any)
+                env.progress(minDt);
+        }
+
+        if (ingressCap > 0) {
+            // Bounded-ingress admission: pull arrivals through the
+            // lookahead slot and admit every one that is due at the
+            // step horizon (or the first one outright when the chip
+            // is idle — time jumps forward to it). A due arrival
+            // that finds the FIFO full is dropped at the chip edge;
+            // the head of the FIFO is the dispatch stage's pending
+            // packet.
+            while (true) {
+                if (!haveLook && generated < config.numPackets) {
+                    look = src->next();
+                    lookArrival =
+                        cyclesToQuanta(src->lastArrivalCycles());
+                    haveLook = true;
+                    ++generated;
+                }
+                if (!haveLook)
+                    break;
+                const bool due = stepPe >= 0 ? lookArrival <= stepDt
+                                             : ingress.empty();
+                if (!due)
+                    break;
+                if (ingress.size() < ingressCap)
+                    ingress.emplace_back(look, lookArrival);
+                else
+                    ++ingressDrops;
+                haveLook = false;
+            }
+            havePending = !ingress.empty();
+            if (havePending) {
+                pending = ingress.front().first;
+                pendingArrival = ingress.front().second;
+            }
+        } else if (!havePending && generated < config.numPackets) {
+            // Pull the next arrival eagerly: its timestamp comes from
+            // the source (the churn model only knows a packet's
+            // arrival once it has drawn the packet), and it stays
+            // pending until some engine accepts it.
             pending = src->next();
             pendingArrival = cyclesToQuanta(src->lastArrivalCycles());
             havePending = true;
@@ -422,9 +509,11 @@ runChipOnce(const core::AppFactory &factory,
             continue;
         }
 
-        if (npu.dispatchBurst == 1) {
+        if (npu.dispatchBurst == 1 || ingressCap > 0) {
             // Legacy reference arm: one dispatch per pass, dispatcher
-            // inputs rebuilt from the queues.
+            // inputs rebuilt from the queues. Bounded-ingress runs
+            // use it too: their pending packet is the FIFO head, so
+            // the batched arm's pull-ahead does not apply.
             for (unsigned pe = 0; pe < npu.peCount; ++pe) {
                 depths[pe] =
                     static_cast<unsigned>(engines[pe].queue.size());
@@ -433,14 +522,14 @@ runChipOnce(const core::AppFactory &factory,
             const int pe = disp.choose(pending, depths, alive);
             if (pe < 0) {
                 ++dropsDeadPe;
-                havePending = false;
+                consumePending();
                 continue;
             }
             Engine &e = engines[static_cast<unsigned>(pe)];
             if (e.queue.size() >= npu.queueCapacity) {
                 if (npu.dropWhenFull) {
                     ++dropsQueueFull;
-                    havePending = false;
+                    consumePending();
                     continue;
                 }
                 // Backpressure: hold the arrival and drain the
@@ -627,6 +716,11 @@ runChipOnce(const core::AppFactory &factory,
     chip.l2EvictionsByOther = static_cast<double>(evictedByOther);
     chip.mshrMerges =
         static_cast<double>(port.stats().get("mshr_merges"));
+    chip.ingressDrops = static_cast<double>(ingressDrops);
+    chip.dramRequests =
+        static_cast<double>(port.stats().get("dram_requests"));
+    chip.dramStallCycles = quantaToCycles(
+        static_cast<Quanta>(port.stats().get("dram_extra_quanta")));
 
     const double fall = core::fallibility(merged);
     const double delay = chip.makespanCycles / processed;
@@ -690,10 +784,10 @@ runChipTrial(const core::AppFactory &factory,
 ChipStreamResult
 runChipStream(const core::AppFactory &factory,
               const core::ExperimentConfig &config, const NpuConfig &npu,
-              bool golden, unsigned trial)
+              bool golden, unsigned trial, const ChipEnv &env)
 {
     ChipRun run = runChipOnce(factory, config, npu, golden, trial,
-                              nullptr, /*stream=*/true);
+                              nullptr, /*stream=*/true, env);
     ChipStreamResult result;
     result.merged = std::move(run.merged);
     result.chip = std::move(run.chip);
@@ -748,6 +842,9 @@ averageChipMetrics(const std::vector<ChipMetrics> &runs)
         avg.crossEngineHitFraction += m.crossEngineHitFraction;
         avg.l2EvictionsByOther += m.l2EvictionsByOther;
         avg.mshrMerges += m.mshrMerges;
+        avg.ingressDrops += m.ingressDrops;
+        avg.dramRequests += m.dramRequests;
+        avg.dramStallCycles += m.dramStallCycles;
         avg.chipEdf += m.chipEdf;
         for (std::size_t i = 0; i < avg.peUtilization.size(); ++i)
             avg.peUtilization[i] += m.peUtilization[i];
@@ -783,6 +880,9 @@ averageChipMetrics(const std::vector<ChipMetrics> &runs)
     avg.crossEngineHitFraction /= n;
     avg.l2EvictionsByOther /= n;
     avg.mshrMerges /= n;
+    avg.ingressDrops /= n;
+    avg.dramRequests /= n;
+    avg.dramStallCycles /= n;
     avg.chipEdf /= n;
     for (double &v : avg.peUtilization)
         v /= n;

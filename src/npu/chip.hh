@@ -32,6 +32,7 @@
 #define CLUMSY_NPU_CHIP_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <utility>
 #include <vector>
@@ -40,8 +41,61 @@
 #include "core/experiment.hh"
 #include "npu/config.hh"
 
+namespace clumsy::dram
+{
+class DramGateway;
+}
+
+namespace clumsy::traffic
+{
+class PacketSource;
+}
+
 namespace clumsy::npu
 {
+
+/**
+ * The chip run's surroundings when it is one of several on a line
+ * card (src/linecard/). The default-constructed env is the standalone
+ * chip: own arrival stream, flat DRAM penalty, engine ids starting at
+ * zero, no horizon feed — byte-identical to the pre-env model.
+ */
+struct ChipEnv
+{
+    /**
+     * Arrival stream override. Null = the chip builds its own source
+     * from the experiment's trace config; the line card passes each
+     * chip its filtered share of the card-wide stream (packets keep
+     * their global sequence numbers and arrival times).
+     */
+    traffic::PacketSource *source = nullptr;
+
+    /** Modeled DRAM behind the shared L2 port (null = flat penalty). */
+    dram::DramGateway *dram = nullptr;
+
+    /**
+     * This chip's offset into the card's physical DRAM address space
+     * (chip c: c * ProcessorConfig::memBytes), added to every L2 line
+     * base before it reaches the gateway.
+     */
+    std::uint64_t dramSalt = 0;
+
+    /**
+     * Global id of this chip's engine 0 (chip c of a card:
+     * c * peCount). Salts per-engine fault seeds and fault-map
+     * generation so chips age differently; zero preserves the
+     * standalone chip's seeds exactly.
+     */
+    unsigned engineSaltBase = 0;
+
+    /**
+     * Horizon feed for the card's conservative parallelism: called at
+     * the top of every step with a monotone lower bound (chip quanta)
+     * on the time of any future DRAM request this chip can make.
+     * Null = not tracked (no per-step O(P) scan).
+     */
+    std::function<void(Quanta)> progress;
+};
 
 /**
  * Chip-level quantities of one run. All fields are doubles — counters
@@ -71,6 +125,15 @@ struct ChipMetrics
 
     double l2PortWaits = 0.0;      ///< accesses that found the port busy
     double l2PortWaitCycles = 0.0; ///< total port queuing, cycles
+
+    /**
+     * Ingress-FIFO drops (NpuConfig::ingressCapacity > 0; zero and
+     * inert otherwise) and modeled-DRAM demand (ChipEnv::dram
+     * attached; zero and inert otherwise — averages mix cleanly).
+     */
+    double ingressDrops = 0.0;
+    double dramRequests = 0.0;    ///< line transfers sent to DRAM
+    double dramStallCycles = 0.0; ///< stall beyond the flat penalty
 
     /**
      * Shared-L2 observability (NpuConfig::l2 == Shared; all zero in
@@ -194,7 +257,8 @@ struct ChipStreamResult
 ChipStreamResult runChipStream(const core::AppFactory &factory,
                                const core::ExperimentConfig &config,
                                const NpuConfig &npu, bool golden = true,
-                               unsigned trial = 0);
+                               unsigned trial = 0,
+                               const ChipEnv &env = {});
 
 /**
  * Golden + trials on one chip. With NpuConfig::chipJobs > 1 the

@@ -127,6 +127,16 @@ struct NpuConfig
     std::int64_t arrivalGapCycles = 0;
 
     /**
+     * Chip ingress FIFO capacity, packets. Arrivals that are due
+     * while the FIFO's head is backpressured pile up in the FIFO;
+     * once it is full, further due arrivals are dropped at the chip
+     * edge (ChipMetrics::ingressDrops). 0 (the default) = unbounded
+     * ingress, the historical stall-the-wire behaviour, byte-identical
+     * to the pre-ingress model. The line card sets this per chip.
+     */
+    unsigned ingressCapacity = 0;
+
+    /**
      * Per-engine relative cycle time overrides (a heterogeneous chip:
      * some engines clocked clumsier than others). Empty = uniform,
      * every engine runs the experiment's Cr. When non-empty the size

@@ -61,15 +61,36 @@ SharedL2Port::requestPort(unsigned requester, Quanta endTime,
         stats_.inc("wait_quanta", static_cast<std::uint64_t>(delay));
     }
 
+    // Modeled DRAM behind the port (line card): every miss line is one
+    // DRAM line transfer, issued at the moment the flat-penalty model
+    // would have started the DRAM portion of this (possibly
+    // port-delayed) access. Transfers to different banks overlap, so
+    // the requester stalls for the slowest line only. With no DRAM
+    // attached every extra is zero and the pre-DRAM timing stands
+    // byte for byte.
+    //
     // Record this access's shareable DRAM transfers as merge targets.
     // The per-line completion time is approximated by the whole
-    // access's port window end — conservative by at most the access's
-    // other uses' service.
+    // access's port window end (plus that line's DRAM extra) —
+    // conservative by at most the access's other uses' service.
+    Quanta dramExtra = 0;
+    const Quanta dramReq = *slot - dramFlat_;
     for (unsigned i = 0; i < lineCount; ++i) {
-        if (!lines[i].miss || !lines[i].shareable)
+        if (!lines[i].miss)
             continue;
-        inflight_[lines[i].base] = Inflight{requester, *slot};
+        Quanta extra = 0;
+        if (dram_ != nullptr) {
+            extra = dram_->request(dramSalt_ + lines[i].base, dramReq);
+            dramExtra = std::max(dramExtra, extra);
+            stats_.inc("dram_requests");
+        }
+        if (!lines[i].shareable)
+            continue;
+        inflight_[lines[i].base] = Inflight{requester, *slot + extra};
     }
+    if (dramExtra > 0)
+        stats_.inc("dram_extra_quanta",
+                    static_cast<std::uint64_t>(dramExtra));
 
     // Bound the table: entries whose transfer has completed relative
     // to the current window can never merge again.
@@ -81,7 +102,7 @@ SharedL2Port::requestPort(unsigned requester, Quanta endTime,
                 ++it;
         }
     }
-    return delay;
+    return delay + dramExtra;
 }
 
 Quanta

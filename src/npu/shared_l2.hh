@@ -61,6 +61,7 @@
 #include "common/pool.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "dram/dram.hh"
 #include "energy/chip_energy.hh"
 #include "mem/backing_store.hh"
 #include "mem/cache.hh"
@@ -101,6 +102,24 @@ class SharedL2Port : public mem::L2PortArbiter
                            nullptr, 0);
     }
 
+    /**
+     * Put a modeled DRAM behind the port (line card). Every miss
+     * line of a granted access issues one gateway request at the
+     * access's port-window end minus @p flatQuanta (the point the
+     * flat-penalty model would start the DRAM transfer, salted by
+     * @p addrSalt into the card's physical address space); the
+     * largest extra latency among the access's lines is folded into
+     * the requester's stall, exactly like port queuing. Null (the
+     * default) leaves the pre-DRAM timing byte-identical.
+     */
+    void attachDram(dram::DramGateway *dram, std::uint64_t addrSalt,
+                    Quanta flatQuanta)
+    {
+        dram_ = dram;
+        dramSalt_ = addrSalt;
+        dramFlat_ = flatQuanta;
+    }
+
     /** Chip time the last MSHR frees up (port fully idle after). */
     Quanta busyUntil() const;
 
@@ -111,7 +130,8 @@ class SharedL2Port : public mem::L2PortArbiter
     }
 
     /** Port counters: requests, port_uses, contended, wait_quanta,
-     *  mshr_merges. */
+     *  mshr_merges; with a DRAM attached also dram_requests and
+     *  dram_extra_quanta. */
     const StatGroup &stats() const { return stats_; }
 
   private:
@@ -125,6 +145,9 @@ class SharedL2Port : public mem::L2PortArbiter
     Quanta hitService_;
     Quanta missService_;
     std::vector<Quanta> slots_; ///< per-MSHR busy-until times
+    dram::DramGateway *dram_ = nullptr; ///< modeled DRAM (may be null)
+    std::uint64_t dramSalt_ = 0;        ///< chip offset into DRAM space
+    Quanta dramFlat_ = 0; ///< flat penalty already inside endTime
     StatGroup stats_{"l2port"};
 
     /** Line base -> in-flight shareable transfer (merge window). */

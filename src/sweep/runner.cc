@@ -76,18 +76,35 @@ runSweep(const SweepSpec &spec, unsigned jobs,
         return npuCfg;
     };
 
+    // The card-jobs= axis gets the same budget treatment; card runs
+    // are byte-identical across card-jobs values by contract.
+    auto cellCardConfig = [&](const SweepCell &cell) {
+        linecard::CardConfig cardCfg = makeCardConfig(cell);
+        cardCfg.cardJobs = WorkStealingPool::budgetedWorkers(
+            cardCfg.cardJobs, outcome.jobs);
+        return cardCfg;
+    };
+
     // Phase 1: one golden job per cell. The records are written once
     // here and only read afterwards, so phase 2 shares them freely.
     // Chip-model cells run the npu harness instead of the single-core
     // one; both produce RunMetrics, so the reduction is shared.
     std::vector<core::GoldenRecord> goldens(n);
     std::vector<std::unique_ptr<npu::ChipRun>> chipGoldens(n);
+    std::vector<std::unique_ptr<linecard::CardRunResult>>
+        cardGoldens(n);
     std::vector<double> goldenMs(n);
     pool.run(n, [&](std::size_t k) {
         const SweepCell &cell = cells[toRun[k]];
         const core::ExperimentConfig cfg = makeConfig(spec, cell);
         const auto start = Clock::now();
-        if (cell.isNpu()) {
+        if (cell.isCard()) {
+            cardGoldens[k] =
+                std::make_unique<linecard::CardRunResult>(
+                    linecard::runCard(apps::appFactory(cell.app), cfg,
+                                      cellNpuConfig(cell),
+                                      cellCardConfig(cell), true, 0));
+        } else if (cell.isNpu()) {
             chipGoldens[k] = std::make_unique<npu::ChipRun>(
                 npu::runChipGolden(apps::appFactory(cell.app), cfg,
                                    cellNpuConfig(cell)));
@@ -102,6 +119,7 @@ runSweep(const SweepSpec &spec, unsigned jobs,
     // fault stream from (config, trial), so placement is free.
     std::vector<core::RunMetrics> trialMetrics(n * trials);
     std::vector<npu::ChipMetrics> trialChips(n * trials);
+    std::vector<linecard::CardMetrics> trialCards(n * trials);
     std::vector<double> trialMs(n * trials);
     std::vector<std::atomic<unsigned>> remaining(n);
     for (auto &r : remaining)
@@ -115,7 +133,13 @@ runSweep(const SweepSpec &spec, unsigned jobs,
         const SweepCell &cell = cells[toRun[k]];
         const core::ExperimentConfig cfg = makeConfig(spec, cell);
         const auto start = Clock::now();
-        if (cell.isNpu()) {
+        if (cell.isCard()) {
+            const linecard::CardRunResult r = linecard::runCard(
+                apps::appFactory(cell.app), cfg, cellNpuConfig(cell),
+                cellCardConfig(cell), false, t);
+            trialMetrics[j] = linecard::mergeCardRunMetrics(r);
+            trialCards[j] = r.card;
+        } else if (cell.isNpu()) {
             npu::ChipRun r = npu::runChipTrial(
                 apps::appFactory(cell.app), cfg, cellNpuConfig(cell),
                 t, *chipGoldens[k]);
@@ -149,7 +173,21 @@ runSweep(const SweepSpec &spec, unsigned jobs,
             trialMetrics.begin() +
                 static_cast<std::ptrdiff_t>((k + 1) * trials));
         CellOutcome &out = outcome.cells[i];
-        if (cells[i].isNpu()) {
+        if (cells[i].isCard()) {
+            out.result = core::aggregateTrials(
+                cells[i].app,
+                core::GoldenRecord{
+                    linecard::mergeCardRunMetrics(*cardGoldens[k]),
+                    {}},
+                ordered);
+            out.hasCard = true;
+            out.cardGolden = cardGoldens[k]->card;
+            out.cardFaulty = linecard::averageCardMetrics(
+                {trialCards.begin() +
+                     static_cast<std::ptrdiff_t>(k * trials),
+                 trialCards.begin() +
+                     static_cast<std::ptrdiff_t>((k + 1) * trials)});
+        } else if (cells[i].isNpu()) {
             out.result = core::aggregateTrials(
                 cells[i].app,
                 core::GoldenRecord{chipGoldens[k]->merged, {}},

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/experiment.hh"
+#include "linecard/card.hh"
 #include "npu/chip.hh"
 #include "sweep/spec.hh"
 
@@ -46,6 +47,11 @@ struct CellOutcome
     bool hasNpu = false;
     npu::ChipMetrics npuGolden;
     npu::ChipMetrics npuFaulty; ///< componentwise mean over trials
+
+    /** Card-level extras, present when the cell ran the card tier. */
+    bool hasCard = false;
+    linecard::CardMetrics cardGolden;
+    linecard::CardMetrics cardFaulty; ///< componentwise mean over trials
 };
 
 /** Everything a sweep produced, in cell expansion order. */

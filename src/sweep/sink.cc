@@ -105,6 +105,32 @@ writeChipMetrics(JsonWriter &w, const npu::ChipMetrics &m)
     w.endObject();
 }
 
+void
+writeCardMetrics(JsonWriter &w, const linecard::CardMetrics &m)
+{
+    w.beginObject();
+    w.key("makespan_cycles").value(m.makespanCycles);
+    w.key("throughput_pps").value(m.throughputPps);
+    w.key("load_imbalance").value(m.loadImbalance);
+    w.key("packets_processed").value(m.packetsProcessed);
+    w.key("ingress_drops").value(m.ingressDrops);
+    w.key("dram_accesses").value(m.dramAccesses);
+    w.key("dram_row_hits").value(m.dramRowHits);
+    w.key("dram_row_misses").value(m.dramRowMisses);
+    w.key("dram_row_conflicts").value(m.dramRowConflicts);
+    w.key("dram_row_hit_fraction").value(m.dramRowHitFraction);
+    w.key("dram_stall_cycles").value(m.dramStallCycles);
+    w.key("chip_packets").beginArray();
+    for (double v : m.chipPackets)
+        w.value(v);
+    w.endArray();
+    w.key("chip_makespan_cycles").beginArray();
+    for (double v : m.chipMakespanCycles)
+        w.value(v);
+    w.endArray();
+    w.endObject();
+}
+
 std::string
 cellJson(const CellOutcome &out, bool provenance)
 {
@@ -130,6 +156,17 @@ cellJson(const CellOutcome &out, bool provenance)
     w.key("gap").value(static_cast<std::uint64_t>(out.cell.arrivalGap));
     w.key("chip_jobs")
         .value(static_cast<std::uint64_t>(out.cell.chipJobs));
+    // Line-card dimensions only at non-default values, so documents
+    // from before the card tier existed parse and resume unchanged.
+    if (out.cell.chips != 1)
+        w.key("chips").value(
+            static_cast<std::uint64_t>(out.cell.chips));
+    if (out.cell.dramBanks != 0)
+        w.key("dram_banks").value(
+            static_cast<std::uint64_t>(out.cell.dramBanks));
+    if (out.cell.cardJobs != 1)
+        w.key("card_jobs").value(
+            static_cast<std::uint64_t>(out.cell.cardJobs));
     // Traffic and control-plane dimensions only at non-default values:
     // parseCell must reconstruct the exact cell key, and the elision
     // keeps documents from before these axes byte-stable.
@@ -155,6 +192,14 @@ cellJson(const CellOutcome &out, bool provenance)
         writeChipMetrics(w, out.npuGolden);
         w.key("faulty");
         writeChipMetrics(w, out.npuFaulty);
+        w.endObject();
+    }
+    if (out.hasCard) {
+        w.key("card").beginObject();
+        w.key("golden");
+        writeCardMetrics(w, out.cardGolden);
+        w.key("faulty");
+        writeCardMetrics(w, out.cardFaulty);
         w.endObject();
     }
     if (provenance)
@@ -473,6 +518,28 @@ parseChipMetrics(const JVal &o)
     return m;
 }
 
+linecard::CardMetrics
+parseCardMetrics(const JVal &o)
+{
+    linecard::CardMetrics m;
+    m.makespanCycles = numField(o, "makespan_cycles");
+    m.throughputPps = numField(o, "throughput_pps");
+    m.loadImbalance = numField(o, "load_imbalance");
+    m.packetsProcessed = numField(o, "packets_processed");
+    m.ingressDrops = numField(o, "ingress_drops");
+    m.dramAccesses = numField(o, "dram_accesses");
+    m.dramRowHits = numField(o, "dram_row_hits");
+    m.dramRowMisses = numField(o, "dram_row_misses");
+    m.dramRowConflicts = numField(o, "dram_row_conflicts");
+    m.dramRowHitFraction = numField(o, "dram_row_hit_fraction");
+    m.dramStallCycles = numField(o, "dram_stall_cycles");
+    for (const JVal &v : field(o, "chip_packets").arr)
+        m.chipPackets.push_back(v.num);
+    for (const JVal &v : field(o, "chip_makespan_cycles").arr)
+        m.chipMakespanCycles.push_back(v.num);
+    return m;
+}
+
 CellOutcome
 parseCell(const JVal &o)
 {
@@ -509,6 +576,16 @@ parseCell(const JVal &o)
     if (o.find("chip_jobs"))
         out.cell.chipJobs =
             static_cast<unsigned>(numField(o, "chip_jobs"));
+    // chips/dram_banks/card_jobs: written only at non-default values
+    // (and absent in documents from before the card tier existed).
+    if (o.find("chips"))
+        out.cell.chips = static_cast<unsigned>(numField(o, "chips"));
+    if (o.find("dram_banks"))
+        out.cell.dramBanks =
+            static_cast<unsigned>(numField(o, "dram_banks"));
+    if (o.find("card_jobs"))
+        out.cell.cardJobs =
+            static_cast<unsigned>(numField(o, "card_jobs"));
     // flows/churn/ctrl/updates: written only at non-default values
     // (and absent in documents from before those axes existed).
     if (o.find("flows"))
@@ -531,6 +608,11 @@ parseCell(const JVal &o)
         out.hasNpu = true;
         out.npuGolden = parseChipMetrics(field(*chip, "golden"));
         out.npuFaulty = parseChipMetrics(field(*chip, "faulty"));
+    }
+    if (const JVal *card = o.find("card")) {
+        out.hasCard = true;
+        out.cardGolden = parseCardMetrics(field(*card, "golden"));
+        out.cardFaulty = parseCardMetrics(field(*card, "faulty"));
     }
     if (const JVal *wall = o.find("wall_ms"))
         out.wallMs = wall->num;
@@ -593,6 +675,23 @@ chipMetricsJson(const npu::ChipMetrics &metrics)
 }
 
 std::string
+cardMetricsJson(const linecard::CardMetrics &metrics)
+{
+    JsonWriter w;
+    writeCardMetrics(w, metrics);
+    return w.str();
+}
+
+std::string
+hexU64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
 renderJson(const SweepOutcome &outcome, bool provenance)
 {
     std::string out = "{\n";
@@ -623,7 +722,8 @@ renderCsv(const SweepOutcome &outcome)
 {
     std::string out =
         "app,cr,dynamic,scheme,codec,plane,fault_scale,pes,dispatch,"
-        "per_pe_cr,dvs,mshrs,l2,gap,chip_jobs,flows,churn,ctrl,"
+        "per_pe_cr,dvs,mshrs,l2,gap,chip_jobs,chips,dram_banks,"
+        "card_jobs,flows,churn,ctrl,"
         "updates,faultmap,retire,fallibility,"
         "any_error_prob,fatal_prob,fatal_fraction,cycles_per_packet,"
         "energy_per_packet_pj,l1d_energy_per_packet_pj,edf,"
@@ -647,6 +747,9 @@ renderCsv(const SweepOutcome &outcome)
         out += "," + npu::to_string(c.cell.l2);
         out += "," + std::to_string(c.cell.arrivalGap);
         out += "," + std::to_string(c.cell.chipJobs);
+        out += "," + std::to_string(c.cell.chips);
+        out += "," + std::to_string(c.cell.dramBanks);
+        out += "," + std::to_string(c.cell.cardJobs);
         out += "," + std::to_string(c.cell.flows);
         out += "," + std::to_string(c.cell.churn);
         out += "," + std::to_string(c.cell.ctrlRate);

@@ -30,9 +30,11 @@
 #ifndef CLUMSY_SWEEP_SINK_HH
 #define CLUMSY_SWEEP_SINK_HH
 
+#include <cstdint>
 #include <map>
 #include <string>
 
+#include "linecard/card.hh"
 #include "sweep/runner.hh"
 
 namespace clumsy::sweep
@@ -59,6 +61,15 @@ std::string experimentResultJson(const core::ExperimentResult &res);
  * clumsy_npu --json so both emitters stay field-for-field identical.
  */
 std::string chipMetricsJson(const npu::ChipMetrics &metrics);
+
+/**
+ * Serialize one CardMetrics as a compact JSON object. Shared with
+ * clumsy_card --json so both emitters stay field-for-field identical.
+ */
+std::string cardMetricsJson(const linecard::CardMetrics &metrics);
+
+/** Zero-padded 16-digit lowercase hex (for value digests). */
+std::string hexU64(std::uint64_t v);
 
 /**
  * Parse the "results" entries of a previously written sweep JSON

@@ -240,6 +240,26 @@ SweepSpec::parse(const std::string &grid)
             for (const std::string &v : values)
                 spec.chipJobs.push_back(static_cast<unsigned>(
                     cli::parseU64("chip-jobs", v)));
+        } else if (key == "chips") {
+            spec.chips.clear();
+            for (const std::string &v : values) {
+                const std::uint64_t n = cli::parseU64("chips", v);
+                if (n == 0)
+                    fatal("chips must be >= 1");
+                spec.chips.push_back(static_cast<unsigned>(n));
+            }
+        } else if (key == "dram-banks") {
+            // 0 is the model-off sentinel (what toGridString prints
+            // for an unswept axis), so grids round-trip.
+            spec.dramBanks.clear();
+            for (const std::string &v : values)
+                spec.dramBanks.push_back(static_cast<unsigned>(
+                    cli::parseU64("dram-banks", v)));
+        } else if (key == "card-jobs") {
+            spec.cardJobs.clear();
+            for (const std::string &v : values)
+                spec.cardJobs.push_back(static_cast<unsigned>(
+                    cli::parseU64("card-jobs", v)));
         } else if (key == "flows") {
             // 0 is the app-default sentinel (what toGridString prints
             // for an unswept axis), so grids round-trip; the tools'
@@ -358,6 +378,17 @@ SweepSpec::toGridString() const
            joinDim<unsigned>(chipJobs, [](const unsigned &j) {
                return std::to_string(j);
            });
+    out += ";chips=" + joinDim<unsigned>(chips, [](const unsigned &n) {
+               return std::to_string(n);
+           });
+    out += ";dram-banks=" +
+           joinDim<unsigned>(dramBanks, [](const unsigned &n) {
+               return std::to_string(n);
+           });
+    out += ";card-jobs=" +
+           joinDim<unsigned>(cardJobs, [](const unsigned &j) {
+               return std::to_string(j);
+           });
     out += ";flows=" +
            joinDim<std::uint32_t>(flows, [](const std::uint32_t &n) {
                return std::to_string(n);
@@ -396,7 +427,8 @@ SweepSpec::cellCount() const
            codecs.size() * planes.size() * faultScales.size() *
            peCounts.size() * dispatches.size() * perPeCrs.size() *
            dvsModes.size() * mshrs.size() * l2Modes.size() *
-           arrivalGaps.size() * chipJobs.size() * flows.size() *
+           arrivalGaps.size() * chipJobs.size() * chips.size() *
+           dramBanks.size() * cardJobs.size() * flows.size() *
            churns.size() * faultMaps.size() * retires.size() *
            ctrlRates.size() * updateMixes.size();
 }
@@ -427,6 +459,17 @@ SweepCell::key() const
             k += ";gap=" + std::to_string(arrivalGap);
         if (chipJobs != 1)
             k += ";chip-jobs=" + std::to_string(chipJobs);
+    }
+    // Line-card dimensions appear only when the cell uses the card
+    // tier, so every pre-linecard result file keeps resuming against
+    // unchanged keys; within a card key, dram-banks and card-jobs
+    // elide at their 0/1 defaults.
+    if (isCard()) {
+        k += ";chips=" + std::to_string(chips);
+        if (dramBanks != 0)
+            k += ";dram-banks=" + std::to_string(dramBanks);
+        if (cardJobs != 1)
+            k += ";card-jobs=" + std::to_string(cardJobs);
     }
     // Traffic dimensions apply to both harnesses; they elide at their
     // 0 (= app default) values so every pre-traffic result file keeps
@@ -466,7 +509,9 @@ expand(const SweepSpec &spec)
                       !spec.dvsModes.empty() && !spec.mshrs.empty() &&
                       !spec.l2Modes.empty() &&
                       !spec.arrivalGaps.empty() &&
-                      !spec.chipJobs.empty() && !spec.flows.empty() &&
+                      !spec.chipJobs.empty() && !spec.chips.empty() &&
+                      !spec.dramBanks.empty() &&
+                      !spec.cardJobs.empty() && !spec.flows.empty() &&
                       !spec.churns.empty() && !spec.faultMaps.empty() &&
                       !spec.retires.empty() && !spec.ctrlRates.empty() &&
                       !spec.updateMixes.empty(),
@@ -490,6 +535,9 @@ expand(const SweepSpec &spec)
     for (const npu::L2Mode l2m : spec.l2Modes)
     for (const std::int64_t gap : spec.arrivalGaps)
     for (const unsigned cjobs : spec.chipJobs)
+    for (const unsigned nchips : spec.chips)
+    for (const unsigned banks : spec.dramBanks)
+    for (const unsigned kjobs : spec.cardJobs)
     for (const std::uint32_t nflows : spec.flows)
     for (const std::uint64_t life : spec.churns)
     for (const std::string &fmap : spec.faultMaps)
@@ -512,6 +560,9 @@ expand(const SweepSpec &spec)
         cell.l2 = l2m;
         cell.arrivalGap = gap;
         cell.chipJobs = cjobs;
+        cell.chips = nchips;
+        cell.dramBanks = banks;
+        cell.cardJobs = kjobs;
         cell.flows = nflows;
         cell.churn = life;
         cell.faultMap = fmap;
@@ -569,6 +620,16 @@ makeNpuConfig(const SweepCell &cell)
                   cell.peCount);
     }
     return npuCfg;
+}
+
+linecard::CardConfig
+makeCardConfig(const SweepCell &cell)
+{
+    linecard::CardConfig cardCfg;
+    cardCfg.chips = cell.chips;
+    cardCfg.dram.banks = cell.dramBanks;
+    cardCfg.cardJobs = cell.cardJobs;
+    return cardCfg;
 }
 
 } // namespace clumsy::sweep

@@ -27,6 +27,7 @@
 
 #include "core/experiment.hh"
 #include "ctrl/ctrl.hh"
+#include "linecard/card.hh"
 #include "mem/cache.hh"
 #include "mem/recovery.hh"
 #include "npu/config.hh"
@@ -96,6 +97,18 @@ struct SweepSpec
     std::vector<unsigned> chipJobs = {1};
 
     /**
+     * Line-card dimensions (src/linecard/): chip counts behind the
+     * inter-chip dispatcher, shared-DRAM bank counts (0 = analytical
+     * DRAM model off, the historical flat-penalty behaviour) and
+     * card-jobs values (inter-chip worker threads, byte-identical
+     * across values like chip-jobs). The all-default column routes
+     * the cell through the chip or single-core harness unchanged.
+     */
+    std::vector<unsigned> chips = {1};
+    std::vector<unsigned> dramBanks = {0};
+    std::vector<unsigned> cardJobs = {1};
+
+    /**
      * Traffic-model dimensions (src/traffic/): flow-population
      * overrides (0 = the app's own default) and churn mean flow
      * lifetimes in packets (0 = the app's own churn setting; nonzero
@@ -144,8 +157,8 @@ struct SweepSpec
      * Parse a grid string (semicolon-separated key=value,value,...
      * pairs). Keys: app, cr, scheme, codec, plane, fault-scale,
      * pes, dispatch, per-pe-cr, dvs, mshrs, l2, gap, chip-jobs,
-     * flows, churn, faultmap, retire, ctrl, updates, packets, trials,
-     * seed, fault-seed, map-seed.
+     * chips, dram-banks, card-jobs, flows, churn, faultmap, retire,
+     * ctrl, updates, packets, trials, seed, fault-seed, map-seed.
      * "app=all" / "scheme=all" expand to the full sets. fatal()s on
      * unknown keys or values.
      */
@@ -179,6 +192,9 @@ struct SweepCell
     npu::L2Mode l2 = npu::L2Mode::Private;
     std::int64_t arrivalGap = 0; ///< inter-arrival gap, base cycles
     unsigned chipJobs = 1;       ///< chip-run worker threads
+    unsigned chips = 1;          ///< line-card chip count
+    unsigned dramBanks = 0;      ///< shared-DRAM banks (0 = model off)
+    unsigned cardJobs = 1;       ///< inter-chip worker threads
     std::uint32_t flows = 0;     ///< flow override (0 = app default)
     std::uint64_t churn = 0;     ///< mean flow lifetime (0 = app's own)
     std::string faultMap = "off"; ///< "off", "spatial" or a map path
@@ -198,6 +214,15 @@ struct SweepCell
                !perPeCr.empty() || dvs != npu::DvsMode::Fault ||
                mshrs != 1 || l2 != npu::L2Mode::Private ||
                arrivalGap != 0 || chipJobs != 1;
+    }
+
+    /**
+     * @return true when the cell needs the line-card tier: more than
+     * one chip, the DRAM model on, or a non-serial card-jobs value.
+     */
+    bool isCard() const
+    {
+        return chips != 1 || dramBanks != 0 || cardJobs != 1;
     }
 
     /**
@@ -227,6 +252,13 @@ core::ExperimentConfig makeConfig(const SweepSpec &spec,
  * engines than pes.
  */
 npu::NpuConfig makeNpuConfig(const SweepCell &cell);
+
+/**
+ * The line-card configuration of a cell (meaningful when
+ * cell.isCard()): chips behind a round-robin card dispatcher sharing
+ * a dramBanks-bank DRAM, advanced by cardJobs workers.
+ */
+linecard::CardConfig makeCardConfig(const SweepCell &cell);
 
 /** Dash-form scheme name usable inside keys ("no-detection"). */
 std::string schemeName(mem::RecoveryScheme scheme);

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests of the analytical DRAM backend (src/dram/): row-buffer
+ * hit/miss/conflict latency arithmetic, bank-conflict serialization
+ * order, stat invariants, address mapping, the flat-floor contract of
+ * extraQuanta(), and config validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/dram.hh"
+
+using namespace clumsy;
+using namespace clumsy::dram;
+
+namespace
+{
+
+DramConfig
+smallConfig()
+{
+    DramConfig cfg;
+    cfg.banks = 4;
+    cfg.rowBytes = 1024;
+    cfg.rowHitCycles = 60;
+    cfg.rowMissCycles = 90;
+    cfg.rowConflictCycles = 135;
+    return cfg;
+}
+
+/** Address of @p row in @p bank under smallConfig()'s geometry. */
+std::uint64_t
+addrOf(const DramConfig &cfg, unsigned bank, std::uint64_t row)
+{
+    return (row * cfg.banks + bank) *
+           static_cast<std::uint64_t>(cfg.rowBytes);
+}
+
+} // namespace
+
+// --- address mapping -------------------------------------------------
+
+TEST(DramModel, AddressMappingRoundTrips)
+{
+    const DramConfig cfg = smallConfig();
+    DramModel dram(cfg);
+    for (unsigned bank = 0; bank < cfg.banks; ++bank) {
+        for (std::uint64_t row : {0ull, 1ull, 7ull, 123ull}) {
+            const std::uint64_t addr = addrOf(cfg, bank, row);
+            EXPECT_EQ(dram.bankOf(addr), bank);
+            EXPECT_EQ(dram.rowOf(addr), row);
+            // Any offset within the row maps identically.
+            EXPECT_EQ(dram.bankOf(addr + cfg.rowBytes - 1), bank);
+            EXPECT_EQ(dram.rowOf(addr + cfg.rowBytes - 1), row);
+        }
+    }
+}
+
+// --- latency classes -------------------------------------------------
+
+/**
+ * First touch of a bank is a row miss; a repeat to the same row is a
+ * hit; switching rows within the bank is a conflict. Each pays its
+ * configured latency exactly.
+ */
+TEST(DramModel, HitMissConflictLatencyArithmetic)
+{
+    const DramConfig cfg = smallConfig();
+    DramModel dram(cfg);
+    const std::uint64_t rowA = addrOf(cfg, 0, 5);
+    const std::uint64_t rowB = addrOf(cfg, 0, 9);
+
+    // Closed bank: row miss, completion = req + miss latency.
+    Quanta t = 1000;
+    Quanta done = dram.access(rowA, t);
+    EXPECT_EQ(done, t + cyclesToQuanta(cfg.rowMissCycles));
+
+    // Open row: hit, measured from the request (bank already free).
+    t = done + 50;
+    done = dram.access(rowA, t);
+    EXPECT_EQ(done, t + cyclesToQuanta(cfg.rowHitCycles));
+
+    // Different row in the open bank: conflict.
+    t = done + 50;
+    done = dram.access(rowB, t);
+    EXPECT_EQ(done, t + cyclesToQuanta(cfg.rowConflictCycles));
+
+    // ... and the bank now holds rowB open: going back to rowA
+    // conflicts again, rowB hits.
+    t = done + 50;
+    EXPECT_EQ(dram.access(rowB, t),
+              t + cyclesToQuanta(cfg.rowHitCycles));
+
+    EXPECT_EQ(dram.stats().rowHits, 2u);
+    EXPECT_EQ(dram.stats().rowMisses, 1u);
+    EXPECT_EQ(dram.stats().rowConflicts, 1u);
+}
+
+// --- bank-conflict serialization -------------------------------------
+
+/**
+ * An access to a busy bank starts when the bank frees, not at its
+ * request time: back-to-back same-bank requests queue, and the second
+ * completion is measured from the first's completion.
+ */
+TEST(DramModel, SameBankAccessesSerialize)
+{
+    const DramConfig cfg = smallConfig();
+    DramModel dram(cfg);
+    const std::uint64_t rowA = addrOf(cfg, 1, 2);
+
+    const Quanta first = dram.access(rowA, 100);
+    EXPECT_EQ(first, 100 + cyclesToQuanta(cfg.rowMissCycles));
+
+    // Requested while the bank is still busy: starts at `first`.
+    const Quanta second = dram.access(rowA, 150);
+    EXPECT_EQ(second, first + cyclesToQuanta(cfg.rowHitCycles));
+
+    // Requested after the bank freed: starts at its own request time.
+    const Quanta third = dram.access(rowA, second + 500);
+    EXPECT_EQ(third, second + 500 + cyclesToQuanta(cfg.rowHitCycles));
+}
+
+/** Different banks do not serialize: each starts at its request. */
+TEST(DramModel, DifferentBanksOverlap)
+{
+    const DramConfig cfg = smallConfig();
+    DramModel dram(cfg);
+    const Quanta a = dram.access(addrOf(cfg, 0, 1), 100);
+    const Quanta b = dram.access(addrOf(cfg, 1, 1), 100);
+    EXPECT_EQ(a, 100 + cyclesToQuanta(cfg.rowMissCycles));
+    EXPECT_EQ(b, 100 + cyclesToQuanta(cfg.rowMissCycles));
+}
+
+// --- stat invariants -------------------------------------------------
+
+/**
+ * hits + misses + conflicts == accesses, and the per-bank counters
+ * partition the total, over an arbitrary mixed sequence.
+ */
+TEST(DramModel, StatInvariantsHoldOverMixedSequence)
+{
+    const DramConfig cfg = smallConfig();
+    DramModel dram(cfg);
+    Quanta t = 0;
+    // A deterministic pseudo-random walk over banks and rows.
+    std::uint64_t x = 0x243f6a8885a308d3ull;
+    for (int i = 0; i < 500; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const unsigned bank = static_cast<unsigned>(x % cfg.banks);
+        const std::uint64_t row = (x >> 8) % 16;
+        t = dram.access(addrOf(cfg, bank, row), t + (x >> 16) % 100);
+    }
+    const DramStats &s = dram.stats();
+    EXPECT_EQ(s.accesses, 500u);
+    EXPECT_EQ(s.rowHits + s.rowMisses + s.rowConflicts, s.accesses);
+    // Exactly one first-touch miss per bank that was touched; every
+    // later closed-row state is impossible (rows stay open).
+    EXPECT_LE(s.rowMisses, static_cast<std::uint64_t>(cfg.banks));
+    std::uint64_t perBank = 0;
+    ASSERT_EQ(s.bankAccesses.size(), cfg.banks);
+    for (std::uint64_t n : s.bankAccesses)
+        perBank += n;
+    EXPECT_EQ(perBank, s.accesses);
+}
+
+// --- the flat-floor contract -----------------------------------------
+
+/**
+ * extraQuanta() is the latency beyond the flat rowHitCycles floor and
+ * is never negative: a row hit on a free bank costs exactly 0 extra.
+ */
+TEST(DramModel, ExtraQuantaIsNonNegativeAndZeroOnFreeHit)
+{
+    const DramConfig cfg = smallConfig();
+    DramModel dram(cfg);
+    const std::uint64_t rowA = addrOf(cfg, 2, 3);
+    // First touch: miss costs (miss - hit) extra.
+    EXPECT_EQ(dram.extraQuanta(rowA, 100),
+              cyclesToQuanta(cfg.rowMissCycles - cfg.rowHitCycles));
+    // Re-touch long after the bank freed: open-row hit, zero extra.
+    EXPECT_EQ(dram.extraQuanta(rowA, 100000), 0);
+    // Busy-bank wait shows up in the extra as well.
+    const Quanta busyUntil = 100000 + cyclesToQuanta(cfg.rowHitCycles);
+    const Quanta wait = 7;
+    EXPECT_EQ(dram.extraQuanta(rowA, busyUntil - wait), wait);
+}
+
+// --- determinism -----------------------------------------------------
+
+/** The model is a pure function of its (addr, reqTime) sequence. */
+TEST(DramModel, ReplayIsByteIdentical)
+{
+    const DramConfig cfg = smallConfig();
+    std::vector<Quanta> first;
+    for (int pass = 0; pass < 2; ++pass) {
+        DramModel dram(cfg);
+        std::vector<Quanta> done;
+        Quanta t = 0;
+        for (int i = 0; i < 200; ++i) {
+            const std::uint64_t addr =
+                addrOf(cfg, i % cfg.banks, (i * 7) % 11);
+            t += 30;
+            done.push_back(dram.access(addr, t));
+        }
+        if (pass == 0)
+            first = done;
+        else
+            EXPECT_EQ(done, first);
+    }
+}
+
+// --- validation ------------------------------------------------------
+
+TEST(DramConfig, ValidateRejectsNonsense)
+{
+    {
+        DramConfig cfg = smallConfig();
+        cfg.rowBytes = 1000; // not a power of two
+        EXPECT_DEATH(cfg.validate(), "power of two");
+    }
+    {
+        DramConfig cfg = smallConfig();
+        cfg.rowHitCycles = 0;
+        EXPECT_DEATH(cfg.validate(), "row-hit latency must be >= 1");
+    }
+    {
+        DramConfig cfg = smallConfig();
+        cfg.rowMissCycles = cfg.rowHitCycles - 1;
+        EXPECT_DEATH(cfg.validate(),
+                     "row-miss latency must be >= the row-hit");
+    }
+    {
+        DramConfig cfg = smallConfig();
+        cfg.rowConflictCycles = cfg.rowMissCycles - 1;
+        EXPECT_DEATH(cfg.validate(),
+                     "row-conflict latency must be >= the row-miss");
+    }
+}
+
+/** banks = 0 turns the model off; validate() accepts it silently. */
+TEST(DramConfig, BanksZeroIsModelOff)
+{
+    DramConfig cfg = smallConfig();
+    cfg.banks = 0;
+    cfg.rowBytes = 12345; // nonsense is fine when the model is off
+    cfg.validate();
+}

@@ -42,7 +42,9 @@ main(int argc, char **argv)
         "--grid", "SPEC",
         "semicolon-separated key=value,value,... dimensions; keys: "
         "app cr scheme codec plane fault-scale pes dispatch per-pe-cr "
-        "packets trials seed fault-seed",
+        "dvs mshrs l2 gap chip-jobs chips dram-banks card-jobs flows "
+        "churn faultmap retire ctrl updates packets trials seed "
+        "fault-seed map-seed",
         &grid);
     parser.section("execution");
     parser.optUnsigned("--jobs", "N",

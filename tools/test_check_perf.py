@@ -33,10 +33,13 @@ class GateHarness(unittest.TestCase):
         self._dir = tempfile.TemporaryDirectory()
         self.addCleanup(self._dir.cleanup)
 
-    def _write(self, tag, cells):
+    def _write(self, tag, cells, host_threads=None):
         path = os.path.join(self._dir.name, tag + ".json")
+        doc = {"cells": cells}
+        if host_threads is not None:
+            doc["host_threads"] = host_threads
         with open(path, "w", encoding="utf-8") as f:
-            json.dump({"cells": cells}, f)
+            json.dump(doc, f)
         return path
 
     def run_gate(self, baseline, fresh, extra_args=()):
@@ -121,6 +124,50 @@ class VerdictTest(GateHarness):
                                         "--warn-below", "0.6"))
         self.assertEqual(status, 0)
         self.assertIn("pass (0 warning(s))", out)
+
+
+class HostThreadsTest(GateHarness):
+    def test_host_mismatch_downgrades_regression_to_warning(self):
+        # A 0.50x regression fails on the same host but only warns
+        # when the two documents were measured on different machines.
+        base = self._write("base", [cell("crc", 1000.0)],
+                           host_threads=8)
+        fresh = self._write("fresh", [cell("crc", 500.0)],
+                            host_threads=1)
+        status, out, _ = self.run_gate(base, fresh)
+        self.assertEqual(status, 0)
+        self.assertIn("NOTE host_threads differ (baseline 8, fresh 1)",
+                      out)
+        self.assertIn("WARN crc", out)
+        self.assertIn("[host mismatch: warn only]", out)
+
+    def test_same_host_still_fails(self):
+        base = self._write("base", [cell("crc", 1000.0)],
+                           host_threads=4)
+        fresh = self._write("fresh", [cell("crc", 500.0)],
+                            host_threads=4)
+        status, out, _ = self.run_gate(base, fresh)
+        self.assertEqual(status, 1)
+        self.assertIn("FAIL crc", out)
+
+    def test_absent_host_threads_keeps_hard_gate(self):
+        # Documents from before the field existed must not silently
+        # lose the hard gate.
+        base = self._write("base", [cell("crc", 1000.0)])
+        fresh = self._write("fresh", [cell("crc", 500.0)],
+                            host_threads=1)
+        status, _, _ = self.run_gate(base, fresh)
+        self.assertEqual(status, 1)
+
+    def test_host_mismatch_never_excuses_divergence(self):
+        base = self._write("base", [cell("crc", 1000.0)],
+                           host_threads=8)
+        fresh = self._write("fresh",
+                            [cell("crc", 1000.0, identical=False)],
+                            host_threads=1)
+        status, out, _ = self.run_gate(base, fresh)
+        self.assertEqual(status, 1)
+        self.assertIn("DIVERGED", out)
 
 
 class CellSetTest(GateHarness):
